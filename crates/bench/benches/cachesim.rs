@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the cache simulator itself: LRU and
+//! Belady throughput on an SpMV trace, and trace-generation cost.
+
+use commorder::cachesim::belady::simulate_belady;
+use commorder::cachesim::hierarchy::CacheHierarchy;
+use commorder::cachesim::plru::PlruCache;
+use commorder::cachesim::trace::{collect_trace, for_each_access, ExecutionModel};
+use commorder::prelude::*;
+use commorder::synth::generators::PlantedPartition;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn fixture() -> CsrMatrix {
+    PlantedPartition::uniform(4096, 32, 10.0, 0.1)
+        .generate(99)
+        .expect("valid generator config")
+}
+
+fn bench_cachesim(c: &mut Criterion) {
+    let a = fixture();
+    let trace = collect_trace(&a, Kernel::SpmvCsr, ExecutionModel::Sequential);
+    let config = CacheConfig::test_scale();
+
+    let mut group = c.benchmark_group("cachesim");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("trace_generation", |bench| {
+        bench.iter(|| {
+            let mut count = 0u64;
+            for_each_access(&a, Kernel::SpmvCsr, ExecutionModel::Sequential, |_| {
+                count += 1;
+            });
+            count
+        });
+    });
+    group.bench_function("lru", |bench| {
+        bench.iter(|| {
+            let mut cache = LruCache::new(config);
+            for &acc in &trace {
+                cache.access(acc);
+            }
+            cache.finish()
+        });
+    });
+    group.bench_function("belady", |bench| {
+        bench.iter(|| simulate_belady(config, &trace));
+    });
+    group.bench_function("plru", |bench| {
+        bench.iter(|| {
+            let mut cache = PlruCache::new(config);
+            for &acc in &trace {
+                cache.access(acc);
+            }
+            cache.finish()
+        });
+    });
+    group.bench_function("two_level_hierarchy", |bench| {
+        let l1 = CacheConfig {
+            capacity_bytes: 1024,
+            ..config
+        };
+        bench.iter(|| {
+            let mut stack = CacheHierarchy::new(l1, config);
+            for &acc in &trace {
+                stack.access(acc);
+            }
+            stack.finish()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cachesim);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the reordering techniques' own cost —
+//! the pre-processing overhead axis of Fig. 9, at microbenchmark scale.
+
+use commorder::prelude::*;
+use commorder::reorder::{Bisection, FlatCommunity, LabelPropagation, SlashBurn};
+use commorder::synth::generators::CommunityHub;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn fixture() -> CsrMatrix {
+    CommunityHub {
+        n: 4096,
+        communities: 64,
+        intra_degree: 10.0,
+        hub_fraction: 0.02,
+        hub_degree: 20.0,
+        mixing: 0.08,
+        scramble_ids: true,
+    }
+    .generate(88)
+    .expect("valid generator config")
+}
+
+fn bench_reorderings(c: &mut Criterion) {
+    let a = fixture();
+    let techniques: Vec<Box<dyn Reordering>> = vec![
+        Box::new(RandomOrder::new(1)),
+        Box::new(DegSort),
+        Box::new(Dbg::default()),
+        Box::new(HubGroup),
+        Box::new(Rcm),
+        Box::new(Gorder::default()),
+        Box::new(SlashBurn::default()),
+        Box::new(Bisection::default()),
+        Box::new(LabelPropagation::default()),
+        Box::new(FlatCommunity::new(1)),
+        Box::new(Rabbit::new()),
+        Box::new(RabbitPlusPlus::new()),
+    ];
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(a.nnz() as u64));
+    for technique in &techniques {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.name()),
+            technique,
+            |bench, t| {
+                bench.iter(|| t.reorder(&a).expect("square fixture"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_permute(c: &mut Criterion) {
+    let a = fixture();
+    let perm = Rabbit::new().reorder(&a).expect("square fixture");
+    c.bench_function("permute_symmetric", |bench| {
+        bench.iter(|| a.permute_symmetric(&perm).expect("validated"));
+    });
+}
+
+criterion_group!(benches, bench_reorderings, bench_permute);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! **Ablation**: sensitivity of the headline result to the simulated L2
+//! geometry (capacity, associativity, line size).
+//!
+//! DESIGN.md fixes one scaled geometry (128 KiB, 16-way, 32 B); this
+//! binary sweeps each axis independently on a representative matrix and
+//! reports the RABBIT++-vs-RANDOM traffic advantage, showing the
+//! conclusions are not an artifact of one configuration.
+
+use commorder::cachesim::plru::PlruCache;
+use commorder::cachesim::{trace, CacheConfig};
+use commorder::prelude::*;
+use commorder_bench::Harness;
+
+fn advantage(gpu: GpuSpec, random: &CsrMatrix, rpp: &CsrMatrix) -> (f64, f64, f64) {
+    let p = Pipeline::new(gpu);
+    let a = p.simulate(random).traffic_ratio;
+    let b = p.simulate(rpp).traffic_ratio;
+    (a, b, a / b)
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    harness.print_platform();
+    let name = if harness.entries.len() <= 8 { "mini-webhub" } else { "web-stackex" };
+    let case = harness
+        .load()
+        .into_iter()
+        .find(|c| c.entry.name == name)
+        .expect("representative matrix exists");
+    eprintln!("[ablation_cache] {}", case.entry.name);
+
+    let base = harness.gpu.l2;
+    let random_m = case
+        .matrix
+        .permute_symmetric(
+            &RandomOrder::new(harness.random_seed)
+                .reorder(&case.matrix)
+                .expect("square"),
+        )
+        .expect("validated");
+    let rpp_m = case
+        .matrix
+        .permute_symmetric(&RabbitPlusPlus::new().reorder(&case.matrix).expect("square"))
+        .expect("validated");
+
+    let mut table = Table::new(
+        format!("{name}: RANDOM vs RABBIT++ traffic across L2 geometries"),
+        vec![
+            "geometry".into(),
+            "RANDOM".into(),
+            "RABBIT++".into(),
+            "advantage".into(),
+        ],
+    );
+    let mut add = |label: String, l2: CacheConfig| {
+        let gpu = GpuSpec { l2, ..harness.gpu };
+        let (a, b, adv) = advantage(gpu, &random_m, &rpp_m);
+        table.add_row(vec![label, Table::ratio(a), Table::ratio(b), Table::ratio(adv)]);
+    };
+
+    for factor in [4u64, 2, 1] {
+        add(
+            format!("capacity {} KiB", base.capacity_bytes / 1024 / factor),
+            CacheConfig {
+                capacity_bytes: base.capacity_bytes / factor,
+                ..base
+            },
+        );
+    }
+    for assoc in [4u32, 8, 16, 32] {
+        add(
+            format!("assoc {assoc}-way"),
+            CacheConfig {
+                associativity: assoc,
+                ..base
+            },
+        );
+    }
+    for line in [32u32, 64, 128] {
+        add(
+            format!("line {line} B"),
+            CacheConfig {
+                line_bytes: line,
+                ..base
+            },
+        );
+    }
+    println!("{table}");
+
+    // Replacement-policy realism: the headline simulator is true LRU;
+    // hardware builds tree-PLRU. Re-measure both orderings under PLRU.
+    let mut policy_table = Table::new(
+        format!("{name}: replacement policy (LRU model vs hardware-like PLRU)"),
+        vec!["ordering".into(), "LRU".into(), "tree-PLRU".into()],
+    );
+    for (label, m) in [("RANDOM", &random_m), ("RABBIT++", &rpp_m)] {
+        let lru_run = Pipeline::new(harness.gpu).simulate(m);
+        let mut plru = PlruCache::new(harness.gpu.l2);
+        trace::for_each_access(m, Kernel::SpmvCsr, ExecutionModel::Sequential, |a| {
+            plru.access(a);
+        });
+        let plru_stats = plru.finish();
+        let compulsory = Kernel::SpmvCsr.compulsory_bytes_for(m) as f64;
+        policy_table.add_row(vec![
+            label.to_string(),
+            Table::ratio(lru_run.traffic_ratio),
+            Table::ratio(plru_stats.dram_traffic_bytes() as f64 / compulsory),
+        ]);
+    }
+    println!("{policy_table}");
+    println!(
+        "Expected: the RABBIT++ advantage persists across every geometry; it grows\n\
+         as capacity shrinks (working set pressure), is insensitive to\n\
+         associativity beyond ~8 ways, and survives the LRU -> tree-PLRU\n\
+         replacement-policy swap (hardware realism check)."
+    );
+}

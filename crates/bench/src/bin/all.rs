@@ -1,0 +1,37 @@
+//! Runs every figure/table binary in sequence by invoking their `main`
+//! logic through the shell-visible binaries would be wasteful; instead
+//! this binary simply documents the experiment index and tells the user
+//! how to run each one.
+
+fn main() {
+    println!("commorder experiment index (see DESIGN.md / EXPERIMENTS.md):\n");
+    let experiments = [
+        ("fig2", "SpMV DRAM traffic, 6 orderings x 50 matrices"),
+        ("fig3", "RABBIT run time vs insularity + correlations"),
+        ("fig4", "% insular nodes per matrix"),
+        ("fig6", "insular sub-matrix traffic after grouping"),
+        ("fig7", "RABBIT++ traffic reduction over RABBIT"),
+        ("fig8", "LRU vs Belady headroom per technique"),
+        ("fig9", "reordering time scaling + amortization"),
+        ("table2", "design space of RABBIT modifications"),
+        ("table3", "average % dead lines per technique"),
+        ("table4", "SpMV-COO / SpMM-4 / SpMM-256 generality"),
+        ("ablation_tiling", "does RABBIT++ subsume tiling? (paper §VII)"),
+        ("ablation_interleave", "robustness to GPU-style interleaving"),
+        ("ablation_cache", "sensitivity to L2 geometry"),
+        ("ablation_resolution", "RABBIT resolution parameter sweep"),
+        ("ablation_hierarchy", "dendrogram hierarchy vs flat communities (L1+L2)"),
+        ("extended_suite", "all 14 orderings + locality scorecard"),
+        ("format_study", "CSR vs ELL vs SELL-C-sigma x reordering"),
+        ("energy_study", "energy accounting per ordering"),
+        ("graph_study", "PageRank + BFS under reordering"),
+        ("ablation_missclass", "Three-C miss classification per ordering"),
+    ];
+    for (bin, what) in experiments {
+        println!("  cargo run --release -p commorder-bench --bin {bin:7} # {what}");
+    }
+    println!(
+        "\nEnvironment: COMMORDER_CORPUS=standard|mini, COMMORDER_MAX_MATRICES=N\n\
+         The standard corpus takes minutes per experiment; mini takes seconds."
+    );
+}

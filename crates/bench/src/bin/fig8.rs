@@ -1,0 +1,57 @@
+//! **Figure 8**: headroom analysis — SpMV DRAM traffic under the real
+//! LRU L2 versus an idealized L2 with Belady's optimal replacement, per
+//! reordering technique. The paper finds the LRU↔Belady gap smallest for
+//! RABBIT++ (7.6%), evidence that RABBIT++ is close to the best
+//! achievable locality.
+
+use commorder::prelude::*;
+use commorder_bench::{figure2_techniques, parallel_map, Harness};
+
+fn main() {
+    let harness = Harness::from_env();
+    harness.print_platform();
+    let cases = harness.load();
+    let lru = Pipeline::new(harness.gpu);
+    let opt = Pipeline::new(harness.gpu).with_policy(ReplacementPolicy::Belady);
+
+    let mut techniques = figure2_techniques(harness.random_seed);
+    techniques.push(Box::new(RabbitPlusPlus::new()));
+
+    let mut table = Table::new(
+        "Fig. 8: mean SpMV traffic (normalized to compulsory), LRU vs Belady",
+        vec![
+            "technique".into(),
+            "LRU".into(),
+            "Belady".into(),
+            "gap".into(),
+        ],
+    );
+    for technique in &techniques {
+        eprintln!("[fig8] {}", technique.name());
+        let pairs: Vec<(f64, f64)> = parallel_map(&cases, |case| {
+            let perm = technique
+                .reorder(&case.matrix)
+                .expect("square corpus matrix");
+            let reordered = case.matrix.permute_symmetric(&perm).expect("validated");
+            (
+                lru.simulate(&reordered).traffic_ratio,
+                opt.simulate(&reordered).traffic_ratio,
+            )
+        });
+        let lru_ratios: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let opt_ratios: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let l = arith_mean_ratio(&lru_ratios).unwrap_or(f64::NAN);
+        let o = arith_mean_ratio(&opt_ratios).unwrap_or(f64::NAN);
+        table.add_row(vec![
+            technique.name().to_string(),
+            Table::ratio(l),
+            Table::ratio(o),
+            Table::percent(l / o - 1.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Paper shape: Belady <= LRU everywhere; the gap is smallest for RABBIT++ (7.6%), \
+         so RABBIT++ already extracts most of the achievable locality"
+    );
+}

@@ -1,0 +1,99 @@
+//! **Extension**: storage format x reordering — CSR vs ELL vs SELL-C-σ
+//! under RANDOM and RABBIT++ orders.
+//!
+//! GPU formats attack regularity (coalescing, padding); reordering
+//! attacks the X-vector's locality. This study shows they are orthogonal
+//! axes: ELL's padding explodes on skewed matrices regardless of order,
+//! SELL-C-σ's σ-sort fixes padding but not X locality, and RABBIT++
+//! fixes X locality under every format. Traffic is normalized to the CSR
+//! compulsory baseline so format overhead is directly visible.
+
+use commorder::cachesim::format_trace::{ell_trace, sell_trace};
+use commorder::prelude::*;
+use commorder::sparse::{EllMatrix, SellMatrix};
+use commorder_bench::Harness;
+
+fn simulate_trace(gpu: &GpuSpec, trace: &[commorder::cachesim::Access]) -> u64 {
+    let mut cache = LruCache::new(gpu.l2);
+    for &a in trace {
+        cache.access(a);
+    }
+    cache.finish().dram_traffic_bytes()
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    harness.print_platform();
+    let subset: Vec<&str> = if harness.entries.len() <= 8 {
+        vec!["mini-sbm", "mini-rmat", "mini-kmer"]
+    } else {
+        vec!["opt-block-512", "soc-rmat-65k", "kmer-65k", "web-stackex"]
+    };
+    let cases: Vec<_> = harness
+        .load()
+        .into_iter()
+        .filter(|c| subset.contains(&c.entry.name))
+        .collect();
+    let csr_pipeline = Pipeline::new(harness.gpu);
+
+    for case in &cases {
+        eprintln!("[format_study] {}", case.entry.name);
+        let mut table = Table::new(
+            format!(
+                "{}: DRAM traffic normalized to CSR compulsory, format x ordering",
+                case.entry.name
+            ),
+            vec![
+                "ordering".into(),
+                "CSR".into(),
+                "ELL".into(),
+                "ELL pad".into(),
+                "SELL-32-256".into(),
+                "SELL pad".into(),
+            ],
+        );
+        let orderings: Vec<Box<dyn Reordering>> = vec![
+            Box::new(RandomOrder::new(harness.random_seed)),
+            Box::new(RabbitPlusPlus::new()),
+        ];
+        let compulsory = Kernel::SpmvCsr.compulsory_bytes_for(&case.matrix) as f64;
+        for ordering in &orderings {
+            let perm = ordering.reorder(&case.matrix).expect("square corpus matrix");
+            let m = case.matrix.permute_symmetric(&perm).expect("validated");
+            let mut row = vec![ordering.name().to_string()];
+            row.push(Table::ratio(
+                csr_pipeline.simulate(&m).dram_bytes as f64 / compulsory,
+            ));
+            // ELL: guard against padding blow-ups (the realistic failure
+            // mode — report it instead of simulating gigabytes).
+            match EllMatrix::from_csr(&m) {
+                Ok(ell) if ell.padding_factor(m.nnz()) <= 16.0 => {
+                    let traffic = simulate_trace(&harness.gpu, &ell_trace(&ell));
+                    row.push(Table::ratio(traffic as f64 / compulsory));
+                    row.push(format!("{:.1}x", ell.padding_factor(m.nnz())));
+                }
+                Ok(ell) => {
+                    row.push("infeasible".to_string());
+                    row.push(format!("{:.0}x", ell.padding_factor(m.nnz())));
+                }
+                Err(_) => {
+                    row.push("overflow".to_string());
+                    row.push("-".to_string());
+                }
+            }
+            let sell = SellMatrix::from_csr(&m, 32, 256).expect("valid geometry");
+            let traffic = simulate_trace(&harness.gpu, &sell_trace(&sell));
+            row.push(Table::ratio(traffic as f64 / compulsory));
+            row.push(format!("{:.2}x", sell.padding_factor(m.nnz())));
+            table.add_row(row);
+        }
+        println!("{table}");
+    }
+    println!(
+        "Reading: ELL is fine on regular matrices (kmer/mesh) and infeasible on\n\
+         skewed ones in ANY order — reordering cannot fix padding. SELL-32-256\n\
+         keeps padding near 1x everywhere, and RABBIT++ then removes the\n\
+         X-gather traffic on top: the two optimizations compose, each owning\n\
+         one axis (the paper's versatility argument extended to formats)."
+    );
+}

@@ -1,0 +1,207 @@
+//! Shared harness for the experiment binaries that regenerate every
+//! table and figure of the paper.
+//!
+//! Each binary (`fig2` … `fig9`, `table2` … `table4`, `all`) loads the
+//! evaluation corpus, runs the relevant pipeline, and prints a table
+//! shaped like the paper's. Two environment variables control scale:
+//!
+//! * `COMMORDER_CORPUS` — `standard` (default, the 50-matrix corpus with
+//!   the 128 KiB scaled A6000 L2) or `mini` (8 small matrices with an
+//!   8 KiB L2; seconds instead of minutes, same qualitative shapes).
+//! * `COMMORDER_MAX_MATRICES` — truncate the corpus for smoke runs.
+//! * `COMMORDER_CSV` — directory to additionally save the main data
+//!   tables as CSV (for external plotting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use commorder::prelude::*;
+use commorder::synth::corpus::{self, CorpusEntry};
+
+/// A generated corpus matrix with its RABBIT-derived analysis metrics,
+/// shared by most experiments.
+pub struct MatrixCase {
+    /// Corpus entry metadata.
+    pub entry: CorpusEntry,
+    /// The matrix in its published (ORIGINAL) order.
+    pub matrix: CsrMatrix,
+}
+
+/// Experiment-wide configuration resolved from the environment.
+pub struct Harness {
+    /// Platform (GPU + L2 geometry) for all simulations.
+    pub gpu: GpuSpec,
+    /// Corpus entries to evaluate.
+    pub entries: Vec<CorpusEntry>,
+    /// Seed for the RANDOM ordering.
+    pub random_seed: u64,
+}
+
+impl Harness {
+    /// Builds the harness from `COMMORDER_CORPUS` / `COMMORDER_MAX_MATRICES`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let corpus_kind =
+            std::env::var("COMMORDER_CORPUS").unwrap_or_else(|_| "standard".to_string());
+        let (entries, gpu) = match corpus_kind.as_str() {
+            "mini" => (corpus::mini(), GpuSpec::test_scale()),
+            _ => (corpus::standard(), GpuSpec::a6000_scaled()),
+        };
+        let limit = std::env::var("COMMORDER_MAX_MATRICES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(usize::MAX);
+        Harness {
+            gpu,
+            entries: entries.into_iter().take(limit).collect(),
+            random_seed: 0xC0DE,
+        }
+    }
+
+    /// Generates every corpus matrix (reporting progress on stderr).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a built-in corpus entry fails to generate (a bug — the
+    /// corpus is covered by tests).
+    #[must_use]
+    pub fn load(&self) -> Vec<MatrixCase> {
+        self.entries
+            .iter()
+            .map(|entry| {
+                eprintln!("[gen] {}", entry.name);
+                let matrix = entry
+                    .generate()
+                    .unwrap_or_else(|e| panic!("corpus entry {} failed: {e}", entry.name));
+                MatrixCase {
+                    entry: entry.clone(),
+                    matrix,
+                }
+            })
+            .collect()
+    }
+
+    /// Prints the platform header (Table I) every binary leads with.
+    pub fn print_platform(&self) {
+        let g = &self.gpu;
+        println!("platform: {}", g.name);
+        println!(
+            "  peak bw {:.0} GB/s | measured bw {:.0} GB/s | L2 {} KiB ({}B lines, {}-way) | mem {} GB",
+            g.peak_bandwidth / 1e9,
+            g.measured_bandwidth / 1e9,
+            g.l2.capacity_bytes / 1024,
+            g.l2.line_bytes,
+            g.l2.associativity,
+            g.memory_capacity >> 30,
+        );
+        println!(
+            "  corpus: {} matrices | kernel model: sequential trace, LRU L2\n",
+            self.entries.len()
+        );
+    }
+}
+
+/// The Fig. 2 technique list (without RABBIT++), in paper order.
+#[must_use]
+pub fn figure2_techniques(seed: u64) -> Vec<Box<dyn Reordering>> {
+    vec![
+        Box::new(RandomOrder::new(seed)),
+        Box::new(Original),
+        Box::new(DegSort),
+        Box::new(Dbg::default()),
+        Box::new(Gorder::default()),
+        Box::new(Rabbit::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_mini_resolves() {
+        std::env::set_var("COMMORDER_CORPUS", "mini");
+        std::env::set_var("COMMORDER_MAX_MATRICES", "3");
+        let h = Harness::from_env();
+        assert_eq!(h.entries.len(), 3);
+        assert_eq!(h.gpu.l2.capacity_bytes, 8 * 1024);
+        std::env::remove_var("COMMORDER_CORPUS");
+        std::env::remove_var("COMMORDER_MAX_MATRICES");
+    }
+
+    #[test]
+    fn figure2_suite_is_the_paper_order() {
+        let names: Vec<String> = figure2_techniques(1)
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["RANDOM", "ORIGINAL", "DEGSORT", "DBG", "GORDER", "RABBIT"]
+        );
+    }
+}
+
+/// Runs `f` over `items` on all available cores, preserving input order
+/// in the output. Each item's evaluation is independent (the corpus
+/// pipeline has no shared mutable state), so this is a pure wall-clock
+/// optimization for multi-core machines; on a single core it degrades to
+/// sequential execution.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                **slot_refs[i].lock().expect("no poisoned slot") = Some(result);
+            });
+        }
+    });
+    drop(slot_refs);
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::parallel_map;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+}

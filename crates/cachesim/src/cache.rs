@@ -1,0 +1,379 @@
+use std::collections::HashSet;
+
+use crate::trace::Access;
+use crate::CacheConfig;
+
+/// Counters collected by a cache simulation.
+///
+/// All traffic figures are in bytes; `dram_traffic_bytes` is the quantity
+/// every paper figure normalizes to compulsory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Read misses that fetched a line from DRAM.
+    pub fill_misses: u64,
+    /// Write misses (allocated without fetch; see crate docs).
+    pub write_alloc_misses: u64,
+    /// Misses to never-before-seen lines (compulsory \[22\]).
+    pub compulsory_misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Evicted (or end-of-run) lines that were never re-referenced after
+    /// fill — the paper's "dead lines" \[18\], \[25\] (Table III).
+    pub dead_lines: u64,
+    /// Dirty lines written back to DRAM (at eviction or flush).
+    pub writebacks: u64,
+    /// Total lines ever filled or allocated.
+    pub fills: u64,
+    /// Line size used, for traffic conversion.
+    pub line_bytes: u32,
+}
+
+impl CacheStats {
+    /// DRAM traffic in bytes: read fills plus write-backs.
+    #[must_use]
+    pub fn dram_traffic_bytes(&self) -> u64 {
+        (self.fill_misses + self.writebacks) * u64::from(self.line_bytes)
+    }
+
+    /// Hit rate over all accesses (0 when no accesses).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of filled lines that died unreferenced (Table III's
+    /// "% of dead lines inserted into the cache").
+    #[must_use]
+    pub fn dead_line_fraction(&self) -> f64 {
+        if self.fills == 0 {
+            0.0
+        } else {
+            self.dead_lines as f64 / self.fills as f64
+        }
+    }
+
+    /// Total misses (read fills + write allocations).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.fill_misses + self.write_alloc_misses
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    /// Monotonic recency stamp; larger = more recently used.
+    lru_stamp: u64,
+    dirty: bool,
+    /// Hits since fill (0 => dead on eviction).
+    reuses: u32,
+    valid: bool,
+}
+
+const EMPTY: Way = Way {
+    tag: 0,
+    lru_stamp: 0,
+    dirty: false,
+    reuses: 0,
+    valid: false,
+};
+
+/// Result of a single [`LruCache::access_detailed`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Byte address of a line evicted to make room (line-aligned), with
+    /// its dirty flag — `None` when no eviction occurred.
+    pub evicted: Option<(u64, bool)>,
+}
+
+/// Set-associative cache with true-LRU replacement.
+///
+/// Models the A6000 L2 at sector granularity. Feed it [`Access`]es via
+/// [`LruCache::access`], then call [`LruCache::finish`] to flush dirty
+/// lines and collect the final [`CacheStats`].
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    config: CacheConfig,
+    ways: Vec<Way>,
+    assoc: usize,
+    stats: CacheStats,
+    seen_lines: HashSet<u64>,
+    clock: u64,
+}
+
+impl LruCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate geometry (see [`CacheConfig::num_lines`]).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let lines = config.num_lines();
+        LruCache {
+            config,
+            ways: vec![EMPTY; lines],
+            assoc: config.associativity as usize,
+            stats: CacheStats {
+                line_bytes: config.line_bytes,
+                ..CacheStats::default()
+            },
+            seen_lines: HashSet::new(),
+            clock: 0,
+        }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Simulates one access; returns `true` on a hit.
+    pub fn access(&mut self, access: Access) -> bool {
+        self.access_detailed(access).hit
+    }
+
+    /// Simulates one access, also reporting any eviction it caused —
+    /// needed by multi-level hierarchies to forward write-backs.
+    pub fn access_detailed(&mut self, access: Access) -> AccessOutcome {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.config.set_and_tag(access.addr);
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
+
+        // Hit?
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru_stamp = self.clock;
+            way.reuses += 1;
+            way.dirty |= access.write;
+            self.stats.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        // Miss: classify, then find a victim (invalid way or true LRU).
+        if self.seen_lines.insert(tag) {
+            self.stats.compulsory_misses += 1;
+        }
+        if access.write {
+            self.stats.write_alloc_misses += 1;
+        } else {
+            self.stats.fill_misses += 1;
+        }
+        self.stats.fills += 1;
+
+        let mut evicted = None;
+        let victim = match ways.iter().position(|w| !w.valid) {
+            Some(i) => i,
+            None => {
+                let i = ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru_stamp)
+                    .expect("associativity > 0")
+                    .0;
+                self.stats.evictions += 1;
+                if ways[i].reuses == 0 {
+                    self.stats.dead_lines += 1;
+                }
+                if ways[i].dirty {
+                    self.stats.writebacks += 1;
+                }
+                evicted = Some((
+                    ways[i].tag * u64::from(self.config.line_bytes),
+                    ways[i].dirty,
+                ));
+                i
+            }
+        };
+        ways[victim] = Way {
+            tag,
+            lru_stamp: self.clock,
+            dirty: access.write,
+            reuses: 0,
+            valid: true,
+        };
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Flushes the cache (write-backs for dirty lines, dead-line
+    /// accounting for never-reused residents) and returns the statistics.
+    #[must_use]
+    pub fn finish(mut self) -> CacheStats {
+        for way in &self.ways {
+            if way.valid {
+                if way.dirty {
+                    self.stats.writebacks += 1;
+                }
+                if way.reuses == 0 {
+                    self.stats.dead_lines += 1;
+                }
+            }
+        }
+        self.stats
+    }
+
+    /// Statistics so far, without flushing.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Line-aligned byte addresses of all currently resident dirty lines
+    /// (what a flush would write back) — used by multi-level hierarchies
+    /// to forward the final L1 drain into the L2.
+    #[must_use]
+    pub fn dirty_lines(&self) -> Vec<u64> {
+        self.ways
+            .iter()
+            .filter(|w| w.valid && w.dirty)
+            .map(|w| w.tag * u64::from(self.config.line_bytes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(addr: u64) -> Access {
+        Access { addr, write: false }
+    }
+
+    fn write(addr: u64) -> Access {
+        Access { addr, write: true }
+    }
+
+    fn tiny() -> LruCache {
+        // 2 sets x 2 ways x 32B lines = 128 B.
+        LruCache::new(CacheConfig {
+            capacity_bytes: 128,
+            line_bytes: 32,
+            associativity: 2,
+        })
+    }
+
+    #[test]
+    fn hit_on_same_line() {
+        let mut c = tiny();
+        assert!(!c.access(read(0)));
+        assert!(c.access(read(4)));
+        assert!(c.access(read(31)));
+        let s = c.finish();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.fill_misses, 1);
+        assert_eq!(s.compulsory_misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines 0, 64, 128 (stride = sets * line = 64).
+        c.access(read(0));
+        c.access(read(64));
+        c.access(read(0)); // 0 now MRU
+        c.access(read(128)); // evicts 64
+        assert!(c.access(read(0)), "0 must survive");
+        assert!(!c.access(read(64)), "64 must have been evicted");
+    }
+
+    #[test]
+    fn compulsory_vs_capacity_classification() {
+        let mut c = tiny();
+        c.access(read(0));
+        c.access(read(64));
+        c.access(read(128)); // evicts 0
+        c.access(read(0)); // capacity miss, not compulsory
+        let s = c.finish();
+        assert_eq!(s.compulsory_misses, 3);
+        assert_eq!(s.fill_misses, 4);
+    }
+
+    #[test]
+    fn dead_lines_counted_on_eviction_and_at_end() {
+        let mut c = tiny();
+        c.access(read(0)); // never reused
+        c.access(read(64)); // reused below
+        c.access(read(64));
+        c.access(read(128)); // evicts 0 (LRU), 0 is dead
+        let s = c.finish();
+        // 0 died at eviction; 128 dies at end; 64 was reused.
+        assert_eq!(s.dead_lines, 2);
+        assert!((s.dead_line_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_allocate_without_fetch_and_write_back() {
+        let mut c = tiny();
+        c.access(write(0));
+        c.access(write(4)); // same line, hit
+        let s = c.finish();
+        assert_eq!(s.fill_misses, 0, "write miss must not fetch");
+        assert_eq!(s.write_alloc_misses, 1);
+        assert_eq!(s.writebacks, 1, "dirty line flushed at end");
+        assert_eq!(s.dram_traffic_bytes(), 32);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = tiny();
+        c.access(write(0));
+        c.access(read(64));
+        c.access(read(128)); // evicts dirty 0
+        let s = c.stats();
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn read_then_write_marks_dirty() {
+        let mut c = tiny();
+        c.access(read(0));
+        c.access(write(0)); // hit, marks dirty
+        let s = c.finish();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn traffic_formula() {
+        let mut c = tiny();
+        for i in 0..8u64 {
+            c.access(read(i * 32));
+        }
+        let s = c.finish();
+        assert_eq!(s.dram_traffic_bytes(), 8 * 32);
+        assert_eq!(s.misses(), 8);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn streaming_fits_exactly_in_compulsory() {
+        // Sequential sweep over 1 KiB with a 128 B cache: every line
+        // fetched exactly once -> traffic == compulsory.
+        let mut c = tiny();
+        for addr in (0..1024u64).step_by(4) {
+            c.access(read(addr));
+        }
+        let s = c.finish();
+        assert_eq!(s.fill_misses, 32);
+        assert_eq!(s.compulsory_misses, 32);
+        assert_eq!(s.hits, 256 - 32);
+    }
+}

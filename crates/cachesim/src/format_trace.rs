@@ -1,0 +1,179 @@
+//! Address traces for the GPU formats beyond CSR/COO: ELL and SELL-C-σ.
+//!
+//! These formats have structure-dependent storage (padding), so they sit
+//! outside the [`Kernel`](commorder_sparse::traffic::Kernel) enum; the
+//! format-study experiment normalizes their traffic to the *CSR*
+//! compulsory baseline instead.
+//!
+//! Layout: `cols` and `values` regions sized by the padded length,
+//! followed by `X` and `Y` — padding slots are *stored and streamed*
+//! (that is the point of measuring them), but padded entries read
+//! neither `X` nor `values` (the classic guarded ELL kernel reads the
+//! column index, tests it, and skips the rest).
+
+use commorder_sparse::{EllMatrix, SellMatrix, ELEM_BYTES, ELL_PAD};
+
+use crate::trace::Access;
+
+/// Region bases for a padded-format trace.
+struct PaddedLayout {
+    cols: u64,
+    values: u64,
+    x: u64,
+    y: u64,
+}
+
+fn padded_layout(padded_len: u64, n: u64, extra_meta: u64, line_bytes: u64) -> PaddedLayout {
+    let align = |addr: u64| addr.div_ceil(line_bytes) * line_bytes;
+    let mut cursor = align(extra_meta * ELEM_BYTES);
+    let mut region = |elems: u64| {
+        let base = cursor;
+        cursor = align(cursor + elems * ELEM_BYTES);
+        base
+    };
+    PaddedLayout {
+        cols: region(padded_len),
+        values: region(padded_len),
+        x: region(n),
+        y: region(n),
+    }
+}
+
+/// Trace of a guarded ELL SpMV (slot-major, coalesced `cols`/`values`
+/// streams, irregular `X` gathers, one `Y` store per row).
+#[must_use]
+pub fn ell_trace(a: &EllMatrix) -> Vec<Access> {
+    let n = u64::from(a.n_rows());
+    let layout = padded_layout(a.padded_len() as u64, n, 0, 32);
+    let mut t = Vec::with_capacity(a.padded_len() * 2 + a.n_rows() as usize);
+    for slot in 0..a.width() {
+        for r in 0..a.n_rows() {
+            let idx = u64::from(slot) * n + u64::from(r);
+            t.push(Access {
+                addr: layout.cols + idx * ELEM_BYTES,
+                write: false,
+            });
+            let col = a.col_at(slot, r);
+            if col != ELL_PAD {
+                t.push(Access {
+                    addr: layout.values + idx * ELEM_BYTES,
+                    write: false,
+                });
+                t.push(Access {
+                    addr: layout.x + u64::from(col) * ELEM_BYTES,
+                    write: false,
+                });
+            }
+        }
+    }
+    for r in 0..n {
+        t.push(Access {
+            addr: layout.y + r * ELEM_BYTES,
+            write: true,
+        });
+    }
+    t
+}
+
+/// Trace of a SELL-C-σ SpMV: per slice, slot-major coalesced streams
+/// plus irregular `X` gathers; `Y` stores scatter back to the original
+/// row IDs at the end of each slice.
+#[must_use]
+pub fn sell_trace(a: &SellMatrix) -> Vec<Access> {
+    let n = u64::from(a.n_rows());
+    // Slice offset/width metadata is streamed once (2 words per slice).
+    let layout = padded_layout(a.padded_len() as u64, n, 2 * a.n_slices() as u64, 32);
+    let c = u64::from(a.c());
+    let mut t = Vec::with_capacity(a.padded_len() * 2 + a.n_rows() as usize);
+    let mut base = 0u64;
+    for s in 0..a.n_slices() {
+        // Slice metadata reads (offset + width) live in the low region.
+        t.push(Access {
+            addr: 2 * s as u64 * ELEM_BYTES,
+            write: false,
+        });
+        t.push(Access {
+            addr: (2 * s as u64 + 1) * ELEM_BYTES,
+            write: false,
+        });
+        let width = u64::from(a.slice_width(s));
+        let lanes = (n - s as u64 * c).min(c);
+        for slot in 0..width {
+            for lane in 0..lanes {
+                let idx = base + slot * c + lane;
+                t.push(Access {
+                    addr: layout.cols + idx * ELEM_BYTES,
+                    write: false,
+                });
+                if let Some(col) = a.col_at(s, slot as u32, lane as u32) {
+                    t.push(Access {
+                        addr: layout.values + idx * ELEM_BYTES,
+                        write: false,
+                    });
+                    t.push(Access {
+                        addr: layout.x + u64::from(col) * ELEM_BYTES,
+                        write: false,
+                    });
+                }
+            }
+        }
+        // Y scatter for the slice's rows.
+        for lane in 0..lanes {
+            let row = a.original_row((s as u64 * c + lane) as u32);
+            t.push(Access {
+                addr: layout.y + u64::from(row) * ELEM_BYTES,
+                write: true,
+            });
+        }
+        base += width * c;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commorder_sparse::{CooMatrix, CsrMatrix};
+
+    fn skewed() -> CsrMatrix {
+        let mut entries = Vec::new();
+        for v in 1..8u32 {
+            entries.push((0, v, 1.0));
+            entries.push((v, 0, 1.0));
+        }
+        CsrMatrix::try_from(CooMatrix::from_entries(8, 8, entries).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn ell_trace_streams_all_padded_cols() {
+        let ell = EllMatrix::from_csr(&skewed()).unwrap();
+        let t = ell_trace(&ell);
+        // Every padded col slot read once; values+X only for real entries;
+        // one Y write per row.
+        let nnz = skewed().nnz();
+        assert_eq!(t.len(), ell.padded_len() + 2 * nnz + 8);
+        assert_eq!(t.iter().filter(|a| a.write).count(), 8);
+    }
+
+    #[test]
+    fn sell_trace_covers_every_entry_once() {
+        let csr = skewed();
+        let sell = SellMatrix::from_csr(&csr, 2, 8).unwrap();
+        let t = sell_trace(&sell);
+        assert_eq!(t.iter().filter(|a| a.write).count(), 8);
+        // cols reads = padded_len; per-entry values+X = 2*nnz; plus 2
+        // metadata reads per slice and 8 Y writes.
+        assert_eq!(
+            t.len(),
+            sell.padded_len() + 2 * csr.nnz() + 2 * sell.n_slices() + 8
+        );
+    }
+
+    #[test]
+    fn sell_trace_far_smaller_than_ell_on_skew() {
+        let csr = skewed();
+        let ell = EllMatrix::from_csr(&csr).unwrap();
+        let sell = SellMatrix::from_csr(&csr, 2, 8).unwrap();
+        assert!(sell_trace(&sell).len() < ell_trace(&ell).len());
+    }
+}

@@ -1,0 +1,220 @@
+//! Address traces for the graph-analytics kernels (PageRank, BFS) —
+//! the "graph analytics" half of the paper's framing.
+//!
+//! * **PageRank** (pull): per iteration, per vertex — transpose offsets,
+//!   in-neighbour coords, the irregular `pr[u]` and `outdeg[u]` gathers,
+//!   and the streaming `pr'[v]` store. Rank buffers ping-pong between
+//!   iterations, so cross-iteration reuse is visible to the cache.
+//! * **BFS** (push, level-synchronous): follows the *actual* frontier —
+//!   per frontier vertex, its offsets and neighbour list, the irregular
+//!   `level[v]` probe per edge, and a store for each newly discovered
+//!   vertex. Data-dependent and sparse per level, unlike SpMV's full
+//!   sweeps.
+
+use commorder_sparse::{CsrMatrix, ELEM_BYTES};
+
+use crate::trace::Access;
+
+struct GraphLayout {
+    offsets: u64,
+    coords: u64,
+    rank_a: u64,
+    rank_b: u64,
+    outdeg: u64,
+    level: u64,
+    frontier: u64,
+}
+
+fn graph_layout(n: u64, nnz: u64, line_bytes: u64) -> GraphLayout {
+    let align = |addr: u64| addr.div_ceil(line_bytes) * line_bytes;
+    let mut cursor = 0u64;
+    let mut region = |elems: u64| {
+        let base = cursor;
+        cursor = align(cursor + elems * ELEM_BYTES);
+        base
+    };
+    GraphLayout {
+        offsets: region(n + 1),
+        coords: region(nnz),
+        rank_a: region(n),
+        rank_b: region(n),
+        outdeg: region(n),
+        level: region(n),
+        frontier: region(n),
+    }
+}
+
+/// Trace of `iterations` pull-PageRank rounds over the transpose of `a`
+/// (for the symmetric corpus, `aᵀ = a`).
+#[must_use]
+pub fn pagerank_trace(a: &CsrMatrix, iterations: u32) -> Vec<Access> {
+    let transpose = a.transpose();
+    let n = u64::from(a.n_rows());
+    let layout = graph_layout(n, a.nnz() as u64, 32);
+    let mut t = Vec::new();
+    for iter in 0..iterations {
+        // Ping-pong: even iterations read rank_a / write rank_b.
+        let (src, dst) = if iter % 2 == 0 {
+            (layout.rank_a, layout.rank_b)
+        } else {
+            (layout.rank_b, layout.rank_a)
+        };
+        for v in 0..a.n_rows() {
+            t.push(Access {
+                addr: layout.offsets + u64::from(v) * ELEM_BYTES,
+                write: false,
+            });
+            t.push(Access {
+                addr: layout.offsets + (u64::from(v) + 1) * ELEM_BYTES,
+                write: false,
+            });
+            let (in_neighbours, _) = transpose.row(v);
+            let base = transpose.row_offsets()[v as usize] as u64;
+            for (k, &u) in in_neighbours.iter().enumerate() {
+                t.push(Access {
+                    addr: layout.coords + (base + k as u64) * ELEM_BYTES,
+                    write: false,
+                });
+                // Irregular gathers: pr[u] and outdeg[u].
+                t.push(Access {
+                    addr: src + u64::from(u) * ELEM_BYTES,
+                    write: false,
+                });
+                t.push(Access {
+                    addr: layout.outdeg + u64::from(u) * ELEM_BYTES,
+                    write: false,
+                });
+            }
+            t.push(Access {
+                addr: dst + u64::from(v) * ELEM_BYTES,
+                write: true,
+            });
+        }
+    }
+    t
+}
+
+/// Trace of a push BFS from `source`, following the real frontier.
+///
+/// # Panics
+///
+/// Panics if `source >= n_rows`.
+#[must_use]
+pub fn bfs_trace(a: &CsrMatrix, source: u32) -> Vec<Access> {
+    assert!(source < a.n_rows(), "source out of range");
+    let n = u64::from(a.n_rows());
+    let layout = graph_layout(n, a.nnz() as u64, 32);
+    let mut t = Vec::new();
+    let mut visited = vec![false; a.n_rows() as usize];
+    visited[source as usize] = true;
+    let mut frontier = vec![source];
+    let mut frontier_cursor = 0u64; // streaming frontier array writes
+    t.push(Access {
+        addr: layout.frontier,
+        write: true,
+    });
+    frontier_cursor += 1;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            t.push(Access {
+                addr: layout.offsets + u64::from(u) * ELEM_BYTES,
+                write: false,
+            });
+            t.push(Access {
+                addr: layout.offsets + (u64::from(u) + 1) * ELEM_BYTES,
+                write: false,
+            });
+            let (neighbours, _) = a.row(u);
+            let base = a.row_offsets()[u as usize] as u64;
+            for (k, &v) in neighbours.iter().enumerate() {
+                t.push(Access {
+                    addr: layout.coords + (base + k as u64) * ELEM_BYTES,
+                    write: false,
+                });
+                // Irregular probe of level[v]; write on first discovery.
+                t.push(Access {
+                    addr: layout.level + u64::from(v) * ELEM_BYTES,
+                    write: false,
+                });
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    t.push(Access {
+                        addr: layout.level + u64::from(v) * ELEM_BYTES,
+                        write: true,
+                    });
+                    t.push(Access {
+                        addr: layout.frontier + frontier_cursor * ELEM_BYTES,
+                        write: true,
+                    });
+                    frontier_cursor += 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commorder_sparse::CooMatrix;
+
+    fn path4() -> CsrMatrix {
+        let entries: Vec<_> = (0..3u32)
+            .flat_map(|v| [(v, v + 1, 1.0), (v + 1, v, 1.0)])
+            .collect();
+        CsrMatrix::try_from(CooMatrix::from_entries(4, 4, entries).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn pagerank_trace_per_iteration_shape() {
+        let a = path4();
+        let one = pagerank_trace(&a, 1);
+        let two = pagerank_trace(&a, 2);
+        // Per iteration: 2 offset reads + 1 store per vertex, 3 reads per
+        // edge entry.
+        let per_iter = 4 * 3 + a.nnz() * 3;
+        assert_eq!(one.len(), per_iter);
+        assert_eq!(two.len(), 2 * per_iter);
+        assert_eq!(one.iter().filter(|x| x.write).count(), 4);
+    }
+
+    #[test]
+    fn pagerank_iterations_ping_pong_buffers() {
+        let a = path4();
+        let t = pagerank_trace(&a, 2);
+        let writes: Vec<u64> = t.iter().filter(|x| x.write).map(|x| x.addr).collect();
+        // First iteration's 4 writes target one buffer, second's another.
+        assert_eq!(writes.len(), 8);
+        assert!(writes[..4].iter().all(|&w| w >= writes[0] && w < writes[0] + 16));
+        assert!(writes[4] != writes[0]);
+    }
+
+    #[test]
+    fn bfs_trace_discovers_every_vertex_once() {
+        let a = path4();
+        let t = bfs_trace(&a, 0);
+        // Frontier writes = n (every vertex enters the frontier once on a
+        // connected graph).
+        let layout_frontier_writes = t
+            .iter()
+            .filter(|x| x.write)
+            .count();
+        // level writes (3 discoveries) + frontier writes (4 including src).
+        assert_eq!(layout_frontier_writes, 3 + 4);
+    }
+
+    #[test]
+    fn bfs_trace_on_disconnected_graph_stays_in_component() {
+        let a = CsrMatrix::try_from(
+            CooMatrix::from_entries(4, 4, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap(),
+        )
+        .unwrap();
+        let t = bfs_trace(&a, 0);
+        // Only vertex 1 is discovered: 1 level write + 2 frontier writes.
+        assert_eq!(t.iter().filter(|x| x.write).count(), 3);
+    }
+}

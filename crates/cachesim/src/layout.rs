@@ -1,0 +1,115 @@
+//! Address-space layout of the kernel operands.
+//!
+//! The trace generator places each array (CSR components, vectors, dense
+//! matrices) in its own line-aligned region of a flat address space, so
+//! distinct arrays never alias a cache line — matching a real allocator's
+//! behaviour for multi-megabyte buffers.
+
+use commorder_sparse::{traffic::Kernel, CsrMatrix, ELEM_BYTES};
+
+/// Base addresses (bytes) of every operand region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayLayout {
+    /// CSR `rowOffsets` (length `n + 1`).
+    pub row_offsets: u64,
+    /// CSR/COO column indices (`A.coords`, length `nnz`).
+    pub coords: u64,
+    /// Non-zero values (length `nnz`).
+    pub values: u64,
+    /// COO row indices (length `nnz`).
+    pub coo_rows: u64,
+    /// Dense input vector `X` (length `n`).
+    pub x: u64,
+    /// Dense output vector `Y` (length `n`).
+    pub y: u64,
+    /// Dense input matrix `B` (row-major `n x k`).
+    pub b: u64,
+    /// Dense output matrix `C` (row-major `n x k`).
+    pub c: u64,
+    /// Propagation-blocking bin storage (`2·nnz` elements: destination
+    /// row + partial value per non-zero).
+    pub bins: u64,
+    /// Line size the layout was aligned to.
+    pub line_bytes: u32,
+}
+
+impl ArrayLayout {
+    /// Lays out the operands of `kernel` on an `a`-shaped problem.
+    #[must_use]
+    pub fn new(a: &CsrMatrix, kernel: Kernel, line_bytes: u32) -> Self {
+        let n = u64::from(a.n_rows());
+        let nnz = a.nnz() as u64;
+        let k = match kernel {
+            Kernel::SpmmCsr { k } => u64::from(k),
+            _ => 1,
+        };
+        let line = u64::from(line_bytes);
+        let align = |addr: u64| addr.div_ceil(line) * line;
+        let mut cursor = 0u64;
+        let mut region = |elems: u64| {
+            let base = cursor;
+            cursor = align(cursor + elems * ELEM_BYTES);
+            base
+        };
+        ArrayLayout {
+            // Tiled kernels carry one offsets array per tile.
+            row_offsets: region(kernel.tiles(n) * (n + 1)),
+            coords: region(nnz),
+            values: region(nnz),
+            coo_rows: region(nnz),
+            x: region(n),
+            y: region(n),
+            b: region(n * k),
+            c: region(n * k),
+            bins: region(2 * nnz),
+            line_bytes,
+        }
+    }
+
+    /// Byte address of element `i` of a region starting at `base`.
+    #[must_use]
+    pub fn elem(base: u64, i: u64) -> u64 {
+        base + i * ELEM_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::new(3, 3, vec![0, 1, 2, 2], vec![1, 0], vec![1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_line_aligned() {
+        let l = ArrayLayout::new(&sample(), Kernel::SpmvCsr, 32);
+        let bases = [
+            l.row_offsets,
+            l.coords,
+            l.values,
+            l.coo_rows,
+            l.x,
+            l.y,
+            l.b,
+            l.c,
+            l.bins,
+        ];
+        for w in bases.windows(2) {
+            assert!(w[0] < w[1], "regions must ascend: {bases:?}");
+            assert_eq!(w[1] % 32, 0, "regions must be line aligned");
+        }
+    }
+
+    #[test]
+    fn spmm_reserves_k_columns() {
+        let small = ArrayLayout::new(&sample(), Kernel::SpmmCsr { k: 4 }, 32);
+        let big = ArrayLayout::new(&sample(), Kernel::SpmmCsr { k: 256 }, 32);
+        assert!(big.c - big.b > small.c - small.b);
+    }
+
+    #[test]
+    fn elem_addressing_is_4_bytes() {
+        assert_eq!(ArrayLayout::elem(64, 3), 64 + 12);
+    }
+}

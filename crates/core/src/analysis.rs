@@ -1,0 +1,112 @@
+//! Cross-matrix aggregation helpers used by the paper's tables: insularity
+//! splits (ALL / INS < 0.95 / INS ≥ 0.95) and ratio means.
+
+use commorder_reorder::quality;
+use commorder_reorder::Rabbit;
+use commorder_sparse::{CsrMatrix, SparseError};
+
+/// The paper's insularity threshold separating "RABBIT already near
+/// ideal" from "headroom remains" (§V-A, Tables II/IV).
+pub const INSULARITY_THRESHOLD: f64 = 0.95;
+
+/// Mean of per-matrix ratios, arithmetic (the paper reports arithmetic
+/// means of normalized values). `None` when empty.
+#[must_use]
+pub fn arith_mean_ratio(ratios: &[f64]) -> Option<f64> {
+    commorder_sparse::stats::arithmetic_mean(ratios)
+}
+
+/// Geometric mean of per-matrix ratios — more robust to outliers;
+/// reported alongside arithmetic means in our tables. `None` when empty
+/// or non-positive.
+#[must_use]
+pub fn geo_mean_ratio(ratios: &[f64]) -> Option<f64> {
+    commorder_sparse::stats::geometric_mean(ratios)
+}
+
+/// A value bucketed by the matrix's RABBIT insularity, for the
+/// three-column summaries of Tables II and IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsularitySplit {
+    /// Mean over all matrices.
+    pub all: f64,
+    /// Mean over matrices with insularity < 0.95.
+    pub low: f64,
+    /// Mean over matrices with insularity ≥ 0.95.
+    pub high: f64,
+}
+
+impl InsularitySplit {
+    /// Buckets `(insularity, value)` pairs and takes arithmetic means.
+    /// Empty buckets yield `NaN` (rendered as `-` by the report layer).
+    #[must_use]
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> InsularitySplit {
+        let mean = |it: Vec<f64>| arith_mean_ratio(&it).unwrap_or(f64::NAN);
+        InsularitySplit {
+            all: mean(pairs.iter().map(|&(_, v)| v).collect()),
+            low: mean(
+                pairs
+                    .iter()
+                    .filter(|&&(i, _)| i < INSULARITY_THRESHOLD)
+                    .map(|&(_, v)| v)
+                    .collect(),
+            ),
+            high: mean(
+                pairs
+                    .iter()
+                    .filter(|&&(i, _)| i >= INSULARITY_THRESHOLD)
+                    .map(|&(_, v)| v)
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Computes a matrix's insularity under RABBIT's detected communities —
+/// the x-axis of Fig. 3 and the bucket key of Tables II/IV.
+///
+/// # Errors
+///
+/// Propagates detection errors (non-square input).
+pub fn rabbit_insularity(matrix: &CsrMatrix) -> Result<f64, SparseError> {
+    let result = Rabbit::new().run(matrix)?;
+    quality::insularity(matrix, &result.assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commorder_synth::generators::PlantedPartition;
+
+    #[test]
+    fn split_buckets_correctly() {
+        let pairs = [(0.99, 1.0), (0.98, 2.0), (0.5, 10.0), (0.9, 20.0)];
+        let s = InsularitySplit::from_pairs(&pairs);
+        assert!((s.all - 8.25).abs() < 1e-12);
+        assert!((s.low - 15.0).abs() < 1e-12);
+        assert!((s.high - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bucket_is_nan() {
+        let s = InsularitySplit::from_pairs(&[(0.99, 1.0)]);
+        assert!(s.low.is_nan());
+        assert!((s.high - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(arith_mean_ratio(&[]), None);
+        assert!((arith_mean_ratio(&[1.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geo_mean_ratio(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rabbit_insularity_high_for_clean_communities() {
+        let g = PlantedPartition::uniform(1024, 16, 10.0, 0.02)
+            .generate(61)
+            .unwrap();
+        let ins = rabbit_insularity(&g).unwrap();
+        assert!(ins > 0.9, "insularity = {ins}");
+    }
+}

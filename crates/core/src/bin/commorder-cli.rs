@@ -1,0 +1,178 @@
+//! `commorder-cli` — apply and evaluate matrix reorderings on Matrix
+//! Market files from the command line.
+//!
+//! ```text
+//! commorder-cli analyze  <in.mtx>
+//! commorder-cli reorder  <in.mtx> <out.mtx> [technique]
+//! commorder-cli simulate <in.mtx> [technique] [kernel]
+//! commorder-cli spy      <in.mtx> [technique]
+//! commorder-cli advise   <in.mtx>
+//! commorder-cli corpus [export <dir>]
+//! ```
+
+use std::process::ExitCode;
+
+use commorder::cli::{parse_kernel, parse_technique, TECHNIQUE_NAMES};
+use commorder::prelude::*;
+use commorder::reorder::quality::{self, CommunityStats};
+use commorder::sparse::{io, ops, stats};
+use commorder::synth::corpus;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli corpus [export <dir>]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>",
+        TECHNIQUE_NAMES.join(" | ")
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<CsrMatrix, Box<dyn std::error::Error>> {
+    let coo = io::read_matrix_market(std::fs::File::open(path)?)?;
+    Ok(CsrMatrix::try_from(coo)?)
+}
+
+fn analyze(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let m = load(path)?;
+    println!("{path}: {} x {}, {} non-zeros", m.n_rows(), m.n_cols(), m.nnz());
+    let deg = stats::DegreeStats::from_degrees(&m.out_degrees());
+    println!(
+        "degrees: min {} / mean {:.2} / median {} / p90 {} / max {} (empty rows: {})",
+        deg.min, deg.mean, deg.median, deg.p90, deg.max, deg.zero_count
+    );
+    println!(
+        "skew (nnz in top-10% rows): {:.2}% | bandwidth {} | symmetric: {}",
+        stats::skew_top10(&m) * 100.0,
+        stats::bandwidth(&m),
+        m.is_symmetric()
+    );
+    let (_, components) = ops::connected_components(&m)?;
+    println!("connected components: {components}");
+    let r = Rabbit::new().run(&m)?;
+    let cs = CommunityStats::from_sizes(&r.dendrogram.community_sizes());
+    println!(
+        "RABBIT communities: {} (mean size {:.1}, largest {:.1}% of matrix)",
+        cs.count,
+        cs.mean_size,
+        cs.max_size_fraction * 100.0
+    );
+    println!(
+        "insularity: {:.3} | insular nodes: {:.1}% | modularity: {:.3}",
+        quality::insularity(&m, &r.assignment)?,
+        quality::insular_fraction(&m, &r.assignment)? * 100.0,
+        quality::modularity(&ops::symmetrize(&m)?, &r.assignment)?
+    );
+    Ok(())
+}
+
+fn reorder(input: &str, output: &str, technique: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let technique = parse_technique(technique)
+        .ok_or_else(|| format!("unknown technique {technique:?}"))?;
+    let m = load(input)?;
+    let start = std::time::Instant::now();
+    let perm = technique.reorder(&m)?;
+    eprintln!(
+        "{} reordering took {:.1} ms",
+        technique.name(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    let reordered = m.permute_symmetric(&perm)?;
+    io::write_matrix_market(std::fs::File::create(output)?, &reordered)?;
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+fn simulate(path: &str, technique: &str, kernel: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let technique = parse_technique(technique)
+        .ok_or_else(|| format!("unknown technique {technique:?}"))?;
+    let kernel = parse_kernel(kernel).ok_or_else(|| format!("unknown kernel {kernel:?}"))?;
+    let m = load(path)?;
+    let pipeline = Pipeline::new(GpuSpec::a6000_scaled()).with_kernel(kernel);
+    let before = pipeline.simulate(&m);
+    let eval = pipeline.evaluate(&m, technique.as_ref())?;
+    println!(
+        "{} on {}: ORIGINAL {:.2}x -> {} {:.2}x of compulsory traffic ({:.2}x / {:.2}x of ideal time)",
+        kernel.name(),
+        path,
+        before.traffic_ratio,
+        eval.technique,
+        eval.run.traffic_ratio,
+        before.time_ratio,
+        eval.run.time_ratio,
+    );
+    Ok(())
+}
+
+fn spy_plot(path: &str, technique: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    let m = load(path)?;
+    println!("{path} as published:");
+    print!("{}", commorder::viz::spy(&m, 40));
+    if let Some(name) = technique {
+        let technique =
+            parse_technique(name).ok_or_else(|| format!("unknown technique {name:?}"))?;
+        let reordered = m.permute_symmetric(&technique.reorder(&m)?)?;
+        println!("\nafter {}:", technique.name());
+        print!("{}", commorder::viz::spy(&reordered, 40));
+    }
+    Ok(())
+}
+
+fn advise(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use commorder::reorder::advisor::{Advisor, Budget};
+    let m = load(path)?;
+    for (label, budget) in [("amortized", Budget::Amortized), ("tight", Budget::Tight)] {
+        let rec = Advisor::default().recommend(&m, budget)?;
+        println!("{label} budget -> {}", rec.technique.name());
+        println!("  {}", rec.rationale);
+    }
+    Ok(())
+}
+
+fn list_corpus() {
+    let mut table = Table::new(
+        "standard evaluation corpus",
+        vec!["name".into(), "domain".into(), "publish order".into()],
+    );
+    for e in corpus::standard() {
+        table.add_row(vec![
+            e.name.to_string(),
+            e.domain.label().to_string(),
+            format!("{:?}", e.publish),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, input] if cmd == "analyze" => analyze(input),
+        [cmd, input, output] if cmd == "reorder" => reorder(input, output, "rabbit++"),
+        [cmd, input, output, technique] if cmd == "reorder" => reorder(input, output, technique),
+        [cmd, input] if cmd == "simulate" => simulate(input, "rabbit++", "spmv-csr"),
+        [cmd, input, technique] if cmd == "simulate" => simulate(input, technique, "spmv-csr"),
+        [cmd, input, technique, kernel] if cmd == "simulate" => {
+            simulate(input, technique, kernel)
+        }
+        [cmd, input] if cmd == "advise" => advise(input),
+        [cmd, input] if cmd == "spy" => spy_plot(input, None),
+        [cmd, input, technique] if cmd == "spy" => spy_plot(input, Some(technique)),
+        [cmd] if cmd == "corpus" => {
+            list_corpus();
+            Ok(())
+        }
+        [cmd, sub, dir] if cmd == "corpus" && sub == "export" => {
+            let entries = corpus::standard();
+            corpus::export_to_directory(&entries, std::path::Path::new(dir))
+                .map(|n| eprintln!("wrote {n} matrices to {dir}"))
+                .map_err(Into::into)
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

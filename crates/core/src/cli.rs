@@ -1,0 +1,95 @@
+//! Helpers for the `commorder-cli` binary: technique/kernel name parsing
+//! and the analyze/reorder/simulate entry points, kept in the library so
+//! they are unit-testable.
+
+use commorder_reorder::{
+    Bisection, Dbg, DegSort, Gorder, HubGroup, HubSort, LabelPropagation, Original, Rabbit,
+    RabbitPlusPlus, RandomOrder, Rcm, Reordering, SlashBurn,
+};
+use commorder_sparse::traffic::Kernel;
+
+/// Names accepted by [`parse_technique`], for help text.
+pub const TECHNIQUE_NAMES: &[&str] = &[
+    "original", "random", "degsort", "dbg", "hubsort", "hubgroup", "rcm", "gorder", "rabbit",
+    "rabbit++", "slashburn", "bisection", "labelprop",
+];
+
+/// Resolves a (case-insensitive) technique name to an instance.
+///
+/// Returns `None` for unknown names. `"rabbitpp"` is accepted as an
+/// alias for `"rabbit++"`.
+#[must_use]
+pub fn parse_technique(name: &str) -> Option<Box<dyn Reordering>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "original" => Box::new(Original),
+        "random" => Box::new(RandomOrder::new(0xC0DE)),
+        "degsort" => Box::new(DegSort),
+        "dbg" => Box::new(Dbg::default()),
+        "hubsort" => Box::new(HubSort),
+        "hubgroup" => Box::new(HubGroup),
+        "rcm" => Box::new(Rcm),
+        "gorder" => Box::new(Gorder::default()),
+        "rabbit" => Box::new(Rabbit::new()),
+        "rabbit++" | "rabbitpp" => Box::new(RabbitPlusPlus::new()),
+        "slashburn" => Box::new(SlashBurn::default()),
+        "bisection" => Box::new(Bisection::default()),
+        "labelprop" => Box::new(LabelPropagation::default()),
+        _ => return None,
+    })
+}
+
+/// Resolves a kernel name (`spmv-csr`, `spmv-coo`, `spmm-4`, `spmm-256`,
+/// `spmv-tiled-<w>`); returns `None` for unknown names.
+#[must_use]
+pub fn parse_kernel(name: &str) -> Option<Kernel> {
+    let lower = name.to_ascii_lowercase();
+    match lower.as_str() {
+        "spmv" | "spmv-csr" => Some(Kernel::SpmvCsr),
+        "spmv-coo" => Some(Kernel::SpmvCoo),
+        _ => {
+            if let Some(k) = lower.strip_prefix("spmm-") {
+                k.parse::<u32>().ok().filter(|&k| k > 0).map(|k| Kernel::SpmmCsr { k })
+            } else if let Some(w) = lower.strip_prefix("spmv-tiled-") {
+                w.parse::<u32>()
+                    .ok()
+                    .filter(|&w| w > 0)
+                    .map(|tile_cols| Kernel::SpmvCsrTiled { tile_cols })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_advertised_technique_names_parse() {
+        for name in TECHNIQUE_NAMES {
+            assert!(parse_technique(name).is_some(), "{name} must parse");
+        }
+    }
+
+    #[test]
+    fn technique_parsing_is_case_insensitive_with_alias() {
+        assert_eq!(parse_technique("RABBIT").unwrap().name(), "RABBIT");
+        assert_eq!(parse_technique("rabbitpp").unwrap().name(), "RABBIT++");
+        assert!(parse_technique("metis").is_none());
+    }
+
+    #[test]
+    fn kernel_names_parse() {
+        assert_eq!(parse_kernel("spmv"), Some(Kernel::SpmvCsr));
+        assert_eq!(parse_kernel("SPMV-COO"), Some(Kernel::SpmvCoo));
+        assert_eq!(parse_kernel("spmm-4"), Some(Kernel::SpmmCsr { k: 4 }));
+        assert_eq!(parse_kernel("spmm-256"), Some(Kernel::SpmmCsr { k: 256 }));
+        assert_eq!(
+            parse_kernel("spmv-tiled-4096"),
+            Some(Kernel::SpmvCsrTiled { tile_cols: 4096 })
+        );
+        assert_eq!(parse_kernel("spmm-0"), None);
+        assert_eq!(parse_kernel("gemm"), None);
+    }
+}

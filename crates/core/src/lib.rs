@@ -1,0 +1,68 @@
+//! `commorder` — community-based matrix reordering for sparse linear
+//! algebra optimization.
+//!
+//! A complete reproduction of *"Community-based Matrix Reordering for
+//! Sparse Linear Algebra Optimization"* (Balaji, Crago, Jaleel, Keckler —
+//! ISPASS 2023) as a reusable Rust library. The facade ties the
+//! subsystem crates together:
+//!
+//! * [`sparse`] — formats, kernels, permutations, compulsory traffic,
+//! * [`synth`] — the deterministic 50-matrix evaluation corpus,
+//! * [`reorder`] — DEGSORT / DBG / GORDER / RCM / RABBIT / RABBIT++ and
+//!   the community-quality metrics,
+//! * [`cachesim`] — the A6000 L2 simulator (LRU + Belady, dead lines),
+//! * [`gpumodel`] — ideal/estimated run times on the A6000,
+//!
+//! and adds the experiment plumbing: [`Pipeline`] (matrix → reorder →
+//! simulate → metrics), [`analysis`] helpers (insularity splits, means)
+//! and [`report`] (plain-text tables shaped like the paper's).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use commorder::prelude::*;
+//!
+//! # fn main() -> Result<(), commorder::sparse::SparseError> {
+//! // A small community-structured matrix, published in scrambled order.
+//! let matrix = commorder::synth::generators::PlantedPartition::uniform(2048, 32, 10.0, 0.05)
+//!     .generate(7)?;
+//!
+//! let pipeline = Pipeline::new(GpuSpec::test_scale());
+//! let original = pipeline.evaluate(&matrix, &Original)?;
+//! let rabbit = pipeline.evaluate(&matrix, &Rabbit::new())?;
+//! assert!(rabbit.run.traffic_ratio <= original.run.traffic_ratio * 1.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use commorder_cachesim as cachesim;
+pub use commorder_gpumodel as gpumodel;
+pub use commorder_reorder as reorder;
+pub use commorder_sparse as sparse;
+pub use commorder_synth as synth;
+
+pub mod analysis;
+pub mod cli;
+pub mod pipeline;
+pub mod report;
+pub mod viz;
+
+pub use pipeline::{Evaluation, KernelRun, Pipeline, ReplacementPolicy};
+
+/// One-stop imports for examples and experiment binaries.
+pub mod prelude {
+    pub use crate::analysis::{arith_mean_ratio, geo_mean_ratio, InsularitySplit};
+    pub use crate::cachesim::{trace::ExecutionModel, CacheConfig, CacheStats, LruCache};
+    pub use crate::gpumodel::GpuSpec;
+    pub use crate::pipeline::{Evaluation, KernelRun, Pipeline, ReplacementPolicy};
+    pub use crate::report::Table;
+    pub use crate::reorder::{
+        paper_suite, Dbg, DegSort, Gorder, HubGroup, HubPolicy, HubSort, Original, Rabbit,
+        RabbitPlusPlus, RabbitPlusPlusConfig, RandomOrder, Rcm, Reordering,
+    };
+    pub use crate::sparse::{traffic::Kernel, CooMatrix, CsrMatrix, Permutation};
+    pub use crate::synth::corpus;
+}

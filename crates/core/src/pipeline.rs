@@ -1,0 +1,233 @@
+//! The evaluation pipeline: matrix → reordering → kernel trace → cache
+//! simulation → traffic and run-time metrics.
+//!
+//! This is the measurement loop behind every figure and table of the
+//! paper, with the real GPU and Nsight Compute replaced by the validated
+//! cache simulator (§VI-B) and the analytic A6000 model.
+
+use std::time::Instant;
+
+use commorder_cachesim::belady::simulate_belady;
+use commorder_cachesim::trace::{self, ExecutionModel};
+use commorder_cachesim::{CacheStats, LruCache};
+use commorder_gpumodel::GpuSpec;
+use commorder_reorder::Reordering;
+use commorder_sparse::traffic::Kernel;
+use commorder_sparse::{CsrMatrix, Permutation, SparseError};
+
+/// Cache replacement policy to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// True LRU ("closely models A6000's L2 cache").
+    #[default]
+    Lru,
+    /// Belady's optimal policy (Fig. 8's idealized headroom analysis).
+    Belady,
+}
+
+/// Result of simulating one kernel execution on one (reordered) matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun {
+    /// Raw cache counters.
+    pub stats: CacheStats,
+    /// Simulated DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Compulsory traffic for this kernel/matrix (§IV-B).
+    pub compulsory_bytes: u64,
+    /// `dram_bytes / compulsory_bytes` — the y-axis of Figs. 2/6/7/8.
+    pub traffic_ratio: f64,
+    /// Estimated execution time in seconds.
+    pub time_seconds: f64,
+    /// Time normalized to ideal — the y-axis of Fig. 3, Tables II/IV.
+    pub time_ratio: f64,
+}
+
+/// A [`KernelRun`] together with the reordering that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Display name of the technique.
+    pub technique: String,
+    /// Wall-clock pre-processing time of the reordering (§VI-C).
+    pub reorder_seconds: f64,
+    /// The permutation the technique produced.
+    pub permutation: Permutation,
+    /// Simulation results on the reordered matrix.
+    pub run: KernelRun,
+}
+
+/// Experiment configuration: platform, kernel and execution model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pipeline {
+    /// Simulated platform (L2 geometry + bandwidth model).
+    pub gpu: GpuSpec,
+    /// Kernel whose trace is simulated.
+    pub kernel: Kernel,
+    /// Trace linearization model.
+    pub model: ExecutionModel,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl Pipeline {
+    /// SpMV-CSR, sequential trace, LRU — the default for Figs. 2–7.
+    #[must_use]
+    pub fn new(gpu: GpuSpec) -> Self {
+        Pipeline {
+            gpu,
+            kernel: Kernel::SpmvCsr,
+            model: ExecutionModel::Sequential,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Same pipeline with a different kernel (builder-style).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Same pipeline with a different replacement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same pipeline with a different execution model.
+    #[must_use]
+    pub fn with_model(mut self, model: ExecutionModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Simulates the configured kernel on `matrix` as-is (no reordering).
+    #[must_use]
+    pub fn simulate(&self, matrix: &CsrMatrix) -> KernelRun {
+        let stats = match self.policy {
+            ReplacementPolicy::Lru => {
+                let mut cache = LruCache::new(self.gpu.l2);
+                trace::for_each_access(matrix, self.kernel, self.model, |a| {
+                    cache.access(a);
+                });
+                cache.finish()
+            }
+            ReplacementPolicy::Belady => {
+                let full = trace::collect_trace(matrix, self.kernel, self.model);
+                simulate_belady(self.gpu.l2, &full)
+            }
+        };
+        self.run_from_stats(matrix, stats)
+    }
+
+    /// Wraps raw cache counters into traffic/time metrics for `matrix`.
+    #[must_use]
+    pub fn run_from_stats(&self, matrix: &CsrMatrix, stats: CacheStats) -> KernelRun {
+        let n = u64::from(matrix.n_rows());
+        let nnz = matrix.nnz() as u64;
+        let dram_bytes = stats.dram_traffic_bytes();
+        let compulsory_bytes = self.kernel.compulsory_bytes(n, nnz);
+        KernelRun {
+            stats,
+            dram_bytes,
+            compulsory_bytes,
+            traffic_ratio: dram_bytes as f64 / compulsory_bytes as f64,
+            time_seconds: self.gpu.estimate_time(self.kernel, n, nnz, dram_bytes),
+            time_ratio: self.gpu.normalized_time(self.kernel, n, nnz, dram_bytes),
+        }
+    }
+
+    /// Reorders `matrix` with `technique` (timing the pre-processing),
+    /// then simulates the kernel on the reordered matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reordering/permutation errors (non-square input).
+    pub fn evaluate(
+        &self,
+        matrix: &CsrMatrix,
+        technique: &dyn Reordering,
+    ) -> Result<Evaluation, SparseError> {
+        let start = Instant::now();
+        let permutation = technique.reorder(matrix)?;
+        let reorder_seconds = start.elapsed().as_secs_f64();
+        let reordered = matrix.permute_symmetric(&permutation)?;
+        let run = self.simulate(&reordered);
+        Ok(Evaluation {
+            technique: technique.name().to_string(),
+            reorder_seconds,
+            permutation,
+            run,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commorder_reorder::{Original, Rabbit, RandomOrder};
+    use commorder_synth::generators::PlantedPartition;
+
+    fn strong_community_matrix() -> CsrMatrix {
+        // Generated community-sorted, then scrambled: ORIGINAL is bad,
+        // RABBIT should recover it.
+        let g = PlantedPartition::uniform(2048, 32, 10.0, 0.03)
+            .generate(51)
+            .unwrap();
+        let p = RandomOrder::new(9).reorder(&g).unwrap();
+        g.permute_symmetric(&p).unwrap()
+    }
+
+    #[test]
+    fn traffic_ratio_is_at_least_one_for_lru() {
+        let m = strong_community_matrix();
+        let run = Pipeline::new(GpuSpec::test_scale()).simulate(&m);
+        assert!(run.traffic_ratio >= 0.99, "ratio = {}", run.traffic_ratio);
+        assert!(run.time_ratio >= run.traffic_ratio * 0.99);
+    }
+
+    #[test]
+    fn rabbit_beats_scrambled_original() {
+        let m = strong_community_matrix();
+        let pipeline = Pipeline::new(GpuSpec::test_scale());
+        let original = pipeline.evaluate(&m, &Original).unwrap();
+        let rabbit = pipeline.evaluate(&m, &Rabbit::new()).unwrap();
+        assert!(
+            rabbit.run.traffic_ratio < original.run.traffic_ratio,
+            "rabbit {} vs original {}",
+            rabbit.run.traffic_ratio,
+            original.run.traffic_ratio
+        );
+        assert!(rabbit.reorder_seconds >= 0.0);
+        assert_eq!(rabbit.technique, "RABBIT");
+    }
+
+    #[test]
+    fn belady_never_exceeds_lru_traffic() {
+        let m = strong_community_matrix();
+        let lru = Pipeline::new(GpuSpec::test_scale()).simulate(&m);
+        let opt = Pipeline::new(GpuSpec::test_scale())
+            .with_policy(ReplacementPolicy::Belady)
+            .simulate(&m);
+        assert!(opt.dram_bytes <= lru.dram_bytes);
+    }
+
+    #[test]
+    fn kernel_builder_changes_compulsory() {
+        let m = strong_community_matrix();
+        let csr = Pipeline::new(GpuSpec::test_scale()).simulate(&m);
+        let coo = Pipeline::new(GpuSpec::test_scale())
+            .with_kernel(Kernel::SpmvCoo)
+            .simulate(&m);
+        assert!(coo.compulsory_bytes > csr.compulsory_bytes);
+    }
+
+    #[test]
+    fn interleaved_model_runs() {
+        let m = strong_community_matrix();
+        let run = Pipeline::new(GpuSpec::test_scale())
+            .with_model(ExecutionModel::Interleaved { streams: 8 })
+            .simulate(&m);
+        assert!(run.traffic_ratio >= 0.99);
+    }
+}

@@ -1,0 +1,278 @@
+//! Plain-text table rendering for the experiment binaries, shaped like
+//! the paper's tables: a title, a header row, and aligned columns.
+
+use std::fmt;
+
+/// A renderable text table.
+///
+/// # Example
+///
+/// ```
+/// use commorder::report::Table;
+///
+/// let mut t = Table::new("Demo", vec!["matrix".into(), "ratio".into()]);
+/// t.add_row(vec!["web-sk-like".into(), Table::ratio(1.274)]);
+/// let text = t.to_string();
+/// assert!(text.contains("web-sk-like"));
+/// assert!(text.contains("1.27x"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded; longer
+    /// rows extend the width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Formats a normalized ratio the way the paper prints them
+    /// (`1.54x`); NaN (empty bucket) renders as `-`.
+    #[must_use]
+    pub fn ratio(value: f64) -> String {
+        if value.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{value:.2}x")
+        }
+    }
+
+    /// Formats a fraction as a percentage (`16.37%`).
+    #[must_use]
+    pub fn percent(value: f64) -> String {
+        if value.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.2}%", value * 100.0)
+        }
+    }
+
+    /// Formats seconds with an adaptive unit.
+    #[must_use]
+    pub fn seconds(value: f64) -> String {
+        if value < 1e-3 {
+            format!("{:.1}us", value * 1e6)
+        } else if value < 1.0 {
+            format!("{:.2}ms", value * 1e3)
+        } else {
+            format!("{value:.2}s")
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        writeln!(f, "=== {} ===", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                let pad = width - cell.chars().count();
+                if i == 0 {
+                    // First column left-aligned (names).
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", vec!["name".into(), "value".into()]);
+        t.add_row(vec!["a".into(), "1.00x".into()]);
+        t.add_row(vec!["longer-name".into(), "12.34x".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "=== T ===");
+        // Value column is right-aligned: both end at the same offset.
+        let a = lines[3];
+        let b = lines[4];
+        assert_eq!(a.len(), b.len(), "{s}");
+        assert!(a.ends_with("1.00x"));
+        assert!(b.ends_with("12.34x"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(Table::ratio(1.536), "1.54x");
+        assert_eq!(Table::ratio(f64::NAN), "-");
+        assert_eq!(Table::percent(0.1637), "16.37%");
+        assert_eq!(Table::seconds(0.5), "500.00ms");
+        assert_eq!(Table::seconds(2.0), "2.00s");
+        assert_eq!(Table::seconds(5e-6), "5.0us");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let t = Table::new("x", vec!["h".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let s = t.to_string();
+        assert!(s.contains("=== x ==="));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new("r", vec!["a".into(), "b".into(), "c".into()]);
+        t.add_row(vec!["only".into()]);
+        let s = t.to_string();
+        assert!(s.lines().count() >= 4);
+    }
+}
+
+impl Table {
+    /// Writes the table as CSV (header row + data rows). Cells containing
+    /// commas or quotes are quoted per RFC 4180.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let write_row = |w: &mut W, row: &[String]| -> std::io::Result<()> {
+            let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            writeln!(w, "{}", line.join(","))
+        };
+        write_row(&mut writer, &self.headers)?;
+        for row in &self.rows {
+            write_row(&mut writer, row)?;
+        }
+        Ok(())
+    }
+
+    /// Saves the table as CSV into the directory named by the
+    /// `COMMORDER_CSV` environment variable (no-op when unset). The file
+    /// name is a slug of the table title. Returns the path written, if
+    /// any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (directory creation, file write).
+    pub fn save_csv_if_configured(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        let Ok(dir) = std::env::var("COMMORDER_CSV") else {
+            return Ok(None);
+        };
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+        std::fs::create_dir_all(&dir)?;
+        self.write_csv(std::fs::File::create(&path)?)?;
+        Ok(Some(path))
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("CSV demo", vec!["a".into(), "b".into()]);
+        t.add_row(vec!["x,y".into(), "plain".into()]);
+        t.add_row(vec!["quo\"te".into(), "1.00x".into()]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "\"x,y\",plain");
+        assert_eq!(lines[2], "\"quo\"\"te\",1.00x");
+    }
+
+    #[test]
+    fn save_is_noop_without_env() {
+        std::env::remove_var("COMMORDER_CSV");
+        let t = Table::new("unsaved", vec!["h".into()]);
+        assert_eq!(t.save_csv_if_configured().unwrap(), None);
+    }
+
+    #[test]
+    fn save_writes_when_configured() {
+        let dir = std::env::temp_dir().join("commorder_csv_test");
+        std::env::set_var("COMMORDER_CSV", &dir);
+        let mut t = Table::new("Fig. 2: traffic", vec!["m".into()]);
+        t.add_row(vec!["soc".into()]);
+        let path = t.save_csv_if_configured().unwrap().expect("path written");
+        assert!(path.exists());
+        assert!(path.file_name().unwrap().to_str().unwrap().contains("fig_2"));
+        std::env::remove_var("COMMORDER_CSV");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,471 @@
+//! Community detection by incremental modularity-maximizing aggregation —
+//! the algorithmic core of RABBIT (Arai et al., IPDPS'16; Newman–Girvan
+//! modularity \[34\]).
+//!
+//! Vertices are visited in increasing-degree order; each vertex merges
+//! into the neighbouring aggregate with the largest positive modularity
+//! gain. Merges are recorded in a [`Dendrogram`], so the hierarchy of
+//! communities ("people organized into cliques ... and, within each
+//! group, sub-groups", §V-A) is preserved: a DFS of the dendrogram yields
+//! an ordering in which every community *and every sub-community* is a
+//! contiguous ID range. Additional sweeps over the surviving aggregates
+//! (Louvain-style) continue until no merge improves modularity.
+
+use std::collections::HashMap;
+
+use commorder_sparse::{ops, CsrMatrix, SparseError};
+
+const NONE: u32 = u32::MAX;
+
+/// Merge forest produced by community detection.
+///
+/// Every original vertex is a node; a merge of `v` into `u` makes `v` a
+/// child of `u`. The roots that survive are the detected top-level
+/// communities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dendrogram {
+    parent: Vec<u32>,
+    children: Vec<Vec<u32>>,
+    roots: Vec<u32>,
+}
+
+impl Dendrogram {
+    /// Number of original vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when there are no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The surviving top-level aggregates (one per detected community),
+    /// in ascending vertex-ID order.
+    #[must_use]
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Number of detected communities.
+    #[must_use]
+    pub fn community_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Community ID per vertex, compacted to `0..community_count()` in
+    /// root order.
+    #[must_use]
+    pub fn assignment(&self) -> Vec<u32> {
+        let mut comm = vec![NONE; self.parent.len()];
+        for (cid, &root) in self.roots.iter().enumerate() {
+            // Iterative subtree walk.
+            let mut stack = vec![root];
+            while let Some(v) = stack.pop() {
+                comm[v as usize] = cid as u32;
+                stack.extend_from_slice(&self.children[v as usize]);
+            }
+        }
+        debug_assert!(comm.iter().all(|&c| c != NONE));
+        comm
+    }
+
+    /// Depth-first traversal: `order[k]` is the original vertex that
+    /// receives new ID `k`. Each community — and, recursively, each
+    /// sub-community absorbed during the hierarchy — occupies a
+    /// contiguous range of new IDs.
+    #[must_use]
+    pub fn dfs_order(&self) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.parent.len());
+        for &root in &self.roots {
+            let mut stack = vec![root];
+            while let Some(v) = stack.pop() {
+                order.push(v);
+                // Push children reversed so the earliest merge is visited
+                // first (closest community member, deepest hierarchy).
+                stack.extend(self.children[v as usize].iter().rev().copied());
+            }
+        }
+        debug_assert_eq!(order.len(), self.parent.len());
+        order
+    }
+
+    /// Depth of every vertex in the merge forest (roots are depth 0) —
+    /// the paper's "hierarchical community" nesting level per vertex.
+    #[must_use]
+    pub fn depths(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.parent.len()];
+        for &root in &self.roots {
+            let mut stack = vec![(root, 0u32)];
+            while let Some((v, d)) = stack.pop() {
+                depth[v as usize] = d;
+                stack.extend(
+                    self.children[v as usize]
+                        .iter()
+                        .map(|&child| (child, d + 1)),
+                );
+            }
+        }
+        depth
+    }
+
+    /// Maximum nesting depth of the hierarchy (0 for singleton forests).
+    #[must_use]
+    pub fn max_depth(&self) -> u32 {
+        self.depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Sizes of the detected communities (vertex counts), in root order.
+    #[must_use]
+    pub fn community_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.roots.len()];
+        for &c in &self.assignment() {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Configuration for [`detect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionConfig {
+    /// Resolution parameter γ of the modularity gain (1.0 = classic
+    /// Newman–Girvan; larger values favour smaller communities).
+    pub resolution: f64,
+    /// Maximum number of aggregation sweeps (the first sweep is the
+    /// RABBIT incremental pass; further sweeps merge surviving
+    /// aggregates Louvain-style until quiescent).
+    pub max_passes: u32,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            resolution: 1.0,
+            max_passes: 16,
+        }
+    }
+}
+
+/// Runs community detection on the undirected view of `a`.
+///
+/// Self-loops are ignored; directed inputs are symmetrized. Edge values
+/// are used as weights (pattern matrices weigh every edge 1.0).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
+pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, SparseError> {
+    let sym = ops::remove_self_loops(&ops::symmetrize(a)?);
+    let n = sym.n_rows() as usize;
+    let mut parent = vec![NONE; n];
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    if n == 0 {
+        return Ok(Dendrogram {
+            parent,
+            children,
+            roots: Vec::new(),
+        });
+    }
+
+    // Aggregate state. `strength[v]` is the summed weight of edges
+    // incident to aggregate v; `total_m` the summed weight of all edges
+    // (each undirected edge once).
+    let mut strength: Vec<f64> = (0..sym.n_rows())
+        .map(|v| {
+            let (_, vals) = sym.row(v);
+            vals.iter().map(|&w| f64::from(w)).sum::<f64>()
+        })
+        .collect();
+    let total_m: f64 = strength.iter().sum::<f64>() / 2.0;
+    if total_m == 0.0 {
+        // Edgeless graph: every vertex is its own community.
+        return Ok(Dendrogram {
+            parent,
+            children,
+            roots: (0..n as u32).collect(),
+        });
+    }
+
+    // Lazily-consolidated adjacency per live aggregate.
+    let mut adj: Vec<HashMap<u32, f64>> = (0..sym.n_rows())
+        .map(|v| {
+            let (cols, vals) = sym.row(v);
+            cols.iter()
+                .zip(vals)
+                .map(|(&c, &w)| (c, f64::from(w)))
+                .collect()
+        })
+        .collect();
+
+    // Union-find "top" pointers: maps any vertex to its live aggregate.
+    let mut top: Vec<u32> = (0..n as u32).collect();
+    fn find(top: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while top[root as usize] != root {
+            root = top[root as usize];
+        }
+        // Path compression.
+        let mut cur = v;
+        while top[cur as usize] != root {
+            let next = top[cur as usize];
+            top[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    let mut alive: Vec<u32> = (0..n as u32).collect();
+    let two_m_sq = 2.0 * total_m * total_m;
+    for _pass in 0..config.max_passes {
+        // Sweep live aggregates in increasing-strength order (degree order
+        // on the first pass — the RABBIT visit order).
+        alive.sort_by(|&x, &y| {
+            strength[x as usize]
+                .partial_cmp(&strength[y as usize])
+                .expect("strengths are finite")
+                .then(x.cmp(&y))
+        });
+        let mut merged_any = false;
+        let mut next_alive: Vec<u32> = Vec::with_capacity(alive.len());
+        for &v in &alive {
+            if top[v as usize] != v {
+                continue; // absorbed earlier this pass
+            }
+            // Consolidate v's adjacency through the union-find.
+            let old = std::mem::take(&mut adj[v as usize]);
+            let mut merged: HashMap<u32, f64> = HashMap::with_capacity(old.len());
+            for (nbr, w) in old {
+                let r = find(&mut top, nbr);
+                if r != v {
+                    *merged.entry(r).or_insert(0.0) += w;
+                }
+            }
+            adj[v as usize] = merged;
+            // Best-gain neighbour. Ties break to the smallest vertex ID so
+            // the result is independent of HashMap iteration order.
+            let mut best: Option<(u32, f64)> = None;
+            for (&u, &w_vu) in &adj[v as usize] {
+                let gain = w_vu / total_m
+                    - config.resolution * strength[v as usize] * strength[u as usize] / two_m_sq;
+                let better = match best {
+                    None => gain > 0.0,
+                    Some((bu, bg)) => gain > bg || (gain == bg && u < bu),
+                };
+                if gain > 0.0 && better {
+                    best = Some((u, gain));
+                }
+            }
+            match best {
+                Some((u, _)) => {
+                    // Merge v into u.
+                    let v_adj = std::mem::take(&mut adj[v as usize]);
+                    for (nbr, w) in v_adj {
+                        if nbr != u {
+                            *adj[u as usize].entry(nbr).or_insert(0.0) += w;
+                        }
+                    }
+                    adj[u as usize].remove(&v);
+                    strength[u as usize] += strength[v as usize];
+                    top[v as usize] = u;
+                    parent[v as usize] = u;
+                    children[u as usize].push(v);
+                    merged_any = true;
+                }
+                None => next_alive.push(v),
+            }
+        }
+        alive = next_alive;
+        if !merged_any {
+            break;
+        }
+    }
+
+    let mut roots: Vec<u32> = (0..n as u32).filter(|&v| parent[v as usize] == NONE).collect();
+    roots.sort_unstable();
+    Ok(Dendrogram {
+        parent,
+        children,
+        roots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commorder_sparse::CooMatrix;
+    use commorder_synth::generators::PlantedPartition;
+
+    /// Three 5-cliques linked in a chain by single inter-community edges —
+    /// a scaled-up Fig.-1-style example with unambiguous communities.
+    pub(crate) fn three_cliques() -> CsrMatrix {
+        let mut entries = Vec::new();
+        for block in 0..3u32 {
+            let base = block * 5;
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    entries.push((base + i, base + j, 1.0));
+                    entries.push((base + j, base + i, 1.0));
+                }
+            }
+        }
+        for &(u, v) in &[(4u32, 5u32), (9, 10)] {
+            entries.push((u, v, 1.0));
+            entries.push((v, u, 1.0));
+        }
+        CsrMatrix::try_from(CooMatrix::from_entries(15, 15, entries).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn detects_the_three_cliques() {
+        let g = three_cliques();
+        let d = detect(&g, DetectionConfig::default()).unwrap();
+        let comm = d.assignment();
+        for block in 0..3u32 {
+            let base = (block * 5) as usize;
+            for i in 1..5 {
+                assert_eq!(
+                    comm[base], comm[base + i],
+                    "clique {block} split apart"
+                );
+            }
+        }
+        assert_eq!(d.community_count(), 3, "cliques collapsed or fragmented");
+    }
+
+    #[test]
+    fn dfs_order_makes_communities_contiguous() {
+        let g = three_cliques();
+        let d = detect(&g, DetectionConfig::default()).unwrap();
+        let comm = d.assignment();
+        let order = d.dfs_order();
+        // Scanning the order, each community id must appear as one run.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = NONE;
+        for &v in &order {
+            let c = comm[v as usize];
+            if c != prev {
+                assert!(seen.insert(c), "community {c} split into multiple runs");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_order_is_a_permutation() {
+        let g = three_cliques();
+        let d = detect(&g, DetectionConfig::default()).unwrap();
+        let mut order = d.dfs_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn planted_partition_recovers_most_blocks() {
+        let g = PlantedPartition::uniform(800, 16, 10.0, 0.02)
+            .generate(21)
+            .unwrap();
+        let d = detect(&g, DetectionConfig::default()).unwrap();
+        let comm = d.assignment();
+        // Measure agreement: fraction of planted-block pairs of adjacent
+        // vertices that land in the same detected community.
+        let block = |v: u32| v / 50;
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for (r, c, _) in g.iter() {
+            if block(r) == block(c) {
+                total += 1;
+                if comm[r as usize] == comm[c as usize] {
+                    same += 1;
+                }
+            }
+        }
+        let agree = same as f64 / total as f64;
+        assert!(agree > 0.8, "intra-block agreement = {agree}");
+    }
+
+    #[test]
+    fn edgeless_graph_yields_singletons() {
+        let g = CsrMatrix::empty(5);
+        let d = detect(&g, DetectionConfig::default()).unwrap();
+        assert_eq!(d.community_count(), 5);
+        assert_eq!(d.assignment(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.community_sizes(), vec![1; 5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = detect(&CsrMatrix::empty(0), DetectionConfig::default()).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.community_count(), 0);
+        assert!(d.dfs_order().is_empty());
+    }
+
+    #[test]
+    fn higher_resolution_yields_more_communities() {
+        let g = PlantedPartition::uniform(600, 12, 8.0, 0.1)
+            .generate(22)
+            .unwrap();
+        let coarse = detect(
+            &g,
+            DetectionConfig {
+                resolution: 0.5,
+                max_passes: 16,
+            },
+        )
+        .unwrap();
+        let fine = detect(
+            &g,
+            DetectionConfig {
+                resolution: 4.0,
+                max_passes: 16,
+            },
+        )
+        .unwrap();
+        assert!(
+            fine.community_count() >= coarse.community_count(),
+            "fine {} vs coarse {}",
+            fine.community_count(),
+            coarse.community_count()
+        );
+    }
+
+    #[test]
+    fn depths_reflect_merge_nesting() {
+        let g = three_cliques();
+        let d = detect(&g, DetectionConfig::default()).unwrap();
+        let depths = d.depths();
+        // Roots are depth 0; every clique has at least one nested merge.
+        for &root in d.roots() {
+            assert_eq!(depths[root as usize], 0);
+        }
+        assert!(d.max_depth() >= 1, "cliques must nest at least one level");
+        assert!(d.max_depth() < 15, "depth bounded by n");
+        // Exactly one depth-0 vertex per community.
+        let zero_count = depths.iter().filter(|&&x| x == 0).count();
+        assert_eq!(zero_count, d.community_count());
+    }
+
+    #[test]
+    fn community_sizes_sum_to_n() {
+        let g = three_cliques();
+        let d = detect(&g, DetectionConfig::default()).unwrap();
+        let total: u32 = d.community_sizes().iter().sum();
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn directed_input_is_symmetrized() {
+        // Directed triangle: 0->1->2->0.
+        let g = CsrMatrix::try_from(
+            CooMatrix::from_entries(3, 3, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap(),
+        )
+        .unwrap();
+        let d = detect(&g, DetectionConfig::default()).unwrap();
+        let comm = d.assignment();
+        assert_eq!(comm[0], comm[1]);
+        assert_eq!(comm[1], comm[2]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Reordering-quality metrics that need no cache simulation — the
+//! "gap measure" style analysis of Barik et al. (IISWC'20) and Esfahani
+//! et al. (IISWC'21), which the paper positions itself against in §VII.
+//!
+//! These are cheap, simulator-free predictors of the locality a given
+//! ordering will achieve; the experiment binaries use them to sanity-check
+//! simulator results, and downstream users can rank candidate orderings
+//! without tracing.
+
+use commorder_sparse::CsrMatrix;
+
+/// Average gap between consecutive column indices within a row
+/// (Barik et al.'s intra-row *gap measure*, lower = better spatial
+/// locality of `X` accesses). 0 for matrices with no multi-entry rows.
+#[must_use]
+pub fn mean_intra_row_gap(a: &CsrMatrix) -> f64 {
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for r in 0..a.n_rows() {
+        let (cols, _) = a.row(r);
+        for w in cols.windows(2) {
+            total += u64::from(w[1] - w[0]);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+/// Cache-line utilization of the input vector over a sliding window of
+/// `window_rows` consecutive rows: the ratio of *touched elements* to
+/// `elements spanned by touched lines` (1.0 = every fetched line fully
+/// used). `line_elems` is the number of vector elements per cache line
+/// (8 for 32-byte lines of f32).
+///
+/// This is the simulator-free analogue of Table III's dead-line metric.
+///
+/// # Panics
+///
+/// Panics if `window_rows == 0` or `line_elems == 0`.
+#[must_use]
+pub fn line_utilization(a: &CsrMatrix, window_rows: u32, line_elems: u32) -> f64 {
+    assert!(window_rows > 0, "window must be positive");
+    assert!(line_elems > 0, "line_elems must be positive");
+    if a.n_rows() == 0 || a.nnz() == 0 {
+        return 1.0;
+    }
+    let mut touched_total = 0u64;
+    let mut line_elems_total = 0u64;
+    let mut window_start = 0u32;
+    let mut touched: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    while window_start < a.n_rows() {
+        let window_end = window_start.saturating_add(window_rows).min(a.n_rows());
+        touched.clear();
+        for r in window_start..window_end {
+            let (cols, _) = a.row(r);
+            touched.extend(cols.iter().copied());
+        }
+        let lines: std::collections::HashSet<u32> =
+            touched.iter().map(|&c| c / line_elems).collect();
+        touched_total += touched.len() as u64;
+        line_elems_total += lines.len() as u64 * u64::from(line_elems);
+        window_start = window_end;
+    }
+    if line_elems_total == 0 {
+        1.0
+    } else {
+        touched_total as f64 / line_elems_total as f64
+    }
+}
+
+/// Windowed reuse score: fraction of `X` references inside a window of
+/// `window_rows` rows that hit an element already referenced in the same
+/// window (Esfahani et al.'s temporal-locality flavour; higher = better).
+///
+/// # Panics
+///
+/// Panics if `window_rows == 0`.
+#[must_use]
+pub fn windowed_reuse(a: &CsrMatrix, window_rows: u32) -> f64 {
+    assert!(window_rows > 0, "window must be positive");
+    if a.nnz() == 0 {
+        return 0.0;
+    }
+    let mut reused = 0u64;
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut window_start = 0u32;
+    while window_start < a.n_rows() {
+        let window_end = window_start.saturating_add(window_rows).min(a.n_rows());
+        seen.clear();
+        for r in window_start..window_end {
+            let (cols, _) = a.row(r);
+            for &c in cols {
+                if !seen.insert(c) {
+                    reused += 1;
+                }
+            }
+        }
+        window_start = window_end;
+    }
+    reused as f64 / a.nnz() as f64
+}
+
+/// Combined scorecard for one ordering of one matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityScore {
+    /// [`mean_intra_row_gap`].
+    pub intra_row_gap: f64,
+    /// [`line_utilization`] at the standard 32-byte/f32 geometry.
+    pub line_utilization: f64,
+    /// [`windowed_reuse`].
+    pub windowed_reuse: f64,
+    /// Mean |row − col| (diagonal concentration).
+    pub mean_index_distance: f64,
+}
+
+impl LocalityScore {
+    /// Computes all metrics with a `window_rows`-row window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_rows == 0`.
+    #[must_use]
+    pub fn measure(a: &CsrMatrix, window_rows: u32) -> LocalityScore {
+        LocalityScore {
+            intra_row_gap: mean_intra_row_gap(a),
+            line_utilization: line_utilization(a, window_rows, 8),
+            windowed_reuse: windowed_reuse(a, window_rows),
+            mean_index_distance: commorder_sparse::stats::mean_index_distance(a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RandomOrder, Reordering};
+    use commorder_sparse::CooMatrix;
+    use commorder_synth::generators::PlantedPartition;
+
+    fn block_diag() -> CsrMatrix {
+        // Two dense 4x4 blocks on the diagonal (no self loops).
+        let mut entries = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        entries.push((base + i, base + j, 1.0));
+                    }
+                }
+            }
+        }
+        CsrMatrix::try_from(CooMatrix::from_entries(8, 8, entries).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn intra_row_gap_of_dense_blocks_is_one() {
+        let a = block_diag();
+        // Per 4-row block the gap lists are (1,1), (2,1), (1,2), (1,1):
+        // total 10 over 8 gaps -> mean 1.25.
+        let gap = mean_intra_row_gap(&a);
+        assert!((gap - 1.25).abs() < 1e-12, "gap = {gap}");
+    }
+
+    #[test]
+    fn line_utilization_perfect_for_contiguous_blocks() {
+        let a = block_diag();
+        // Window of 4 rows touches exactly one 4-element "line".
+        let util = line_utilization(&a, 4, 4);
+        assert!((util - 1.0).abs() < 1e-12, "util = {util}");
+    }
+
+    #[test]
+    fn scrambling_degrades_every_metric() {
+        let tidy = PlantedPartition::uniform(512, 16, 8.0, 0.02)
+            .generate(91)
+            .unwrap();
+        let messy = tidy
+            .permute_symmetric(&RandomOrder::new(5).reorder(&tidy).unwrap())
+            .unwrap();
+        let a = LocalityScore::measure(&tidy, 32);
+        let b = LocalityScore::measure(&messy, 32);
+        assert!(a.intra_row_gap < b.intra_row_gap);
+        assert!(a.line_utilization > b.line_utilization);
+        assert!(a.mean_index_distance < b.mean_index_distance);
+        assert!(a.windowed_reuse >= b.windowed_reuse * 0.9);
+    }
+
+    #[test]
+    fn windowed_reuse_counts_repeats() {
+        // Rows 0 and 1 both reference column 2: one reuse in a 2-row
+        // window, 0 in 1-row windows.
+        let a = CsrMatrix::try_from(
+            CooMatrix::from_entries(3, 3, vec![(0, 2, 1.0), (1, 2, 1.0)]).unwrap(),
+        )
+        .unwrap();
+        assert!((windowed_reuse(&a, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(windowed_reuse(&a, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_degenerate_values() {
+        let a = CsrMatrix::empty(4);
+        assert_eq!(mean_intra_row_gap(&a), 0.0);
+        assert_eq!(line_utilization(&a, 8, 8), 1.0);
+        assert_eq!(windowed_reuse(&a, 8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = windowed_reuse(&CsrMatrix::empty(1), 0);
+    }
+}

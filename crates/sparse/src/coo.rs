@@ -1,0 +1,239 @@
+use crate::{CsrMatrix, SparseError};
+
+/// A sparse matrix in Coordinate (COO) format: an unordered list of
+/// `(row, col, value)` triples plus the matrix dimensions.
+///
+/// COO is the construction-friendly interchange format (and the second
+/// storage format the paper evaluates with cuSPARSE's SpMV-COO kernel,
+/// Table IV). Entries may appear in any order and may contain duplicates;
+/// converting to [`CsrMatrix`] sorts and sums duplicates.
+///
+/// # Example
+///
+/// ```
+/// use commorder_sparse::CooMatrix;
+///
+/// # fn main() -> Result<(), commorder_sparse::SparseError> {
+/// let coo = CooMatrix::from_entries(2, 2, vec![(0, 1, 2.0), (1, 0, 3.0)])?;
+/// assert_eq!(coo.nnz(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    n_rows: u32,
+    n_cols: u32,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    /// Creates a COO matrix from `(row, col, value)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if any row/column index
+    /// exceeds the dimensions, and [`SparseError::TooLarge`] if the entry
+    /// count exceeds `u32` indexing.
+    pub fn from_entries(
+        n_rows: u32,
+        n_cols: u32,
+        entries: Vec<(u32, u32, f32)>,
+    ) -> Result<Self, SparseError> {
+        if entries.len() > u32::MAX as usize {
+            return Err(SparseError::TooLarge(format!(
+                "{} entries exceed u32 indexing",
+                entries.len()
+            )));
+        }
+        for &(r, c, _) in &entries {
+            if r >= n_rows {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: r,
+                    bound: n_rows,
+                });
+            }
+            if c >= n_cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: c,
+                    bound: n_cols,
+                });
+            }
+        }
+        Ok(CooMatrix {
+            n_rows,
+            n_cols,
+            entries,
+        })
+    }
+
+    /// An empty `n_rows x n_cols` matrix.
+    #[must_use]
+    pub fn empty(n_rows: u32, n_cols: u32) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn n_rows(&self) -> u32 {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn n_cols(&self) -> u32 {
+        self.n_cols
+    }
+
+    /// Number of stored triples (duplicates counted separately).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Read-only view of the stored triples.
+    #[must_use]
+    pub fn entries(&self) -> &[(u32, u32, f32)] {
+        &self.entries
+    }
+
+    /// Consumes the matrix, returning the triples.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<(u32, u32, f32)> {
+        self.entries
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] when the coordinate is
+    /// outside the matrix.
+    pub fn push(&mut self, row: u32, col: u32, value: f32) -> Result<(), SparseError> {
+        if row >= self.n_rows {
+            return Err(SparseError::IndexOutOfBounds {
+                index: row,
+                bound: self.n_rows,
+            });
+        }
+        if col >= self.n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: col,
+                bound: self.n_cols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Sorts entries in row-major `(row, col)` order (stable for duplicate
+    /// coordinates). The cuSPARSE COO kernels expect row-major order; our
+    /// trace generator does too.
+    pub fn sort_row_major(&mut self) {
+        self.entries.sort_by_key(|&(r, c, _)| (r, c));
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        CooMatrix {
+            n_rows: csr.n_rows(),
+            n_cols: csr.n_cols(),
+            entries: csr.iter().collect(),
+        }
+    }
+}
+
+impl FromIterator<(u32, u32, f32)> for CooMatrix {
+    /// Collects triples into a COO matrix whose dimensions are the smallest
+    /// square that fits every coordinate.
+    fn from_iter<I: IntoIterator<Item = (u32, u32, f32)>>(iter: I) -> Self {
+        let entries: Vec<_> = iter.into_iter().collect();
+        let n = entries
+            .iter()
+            .map(|&(r, c, _)| r.max(c) + 1)
+            .max()
+            .unwrap_or(0);
+        CooMatrix {
+            n_rows: n,
+            n_cols: n,
+            entries,
+        }
+    }
+}
+
+impl Extend<(u32, u32, f32)> for CooMatrix {
+    /// Extends with triples; coordinates outside the current dimensions
+    /// grow the matrix (keeping it square-covering).
+    fn extend<I: IntoIterator<Item = (u32, u32, f32)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.n_rows = self.n_rows.max(r + 1);
+            self.n_cols = self.n_cols.max(c + 1);
+            self.entries.push((r, c, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_validates_bounds() {
+        assert!(CooMatrix::from_entries(2, 2, vec![(2, 0, 1.0)]).is_err());
+        assert!(CooMatrix::from_entries(2, 2, vec![(0, 2, 1.0)]).is_err());
+        assert!(CooMatrix::from_entries(2, 2, vec![(1, 1, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut m = CooMatrix::empty(2, 2);
+        assert!(m.push(0, 1, 1.0).is_ok());
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn round_trip_with_csr() {
+        let coo = CooMatrix::from_entries(3, 3, vec![(2, 0, 5.0), (0, 1, 1.0)]).unwrap();
+        let csr = CsrMatrix::try_from(coo.clone()).unwrap();
+        let mut back = CooMatrix::from(&csr);
+        back.sort_row_major();
+        assert_eq!(back.entries(), &[(0, 1, 1.0), (2, 0, 5.0)]);
+    }
+
+    #[test]
+    fn from_iter_infers_square_dims() {
+        let coo: CooMatrix = vec![(0, 4, 1.0), (2, 1, 1.0)].into_iter().collect();
+        assert_eq!(coo.n_rows(), 5);
+        assert_eq!(coo.n_cols(), 5);
+    }
+
+    #[test]
+    fn extend_grows_dims() {
+        let mut coo = CooMatrix::empty(1, 1);
+        coo.extend(vec![(3, 2, 1.0)]);
+        assert_eq!(coo.n_rows(), 4);
+        assert_eq!(coo.n_cols(), 3);
+        assert_eq!(coo.nnz(), 1);
+    }
+
+    #[test]
+    fn sort_row_major_orders_entries() {
+        let mut coo =
+            CooMatrix::from_entries(2, 2, vec![(1, 1, 1.0), (0, 1, 2.0), (1, 0, 3.0)]).unwrap();
+        coo.sort_row_major();
+        let coords: Vec<_> = coo.entries().iter().map(|&(r, c, _)| (r, c)).collect();
+        assert_eq!(coords, vec![(0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn empty_iterator_collects_to_zero_dims() {
+        let coo: CooMatrix = std::iter::empty().collect();
+        assert_eq!(coo.n_rows(), 0);
+        assert_eq!(coo.nnz(), 0);
+    }
+}

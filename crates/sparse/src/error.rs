@@ -1,0 +1,103 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// An operand's dimensions do not match what the operation requires.
+    DimensionMismatch {
+        /// What the operation expected (e.g. "x.len() == n_cols").
+        expected: String,
+        /// What was actually observed.
+        found: String,
+    },
+    /// A row/column index is outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: u32,
+        /// The exclusive bound it violated.
+        bound: u32,
+    },
+    /// A CSR/CSC offsets array is malformed (wrong length, not
+    /// monotonically non-decreasing, or its last entry disagrees with the
+    /// index-array length).
+    InvalidOffsets(String),
+    /// A permutation is not a bijection on `0..len`.
+    InvalidPermutation(String),
+    /// The matrix (or an operation's requirement) exceeds `u32` indexing.
+    TooLarge(String),
+    /// A Matrix Market stream could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line (0 when unknown).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error (kind and message preserved as text so the
+    /// error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            SparseError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+            SparseError::InvalidOffsets(msg) => write!(f, "invalid offsets array: {msg}"),
+            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::TooLarge(msg) => write!(f, "matrix too large: {msg}"),
+            SparseError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SparseError::DimensionMismatch {
+            expected: "x.len() == 4".to_string(),
+            found: "x.len() == 3".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("dimension mismatch"));
+        assert!(s.contains("x.len() == 4"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = SparseError::from(io);
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn index_out_of_bounds_display() {
+        let e = SparseError::IndexOutOfBounds { index: 9, bound: 5 };
+        assert_eq!(e.to_string(), "index 9 out of bounds (must be < 5)");
+    }
+}

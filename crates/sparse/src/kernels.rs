@@ -1,0 +1,352 @@
+//! Reference implementations of the sparse kernels the paper evaluates.
+//!
+//! These are functional stand-ins for the cuSPARSE kernels: `spmv_csr`
+//! follows Algorithm 1 of the paper exactly, `spmv_coo` processes row-major
+//! sorted triples, and `spmm_csr` multiplies by a dense row-major matrix
+//! with `k` columns (the paper's `|N| x 4` and `|N| x 256` configurations).
+//! The cache-trace generators in `commorder-cachesim` replay the same
+//! array-level access patterns.
+
+use crate::{CooMatrix, CsrMatrix, SparseError};
+
+/// Sparse matrix times dense vector, CSR storage (Algorithm 1).
+///
+/// Computes `y = A * x`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `x.len() != A.n_cols()`.
+///
+/// # Example
+///
+/// ```
+/// use commorder_sparse::{CsrMatrix, kernels::spmv_csr};
+///
+/// # fn main() -> Result<(), commorder_sparse::SparseError> {
+/// let a = CsrMatrix::new(2, 2, vec![0, 1, 2], vec![1, 0], vec![2.0, 3.0])?;
+/// assert_eq!(spmv_csr(&a, &[1.0, 10.0])?, vec![20.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spmv_csr(a: &CsrMatrix, x: &[f32]) -> Result<Vec<f32>, SparseError> {
+    if x.len() != a.n_cols() as usize {
+        return Err(SparseError::DimensionMismatch {
+            expected: format!("x.len() == n_cols == {}", a.n_cols()),
+            found: format!("x.len() == {}", x.len()),
+        });
+    }
+    let mut y = vec![0f32; a.n_rows() as usize];
+    for row in 0..a.n_rows() {
+        let (cols, vals) = a.row(row);
+        let mut acc = 0f32;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c as usize];
+        }
+        y[row as usize] = acc;
+    }
+    Ok(y)
+}
+
+/// Sparse matrix times dense vector, COO storage.
+///
+/// Computes `y = A * x` by accumulating triples. Triples may be in any
+/// order; the result is order-independent up to floating-point rounding.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `x.len() != A.n_cols()`.
+pub fn spmv_coo(a: &CooMatrix, x: &[f32]) -> Result<Vec<f32>, SparseError> {
+    if x.len() != a.n_cols() as usize {
+        return Err(SparseError::DimensionMismatch {
+            expected: format!("x.len() == n_cols == {}", a.n_cols()),
+            found: format!("x.len() == {}", x.len()),
+        });
+    }
+    let mut y = vec![0f32; a.n_rows() as usize];
+    for &(r, c, v) in a.entries() {
+        y[r as usize] += v * x[c as usize];
+    }
+    Ok(y)
+}
+
+/// Sparse matrix times dense matrix (SpMM), CSR storage.
+///
+/// Computes `C = A * B` where `B` is dense row-major with `k` columns
+/// (`b.len() == A.n_cols() * k`) and the returned `C` is dense row-major
+/// with `A.n_rows() * k` elements.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `b.len() != A.n_cols() * k`
+/// or `k == 0`.
+pub fn spmm_csr(a: &CsrMatrix, b: &[f32], k: u32) -> Result<Vec<f32>, SparseError> {
+    if k == 0 {
+        return Err(SparseError::DimensionMismatch {
+            expected: "k >= 1".to_string(),
+            found: "k == 0".to_string(),
+        });
+    }
+    let expect = a.n_cols() as usize * k as usize;
+    if b.len() != expect {
+        return Err(SparseError::DimensionMismatch {
+            expected: format!("b.len() == n_cols * k == {expect}"),
+            found: format!("b.len() == {}", b.len()),
+        });
+    }
+    let k = k as usize;
+    let mut c_out = vec![0f32; a.n_rows() as usize * k];
+    for row in 0..a.n_rows() {
+        let (cols, vals) = a.row(row);
+        let out = &mut c_out[row as usize * k..(row as usize + 1) * k];
+        for (&c, &v) in cols.iter().zip(vals) {
+            let b_row = &b[c as usize * k..(c as usize + 1) * k];
+            for (o, &bv) in out.iter_mut().zip(b_row) {
+                *o += v * bv;
+            }
+        }
+    }
+    Ok(c_out)
+}
+
+/// Column-tiled SpMV, CSR storage: `y = A * x` computed tile-by-tile so
+/// that `X` accesses are bounded to `tile_cols` columns at a time (the
+/// tiling optimization of the paper's §VII related work).
+///
+/// Numerically equivalent to [`spmv_csr`] up to floating-point
+/// associativity (per-row partial sums accumulate across tiles).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `x.len() != A.n_cols()`
+/// or `tile_cols == 0`.
+pub fn spmv_csr_tiled(a: &CsrMatrix, x: &[f32], tile_cols: u32) -> Result<Vec<f32>, SparseError> {
+    if tile_cols == 0 {
+        return Err(SparseError::DimensionMismatch {
+            expected: "tile_cols >= 1".to_string(),
+            found: "tile_cols == 0".to_string(),
+        });
+    }
+    if x.len() != a.n_cols() as usize {
+        return Err(SparseError::DimensionMismatch {
+            expected: format!("x.len() == n_cols == {}", a.n_cols()),
+            found: format!("x.len() == {}", x.len()),
+        });
+    }
+    let mut y = vec![0f32; a.n_rows() as usize];
+    let mut tile_start = 0u32;
+    while tile_start < a.n_cols() {
+        let tile_end = tile_start.saturating_add(tile_cols).min(a.n_cols());
+        for row in 0..a.n_rows() {
+            let (cols, vals) = a.row(row);
+            // Rows are sorted: binary-search the tile's column range.
+            let lo = cols.partition_point(|&c| c < tile_start);
+            let hi = cols.partition_point(|&c| c < tile_end);
+            let mut acc = 0f32;
+            for (&c, &v) in cols[lo..hi].iter().zip(&vals[lo..hi]) {
+                acc += v * x[c as usize];
+            }
+            if hi > lo {
+                y[row as usize] += acc;
+            }
+        }
+        tile_start = tile_end;
+    }
+    Ok(y)
+}
+
+/// Propagation-blocking SpMV: `y = A * x` in two fully streaming phases
+/// (the blocking optimization of the paper's §VII related work).
+///
+/// Phase 1 walks the matrix in CSC order so `x` is read sequentially,
+/// multiplying each entry and appending `(row, partial)` to one of
+/// `bins` buckets by destination-row range. Phase 2 drains each bucket,
+/// accumulating into the corresponding bounded `y` range.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `x.len() != A.n_cols()`,
+/// the matrix is not square, or `bins == 0`.
+pub fn spmv_blocked(a: &CsrMatrix, x: &[f32], bins: u32) -> Result<Vec<f32>, SparseError> {
+    if bins == 0 {
+        return Err(SparseError::DimensionMismatch {
+            expected: "bins >= 1".to_string(),
+            found: "bins == 0".to_string(),
+        });
+    }
+    if !a.is_square() {
+        return Err(SparseError::DimensionMismatch {
+            expected: "square matrix".to_string(),
+            found: format!("{} x {}", a.n_rows(), a.n_cols()),
+        });
+    }
+    if x.len() != a.n_cols() as usize {
+        return Err(SparseError::DimensionMismatch {
+            expected: format!("x.len() == n_cols == {}", a.n_cols()),
+            found: format!("x.len() == {}", x.len()),
+        });
+    }
+    let n = a.n_rows();
+    let rows_per_bin = n.div_ceil(bins).max(1);
+    let csc = crate::CscMatrix::from(a);
+    let mut buckets: Vec<Vec<(u32, f32)>> = vec![Vec::new(); bins as usize];
+    // Phase 1: stream columns, scatter partials into buckets.
+    for c in 0..n {
+        let xv = x[c as usize];
+        let (rows, vals) = csc.col(c);
+        for (&r, &v) in rows.iter().zip(vals) {
+            buckets[(r / rows_per_bin) as usize].push((r, v * xv));
+        }
+    }
+    // Phase 2: drain buckets into bounded y ranges.
+    let mut y = vec![0f32; n as usize];
+    for bucket in &buckets {
+        for &(r, contrib) in bucket {
+            y[r as usize] += contrib;
+        }
+    }
+    Ok(y)
+}
+
+/// Dense reference multiply used to validate the sparse kernels in tests:
+/// interprets `a` as dense and computes `y = A * x` the naive way.
+#[must_use]
+pub fn dense_reference_spmv(a: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+    let mut dense = vec![0f32; a.n_rows() as usize * a.n_cols() as usize];
+    for (r, c, v) in a.iter() {
+        dense[r as usize * a.n_cols() as usize + c as usize] += v;
+    }
+    (0..a.n_rows() as usize)
+        .map(|r| {
+            (0..a.n_cols() as usize)
+                .map(|c| dense[r * a.n_cols() as usize + c] * x[c])
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0],
+        //  [4, 0, 5]]
+        CsrMatrix::new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spmv_csr_matches_dense_reference() {
+        let a = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(spmv_csr(&a, &x).unwrap(), dense_reference_spmv(&a, &x));
+    }
+
+    #[test]
+    fn spmv_csr_rejects_bad_x() {
+        assert!(spmv_csr(&sample(), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_coo_matches_csr() {
+        let a = sample();
+        let coo = CooMatrix::from(&a);
+        let x = vec![1.0, -1.0, 0.5];
+        assert_eq!(spmv_coo(&coo, &x).unwrap(), spmv_csr(&a, &x).unwrap());
+    }
+
+    #[test]
+    fn spmv_coo_rejects_bad_x() {
+        let coo = CooMatrix::from(&sample());
+        assert!(spmv_coo(&coo, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spmm_with_k1_matches_spmv() {
+        let a = sample();
+        let x = vec![2.0, 4.0, 8.0];
+        assert_eq!(spmm_csr(&a, &x, 1).unwrap(), spmv_csr(&a, &x).unwrap());
+    }
+
+    #[test]
+    fn spmm_k2_is_columnwise_spmv() {
+        let a = sample();
+        // B columns: [1,2,3] and [4,5,6], interleaved row-major.
+        let b = vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let c = spmm_csr(&a, &b, 2).unwrap();
+        let y0 = spmv_csr(&a, &[1.0, 2.0, 3.0]).unwrap();
+        let y1 = spmv_csr(&a, &[4.0, 5.0, 6.0]).unwrap();
+        for r in 0..3 {
+            assert_eq!(c[r * 2], y0[r]);
+            assert_eq!(c[r * 2 + 1], y1[r]);
+        }
+    }
+
+    #[test]
+    fn spmm_rejects_bad_dims() {
+        let a = sample();
+        assert!(spmm_csr(&a, &[1.0; 5], 2).is_err());
+        assert!(spmm_csr(&a, &[], 0).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_vector() {
+        let a = CsrMatrix::empty(4);
+        assert_eq!(spmv_csr(&a, &[1.0; 4]).unwrap(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn tiled_spmv_matches_untiled_for_every_tile_width() {
+        let a = sample();
+        let x = vec![1.5, -2.0, 4.0];
+        let reference = spmv_csr(&a, &x).unwrap();
+        for tile_cols in [1u32, 2, 3, 4, 100] {
+            let y = spmv_csr_tiled(&a, &x, tile_cols).unwrap();
+            for (got, want) in y.iter().zip(&reference) {
+                assert!(
+                    (got - want).abs() <= 1e-5 * want.abs().max(1.0),
+                    "tile_cols {tile_cols}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_spmv_rejects_bad_args() {
+        let a = sample();
+        assert!(spmv_csr_tiled(&a, &[1.0; 3], 0).is_err());
+        assert!(spmv_csr_tiled(&a, &[1.0; 2], 4).is_err());
+    }
+
+    #[test]
+    fn blocked_spmv_matches_untiled_for_every_bin_count() {
+        let a = sample();
+        let x = vec![2.0, -1.0, 0.5];
+        let reference = spmv_csr(&a, &x).unwrap();
+        for bins in [1u32, 2, 3, 16] {
+            let y = spmv_blocked(&a, &x, bins).unwrap();
+            for (got, want) in y.iter().zip(&reference) {
+                assert!(
+                    (got - want).abs() <= 1e-5 * want.abs().max(1.0),
+                    "bins {bins}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_spmv_rejects_bad_args() {
+        let a = sample();
+        assert!(spmv_blocked(&a, &[1.0; 3], 0).is_err());
+        assert!(spmv_blocked(&a, &[1.0; 2], 4).is_err());
+        let rect = CsrMatrix::new(1, 2, vec![0, 1], vec![1], vec![1.0]).unwrap();
+        assert!(spmv_blocked(&rect, &[1.0; 2], 4).is_err());
+    }
+}

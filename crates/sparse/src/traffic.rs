@@ -1,0 +1,223 @@
+//! The paper's hardware-limit accounting (§IV-B): kernel identities,
+//! compulsory DRAM traffic, and arithmetic intensity.
+//!
+//! > "The minimum DRAM traffic (or compulsory traffic) for the SpMV kernel
+//! > is achieved when the last level cache only incurs compulsory cache
+//! > misses. Therefore, assuming 4 bytes for matrix values and the CSR
+//! > coordinates and an |N| x |N| sparse matrix with |NZ| non-zeros, the
+//! > compulsory traffic for SpMV is (2*|N|*4B) + ((|N|+1+|NZ|+|NZ|)*4B)."
+//!
+//! Every figure in the paper normalizes measured DRAM traffic to the value
+//! computed here; every run time is normalized to
+//! `compulsory_bytes / measured_bandwidth` (see `commorder-gpumodel`).
+
+use crate::{CsrMatrix, ELEM_BYTES};
+
+/// The sparse kernels evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// SpMV with the matrix in CSR format (Algorithm 1; Figs. 2–8, Tables
+    /// II/III).
+    SpmvCsr,
+    /// SpMV with the matrix in COO format (Table IV).
+    SpmvCoo,
+    /// SpMM: sparse `|N| x |N|` matrix times dense `|N| x k` matrix in CSR
+    /// format (Table IV uses `k = 4` and `k = 256`).
+    SpmmCsr {
+        /// Number of dense right-hand-side columns.
+        k: u32,
+    },
+    /// Column-tiled SpMV (the tiling optimization of the paper's §VII
+    /// related work, \[21\]/\[38\]/\[40\]/\[43\]): the matrix is split into
+    /// vertical tiles of `tile_cols` columns, each stored with its own
+    /// row-offsets array, so the irregular `X` accesses are bounded to
+    /// one tile's range at a time. Costs: per-tile offset arrays and
+    /// re-walking `Y` every tile.
+    SpmvCsrTiled {
+        /// Columns per tile.
+        tile_cols: u32,
+    },
+    /// Propagation-blocking SpMV (the blocking optimization of the
+    /// paper's §VII related work, \[7\]/\[11\]/\[20\]/\[26\]): phase 1 streams
+    /// the matrix in CSC order (so `X` is read sequentially) and appends
+    /// `(row, partial)` pairs into `bins` bins by destination-row range;
+    /// phase 2 drains each bin, accumulating into a `Y` range that fits
+    /// in cache. Trades 4 extra streamed elements per non-zero for fully
+    /// regular access.
+    SpmvBlocked {
+        /// Number of destination-row bins.
+        bins: u32,
+    },
+}
+
+impl Kernel {
+    /// Number of column tiles a tiled kernel uses on an `n`-column matrix
+    /// (1 for untiled kernels).
+    #[must_use]
+    pub fn tiles(&self, n: u64) -> u64 {
+        match *self {
+            Kernel::SpmvCsrTiled { tile_cols } => n.div_ceil(u64::from(tile_cols).max(1)),
+            _ => 1,
+        }
+    }
+}
+
+impl Kernel {
+    /// Short display name matching the paper's table headers.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Kernel::SpmvCsr => "SpMV-CSR".to_string(),
+            Kernel::SpmvCoo => "SpMV-COO".to_string(),
+            Kernel::SpmmCsr { k } => format!("SpMM-CSR-{k}"),
+            Kernel::SpmvCsrTiled { tile_cols } => format!("SpMV-CSR-T{tile_cols}"),
+            Kernel::SpmvBlocked { bins } => format!("SpMV-PB{bins}"),
+        }
+    }
+
+    /// Compulsory DRAM traffic in bytes for an `n x n` matrix with `nnz`
+    /// stored entries (§IV-B, extended per-kernel as Table IV requires:
+    /// "the compulsory traffic is updated according to the kernel").
+    ///
+    /// * CSR SpMV: `X` + `Y` vectors (`2n`), `rowOffsets` (`n+1`),
+    ///   `coords` + `values` (`2·nnz`).
+    /// * COO SpMV: `X` + `Y` (`2n`), row + col + value triples (`3·nnz`).
+    /// * CSR SpMM-k: dense input `B` and output `C` (`2·n·k`),
+    ///   `rowOffsets` (`n+1`), `coords` + `values` (`2·nnz`).
+    /// * Tiled SpMV: as CSR SpMV, but each of the `t` tiles carries its
+    ///   own offsets array (`t·(n+1)`) — tiling's unavoidable metadata
+    ///   cost even at perfect locality.
+    /// * Blocked SpMV: phase 1 reads the CSC arrays (`(n+1) + 2·nnz`)
+    ///   plus streaming `X` (`n`) and writes `2·nnz` bin elements;
+    ///   phase 2 reads the `2·nnz` bin elements back and writes `Y`
+    ///   (`n`) — blocking's 4·nnz streamed-element toll.
+    #[must_use]
+    pub fn compulsory_bytes(&self, n: u64, nnz: u64) -> u64 {
+        match *self {
+            Kernel::SpmvCsr => (2 * n + (n + 1) + 2 * nnz) * ELEM_BYTES,
+            Kernel::SpmvCoo => (2 * n + 3 * nnz) * ELEM_BYTES,
+            Kernel::SpmmCsr { k } => {
+                (2 * n * u64::from(k) + (n + 1) + 2 * nnz) * ELEM_BYTES
+            }
+            Kernel::SpmvCsrTiled { .. } => {
+                (2 * n + self.tiles(n) * (n + 1) + 2 * nnz) * ELEM_BYTES
+            }
+            Kernel::SpmvBlocked { .. } => {
+                (2 * n + (n + 1) + 2 * nnz + 4 * nnz) * ELEM_BYTES
+            }
+        }
+    }
+
+    /// Compulsory traffic for a concrete matrix.
+    #[must_use]
+    pub fn compulsory_bytes_for(&self, a: &CsrMatrix) -> u64 {
+        self.compulsory_bytes(u64::from(a.n_rows()), a.nnz() as u64)
+    }
+
+    /// Floating-point operations performed (one multiply + one add per
+    /// stored entry, per dense column).
+    #[must_use]
+    pub fn flops(&self, nnz: u64) -> u64 {
+        match *self {
+            Kernel::SpmvCsr
+            | Kernel::SpmvCoo
+            | Kernel::SpmvCsrTiled { .. }
+            | Kernel::SpmvBlocked { .. } => 2 * nnz,
+            Kernel::SpmmCsr { k } => 2 * nnz * u64::from(k),
+        }
+    }
+
+    /// Upper bound on arithmetic intensity (FLOP per DRAM byte) at
+    /// compulsory traffic. For SpMV this tends to the paper's 0.25
+    /// theoretical bound as `nnz >> n`.
+    #[must_use]
+    pub fn peak_arithmetic_intensity(&self, n: u64, nnz: u64) -> f64 {
+        self.flops(nnz) as f64 / self.compulsory_bytes(n, nnz) as f64
+    }
+}
+
+/// All kernel configurations evaluated in the paper, in presentation order.
+#[must_use]
+pub fn paper_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel::SpmvCsr,
+        Kernel::SpmvCoo,
+        Kernel::SpmmCsr { k: 4 },
+        Kernel::SpmmCsr { k: 256 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmv_csr_formula_matches_paper() {
+        // (2*N*4) + ((N+1+NZ+NZ)*4)
+        let n = 1000u64;
+        let nnz = 5000u64;
+        assert_eq!(
+            Kernel::SpmvCsr.compulsory_bytes(n, nnz),
+            2 * n * 4 + (n + 1 + 2 * nnz) * 4
+        );
+    }
+
+    #[test]
+    fn coo_traffic_exceeds_csr_for_same_matrix() {
+        // COO stores an explicit row index per nnz; once nnz > n+1 the COO
+        // compulsory traffic is strictly larger.
+        let (n, nnz) = (100u64, 500u64);
+        assert!(
+            Kernel::SpmvCoo.compulsory_bytes(n, nnz) > Kernel::SpmvCsr.compulsory_bytes(n, nnz)
+        );
+    }
+
+    #[test]
+    fn spmm_scales_vector_traffic_by_k() {
+        let (n, nnz) = (100u64, 500u64);
+        let t4 = Kernel::SpmmCsr { k: 4 }.compulsory_bytes(n, nnz);
+        let t256 = Kernel::SpmmCsr { k: 256 }.compulsory_bytes(n, nnz);
+        assert_eq!(t256 - t4, 2 * n * (256 - 4) * 4);
+    }
+
+    #[test]
+    fn spmm_k1_equals_spmv_csr_with_k_dense_vectors() {
+        let (n, nnz) = (100u64, 500u64);
+        // k = 1 SpMM moves exactly what SpMV moves.
+        assert_eq!(
+            Kernel::SpmmCsr { k: 1 }.compulsory_bytes(n, nnz),
+            Kernel::SpmvCsr.compulsory_bytes(n, nnz)
+        );
+    }
+
+    #[test]
+    fn arithmetic_intensity_approaches_quarter_flop_per_byte() {
+        // nnz >> n: traffic per nnz -> 8B, flops per nnz = 2 => 0.25.
+        let ai = Kernel::SpmvCsr.peak_arithmetic_intensity(1000, 1_000_000);
+        assert!((ai - 0.25).abs() < 0.01, "ai = {ai}");
+    }
+
+    #[test]
+    fn spmm_intensity_grows_with_k() {
+        let ai4 = Kernel::SpmmCsr { k: 4 }.peak_arithmetic_intensity(1000, 100_000);
+        let ai256 = Kernel::SpmmCsr { k: 256 }.peak_arithmetic_intensity(1000, 100_000);
+        assert!(ai256 > ai4);
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(Kernel::SpmvCsr.name(), "SpMV-CSR");
+        assert_eq!(Kernel::SpmvCoo.name(), "SpMV-COO");
+        assert_eq!(Kernel::SpmmCsr { k: 256 }.name(), "SpMM-CSR-256");
+        assert_eq!(paper_kernels().len(), 4);
+    }
+
+    #[test]
+    fn compulsory_bytes_for_uses_matrix_shape() {
+        let m = CsrMatrix::new(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]).unwrap();
+        assert_eq!(
+            Kernel::SpmvCsr.compulsory_bytes_for(&m),
+            Kernel::SpmvCsr.compulsory_bytes(2, 2)
+        );
+    }
+}

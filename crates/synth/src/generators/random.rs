@@ -1,0 +1,92 @@
+use commorder_sparse::{CsrMatrix, SparseError};
+
+use crate::generators::undirected_csr;
+use crate::rng::Rng;
+
+/// Erdős–Rényi `G(n, m)` random graph: `n * avg_degree / 2` uniformly
+/// random edges.
+///
+/// This is the structure-free baseline — no communities, no skew — against
+/// which every reordering technique should be powerless (its RANDOM and
+/// ORIGINAL orderings are statistically identical).
+///
+/// # Example
+///
+/// ```
+/// use commorder_synth::generators::ErdosRenyi;
+///
+/// let g = ErdosRenyi { n: 100, avg_degree: 4.0 }.generate(1).unwrap();
+/// assert_eq!(g.n_rows(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErdosRenyi {
+    /// Number of vertices.
+    pub n: u32,
+    /// Target average degree (each undirected edge contributes 2).
+    pub avg_degree: f64,
+}
+
+impl ErdosRenyi {
+    /// Generates the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the sparse layer (practically
+    /// unreachable for valid configs).
+    pub fn generate(&self, seed: u64) -> Result<CsrMatrix, SparseError> {
+        let mut rng = Rng::new(seed);
+        let m = (f64::from(self.n) * self.avg_degree / 2.0).round() as usize;
+        let mut edges = Vec::with_capacity(m);
+        while edges.len() < m {
+            let u = rng.gen_u32(self.n);
+            let v = rng.gen_u32(self.n);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        undirected_csr(self.n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_well_formed;
+
+    #[test]
+    fn generates_requested_density() {
+        let g = ErdosRenyi {
+            n: 1000,
+            avg_degree: 8.0,
+        }
+        .generate(42)
+        .unwrap();
+        assert_well_formed(&g);
+        // nnz = 2 * edges minus collisions; allow 10% slack.
+        let nnz = g.nnz() as f64;
+        assert!((7200.0..=8000.0).contains(&nnz), "nnz = {nnz}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = ErdosRenyi {
+            n: 200,
+            avg_degree: 4.0,
+        };
+        assert_eq!(cfg.generate(7).unwrap(), cfg.generate(7).unwrap());
+        assert_ne!(cfg.generate(7).unwrap(), cfg.generate(8).unwrap());
+    }
+
+    #[test]
+    fn no_community_structure_in_skew() {
+        let g = ErdosRenyi {
+            n: 2000,
+            avg_degree: 8.0,
+        }
+        .generate(3)
+        .unwrap();
+        // Poisson degrees: top 10% of rows hold well under 30% of edges.
+        let skew = commorder_sparse::stats::skew_top10(&g);
+        assert!(skew < 0.30, "skew = {skew}");
+    }
+}

@@ -1,0 +1,197 @@
+use commorder_sparse::{CsrMatrix, SparseError};
+
+use crate::generators::undirected_csr;
+use crate::rng::Rng;
+
+/// Planted-partition / stochastic-block-model generator with optionally
+/// power-law community sizes (LFR-flavoured).
+///
+/// Vertices are divided into `communities` groups; each vertex draws
+/// `intra_degree` edges to members of its own community and a
+/// `mixing` fraction of extra edges to random outside vertices. Low
+/// `mixing` produces the clean, high-insularity structure where the paper
+/// shows RABBIT reaching near-ideal traffic (Fig. 3, right side).
+///
+/// Community IDs are contiguous **as generated** — the generated order is
+/// effectively community-sorted. Corpus entries that should model a
+/// carelessly published dataset scramble the IDs afterwards (Observation 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantedPartition {
+    /// Number of vertices.
+    pub n: u32,
+    /// Number of planted communities.
+    pub communities: u32,
+    /// Average intra-community degree per vertex.
+    pub intra_degree: f64,
+    /// Fraction of additional cross-community edges relative to
+    /// intra-community edges (0 = perfectly insular).
+    pub mixing: f64,
+    /// When `Some(alpha)`, community sizes follow a power law with this
+    /// exponent instead of being equal.
+    pub size_alpha: Option<f64>,
+}
+
+impl PlantedPartition {
+    /// Equal-sized communities with the given mixing.
+    #[must_use]
+    pub fn uniform(n: u32, communities: u32, intra_degree: f64, mixing: f64) -> Self {
+        PlantedPartition {
+            n,
+            communities,
+            intra_degree,
+            mixing,
+            size_alpha: None,
+        }
+    }
+
+    /// The community sizes used for generation (deterministic in the seed).
+    fn community_bounds(&self, rng: &mut Rng) -> Vec<u32> {
+        let k = self.communities.max(1);
+        let mut sizes = match self.size_alpha {
+            None => vec![self.n / k; k as usize],
+            Some(alpha) => {
+                // Draw relative weights from a power law, then scale to n.
+                let weights: Vec<f64> = (0..k)
+                    .map(|_| rng.power_law(alpha, 1000) as f64)
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                weights
+                    .iter()
+                    .map(|w| ((w / total) * f64::from(self.n)) as u32)
+                    .collect()
+            }
+        };
+        // Distribute rounding remainder.
+        let assigned: u32 = sizes.iter().sum();
+        let mut rem = self.n - assigned.min(self.n);
+        for s in sizes.iter_mut() {
+            if rem == 0 {
+                break;
+            }
+            *s += 1;
+            rem -= 1;
+        }
+        // Prefix-sum into bounds [0, b1, b2, ..., n].
+        let mut bounds = Vec::with_capacity(k as usize + 1);
+        bounds.push(0u32);
+        for s in sizes {
+            bounds.push(bounds.last().unwrap() + s);
+        }
+        *bounds.last_mut().unwrap() = self.n;
+        bounds
+    }
+
+    /// Generates the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the sparse layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `communities == 0` or `communities > n`.
+    pub fn generate(&self, seed: u64) -> Result<CsrMatrix, SparseError> {
+        assert!(self.communities > 0, "need at least one community");
+        assert!(self.communities <= self.n, "more communities than vertices");
+        let mut rng = Rng::new(seed);
+        let bounds = self.community_bounds(&mut rng);
+        let mut edges = Vec::new();
+        for ci in 0..self.communities as usize {
+            let (lo, hi) = (bounds[ci], bounds[ci + 1]);
+            let size = hi - lo;
+            if size < 2 {
+                continue;
+            }
+            let intra_edges =
+                (f64::from(size) * self.intra_degree / 2.0).round() as usize;
+            for _ in 0..intra_edges {
+                let u = lo + rng.gen_u32(size);
+                let v = lo + rng.gen_u32(size);
+                edges.push((u, v));
+            }
+            let inter_edges = (intra_edges as f64 * self.mixing).round() as usize;
+            for _ in 0..inter_edges {
+                let u = lo + rng.gen_u32(size);
+                let v = rng.gen_u32(self.n);
+                edges.push((u, v));
+            }
+        }
+        undirected_csr(self.n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_well_formed;
+
+    /// Fraction of edges staying inside the planted communities (uses the
+    /// known uniform community bounds).
+    fn planted_insularity(g: &CsrMatrix, communities: u32) -> f64 {
+        let size = g.n_rows() / communities;
+        let mut intra = 0usize;
+        for (r, c, _) in g.iter() {
+            if r / size == c / size {
+                intra += 1;
+            }
+        }
+        intra as f64 / g.nnz() as f64
+    }
+
+    #[test]
+    fn low_mixing_is_highly_insular() {
+        let g = PlantedPartition::uniform(4000, 40, 10.0, 0.02)
+            .generate(1)
+            .unwrap();
+        assert_well_formed(&g);
+        let ins = planted_insularity(&g, 40);
+        assert!(ins > 0.95, "insularity = {ins}");
+    }
+
+    #[test]
+    fn high_mixing_reduces_insularity() {
+        let lo = planted_insularity(
+            &PlantedPartition::uniform(2000, 20, 8.0, 0.02)
+                .generate(2)
+                .unwrap(),
+            20,
+        );
+        let hi = planted_insularity(
+            &PlantedPartition::uniform(2000, 20, 8.0, 0.5)
+                .generate(2)
+                .unwrap(),
+            20,
+        );
+        assert!(hi < lo, "mixing 0.5 -> {hi}, mixing 0.02 -> {lo}");
+    }
+
+    #[test]
+    fn power_law_sizes_cover_all_vertices() {
+        let cfg = PlantedPartition {
+            n: 3000,
+            communities: 30,
+            intra_degree: 6.0,
+            mixing: 0.1,
+            size_alpha: Some(2.0),
+        };
+        let g = cfg.generate(3).unwrap();
+        assert_eq!(g.n_rows(), 3000);
+        assert_well_formed(&g);
+        // Every vertex should have a chance of edges; most should be non-empty.
+        let empty = g.out_degrees().iter().filter(|&&d| d == 0).count();
+        assert!(empty < 300, "too many isolated vertices: {empty}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = PlantedPartition::uniform(500, 10, 6.0, 0.1);
+        assert_eq!(cfg.generate(9).unwrap(), cfg.generate(9).unwrap());
+        assert_ne!(cfg.generate(9).unwrap(), cfg.generate(10).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one community")]
+    fn rejects_zero_communities() {
+        let _ = PlantedPartition::uniform(10, 0, 2.0, 0.0).generate(0);
+    }
+}

@@ -1,0 +1,126 @@
+use commorder_sparse::{CsrMatrix, SparseError};
+
+use crate::generators::undirected_csr;
+use crate::rng::Rng;
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its `k` nearest neighbours, with each edge rewired to a
+/// random endpoint with probability `rewire_p`.
+///
+/// Models the small-world behaviour cited in the paper's background (§II,
+/// \[30\]): high local clustering (ring locality ⇒ near-diagonal non-zeros in
+/// the generated order) plus a sprinkling of long-range shortcuts that
+/// defeat purely diagonal orderings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WattsStrogatz {
+    /// Number of vertices.
+    pub n: u32,
+    /// Each vertex links to `k` nearest ring neighbours (`k/2` on each
+    /// side; `k` must be even and `>= 2`).
+    pub k: u32,
+    /// Probability of rewiring each lattice edge.
+    pub rewire_p: f64,
+}
+
+impl WattsStrogatz {
+    /// Generates the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the sparse layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd, zero, or `>= n`.
+    pub fn generate(&self, seed: u64) -> Result<CsrMatrix, SparseError> {
+        assert!(self.k >= 2 && self.k.is_multiple_of(2), "k must be even and >= 2");
+        assert!(self.k < self.n, "k must be < n");
+        let mut rng = Rng::new(seed);
+        let mut edges = Vec::with_capacity(self.n as usize * self.k as usize / 2);
+        for u in 0..self.n {
+            for hop in 1..=self.k / 2 {
+                let v = (u + hop) % self.n;
+                if rng.gen_bool(self.rewire_p) {
+                    // Rewire the far endpoint to a uniform random vertex.
+                    let w = rng.gen_u32(self.n);
+                    if w != u {
+                        edges.push((u, w));
+                        continue;
+                    }
+                }
+                edges.push((u, v));
+            }
+        }
+        undirected_csr(self.n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::assert_well_formed;
+    use commorder_sparse::stats::mean_index_distance;
+
+    #[test]
+    fn zero_rewire_is_a_ring_lattice() {
+        let g = WattsStrogatz {
+            n: 100,
+            k: 4,
+            rewire_p: 0.0,
+        }
+        .generate(1)
+        .unwrap();
+        assert_well_formed(&g);
+        // Every vertex has exactly degree 4.
+        assert!(g.out_degrees().iter().all(|&d| d == 4));
+        // All edges are short (ring distance <= 2, wrap-around aside).
+        let long = g
+            .iter()
+            .filter(|&(r, c, _)| {
+                let d = r.abs_diff(c);
+                d.min(100 - d) > 2
+            })
+            .count();
+        assert_eq!(long, 0);
+    }
+
+    #[test]
+    fn rewiring_creates_long_range_edges() {
+        let lattice = WattsStrogatz {
+            n: 1000,
+            k: 6,
+            rewire_p: 0.0,
+        }
+        .generate(2)
+        .unwrap();
+        let rewired = WattsStrogatz {
+            n: 1000,
+            k: 6,
+            rewire_p: 0.3,
+        }
+        .generate(2)
+        .unwrap();
+        assert!(mean_index_distance(&rewired) > mean_index_distance(&lattice) * 5.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = WattsStrogatz {
+            n: 300,
+            k: 4,
+            rewire_p: 0.2,
+        };
+        assert_eq!(cfg.generate(4).unwrap(), cfg.generate(4).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        let _ = WattsStrogatz {
+            n: 10,
+            k: 3,
+            rewire_p: 0.0,
+        }
+        .generate(0);
+    }
+}

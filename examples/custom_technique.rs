@@ -1,0 +1,93 @@
+//! Implementing your own reordering technique against the [`Reordering`]
+//! trait, and benchmarking it against the built-ins with the same
+//! pipeline the paper experiments use.
+//!
+//! The custom technique here is a "community + degree" hybrid: RABBIT's
+//! communities, but members of each community sorted by decreasing
+//! degree — a plausible idea the harness can falsify in seconds.
+//!
+//! ```sh
+//! cargo run --release --example custom_technique
+//! ```
+
+use commorder::prelude::*;
+use commorder::synth::generators::CommunityHub;
+
+/// RABBIT communities with degree-sorted members.
+struct CommunityDegreeSort;
+
+impl Reordering for CommunityDegreeSort {
+    fn name(&self) -> &str {
+        "COMM+DEGSORT"
+    }
+
+    fn reorder(
+        &self,
+        a: &CsrMatrix,
+    ) -> Result<Permutation, commorder::sparse::SparseError> {
+        let result = Rabbit::new().run(a)?;
+        let degrees = a.in_degrees();
+        // Each community block stays where RABBIT put it (keyed by the
+        // RABBIT rank of its first member); inside a block, members are
+        // re-sorted by decreasing degree (ties keep RABBIT order).
+        let mut community_start = vec![u32::MAX; result.dendrogram.community_count()];
+        for v in 0..a.n_rows() {
+            let c = result.assignment[v as usize] as usize;
+            community_start[c] = community_start[c].min(result.permutation.new_of(v));
+        }
+        let mut order: Vec<u32> = (0..a.n_rows()).collect();
+        order.sort_by_key(|&v| {
+            (
+                community_start[result.assignment[v as usize] as usize],
+                std::cmp::Reverse(degrees[v as usize]),
+                result.permutation.new_of(v),
+            )
+        });
+        Permutation::from_order(&order)
+    }
+}
+
+fn main() -> Result<(), commorder::sparse::SparseError> {
+    let matrix = CommunityHub {
+        n: 8192,
+        communities: 64,
+        intra_degree: 10.0,
+        hub_fraction: 0.03,
+        hub_degree: 24.0,
+        mixing: 0.1,
+        scramble_ids: true,
+    }
+    .generate(99)?;
+
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    let mut table = Table::new(
+        "Custom technique vs built-ins",
+        vec![
+            "technique".into(),
+            "traffic/compulsory".into(),
+            "time/ideal".into(),
+        ],
+    );
+    let techniques: Vec<Box<dyn Reordering>> = vec![
+        Box::new(Original),
+        Box::new(Rabbit::new()),
+        Box::new(CommunityDegreeSort),
+        Box::new(RabbitPlusPlus::new()),
+    ];
+    for technique in &techniques {
+        let eval = pipeline.evaluate(&matrix, technique.as_ref())?;
+        table.add_row(vec![
+            eval.technique.clone(),
+            Table::ratio(eval.run.traffic_ratio),
+            Table::ratio(eval.run.time_ratio),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "The harness answers design questions like Table II's: is degree-sorting\n\
+         *within* communities better than RABBIT's merge order? (The paper's\n\
+         HUBSORT result predicts no — degree-sorting destroys the sub-community\n\
+         structure; the numbers above test that prediction on this matrix.)"
+    );
+    Ok(())
+}

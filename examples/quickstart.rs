@@ -1,0 +1,55 @@
+//! Quickstart: reorder one matrix with every technique and compare DRAM
+//! traffic against the hardware limit.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use commorder::prelude::*;
+use commorder::synth::generators::CommunityHub;
+
+fn main() -> Result<(), commorder::sparse::SparseError> {
+    // A web-crawl-like matrix: strong communities plus global hubs,
+    // published with scrambled IDs (the usual messy real-world case).
+    let matrix = CommunityHub {
+        n: 16_384,
+        communities: 128,
+        intra_degree: 10.0,
+        hub_fraction: 0.02,
+        hub_degree: 24.0,
+        mixing: 0.08,
+        scramble_ids: true,
+    }
+    .generate(42)?;
+    println!(
+        "matrix: {} rows, {} non-zeros",
+        matrix.n_rows(),
+        matrix.nnz()
+    );
+
+    // Simulate cuSPARSE-style SpMV on a scaled A6000 L2 (see DESIGN.md).
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    let mut table = Table::new(
+        "SpMV on the simulated A6000 L2",
+        vec![
+            "technique".into(),
+            "traffic/compulsory".into(),
+            "time/ideal".into(),
+            "L2 hit rate".into(),
+            "reorder time".into(),
+        ],
+    );
+    for technique in paper_suite(7) {
+        let eval = pipeline.evaluate(&matrix, technique.as_ref())?;
+        table.add_row(vec![
+            eval.technique.clone(),
+            Table::ratio(eval.run.traffic_ratio),
+            Table::ratio(eval.run.time_ratio),
+            Table::percent(eval.run.stats.hit_rate()),
+            Table::seconds(eval.reorder_seconds),
+        ]);
+    }
+    println!("{table}");
+    println!("lower is better; 1.00x = hardware limit (compulsory traffic / ideal time)");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Road-network scenario: high-diameter, bounded-degree meshes — the
+//! regime where ORIGINAL order quality is pure publisher luck
+//! (Observation 3) and bandwidth-style orderings (RCM) compete with
+//! community-based ones.
+//!
+//! ```sh
+//! cargo run --release --example road_network
+//! ```
+
+use commorder::prelude::*;
+use commorder::sparse::stats::{bandwidth, mean_index_distance};
+use commorder::synth::generators::Grid2d;
+
+fn main() -> Result<(), commorder::sparse::SparseError> {
+    // The same road mesh, "published" tidily and scrambled.
+    let tidy = Grid2d {
+        width: 160,
+        height: 100,
+        diagonals: false,
+        shortcut_p: 0.03,
+        scramble_ids: false,
+    }
+    .generate(5)?;
+    let scramble = RandomOrder::new(11).reorder(&tidy)?;
+    let messy = tidy.permute_symmetric(&scramble)?;
+
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    for (label, matrix) in [("tidy publisher", &tidy), ("careless publisher", &messy)] {
+        let mut table = Table::new(
+            format!("road mesh ({label}): SpMV traffic vs ordering"),
+            vec![
+                "technique".into(),
+                "traffic/compulsory".into(),
+                "bandwidth".into(),
+                "mean |r-c|".into(),
+            ],
+        );
+        let techniques: Vec<Box<dyn Reordering>> = vec![
+            Box::new(Original),
+            Box::new(Rcm),
+            Box::new(Rabbit::new()),
+            Box::new(RabbitPlusPlus::new()),
+        ];
+        for technique in &techniques {
+            let perm = technique.reorder(matrix)?;
+            let reordered = matrix.permute_symmetric(&perm)?;
+            let run = pipeline.simulate(&reordered);
+            table.add_row(vec![
+                technique.name().to_string(),
+                Table::ratio(run.traffic_ratio),
+                bandwidth(&reordered).to_string(),
+                format!("{:.1}", mean_index_distance(&reordered)),
+            ]);
+        }
+        println!("{table}");
+    }
+    println!(
+        "Observation 3 in action: ORIGINAL is near-ideal for the tidy publisher and\n\
+         near-RANDOM for the careless one — same matrix, different upload. RCM and\n\
+         RABBIT both repair it; neither needed the publisher's luck."
+    );
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Umbrella package hosting the workspace's examples and integration tests.
+pub use commorder;

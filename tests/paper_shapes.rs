@@ -1,0 +1,258 @@
+//! Integration tests asserting the paper's qualitative results
+//! ("shapes") end-to-end on the mini corpus: who wins, in which regime,
+//! and by roughly what kind of margin.
+
+use commorder::prelude::*;
+use commorder::reorder::quality;
+use commorder::synth::corpus;
+
+fn load_mini() -> Vec<(String, CsrMatrix)> {
+    corpus::mini()
+        .into_iter()
+        .map(|e| (e.name.to_string(), e.generate().expect("mini corpus generates")))
+        .collect()
+}
+
+#[test]
+fn rabbit_beats_random_on_average() {
+    // Fig. 2's headline: community-based reordering is broadly effective.
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    let mut random_ratios = Vec::new();
+    let mut rabbit_ratios = Vec::new();
+    for (_, m) in load_mini() {
+        random_ratios.push(
+            pipeline
+                .evaluate(&m, &RandomOrder::new(1))
+                .expect("square")
+                .run
+                .traffic_ratio,
+        );
+        rabbit_ratios.push(
+            pipeline
+                .evaluate(&m, &Rabbit::new())
+                .expect("square")
+                .run
+                .traffic_ratio,
+        );
+    }
+    let random_mean = arith_mean_ratio(&random_ratios).expect("non-empty");
+    let rabbit_mean = arith_mean_ratio(&rabbit_ratios).expect("non-empty");
+    assert!(
+        rabbit_mean * 1.3 < random_mean,
+        "rabbit {rabbit_mean} should be far below random {random_mean}"
+    );
+}
+
+#[test]
+fn high_insularity_means_near_ideal() {
+    // Fig. 3's right side: insularity >= 0.95 brings SpMV close to ideal.
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    let mut checked = 0;
+    for (name, m) in load_mini() {
+        let r = Rabbit::new().run(&m).expect("square");
+        let ins = quality::insularity(&m, &r.assignment).expect("validated");
+        if ins >= 0.95 {
+            let reordered = m.permute_symmetric(&r.permutation).expect("validated");
+            let run = pipeline.simulate(&reordered);
+            assert!(
+                run.time_ratio < 1.6,
+                "{name}: insularity {ins} but time ratio {}",
+                run.time_ratio
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 1, "mini corpus must include a high-insularity case");
+}
+
+#[test]
+fn rabbitpp_helps_the_low_insularity_webby_matrix() {
+    // Fig. 7's headline case: communities + hubs (sx-stackoverflow-like).
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    let cases = load_mini();
+    let (_, m) = cases
+        .iter()
+        .find(|(name, _)| name == "mini-webhub")
+        .expect("mini corpus has the web matrix");
+    let rpp = RabbitPlusPlus::new().run(m).expect("square");
+    let rabbit_run =
+        pipeline.simulate(&m.permute_symmetric(&rpp.rabbit.permutation).expect("validated"));
+    let rpp_run = pipeline.simulate(&m.permute_symmetric(&rpp.permutation).expect("validated"));
+    assert!(
+        rpp_run.traffic_ratio < rabbit_run.traffic_ratio,
+        "rabbit++ {} must beat rabbit {} on the hubby web matrix",
+        rpp_run.traffic_ratio,
+        rabbit_run.traffic_ratio
+    );
+}
+
+#[test]
+fn belady_is_a_lower_bound_for_every_technique() {
+    // Fig. 8's invariant, across techniques and matrices.
+    let lru = Pipeline::new(GpuSpec::test_scale());
+    let opt = Pipeline::new(GpuSpec::test_scale()).with_policy(ReplacementPolicy::Belady);
+    for (name, m) in load_mini().into_iter().take(4) {
+        for technique in paper_suite(3) {
+            let perm = technique.reorder(&m).expect("square");
+            let reordered = m.permute_symmetric(&perm).expect("validated");
+            let l = lru.simulate(&reordered);
+            let o = opt.simulate(&reordered);
+            assert!(
+                o.dram_bytes <= l.dram_bytes,
+                "{name}/{}: belady {} > lru {}",
+                technique.name(),
+                o.dram_bytes,
+                l.dram_bytes
+            );
+            // Both are bounded below by compulsory *read* traffic.
+            assert!(o.stats.compulsory_misses <= o.stats.misses());
+        }
+    }
+}
+
+#[test]
+fn publish_order_changes_original_but_not_rabbit() {
+    // Observation 3: ORIGINAL depends on publisher luck; RABBIT does not
+    // (up to detection noise).
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    let corpus = corpus::mini();
+    let sbm = corpus
+        .iter()
+        .find(|e| e.name == "mini-sbm")
+        .expect("mini corpus has the sbm entry");
+    let scrambled = sbm.generate().expect("generates");
+    // Re-generate without scrambling by re-running the raw spec.
+    let tidy = sbm.spec.generate(sbm.seed).expect("generates");
+
+    let orig_tidy = pipeline.evaluate(&tidy, &Original).expect("square").run.traffic_ratio;
+    let orig_scrambled = pipeline
+        .evaluate(&scrambled, &Original)
+        .expect("square")
+        .run
+        .traffic_ratio;
+    assert!(
+        orig_tidy * 1.5 < orig_scrambled,
+        "publisher order must matter for ORIGINAL: {orig_tidy} vs {orig_scrambled}"
+    );
+
+    let rabbit_tidy = pipeline.evaluate(&tidy, &Rabbit::new()).expect("square").run.traffic_ratio;
+    let rabbit_scrambled = pipeline
+        .evaluate(&scrambled, &Rabbit::new())
+        .expect("square")
+        .run
+        .traffic_ratio;
+    assert!(
+        (rabbit_tidy - rabbit_scrambled).abs() < 0.25,
+        "rabbit must be publish-order robust: {rabbit_tidy} vs {rabbit_scrambled}"
+    );
+}
+
+#[test]
+fn dead_lines_track_traffic_quality() {
+    // Table III's mechanism: better orderings insert fewer dead lines.
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    let cases = load_mini();
+    let (_, m) = cases
+        .iter()
+        .find(|(name, _)| name == "mini-sbm")
+        .expect("mini corpus has the sbm entry");
+    let random = pipeline.evaluate(m, &RandomOrder::new(1)).expect("square");
+    let rabbit = pipeline.evaluate(m, &Rabbit::new()).expect("square");
+    assert!(
+        rabbit.run.stats.dead_line_fraction() < random.run.stats.dead_line_fraction(),
+        "rabbit dead {} vs random dead {}",
+        rabbit.run.stats.dead_line_fraction(),
+        random.run.stats.dead_line_fraction()
+    );
+}
+
+#[test]
+fn all_kernels_agree_on_technique_ordering() {
+    // Table IV's shape: RABBIT++ <= RABBIT << RANDOM holds for every
+    // kernel format on the community-structured matrix.
+    let cases = load_mini();
+    let (_, m) = cases
+        .iter()
+        .find(|(name, _)| name == "mini-sbm")
+        .expect("mini corpus has the sbm entry");
+    for kernel in [Kernel::SpmvCsr, Kernel::SpmvCoo, Kernel::SpmmCsr { k: 4 }] {
+        let pipeline = Pipeline::new(GpuSpec::test_scale()).with_kernel(kernel);
+        let random = pipeline
+            .evaluate(m, &RandomOrder::new(1))
+            .expect("square")
+            .run
+            .time_ratio;
+        let rabbit = pipeline.evaluate(m, &Rabbit::new()).expect("square").run.time_ratio;
+        let rpp = pipeline
+            .evaluate(m, &RabbitPlusPlus::new())
+            .expect("square")
+            .run
+            .time_ratio;
+        assert!(
+            rabbit < random && rpp < random,
+            "{}: rabbit {rabbit} / rabbit++ {rpp} vs random {random}",
+            kernel.name()
+        );
+        // At mini scale the communities are only ~8 cache lines wide, so
+        // RABBIT++'s segmenting costs a partial line per community — an
+        // overhead that vanishes at the paper's (and the standard
+        // corpus') community sizes. Allow that artifact here; the strict
+        // "RABBIT++ <= RABBIT" check runs at standard scale in the fig7 /
+        // table2 experiments.
+        assert!(
+            rpp <= rabbit * 1.5,
+            "{}: rabbit++ {rpp} regressed far past rabbit {rabbit}",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn mawi_anomaly_high_insularity_poor_locality() {
+    // §V-B: the hub-trace matrix has high insularity yet RABBIT cannot
+    // bring it near ideal (giant degenerate community).
+    let cases = load_mini();
+    let (_, m) = cases
+        .iter()
+        .find(|(name, _)| name == "mini-mawi")
+        .expect("mini corpus has the mawi entry");
+    let r = Rabbit::new().run(m).expect("square");
+    let ins = quality::insularity(m, &r.assignment).expect("validated");
+    let stats = quality::CommunityStats::from_sizes(&r.dendrogram.community_sizes());
+    assert!(ins > 0.6, "hub trace should look insular, got {ins}");
+    assert!(
+        stats.max_size_fraction > 0.4,
+        "expected a (near-)giant community, got {}",
+        stats.max_size_fraction
+    );
+}
+
+#[test]
+fn advisor_never_loses_badly_to_fixed_rabbit() {
+    // The advisor (extension of the paper's "universally effective"
+    // goal) must match or beat always-RABBIT within 10% on every mini
+    // corpus matrix.
+    use commorder::reorder::advisor::{Advisor, Budget};
+    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    for (name, m) in load_mini() {
+        let rec = Advisor::default()
+            .recommend(&m, Budget::Amortized)
+            .expect("square");
+        let advised = pipeline
+            .evaluate(&m, rec.technique.as_ref())
+            .expect("square")
+            .run
+            .traffic_ratio;
+        let rabbit = pipeline
+            .evaluate(&m, &Rabbit::new())
+            .expect("square")
+            .run
+            .traffic_ratio;
+        assert!(
+            advised <= rabbit * 1.10,
+            "{name}: advisor pick {} ({advised:.2}) vs rabbit {rabbit:.2} — {}",
+            rec.technique.name(),
+            rec.rationale
+        );
+    }
+}
