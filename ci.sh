@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Workspace CI gate. Everything here runs offline: no registry
+# dependencies, no network. Mirrored by .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== xtask lint (offline static analysis)"
+cargo run -q -p xtask -- lint
+
+echo "== clippy (workspace deny-list)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== tier-1: build + test"
+cargo build --release -q
+cargo test -q --workspace
+
+echo "== strict-checks feature"
+cargo test -q -p commorder-sparse -p commorder-cachesim -p commorder \
+  --features commorder-sparse/strict-checks,commorder-cachesim/strict-checks,commorder/strict-checks
+
+echo "ci: all gates passed"

@@ -1,5 +1,5 @@
-//! Criterion microbenchmarks for the cache simulator itself: LRU and
-//! Belady throughput on an SpMV trace, and trace-generation cost.
+//! Microbenchmarks for the cache simulator itself: LRU and Belady
+//! throughput on an SpMV trace, and trace-generation cost.
 
 use commorder::cachesim::belady::simulate_belady;
 use commorder::cachesim::hierarchy::CacheHierarchy;
@@ -7,8 +7,7 @@ use commorder::cachesim::plru::PlruCache;
 use commorder::cachesim::trace::{collect_trace, for_each_access, ExecutionModel};
 use commorder::prelude::*;
 use commorder::synth::generators::PlantedPartition;
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use commorder_bench::microbench::Runner;
 
 fn fixture() -> CsrMatrix {
     PlantedPartition::uniform(4096, 32, 10.0, 0.1)
@@ -16,61 +15,45 @@ fn fixture() -> CsrMatrix {
         .expect("valid generator config")
 }
 
-fn bench_cachesim(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_env();
     let a = fixture();
     let trace = collect_trace(&a, Kernel::SpmvCsr, ExecutionModel::Sequential);
     let config = CacheConfig::test_scale();
+    let accesses = Some(trace.len() as u64);
 
-    let mut group = c.benchmark_group("cachesim");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("trace_generation", |bench| {
-        bench.iter(|| {
-            let mut count = 0u64;
-            for_each_access(&a, Kernel::SpmvCsr, ExecutionModel::Sequential, |_| {
-                count += 1;
-            });
-            count
+    println!("== cachesim ==");
+    runner.bench("trace_generation", accesses, || {
+        let mut count = 0u64;
+        for_each_access(&a, Kernel::SpmvCsr, ExecutionModel::Sequential, |_| {
+            count += 1;
         });
+        count
     });
-    group.bench_function("lru", |bench| {
-        bench.iter(|| {
-            let mut cache = LruCache::new(config);
-            for &acc in &trace {
-                cache.access(acc);
-            }
-            cache.finish()
-        });
+    runner.bench("lru", accesses, || {
+        let mut cache = LruCache::new(config);
+        for &acc in &trace {
+            cache.access(acc);
+        }
+        cache.finish()
     });
-    group.bench_function("belady", |bench| {
-        bench.iter(|| simulate_belady(config, &trace));
+    runner.bench("belady", accesses, || simulate_belady(config, &trace));
+    runner.bench("plru", accesses, || {
+        let mut cache = PlruCache::new(config);
+        for &acc in &trace {
+            cache.access(acc);
+        }
+        cache.finish()
     });
-    group.bench_function("plru", |bench| {
-        bench.iter(|| {
-            let mut cache = PlruCache::new(config);
-            for &acc in &trace {
-                cache.access(acc);
-            }
-            cache.finish()
-        });
-    });
-    group.bench_function("two_level_hierarchy", |bench| {
+    runner.bench("two_level_hierarchy", accesses, || {
         let l1 = CacheConfig {
             capacity_bytes: 1024,
             ..config
         };
-        bench.iter(|| {
-            let mut stack = CacheHierarchy::new(l1, config);
-            for &acc in &trace {
-                stack.access(acc);
-            }
-            stack.finish()
-        });
+        let mut stack = CacheHierarchy::new(l1, config);
+        for &acc in &trace {
+            stack.access(acc);
+        }
+        stack.finish()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_cachesim);
-criterion_main!(benches);

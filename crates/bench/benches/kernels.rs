@@ -1,12 +1,11 @@
-//! Criterion microbenchmarks for the sparse kernels: SpMV-CSR, SpMV-COO
-//! and SpMM throughput on a mid-sized community matrix.
+//! Microbenchmarks for the sparse kernels: SpMV-CSR, SpMV-COO and SpMM
+//! throughput on a mid-sized community matrix.
 
 use commorder::prelude::*;
 use commorder::sparse::graph::pagerank;
 use commorder::sparse::{kernels, EllMatrix, SellMatrix};
 use commorder::synth::generators::PlantedPartition;
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use commorder_bench::microbench::Runner;
 
 fn fixture() -> CsrMatrix {
     PlantedPartition::uniform(8192, 64, 12.0, 0.05)
@@ -14,57 +13,45 @@ fn fixture() -> CsrMatrix {
         .expect("valid generator config")
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn bench_kernels(runner: &Runner) {
     let a = fixture();
     let coo = CooMatrix::from(&a);
     let x = vec![1.0f32; a.n_cols() as usize];
     let b4 = vec![1.0f32; a.n_cols() as usize * 4];
+    let nnz = Some(a.nnz() as u64);
 
-    let mut group = c.benchmark_group("kernels");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
-    group.throughput(Throughput::Elements(a.nnz() as u64));
-    group.bench_function("spmv_csr", |bench| {
-        bench.iter(|| kernels::spmv_csr(&a, &x).expect("dims match"));
+    println!("== kernels ==");
+    runner.bench("spmv_csr", nnz, || {
+        kernels::spmv_csr(&a, &x).expect("dims match")
     });
-    group.bench_function("spmv_coo", |bench| {
-        bench.iter(|| kernels::spmv_coo(&coo, &x).expect("dims match"));
+    runner.bench("spmv_coo", nnz, || {
+        kernels::spmv_coo(&coo, &x).expect("dims match")
     });
-    group.bench_function("spmm_csr_k4", |bench| {
-        bench.iter(|| kernels::spmm_csr(&a, &b4, 4).expect("dims match"));
+    runner.bench("spmm_csr_k4", nnz, || {
+        kernels::spmm_csr(&a, &b4, 4).expect("dims match")
     });
     let ell = EllMatrix::from_csr(&a).expect("fits");
-    group.bench_function("spmv_ell", |bench| {
-        bench.iter(|| ell.spmv(&x).expect("dims match"));
-    });
+    runner.bench("spmv_ell", nnz, || ell.spmv(&x).expect("dims match"));
     let sell = SellMatrix::from_csr(&a, 32, 256).expect("valid geometry");
-    group.bench_function("spmv_sell_32_256", |bench| {
-        bench.iter(|| sell.spmv(&x).expect("dims match"));
+    runner.bench("spmv_sell_32_256", nnz, || {
+        sell.spmv(&x).expect("dims match")
     });
-    group.bench_function("spmv_blocked_16", |bench| {
-        bench.iter(|| kernels::spmv_blocked(&a, &x, 16).expect("dims match"));
+    runner.bench("spmv_blocked_16", nnz, || {
+        kernels::spmv_blocked(&a, &x, 16).expect("dims match")
     });
-    group.bench_function("pagerank_1iter", |bench| {
-        bench.iter(|| pagerank(&a, 0.85, 1).expect("square"));
+    runner.bench("pagerank_1iter", nnz, || {
+        pagerank(&a, 0.85, 1).expect("square")
     });
-    group.finish();
 }
 
-fn bench_spmv_orderings(c: &mut Criterion) {
+fn bench_spmv_orderings(runner: &Runner) {
     // CPU-side SpMV also benefits from reordering (cache locality is
     // cache locality); this measures the end effect outside the simulator.
     let a = fixture();
     let x = vec![1.0f32; a.n_cols() as usize];
-    let mut group = c.benchmark_group("spmv_by_ordering");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+    println!("== spmv_by_ordering ==");
     for (name, perm) in [
-        (
-            "random",
-            RandomOrder::new(3).reorder(&a).expect("square"),
-        ),
+        ("random", RandomOrder::new(3).reorder(&a).expect("square")),
         ("rabbit", Rabbit::new().reorder(&a).expect("square")),
         (
             "rabbitpp",
@@ -72,12 +59,14 @@ fn bench_spmv_orderings(c: &mut Criterion) {
         ),
     ] {
         let m = a.permute_symmetric(&perm).expect("validated");
-        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |bench, m| {
-            bench.iter(|| kernels::spmv_csr(m, &x).expect("dims match"));
+        runner.bench(name, Some(m.nnz() as u64), || {
+            kernels::spmv_csr(&m, &x).expect("dims match")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_spmv_orderings);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_env();
+    bench_kernels(&runner);
+    bench_spmv_orderings(&runner);
+}

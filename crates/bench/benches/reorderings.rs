@@ -1,11 +1,10 @@
-//! Criterion microbenchmarks for the reordering techniques' own cost —
-//! the pre-processing overhead axis of Fig. 9, at microbenchmark scale.
+//! Microbenchmarks for the reordering techniques' own cost — the
+//! pre-processing overhead axis of Fig. 9, at microbenchmark scale.
 
 use commorder::prelude::*;
 use commorder::reorder::{Bisection, FlatCommunity, LabelPropagation, SlashBurn};
 use commorder::synth::generators::CommunityHub;
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use commorder_bench::microbench::Runner;
 
 fn fixture() -> CsrMatrix {
     CommunityHub {
@@ -21,7 +20,7 @@ fn fixture() -> CsrMatrix {
     .expect("valid generator config")
 }
 
-fn bench_reorderings(c: &mut Criterion) {
+fn bench_reorderings(runner: &Runner) {
     let a = fixture();
     let techniques: Vec<Box<dyn Reordering>> = vec![
         Box::new(RandomOrder::new(1)),
@@ -37,30 +36,24 @@ fn bench_reorderings(c: &mut Criterion) {
         Box::new(Rabbit::new()),
         Box::new(RabbitPlusPlus::new()),
     ];
-    let mut group = c.benchmark_group("reorder");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
-    group.throughput(Throughput::Elements(a.nnz() as u64));
+    println!("== reorder ==");
     for technique in &techniques {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(technique.name()),
-            technique,
-            |bench, t| {
-                bench.iter(|| t.reorder(&a).expect("square fixture"));
-            },
-        );
+        runner.bench(technique.name(), Some(a.nnz() as u64), || {
+            technique.reorder(&a).expect("square fixture")
+        });
     }
-    group.finish();
 }
 
-fn bench_permute(c: &mut Criterion) {
+fn bench_permute(runner: &Runner) {
     let a = fixture();
     let perm = Rabbit::new().reorder(&a).expect("square fixture");
-    c.bench_function("permute_symmetric", |bench| {
-        bench.iter(|| a.permute_symmetric(&perm).expect("validated"));
+    runner.bench("permute_symmetric", Some(a.nnz() as u64), || {
+        a.permute_symmetric(&perm).expect("validated")
     });
 }
 
-criterion_group!(benches, bench_reorderings, bench_permute);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_env();
+    bench_reorderings(&runner);
+    bench_permute(&runner);
+}

@@ -21,7 +21,11 @@ fn advantage(gpu: GpuSpec, random: &CsrMatrix, rpp: &CsrMatrix) -> (f64, f64, f6
 fn main() {
     let harness = Harness::from_env();
     harness.print_platform();
-    let name = if harness.entries.len() <= 8 { "mini-webhub" } else { "web-stackex" };
+    let name = if harness.entries.len() <= 8 {
+        "mini-webhub"
+    } else {
+        "web-stackex"
+    };
     let case = harness
         .load()
         .into_iter()
@@ -55,7 +59,12 @@ fn main() {
     let mut add = |label: String, l2: CacheConfig| {
         let gpu = GpuSpec { l2, ..harness.gpu };
         let (a, b, adv) = advantage(gpu, &random_m, &rpp_m);
-        table.add_row(vec![label, Table::ratio(a), Table::ratio(b), Table::ratio(adv)]);
+        table.add_row(vec![
+            label,
+            Table::ratio(a),
+            Table::ratio(b),
+            Table::ratio(adv),
+        ]);
     };
 
     for factor in [4u64, 2, 1] {

@@ -62,7 +62,9 @@ fn main() {
             Box::new(RabbitPlusPlus::new()),
         ];
         for ordering in &orderings {
-            let perm = ordering.reorder(&case.matrix).expect("square corpus matrix");
+            let perm = ordering
+                .reorder(&case.matrix)
+                .expect("square corpus matrix");
             let reordered = case.matrix.permute_symmetric(&perm).expect("validated");
             let mut stack = CacheHierarchy::new(l1, l2);
             trace::for_each_access(

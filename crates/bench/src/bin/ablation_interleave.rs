@@ -15,7 +15,12 @@ fn main() {
     let subset: Vec<&str> = if harness.entries.len() <= 8 {
         vec!["mini-sbm", "mini-webhub", "mini-rmat"]
     } else {
-        vec!["opt-block-512", "web-stackex", "soc-rmat-65k", "road-grid-messy"]
+        vec![
+            "opt-block-512",
+            "web-stackex",
+            "soc-rmat-65k",
+            "road-grid-messy",
+        ]
     };
     let cases: Vec<_> = harness
         .load()
@@ -27,7 +32,10 @@ fn main() {
     for case in &cases {
         eprintln!("[ablation_interleave] {}", case.entry.name);
         let mut table = Table::new(
-            format!("{}: traffic/compulsory vs concurrent row streams", case.entry.name),
+            format!(
+                "{}: traffic/compulsory vs concurrent row streams",
+                case.entry.name
+            ),
             {
                 let mut h = vec!["ordering".into()];
                 h.extend(stream_counts.iter().map(|s| format!("{s} streams")));
@@ -41,7 +49,9 @@ fn main() {
         ];
         let mut per_stream_order: Vec<Vec<f64>> = vec![Vec::new(); stream_counts.len()];
         for ordering in &orderings {
-            let perm = ordering.reorder(&case.matrix).expect("square corpus matrix");
+            let perm = ordering
+                .reorder(&case.matrix)
+                .expect("square corpus matrix");
             let reordered = case.matrix.permute_symmetric(&perm).expect("validated");
             let mut row = vec![ordering.name().to_string()];
             for (si, &streams) in stream_counts.iter().enumerate() {
@@ -50,7 +60,9 @@ fn main() {
                 } else {
                     ExecutionModel::Interleaved { streams }
                 };
-                let run = Pipeline::new(harness.gpu).with_model(model).simulate(&reordered);
+                let run = Pipeline::new(harness.gpu)
+                    .with_model(model)
+                    .simulate(&reordered);
                 row.push(Table::ratio(run.traffic_ratio));
                 per_stream_order[si].push(run.traffic_ratio);
             }

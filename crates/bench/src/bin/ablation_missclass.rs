@@ -40,7 +40,9 @@ fn main() {
             Box::new(RabbitPlusPlus::new()),
         ];
         for ordering in &orderings {
-            let perm = ordering.reorder(&case.matrix).expect("square corpus matrix");
+            let perm = ordering
+                .reorder(&case.matrix)
+                .expect("square corpus matrix");
             let m = case.matrix.permute_symmetric(&perm).expect("validated");
             let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
             let c = classify(harness.gpu.l2, &trace);

@@ -48,8 +48,12 @@ fn main() {
             let r = rabbit.run(&case.matrix).expect("square corpus matrix");
             let stats = CommunityStats::from_sizes(&r.dendrogram.community_sizes());
             let ins = quality::insularity(&case.matrix, &r.assignment).expect("validated");
-            let run = pipeline
-                .simulate(&case.matrix.permute_symmetric(&r.permutation).expect("validated"));
+            let run = pipeline.simulate(
+                &case
+                    .matrix
+                    .permute_symmetric(&r.permutation)
+                    .expect("validated"),
+            );
             table.add_row(vec![
                 format!("{gamma:.2}"),
                 stats.count.to_string(),

@@ -56,23 +56,23 @@ fn main() {
             Box::new(Rabbit::new()),
             Box::new(RabbitPlusPlus::new()),
         ];
-        let untiled_compulsory =
-            Kernel::SpmvCsr.compulsory_bytes_for(&case.matrix) as f64;
+        let untiled_compulsory = Kernel::SpmvCsr.compulsory_bytes_for(&case.matrix) as f64;
         for ordering in &orderings {
-            let perm = ordering.reorder(&case.matrix).expect("square corpus matrix");
+            let perm = ordering
+                .reorder(&case.matrix)
+                .expect("square corpus matrix");
             let reordered = case.matrix.permute_symmetric(&perm).expect("validated");
             let mut row = vec![ordering.name().to_string()];
             row.push(Table::ratio(
                 untiled.simulate(&reordered).dram_bytes as f64 / untiled_compulsory,
             ));
             for &w in &widths {
-                let tiled = Pipeline::new(harness.gpu)
-                    .with_kernel(Kernel::SpmvCsrTiled { tile_cols: w });
+                let tiled =
+                    Pipeline::new(harness.gpu).with_kernel(Kernel::SpmvCsrTiled { tile_cols: w });
                 let run = tiled.simulate(&reordered);
                 row.push(Table::ratio(run.dram_bytes as f64 / untiled_compulsory));
             }
-            let blocked = Pipeline::new(harness.gpu)
-                .with_kernel(Kernel::SpmvBlocked { bins });
+            let blocked = Pipeline::new(harness.gpu).with_kernel(Kernel::SpmvBlocked { bins });
             let run = blocked.simulate(&reordered);
             row.push(Table::ratio(run.dram_bytes as f64 / untiled_compulsory));
             table.add_row(row);

@@ -16,16 +16,28 @@ fn main() {
         ("table2", "design space of RABBIT modifications"),
         ("table3", "average % dead lines per technique"),
         ("table4", "SpMV-COO / SpMM-4 / SpMM-256 generality"),
-        ("ablation_tiling", "does RABBIT++ subsume tiling? (paper §VII)"),
-        ("ablation_interleave", "robustness to GPU-style interleaving"),
+        (
+            "ablation_tiling",
+            "does RABBIT++ subsume tiling? (paper §VII)",
+        ),
+        (
+            "ablation_interleave",
+            "robustness to GPU-style interleaving",
+        ),
         ("ablation_cache", "sensitivity to L2 geometry"),
         ("ablation_resolution", "RABBIT resolution parameter sweep"),
-        ("ablation_hierarchy", "dendrogram hierarchy vs flat communities (L1+L2)"),
+        (
+            "ablation_hierarchy",
+            "dendrogram hierarchy vs flat communities (L1+L2)",
+        ),
         ("extended_suite", "all 14 orderings + locality scorecard"),
         ("format_study", "CSR vs ELL vs SELL-C-sigma x reordering"),
         ("energy_study", "energy accounting per ordering"),
         ("graph_study", "PageRank + BFS under reordering"),
-        ("ablation_missclass", "Three-C miss classification per ordering"),
+        (
+            "ablation_missclass",
+            "Three-C miss classification per ordering",
+        ),
     ];
     for (bin, what) in experiments {
         println!("  cargo run --release -p commorder-bench --bin {bin:7} # {what}");

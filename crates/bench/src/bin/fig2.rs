@@ -45,7 +45,10 @@ fn main() {
     });
 
     for (case, (ratios, times)) in cases.iter().zip(&per_matrix) {
-        let mut row = vec![case.entry.name.to_string(), case.entry.domain.label().to_string()];
+        let mut row = vec![
+            case.entry.name.to_string(),
+            case.entry.domain.label().to_string(),
+        ];
         for (i, (&ratio, &t)) in ratios.iter().zip(times).enumerate() {
             row.push(Table::ratio(ratio));
             traffic[i].push(ratio);
@@ -73,7 +76,9 @@ fn main() {
     let mut mean_row = vec!["MEAN (traffic)".to_string(), String::new()];
     let mut time_row = vec!["MEAN (run time)".to_string(), String::new()];
     for i in 0..techniques.len() {
-        mean_row.push(Table::ratio(arith_mean_ratio(&traffic[i]).unwrap_or(f64::NAN)));
+        mean_row.push(Table::ratio(
+            arith_mean_ratio(&traffic[i]).unwrap_or(f64::NAN),
+        ));
         time_row.push(Table::ratio(arith_mean_ratio(&time[i]).unwrap_or(f64::NAN)));
     }
     traffic_table.add_row(mean_row);

@@ -25,9 +25,10 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for case in &cases {
         eprintln!("[fig3] {}", case.entry.name);
-        let result = Rabbit::new().run(&case.matrix).expect("square corpus matrix");
-        let insularity =
-            quality::insularity(&case.matrix, &result.assignment).expect("validated");
+        let result = Rabbit::new()
+            .run(&case.matrix)
+            .expect("square corpus matrix");
+        let insularity = quality::insularity(&case.matrix, &result.assignment).expect("validated");
         let stats = CommunityStats::from_sizes(&result.dendrogram.community_sizes());
         let reordered = case
             .matrix
@@ -90,9 +91,7 @@ fn main() {
     let sizes: Vec<f64> = filtered.iter().map(|r| r.norm_comm_size).collect();
     let skews: Vec<f64> = filtered.iter().map(|r| r.skew).collect();
     if let Some(c) = pearson(&ins, &sizes) {
-        println!(
-            "Pearson(insularity, normalized community size) = {c:.3}  (paper: -0.472)"
-        );
+        println!("Pearson(insularity, normalized community size) = {c:.3}  (paper: -0.472)");
     }
     if let Some(c) = pearson(&ins, &skews) {
         println!("Pearson(insularity, skew) = {c:.3}  (paper: -0.721)");

@@ -15,9 +15,10 @@ fn main() {
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for case in &cases {
         eprintln!("[fig4] {}", case.entry.name);
-        let result = Rabbit::new().run(&case.matrix).expect("square corpus matrix");
-        let insularity =
-            quality::insularity(&case.matrix, &result.assignment).expect("validated");
+        let result = Rabbit::new()
+            .run(&case.matrix)
+            .expect("square corpus matrix");
+        let insularity = quality::insularity(&case.matrix, &result.assignment).expect("validated");
         let insular_frac =
             quality::insular_fraction(&case.matrix, &result.assignment).expect("validated");
         rows.push((case.entry.name.to_string(), insularity, insular_frac));
@@ -26,7 +27,11 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 4: percentage of insular nodes (matrices sorted by insularity)",
-        vec!["matrix".into(), "insularity".into(), "% insular nodes".into()],
+        vec![
+            "matrix".into(),
+            "insularity".into(),
+            "% insular nodes".into(),
+        ],
     );
     for (name, ins, frac) in &rows {
         table.add_row(vec![

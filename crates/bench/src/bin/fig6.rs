@@ -36,11 +36,13 @@ fn main() {
     });
     for case in &cases {
         eprintln!("[fig6] {}", case.entry.name);
-        let result = insular_only.run(&case.matrix).expect("square corpus matrix");
+        let result = insular_only
+            .run(&case.matrix)
+            .expect("square corpus matrix");
         let insularity =
             quality::insularity(&case.matrix, &result.rabbit.assignment).expect("validated");
-        let insular_frac = result.insular.iter().filter(|&&b| b).count() as f64
-            / result.insular.len() as f64;
+        let insular_frac =
+            result.insular.iter().filter(|&&b| b).count() as f64 / result.insular.len() as f64;
         // Mask non-zeros not incident to insular nodes, then apply the
         // insular-grouped order and simulate.
         let masked = ops::mask_incident(&case.matrix, &result.insular).expect("validated");

@@ -23,7 +23,9 @@ fn main() {
     let mut rows = Vec::new();
     for case in &cases {
         eprintln!("[fig7] {}", case.entry.name);
-        let rpp = RabbitPlusPlus::new().run(&case.matrix).expect("square corpus matrix");
+        let rpp = RabbitPlusPlus::new()
+            .run(&case.matrix)
+            .expect("square corpus matrix");
         let insularity =
             quality::insularity(&case.matrix, &rpp.rabbit.assignment).expect("validated");
         let rabbit_run = pipeline.simulate(

@@ -58,7 +58,9 @@ fn main() {
         ];
         let compulsory = Kernel::SpmvCsr.compulsory_bytes_for(&case.matrix) as f64;
         for ordering in &orderings {
-            let perm = ordering.reorder(&case.matrix).expect("square corpus matrix");
+            let perm = ordering
+                .reorder(&case.matrix)
+                .expect("square corpus matrix");
             let m = case.matrix.permute_symmetric(&perm).expect("validated");
             let mut row = vec![ordering.name().to_string()];
             row.push(Table::ratio(

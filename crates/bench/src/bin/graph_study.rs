@@ -27,7 +27,12 @@ fn main() {
     let subset: Vec<&str> = if harness.entries.len() <= 8 {
         vec!["mini-sbm", "mini-webhub", "mini-grid"]
     } else {
-        vec!["opt-block-512", "web-stackex", "road-grid-messy", "soc-rmat-65k"]
+        vec![
+            "opt-block-512",
+            "web-stackex",
+            "road-grid-messy",
+            "soc-rmat-65k",
+        ]
     };
     let cases: Vec<_> = harness
         .load()
@@ -54,7 +59,9 @@ fn main() {
         ];
         let mut pr_traffic = Vec::new();
         for ordering in &orderings {
-            let perm = ordering.reorder(&case.matrix).expect("square corpus matrix");
+            let perm = ordering
+                .reorder(&case.matrix)
+                .expect("square corpus matrix");
             let m = case.matrix.permute_symmetric(&perm).expect("validated");
             let (pr_bytes, pr_hit) = simulate(&harness.gpu, &pagerank_trace(&m, 3));
             // BFS from the (reordered) vertex with the highest degree —

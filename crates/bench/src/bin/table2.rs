@@ -16,9 +16,10 @@ fn main() {
     let mut insularities = Vec::with_capacity(cases.len());
     for case in &cases {
         eprintln!("[table2] insularity {}", case.entry.name);
-        let r = Rabbit::new().run(&case.matrix).expect("square corpus matrix");
-        insularities
-            .push(quality::insularity(&case.matrix, &r.assignment).expect("validated"));
+        let r = Rabbit::new()
+            .run(&case.matrix)
+            .expect("square corpus matrix");
+        insularities.push(quality::insularity(&case.matrix, &r.assignment).expect("validated"));
     }
 
     let mut table = Table::new(

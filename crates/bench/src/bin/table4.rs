@@ -23,9 +23,10 @@ fn main() {
     ];
     for case in &cases {
         eprintln!("[table4] reorder {}", case.entry.name);
-        let r = Rabbit::new().run(&case.matrix).expect("square corpus matrix");
-        insularities
-            .push(quality::insularity(&case.matrix, &r.assignment).expect("validated"));
+        let r = Rabbit::new()
+            .run(&case.matrix)
+            .expect("square corpus matrix");
+        insularities.push(quality::insularity(&case.matrix, &r.assignment).expect("validated"));
         perms.push(
             techniques
                 .iter()

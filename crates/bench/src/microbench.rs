@@ -1,0 +1,116 @@
+//! Tiny wall-clock microbenchmark loop (the workspace builds offline, so
+//! no criterion).
+//!
+//! Each benchmark warms up for a fixed window, then runs timed batches
+//! until the measurement window elapses, and prints min / mean / max
+//! nanoseconds per iteration (plus element throughput when the caller
+//! supplies a count). `COMMORDER_BENCH_FAST=1` shrinks both windows for
+//! smoke runs — the tier-1 suite only checks that every bench executes.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing configuration shared by a group of benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    /// Untimed warm-up window per benchmark.
+    pub warmup: Duration,
+    /// Timed measurement window per benchmark.
+    pub measure: Duration,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_env()
+    }
+}
+
+/// One benchmark's aggregate timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Total timed iterations.
+    pub iters: u64,
+    /// Fastest single iteration.
+    pub min: Duration,
+    /// Mean over all timed iterations.
+    pub mean: Duration,
+    /// Slowest single iteration.
+    pub max: Duration,
+}
+
+impl Runner {
+    /// Default windows (300 ms warm-up, 1 s measurement), shrunk to a few
+    /// milliseconds when `COMMORDER_BENCH_FAST` is set.
+    #[must_use]
+    pub fn from_env() -> Self {
+        if std::env::var_os("COMMORDER_BENCH_FAST").is_some() {
+            Runner {
+                warmup: Duration::from_millis(5),
+                measure: Duration::from_millis(20),
+            }
+        } else {
+            Runner {
+                warmup: Duration::from_millis(300),
+                measure: Duration::from_secs(1),
+            }
+        }
+    }
+
+    /// Times `f` and prints one report line. `elems` adds a Melem/s
+    /// throughput column (criterion's `Throughput::Elements`).
+    pub fn bench<R, F: FnMut() -> R>(&self, name: &str, elems: Option<u64>, mut f: F) -> Sample {
+        let warm_until = Instant::now() + self.warmup;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while total < self.measure {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            iters += 1;
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        let sample = Sample {
+            iters,
+            min,
+            mean: total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX),
+            max,
+        };
+        match elems {
+            Some(n) if sample.mean > Duration::ZERO => {
+                let meps = n as f64 / sample.mean.as_secs_f64() / 1e6;
+                println!(
+                    "{name:<28} {:>10.2?} /iter  (min {:.2?}, max {:.2?}, {iters} iters, {meps:.1} Melem/s)",
+                    sample.mean, sample.min, sample.max
+                );
+            }
+            _ => println!(
+                "{name:<28} {:>10.2?} /iter  (min {:.2?}, max {:.2?}, {iters} iters)",
+                sample.mean, sample.min, sample.max
+            ),
+        }
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let runner = Runner {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let s = runner.bench("noop", Some(10), || 1 + 1);
+        assert!(s.iters > 0);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+}

@@ -197,7 +197,9 @@ mod tests {
         let mut state = 12345u64;
         let mut trace = Vec::new();
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (state >> 33) % 2048;
             trace.push(Access {
                 addr,

@@ -23,6 +23,8 @@ struct GraphLayout {
     outdeg: u64,
     level: u64,
     frontier: u64,
+    /// Exclusive end of the operand address space (strict-checks bound).
+    end: u64,
 }
 
 fn graph_layout(n: u64, nnz: u64, line_bytes: u64) -> GraphLayout {
@@ -33,15 +35,34 @@ fn graph_layout(n: u64, nnz: u64, line_bytes: u64) -> GraphLayout {
         cursor = align(cursor + elems * ELEM_BYTES);
         base
     };
+    let offsets = region(n + 1);
+    let coords = region(nnz);
+    let rank_a = region(n);
+    let rank_b = region(n);
+    let outdeg = region(n);
+    let level = region(n);
+    let frontier = region(n);
     GraphLayout {
-        offsets: region(n + 1),
-        coords: region(nnz),
-        rank_a: region(n),
-        rank_b: region(n),
-        outdeg: region(n),
-        level: region(n),
-        frontier: region(n),
+        offsets,
+        coords,
+        rank_a,
+        rank_b,
+        outdeg,
+        level,
+        frontier,
+        end: cursor,
     }
+}
+
+/// Strict-mode audit of a finished graph trace: every access must be
+/// element-aligned and inside the operand address space.
+fn audit_trace(name: &str, t: &[Access], layout: &GraphLayout) {
+    commorder_sparse::debug_validate!(
+        t.iter()
+            .all(|acc| acc.addr.is_multiple_of(ELEM_BYTES) && acc.addr + ELEM_BYTES <= layout.end),
+        "{name}: trace escapes the operand address space (end {:#x})",
+        layout.end
+    );
 }
 
 /// Trace of `iterations` pull-PageRank rounds over the transpose of `a`
@@ -91,6 +112,7 @@ pub fn pagerank_trace(a: &CsrMatrix, iterations: u32) -> Vec<Access> {
             });
         }
     }
+    audit_trace("pagerank_trace", &t, &layout);
     t
 }
 
@@ -154,6 +176,7 @@ pub fn bfs_trace(a: &CsrMatrix, source: u32) -> Vec<Access> {
         }
         frontier = next;
     }
+    audit_trace("bfs_trace", &t, &layout);
     t
 }
 
@@ -189,7 +212,9 @@ mod tests {
         let writes: Vec<u64> = t.iter().filter(|x| x.write).map(|x| x.addr).collect();
         // First iteration's 4 writes target one buffer, second's another.
         assert_eq!(writes.len(), 8);
-        assert!(writes[..4].iter().all(|&w| w >= writes[0] && w < writes[0] + 16));
+        assert!(writes[..4]
+            .iter()
+            .all(|&w| w >= writes[0] && w < writes[0] + 16));
         assert!(writes[4] != writes[0]);
     }
 
@@ -199,10 +224,7 @@ mod tests {
         let t = bfs_trace(&a, 0);
         // Frontier writes = n (every vertex enters the frontier once on a
         // connected graph).
-        let layout_frontier_writes = t
-            .iter()
-            .filter(|x| x.write)
-            .count();
+        let layout_frontier_writes = t.iter().filter(|x| x.write).count();
         // level writes (3 discoveries) + frontier writes (4 including src).
         assert_eq!(layout_frontier_writes, 3 + 4);
     }

@@ -164,9 +164,7 @@ mod tests {
     fn hierarchy_dram_traffic_not_below_single_l2() {
         // A hierarchy cannot fetch less from DRAM than its L2 alone
         // (inclusive forwarding preserves the L2's miss stream order).
-        let trace: Vec<Access> = (0..200u64)
-            .map(|i| read((i * 7919) % 2048 * 32))
-            .collect();
+        let trace: Vec<Access> = (0..200u64).map(|i| read((i * 7919) % 2048 * 32)).collect();
         let mut h = CacheHierarchy::new(small(64), small(512));
         for &a in &trace {
             h.access(a);

@@ -29,6 +29,9 @@ pub struct ArrayLayout {
     /// Propagation-blocking bin storage (`2·nnz` elements: destination
     /// row + partial value per non-zero).
     pub bins: u64,
+    /// Exclusive end (bytes) of the operand address space: every valid
+    /// access satisfies `addr + ELEM_BYTES <= end`.
+    pub end: u64,
     /// Line size the layout was aligned to.
     pub line_bytes: u32,
 }
@@ -51,17 +54,27 @@ impl ArrayLayout {
             cursor = align(cursor + elems * ELEM_BYTES);
             base
         };
+        // Tiled kernels carry one offsets array per tile.
+        let row_offsets = region(kernel.tiles(n) * (n + 1));
+        let coords = region(nnz);
+        let values = region(nnz);
+        let coo_rows = region(nnz);
+        let x = region(n);
+        let y = region(n);
+        let b = region(n * k);
+        let c = region(n * k);
+        let bins = region(2 * nnz);
         ArrayLayout {
-            // Tiled kernels carry one offsets array per tile.
-            row_offsets: region(kernel.tiles(n) * (n + 1)),
-            coords: region(nnz),
-            values: region(nnz),
-            coo_rows: region(nnz),
-            x: region(n),
-            y: region(n),
-            b: region(n * k),
-            c: region(n * k),
-            bins: region(2 * nnz),
+            row_offsets,
+            coords,
+            values,
+            coo_rows,
+            x,
+            y,
+            b,
+            c,
+            bins,
+            end: cursor,
             line_bytes,
         }
     }
@@ -111,5 +124,15 @@ mod tests {
     #[test]
     fn elem_addressing_is_4_bytes() {
         assert_eq!(ArrayLayout::elem(64, 3), 64 + 12);
+    }
+
+    #[test]
+    fn end_bounds_every_region() {
+        let a = sample();
+        let l = ArrayLayout::new(&a, Kernel::SpmvCsr, 32);
+        let nnz = a.nnz() as u64;
+        assert_eq!(l.end % 32, 0, "end must be line aligned");
+        assert!(ArrayLayout::elem(l.bins, 2 * nnz - 1) + ELEM_BYTES <= l.end);
+        assert!(l.bins + 2 * nnz * ELEM_BYTES <= l.end);
     }
 }

@@ -59,4 +59,5 @@ pub mod trace;
 
 pub use cache::{AccessOutcome, CacheStats, LruCache};
 pub use config::CacheConfig;
+pub use layout::ArrayLayout;
 pub use trace::Access;

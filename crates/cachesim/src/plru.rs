@@ -114,8 +114,8 @@ impl PlruCache {
         self.stats.accesses += 1;
         let (set, tag) = self.config.set_and_tag(access.addr);
         let base = set * self.assoc;
-        if let Some(way) = (0..self.assoc)
-            .find(|&w| self.ways[base + w].valid && self.ways[base + w].tag == tag)
+        if let Some(way) =
+            (0..self.assoc).find(|&w| self.ways[base + w].valid && self.ways[base + w].tag == tag)
         {
             let slot = &mut self.ways[base + way];
             slot.reuses += 1;
@@ -237,9 +237,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             state >> 33
         };
-        let trace: Vec<Access> = (0..20_000)
-            .map(|_| read((next() % 24) * 32))
-            .collect();
+        let trace: Vec<Access> = (0..20_000).map(|_| read((next() % 24) * 32)).collect();
         let mut plru = PlruCache::new(cfg(16));
         let mut lru = LruCache::new(cfg(16));
         for &a in &trace {

@@ -57,9 +57,20 @@ pub fn for_each_access<F: FnMut(Access)>(
     a: &CsrMatrix,
     kernel: Kernel,
     model: ExecutionModel,
-    mut sink: F,
+    mut raw_sink: F,
 ) {
     let layout = ArrayLayout::new(a, kernel, 32);
+    // Under `strict-checks` every emitted access is audited against the
+    // operand address space: element-aligned and below `layout.end`.
+    let end = layout.end;
+    let mut sink = |acc: Access| {
+        commorder_sparse::debug_validate!(
+            acc.addr.is_multiple_of(ELEM_BYTES) && acc.addr + ELEM_BYTES <= end,
+            "trace access {:#x} misaligned or beyond operand end {end:#x}",
+            acc.addr
+        );
+        raw_sink(acc);
+    };
     match model {
         ExecutionModel::Sequential => match kernel {
             Kernel::SpmvCoo => {
@@ -359,12 +370,7 @@ fn tiled_accesses<F: FnMut(Access)>(
 
 /// All accesses for COO entry `i` (row-major order over the CSR's
 /// entries, which *is* row-major COO order).
-fn coo_entry_accesses<F: FnMut(Access)>(
-    a: &CsrMatrix,
-    layout: &ArrayLayout,
-    i: u64,
-    sink: &mut F,
-) {
+fn coo_entry_accesses<F: FnMut(Access)>(a: &CsrMatrix, layout: &ArrayLayout, i: u64, sink: &mut F) {
     sink(Access {
         addr: ArrayLayout::elem(layout.coo_rows, i),
         write: false,
@@ -509,14 +515,7 @@ mod tests {
 
     fn sample() -> CsrMatrix {
         // [[. 1 .], [1 . 1], [. 1 .]] with an empty 4th row.
-        CsrMatrix::new(
-            4,
-            4,
-            vec![0, 1, 3, 4, 4],
-            vec![1, 0, 2, 1],
-            vec![1.0; 4],
-        )
-        .unwrap()
+        CsrMatrix::new(4, 4, vec![0, 1, 3, 4, 4], vec![1, 0, 2, 1], vec![1.0; 4]).unwrap()
     }
 
     #[test]
@@ -537,7 +536,11 @@ mod tests {
 
     #[test]
     fn spmm_touches_k_wide_rows_per_line() {
-        let t = collect_trace(&sample(), Kernel::SpmmCsr { k: 16 }, ExecutionModel::Sequential);
+        let t = collect_trace(
+            &sample(),
+            Kernel::SpmmCsr { k: 16 },
+            ExecutionModel::Sequential,
+        );
         // k=16 floats = 64 bytes = 2 lines; per nz: 2 + B(2); per row: 2
         // offsets + C(2 writes).
         assert_eq!(t.len(), 4 * (2 + 2) + 4 * (2 + 2));
@@ -670,20 +673,17 @@ mod blocked_tests {
     use super::*;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::new(
-            4,
-            4,
-            vec![0, 1, 3, 4, 4],
-            vec![1, 0, 2, 1],
-            vec![1.0; 4],
-        )
-        .unwrap()
+        CsrMatrix::new(4, 4, vec![0, 1, 3, 4, 4], vec![1, 0, 2, 1], vec![1.0; 4]).unwrap()
     }
 
     #[test]
     fn blocked_trace_access_count() {
         let a = sample();
-        let t = collect_trace(&a, Kernel::SpmvBlocked { bins: 2 }, ExecutionModel::Sequential);
+        let t = collect_trace(
+            &a,
+            Kernel::SpmvBlocked { bins: 2 },
+            ExecutionModel::Sequential,
+        );
         // Phase 1: 2 offset reads per column (8) + 1 X read per non-empty
         // column (3) + per nz: rows + values reads (8) + 2 bin writes (8).
         // Phase 2: per nz: 2 bin reads (8) + 1 Y write (4).
@@ -695,7 +695,11 @@ mod blocked_tests {
     fn blocked_bin_storage_written_once_and_read_once() {
         let a = sample();
         let layout = ArrayLayout::new(&a, Kernel::SpmvBlocked { bins: 2 }, 32);
-        let t = collect_trace(&a, Kernel::SpmvBlocked { bins: 2 }, ExecutionModel::Sequential);
+        let t = collect_trace(
+            &a,
+            Kernel::SpmvBlocked { bins: 2 },
+            ExecutionModel::Sequential,
+        );
         let expected: Vec<u64> = (0..2 * a.nnz() as u64)
             .map(|i| ArrayLayout::elem(layout.bins, i))
             .collect();
@@ -718,7 +722,11 @@ mod blocked_tests {
     #[test]
     fn blocked_trace_is_model_independent() {
         let a = sample();
-        let seq = collect_trace(&a, Kernel::SpmvBlocked { bins: 3 }, ExecutionModel::Sequential);
+        let seq = collect_trace(
+            &a,
+            Kernel::SpmvBlocked { bins: 3 },
+            ExecutionModel::Sequential,
+        );
         let inter = collect_trace(
             &a,
             Kernel::SpmvBlocked { bins: 3 },
@@ -730,7 +738,11 @@ mod blocked_tests {
     #[test]
     fn blocked_empty_matrix() {
         let a = CsrMatrix::empty(0);
-        assert!(collect_trace(&a, Kernel::SpmvBlocked { bins: 4 }, ExecutionModel::Sequential)
-            .is_empty());
+        assert!(collect_trace(
+            &a,
+            Kernel::SpmvBlocked { bins: 4 },
+            ExecutionModel::Sequential
+        )
+        .is_empty());
     }
 }

@@ -1,33 +1,24 @@
 //! Property-based tests for the cache simulator: conservation laws,
 //! policy dominance, inclusion monotonicity and trace well-formedness.
+//!
+//! Driven by the offline `commorder_check::propcheck` harness.
 
 use commorder_cachesim::belady::simulate_belady;
 use commorder_cachesim::trace::{collect_trace, Access, ExecutionModel};
 use commorder_cachesim::{CacheConfig, LruCache};
+use commorder_check::propcheck::{arb_csr, run_cases, DEFAULT_CASES};
 use commorder_sparse::traffic::Kernel;
-use commorder_sparse::{CooMatrix, CsrMatrix};
-use proptest::prelude::*;
+use commorder_synth::rng::Rng;
 
-fn arb_trace() -> impl Strategy<Value = Vec<Access>> {
-    proptest::collection::vec((0u64..4096, proptest::bool::ANY), 0..800).prop_map(|v| {
-        v.into_iter()
-            .map(|(slot, write)| Access {
-                addr: slot * 8, // exercise intra-line sharing
-                write,
-            })
-            .collect()
-    })
-}
-
-fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
-    (2u32..=30).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..150).prop_map(move |pairs| {
-            let entries: Vec<(u32, u32, f32)> =
-                pairs.into_iter().map(|(r, c)| (r, c, 1.0)).collect();
-            CsrMatrix::try_from(CooMatrix::from_entries(n, n, entries).expect("in range"))
-                .expect("valid")
+/// A random trace over 4096 8-byte slots (exercises intra-line sharing).
+fn arb_slot_trace(rng: &mut Rng) -> Vec<Access> {
+    let len = rng.gen_range(800) as usize;
+    (0..len)
+        .map(|_| Access {
+            addr: rng.gen_range(4096) * 8,
+            write: rng.gen_bool(0.5),
         })
-    })
+        .collect()
 }
 
 fn small_cache() -> CacheConfig {
@@ -46,34 +37,39 @@ fn run_lru(config: CacheConfig, trace: &[Access]) -> commorder_cachesim::CacheSt
     cache.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn conservation_laws(trace in arb_trace()) {
+#[test]
+fn conservation_laws() {
+    run_cases("conservation-laws", 2 * DEFAULT_CASES, |rng| {
+        let trace = arb_slot_trace(rng);
         let s = run_lru(small_cache(), &trace);
-        prop_assert_eq!(s.accesses, trace.len() as u64);
-        prop_assert_eq!(s.hits + s.misses(), s.accesses);
-        prop_assert_eq!(s.fills, s.misses());
-        prop_assert!(s.compulsory_misses <= s.misses());
-        prop_assert!(s.dead_lines <= s.fills);
-        prop_assert!(s.evictions <= s.fills);
-        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
-    }
+        assert_eq!(s.accesses, trace.len() as u64);
+        assert_eq!(s.hits + s.misses(), s.accesses);
+        assert_eq!(s.fills, s.misses());
+        assert!(s.compulsory_misses <= s.misses());
+        assert!(s.dead_lines <= s.fills);
+        assert!(s.evictions <= s.fills);
+        assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+    });
+}
 
-    #[test]
-    fn belady_dominates_lru(trace in arb_trace()) {
+#[test]
+fn belady_dominates_lru() {
+    run_cases("belady-dominates", 2 * DEFAULT_CASES, |rng| {
+        let trace = arb_slot_trace(rng);
         let lru = run_lru(small_cache(), &trace);
         let opt = simulate_belady(small_cache(), &trace);
-        prop_assert!(opt.misses() <= lru.misses());
-        prop_assert_eq!(opt.compulsory_misses, lru.compulsory_misses);
-        prop_assert!(opt.misses() >= opt.compulsory_misses);
-    }
+        assert!(opt.misses() <= lru.misses());
+        assert_eq!(opt.compulsory_misses, lru.compulsory_misses);
+        assert!(opt.misses() >= opt.compulsory_misses);
+    });
+}
 
-    #[test]
-    fn bigger_cache_never_misses_more_with_full_associativity(trace in arb_trace()) {
+#[test]
+fn bigger_cache_never_misses_more_with_full_associativity() {
+    run_cases("lru-inclusion", 2 * DEFAULT_CASES, |rng| {
         // LRU with full associativity is a stack algorithm: inclusion
         // holds, so misses are monotone non-increasing in capacity.
+        let trace = arb_slot_trace(rng);
         let small = CacheConfig {
             capacity_bytes: 1024,
             line_bytes: 32,
@@ -86,19 +82,24 @@ proptest! {
         };
         let s = run_lru(small, &trace);
         let b = run_lru(big, &trace);
-        prop_assert!(b.misses() <= s.misses(), "{} > {}", b.misses(), s.misses());
-    }
+        assert!(b.misses() <= s.misses(), "{} > {}", b.misses(), s.misses());
+    });
+}
 
-    #[test]
-    fn compulsory_equals_distinct_lines(trace in arb_trace()) {
+#[test]
+fn compulsory_equals_distinct_lines() {
+    run_cases("compulsory-distinct-lines", 2 * DEFAULT_CASES, |rng| {
+        let trace = arb_slot_trace(rng);
         let s = run_lru(small_cache(), &trace);
-        let distinct: std::collections::HashSet<u64> =
-            trace.iter().map(|a| a.addr / 32).collect();
-        prop_assert_eq!(s.compulsory_misses, distinct.len() as u64);
-    }
+        let distinct: std::collections::HashSet<u64> = trace.iter().map(|a| a.addr / 32).collect();
+        assert_eq!(s.compulsory_misses, distinct.len() as u64);
+    });
+}
 
-    #[test]
-    fn writebacks_bounded_by_written_lines(trace in arb_trace()) {
+#[test]
+fn writebacks_bounded_by_written_lines() {
+    run_cases("writebacks-bounded", 2 * DEFAULT_CASES, |rng| {
+        let trace = arb_slot_trace(rng);
         let s = run_lru(small_cache(), &trace);
         let written: std::collections::HashSet<u64> = trace
             .iter()
@@ -108,38 +109,44 @@ proptest! {
         // A line can be written back many times only if re-dirtied after
         // eviction; bound by writes, not written lines. Cheap sanity:
         let writes = trace.iter().filter(|a| a.write).count() as u64;
-        prop_assert!(s.writebacks <= writes);
+        assert!(s.writebacks <= writes);
         if written.is_empty() {
-            prop_assert_eq!(s.writebacks, 0);
+            assert_eq!(s.writebacks, 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn kernel_traces_read_every_csr_element(m in arb_matrix()) {
+#[test]
+fn kernel_traces_read_every_csr_element() {
+    run_cases("trace-covers-csr", DEFAULT_CASES, |rng| {
         // The SpMV-CSR trace must contain exactly nnz coords reads, nnz
         // values reads, nnz X reads and n_rows Y writes.
+        let m = arb_csr(rng, 28, 5);
         let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
         let writes = trace.iter().filter(|a| a.write).count();
-        prop_assert_eq!(writes, m.n_rows() as usize);
-        prop_assert_eq!(trace.len(), m.n_rows() as usize * 3 + m.nnz() * 3);
-    }
+        assert_eq!(writes, m.n_rows() as usize);
+        assert_eq!(trace.len(), m.n_rows() as usize * 3 + m.nnz() * 3);
+    });
+}
 
-    #[test]
-    fn traffic_never_below_compulsory_reads(m in arb_matrix(), streams in 1u32..6) {
-        let trace = collect_trace(
-            &m,
-            Kernel::SpmvCsr,
-            ExecutionModel::Interleaved { streams },
-        );
+#[test]
+fn traffic_never_below_compulsory_reads() {
+    run_cases("traffic-at-least-compulsory", DEFAULT_CASES, |rng| {
+        let m = arb_csr(rng, 28, 5);
+        let streams = 1 + rng.gen_u32(5);
+        let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Interleaved { streams });
         let s = run_lru(small_cache(), &trace);
         // Fill misses cover at least every distinct read-first line.
-        prop_assert!(s.fill_misses + s.write_alloc_misses >= s.compulsory_misses);
-    }
+        assert!(s.fill_misses + s.write_alloc_misses >= s.compulsory_misses);
+    });
+}
 
-    #[test]
-    fn stats_identical_for_identical_traces(trace in arb_trace()) {
+#[test]
+fn stats_identical_for_identical_traces() {
+    run_cases("stats-deterministic", DEFAULT_CASES, |rng| {
+        let trace = arb_slot_trace(rng);
         let a = run_lru(small_cache(), &trace);
         let b = run_lru(small_cache(), &trace);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

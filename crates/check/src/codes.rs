@@ -1,0 +1,265 @@
+//! The stable `CHK` diagnostic-code table.
+//!
+//! Codes are grouped by hundreds per checked domain and are **append
+//! only**: a published code never changes meaning, so golden files and
+//! downstream tooling can match on them forever.
+//!
+//! | Range   | Domain                                  |
+//! |---------|-----------------------------------------|
+//! | CHK01xx | CSR/CSC offsets and index arrays        |
+//! | CHK02xx | COO entry lists                         |
+//! | CHK03xx | ELL / SELL-C-σ padded storage           |
+//! | CHK04xx | Permutations                            |
+//! | CHK05xx | Community assignments                   |
+//! | CHK06xx | Address traces                          |
+//! | CHK07xx | Cache configuration                     |
+//! | CHK08xx | GPU specification                       |
+
+/// One row of the code table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The stable code, e.g. `CHK0101`.
+    pub code: &'static str,
+    /// One-line description of what the code means.
+    pub title: &'static str,
+}
+
+/// Offsets array has the wrong length (`n + 1` expected).
+pub const OFFSETS_LENGTH: &str = "CHK0101";
+/// Offsets array does not start at zero.
+pub const OFFSETS_START: &str = "CHK0102";
+/// Offsets array is not monotonically non-decreasing.
+pub const OFFSETS_MONOTONE: &str = "CHK0103";
+/// Last offset disagrees with the index-array length.
+pub const OFFSETS_LAST: &str = "CHK0104";
+/// A column/row index exceeds the matrix dimension.
+pub const INDEX_BOUNDS: &str = "CHK0105";
+/// Indices within a row/column are not strictly increasing.
+pub const INDEX_SORTED: &str = "CHK0106";
+/// Values array length disagrees with the index-array length.
+pub const VALUES_LENGTH: &str = "CHK0107";
+/// A stored value is NaN or infinite.
+pub const VALUE_NONFINITE: &str = "CHK0108";
+
+/// COO row index out of bounds.
+pub const COO_ROW_BOUNDS: &str = "CHK0201";
+/// COO column index out of bounds.
+pub const COO_COL_BOUNDS: &str = "CHK0202";
+/// COO value is NaN or infinite.
+pub const COO_VALUE_NONFINITE: &str = "CHK0203";
+/// Duplicate COO coordinate (construction would merge by summing).
+pub const COO_DUPLICATE: &str = "CHK0204";
+
+/// ELL padded storage length disagrees with `n_rows * width`.
+pub const ELL_STORAGE: &str = "CHK0301";
+/// ELL non-pad column index out of bounds.
+pub const ELL_COL_BOUNDS: &str = "CHK0302";
+/// SELL slice descriptors are inconsistent with the padded storage.
+pub const SELL_SLICES: &str = "CHK0303";
+
+/// Permutation entry out of range.
+pub const PERM_RANGE: &str = "CHK0401";
+/// Permutation target id appears more than once (not injective).
+pub const PERM_DUPLICATE: &str = "CHK0402";
+/// Permutation length does not match the object it should act on.
+pub const PERM_LENGTH: &str = "CHK0403";
+
+/// Community assignment is not total (length differs from vertex count).
+pub const COMM_TOTAL: &str = "CHK0501";
+/// Community id out of the declared range.
+pub const COMM_RANGE: &str = "CHK0502";
+/// A declared community has no members.
+pub const COMM_EMPTY: &str = "CHK0503";
+
+/// Trace access not aligned to the element size.
+pub const TRACE_ALIGN: &str = "CHK0601";
+/// Trace access straddles an L2 sector (line) boundary.
+pub const TRACE_SECTOR: &str = "CHK0602";
+/// Trace access beyond the operand address-space bound.
+pub const TRACE_BOUNDS: &str = "CHK0603";
+/// Empty trace for a non-empty matrix.
+pub const TRACE_EMPTY: &str = "CHK0604";
+
+/// Cache geometry field is zero.
+pub const CACHE_ZERO: &str = "CHK0701";
+/// Cache capacity is not a whole number of sets.
+pub const CACHE_RAGGED: &str = "CHK0702";
+/// Cache line size is not a power of two.
+pub const CACHE_LINE_POW2: &str = "CHK0703";
+
+/// GPU bandwidth/compute constant is not positive and finite.
+pub const GPU_CONSTANTS: &str = "CHK0801";
+/// Measured bandwidth exceeds theoretical peak.
+pub const GPU_BANDWIDTH_ORDER: &str = "CHK0802";
+/// Fine-grain penalty outside the calibrated range.
+pub const GPU_PENALTY_RANGE: &str = "CHK0803";
+/// L2 capacity exceeds main-memory capacity.
+pub const GPU_L2_CAPACITY: &str = "CHK0804";
+
+/// Every published code with its meaning, in code order.
+pub const CODE_TABLE: &[CodeInfo] = &[
+    CodeInfo {
+        code: OFFSETS_LENGTH,
+        title: "offsets array has the wrong length",
+    },
+    CodeInfo {
+        code: OFFSETS_START,
+        title: "offsets array does not start at zero",
+    },
+    CodeInfo {
+        code: OFFSETS_MONOTONE,
+        title: "offsets array is not non-decreasing",
+    },
+    CodeInfo {
+        code: OFFSETS_LAST,
+        title: "last offset disagrees with nnz",
+    },
+    CodeInfo {
+        code: INDEX_BOUNDS,
+        title: "index exceeds the matrix dimension",
+    },
+    CodeInfo {
+        code: INDEX_SORTED,
+        title: "indices within a row are not strictly increasing",
+    },
+    CodeInfo {
+        code: VALUES_LENGTH,
+        title: "values length disagrees with index length",
+    },
+    CodeInfo {
+        code: VALUE_NONFINITE,
+        title: "stored value is NaN or infinite",
+    },
+    CodeInfo {
+        code: COO_ROW_BOUNDS,
+        title: "COO row index out of bounds",
+    },
+    CodeInfo {
+        code: COO_COL_BOUNDS,
+        title: "COO column index out of bounds",
+    },
+    CodeInfo {
+        code: COO_VALUE_NONFINITE,
+        title: "COO value is NaN or infinite",
+    },
+    CodeInfo {
+        code: COO_DUPLICATE,
+        title: "duplicate COO coordinate",
+    },
+    CodeInfo {
+        code: ELL_STORAGE,
+        title: "ELL storage length mismatch",
+    },
+    CodeInfo {
+        code: ELL_COL_BOUNDS,
+        title: "ELL column index out of bounds",
+    },
+    CodeInfo {
+        code: SELL_SLICES,
+        title: "SELL slice descriptors inconsistent",
+    },
+    CodeInfo {
+        code: PERM_RANGE,
+        title: "permutation entry out of range",
+    },
+    CodeInfo {
+        code: PERM_DUPLICATE,
+        title: "permutation target id duplicated",
+    },
+    CodeInfo {
+        code: PERM_LENGTH,
+        title: "permutation length mismatch",
+    },
+    CodeInfo {
+        code: COMM_TOTAL,
+        title: "community assignment is not total",
+    },
+    CodeInfo {
+        code: COMM_RANGE,
+        title: "community id out of declared range",
+    },
+    CodeInfo {
+        code: COMM_EMPTY,
+        title: "declared community has no members",
+    },
+    CodeInfo {
+        code: TRACE_ALIGN,
+        title: "trace access not element-aligned",
+    },
+    CodeInfo {
+        code: TRACE_SECTOR,
+        title: "trace access straddles a sector boundary",
+    },
+    CodeInfo {
+        code: TRACE_BOUNDS,
+        title: "trace access beyond the address-space bound",
+    },
+    CodeInfo {
+        code: TRACE_EMPTY,
+        title: "empty trace for a non-empty matrix",
+    },
+    CodeInfo {
+        code: CACHE_ZERO,
+        title: "cache geometry field is zero",
+    },
+    CodeInfo {
+        code: CACHE_RAGGED,
+        title: "cache capacity is not a whole number of sets",
+    },
+    CodeInfo {
+        code: CACHE_LINE_POW2,
+        title: "cache line size is not a power of two",
+    },
+    CodeInfo {
+        code: GPU_CONSTANTS,
+        title: "GPU constant is not positive and finite",
+    },
+    CodeInfo {
+        code: GPU_BANDWIDTH_ORDER,
+        title: "measured bandwidth exceeds peak",
+    },
+    CodeInfo {
+        code: GPU_PENALTY_RANGE,
+        title: "fine-grain penalty outside calibrated range",
+    },
+    CodeInfo {
+        code: GPU_L2_CAPACITY,
+        title: "L2 capacity exceeds memory capacity",
+    },
+];
+
+/// Looks up the description of a code; `None` for unknown codes.
+#[must_use]
+pub fn describe(code: &str) -> Option<&'static str> {
+    CODE_TABLE
+        .iter()
+        .find(|info| info.code == code)
+        .map(|info| info.title)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_sorted_and_well_formed() {
+        for w in CODE_TABLE.windows(2) {
+            assert!(w[0].code < w[1].code, "{} !< {}", w[0].code, w[1].code);
+        }
+        for info in CODE_TABLE {
+            assert_eq!(info.code.len(), 7, "{}", info.code);
+            assert!(info.code.starts_with("CHK"), "{}", info.code);
+            assert!(info.code[3..].chars().all(|c| c.is_ascii_digit()));
+            assert!(!info.title.is_empty());
+        }
+    }
+
+    #[test]
+    fn describe_known_and_unknown() {
+        assert_eq!(
+            describe(OFFSETS_MONOTONE),
+            Some("offsets array is not non-decreasing")
+        );
+        assert_eq!(describe("CHK9999"), None);
+    }
+}

@@ -1,0 +1,331 @@
+//! Lenient fixture ingestion for `commorder-cli check`.
+//!
+//! Unlike the strict readers in `commorder_sparse::io` (which refuse
+//! malformed input with a single error), these parsers accept anything
+//! token-shaped and hand the raw arrays to the validators, so a corrupted
+//! fixture yields the *full list* of `CHK` findings instead of stopping
+//! at the first parse failure. Unreadable lines become parse diagnostics
+//! in the same report.
+//!
+//! Supported extensions:
+//!
+//! * `.mtx` — Matrix Market coordinate files (1-based `row col [value]`
+//!   entries, audited as COO against the declared dimensions),
+//! * `.csr` — raw CSR dump: `n_rows n_cols`, then one line each for
+//!   `row_offsets`, `col_indices`, `values` (values line optional),
+//! * `.perm` — one `new_id` per line (`new_ids[old] = new`),
+//! * `.trace` — one access per line, `R <addr>` or `W <addr>` (decimal or
+//!   `0x` hex); optional directives `@line <bytes>` and `@end <bytes>`
+//!   set the sector size and the exclusive address bound.
+
+use commorder_cachesim::Access;
+
+use crate::diag::{CheckReport, Diagnostic, Location};
+use crate::matrix::{check_coo_parts, check_csr_parts};
+use crate::perm::check_permutation_parts;
+use crate::trace::check_trace;
+
+/// Parse-failure diagnostics share one pseudo-code: the file never
+/// reached the structural validators at that line.
+pub const PARSE_CODE: &str = "CHK0001";
+
+fn parse_error(line_no: usize, message: String) -> Diagnostic {
+    Diagnostic::error(PARSE_CODE, Location::at("line", line_no as u64), message)
+}
+
+/// Audits file `contents` according to the extension of `name`
+/// (`mtx`, `csr`, `perm`, or `trace`); an unknown extension yields a
+/// single parse diagnostic.
+#[must_use]
+pub fn check_file_contents(name: &str, contents: &str) -> CheckReport {
+    let ext = name.rsplit('.').next().unwrap_or("").to_ascii_lowercase();
+    let mut report = CheckReport::new();
+    match ext.as_str() {
+        "mtx" => report.extend(check_mtx(contents)),
+        "csr" => report.extend(check_csr_dump(contents)),
+        "perm" => report.extend(check_perm_file(contents)),
+        "trace" => report.extend(check_trace_file(contents)),
+        other => report.extend(vec![parse_error(
+            0,
+            format!("unknown fixture extension {other:?} (expected mtx, csr, perm, or trace)"),
+        )]),
+    }
+    report
+}
+
+/// Data lines of the file: `(1-based line number, trimmed text)` with
+/// blanks and `comment`-prefixed lines removed.
+fn data_lines<'a>(contents: &'a str, comment: &str) -> impl Iterator<Item = (usize, &'a str)> {
+    let comment = comment.to_string();
+    contents
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(move |(_, l)| !l.is_empty() && !l.starts_with(&comment))
+}
+
+fn check_mtx(contents: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut entries: Vec<(u32, u32, f32)> = Vec::new();
+    let mut dims: Option<(u64, u64, u64)> = None;
+    for (line_no, line) in data_lines(contents, "%") {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match dims {
+            None => {
+                // First data line: `n_rows n_cols nnz`.
+                let parsed: Option<Vec<u64>> = fields.iter().map(|f| f.parse().ok()).collect();
+                match parsed {
+                    Some(v) if v.len() == 3 => dims = Some((v[0], v[1], v[2])),
+                    _ => {
+                        out.push(parse_error(
+                            line_no,
+                            format!("expected size line `n_rows n_cols nnz`, got {line:?}"),
+                        ));
+                        return out;
+                    }
+                }
+            }
+            Some(_) => {
+                // Entry line: `row col [value]`, 1-based.
+                let r = fields.first().and_then(|f| f.parse::<u64>().ok());
+                let c = fields.get(1).and_then(|f| f.parse::<u64>().ok());
+                let v = match fields.get(2) {
+                    Some(f) => f.parse::<f32>().ok(),
+                    None => Some(1.0),
+                };
+                match (r, c, v) {
+                    (Some(r), Some(c), Some(v)) if r >= 1 && c >= 1 && fields.len() <= 3 => {
+                        // Saturate to keep out-of-range coordinates
+                        // representable: the bounds validators report them.
+                        let clip = |x: u64| u32::try_from(x - 1).unwrap_or(u32::MAX);
+                        entries.push((clip(r), clip(c), v));
+                    }
+                    _ => out.push(parse_error(
+                        line_no,
+                        format!("expected entry `row col [value]` (1-based), got {line:?}"),
+                    )),
+                }
+            }
+        }
+    }
+    let Some((n_rows, n_cols, nnz)) = dims else {
+        out.push(parse_error(0, "no size line found".to_string()));
+        return out;
+    };
+    if entries.len() as u64 != nnz {
+        out.push(Diagnostic::warning(
+            PARSE_CODE,
+            Location::whole("mtx"),
+            format!(
+                "header declares {nnz} entries, file holds {}",
+                entries.len()
+            ),
+        ));
+    }
+    out.extend(check_coo_parts("mtx.entries", n_rows, n_cols, &entries));
+    out
+}
+
+fn parse_u32_line(line_no: usize, line: &str, out: &mut Vec<Diagnostic>) -> Vec<u32> {
+    line.split_whitespace()
+        .filter_map(|f| match f.parse::<u32>() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                out.push(parse_error(line_no, format!("expected integer, got {f:?}")));
+                None
+            }
+        })
+        .collect()
+}
+
+fn check_csr_dump(contents: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut lines = data_lines(contents, "#");
+    let Some((line_no, dims)) = lines.next() else {
+        out.push(parse_error(0, "empty CSR dump".to_string()));
+        return out;
+    };
+    let dims: Vec<u64> = dims
+        .split_whitespace()
+        .filter_map(|f| f.parse().ok())
+        .collect();
+    let [n_rows, n_cols] = dims[..] else {
+        out.push(parse_error(
+            line_no,
+            "expected dimension line `n_rows n_cols`".to_string(),
+        ));
+        return out;
+    };
+    let Some((off_no, off_line)) = lines.next() else {
+        out.push(parse_error(0, "missing row_offsets line".to_string()));
+        return out;
+    };
+    let row_offsets = parse_u32_line(off_no, off_line, &mut out);
+    let Some((col_no, col_line)) = lines.next() else {
+        out.push(parse_error(0, "missing col_indices line".to_string()));
+        return out;
+    };
+    let col_indices = parse_u32_line(col_no, col_line, &mut out);
+    let values: Option<Vec<f32>> = lines.next().map(|(val_no, val_line)| {
+        val_line
+            .split_whitespace()
+            .filter_map(|f| match f.parse::<f32>() {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    out.push(parse_error(val_no, format!("expected value, got {f:?}")));
+                    None
+                }
+            })
+            .collect()
+    });
+    out.extend(check_csr_parts(
+        "csr",
+        n_rows,
+        n_cols,
+        &row_offsets,
+        &col_indices,
+        values.as_deref(),
+    ));
+    out
+}
+
+fn check_perm_file(contents: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut new_ids = Vec::new();
+    for (line_no, line) in data_lines(contents, "#") {
+        match line.parse::<u32>() {
+            Ok(v) => new_ids.push(v),
+            Err(_) => out.push(parse_error(
+                line_no,
+                format!("expected one new id per line, got {line:?}"),
+            )),
+        }
+    }
+    out.extend(check_permutation_parts("permutation", &new_ids, None));
+    out
+}
+
+fn check_trace_file(contents: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut trace: Vec<Access> = Vec::new();
+    let mut line_bytes = 32u32;
+    let mut end: Option<u64> = None;
+    let parse_addr = |f: &str| {
+        f.strip_prefix("0x").map_or_else(
+            || f.parse::<u64>().ok(),
+            |hex| u64::from_str_radix(hex, 16).ok(),
+        )
+    };
+    for (line_no, line) in data_lines(contents, "#") {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["@line", v] => match v.parse() {
+                Ok(v) => line_bytes = v,
+                Err(_) => out.push(parse_error(line_no, format!("bad @line value {v:?}"))),
+            },
+            ["@end", v] => match parse_addr(v) {
+                Some(v) => end = Some(v),
+                None => out.push(parse_error(line_no, format!("bad @end value {v:?}"))),
+            },
+            [op @ ("R" | "W" | "r" | "w"), addr] => match parse_addr(addr) {
+                Some(addr) => trace.push(Access {
+                    addr,
+                    write: op.eq_ignore_ascii_case("w"),
+                }),
+                None => out.push(parse_error(line_no, format!("bad address {addr:?}"))),
+            },
+            _ => out.push(parse_error(
+                line_no,
+                format!("expected `R <addr>` or `W <addr>`, got {line:?}"),
+            )),
+        }
+    }
+    out.extend(check_trace(&trace, end, line_bytes));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+
+    #[test]
+    fn clean_mtx_round_trips() {
+        let mtx = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1.0\n2 3 -4.5\n";
+        let r = check_file_contents("good.mtx", mtx);
+        assert!(r.is_clean(), "{}", r.render_text());
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn mtx_out_of_bounds_entry_reports_coo_codes() {
+        let mtx = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n9 1 1.0\n";
+        let r = check_file_contents("bad.mtx", mtx);
+        assert!(
+            r.codes().contains(&codes::COO_ROW_BOUNDS),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn mtx_entry_count_mismatch_warns() {
+        let mtx = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n";
+        let r = check_file_contents("short.mtx", mtx);
+        assert!(r.is_clean());
+        assert_eq!(r.warning_count(), 1);
+    }
+
+    #[test]
+    fn csr_dump_non_monotone_offsets_is_chk0103() {
+        let dump = "# corrupted\n2 3\n0 2 1\n0 1\n1.0 1.0\n";
+        let r = check_file_contents("bad.csr", dump);
+        assert!(
+            r.codes().contains(&codes::OFFSETS_MONOTONE),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn clean_csr_dump_without_values() {
+        let dump = "2 3\n0 1 2\n0 2\n";
+        let r = check_file_contents("ok.csr", dump);
+        assert!(r.diagnostics.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn perm_file_duplicate_target_is_chk0402() {
+        let r = check_file_contents("bad.perm", "# old -> new\n1\n1\n0\n");
+        assert_eq!(r.codes(), vec![codes::PERM_DUPLICATE]);
+    }
+
+    #[test]
+    fn trace_file_misaligned_is_chk0601() {
+        let r = check_file_contents("bad.trace", "@line 32\nR 0x0\nW 0x1e\n");
+        assert!(
+            r.codes().contains(&codes::TRACE_ALIGN),
+            "{}",
+            r.render_text()
+        );
+        assert!(
+            r.codes().contains(&codes::TRACE_SECTOR),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn trace_file_end_directive_bounds_accesses() {
+        let r = check_file_contents("oob.trace", "@end 64\nR 0x40\n");
+        assert_eq!(r.codes(), vec![codes::TRACE_BOUNDS]);
+    }
+
+    #[test]
+    fn unparseable_lines_become_parse_diagnostics() {
+        let r = check_file_contents("junk.perm", "one\n2\n");
+        assert!(r.codes().contains(&PARSE_CODE));
+        let r = check_file_contents("data.unknown", "whatever");
+        assert!(!r.is_clean());
+    }
+}

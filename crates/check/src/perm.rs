@@ -1,0 +1,170 @@
+//! Validators for permutations and community assignments.
+
+use commorder_sparse::Permutation;
+
+use crate::codes;
+use crate::diag::{Diagnostic, Location};
+
+/// Audits a raw `old -> new` mapping: every entry in range (`CHK0401`),
+/// no target used twice (`CHK0402`), and — when `expected_len` is given —
+/// the mapping is the right size for the object it acts on (`CHK0403`).
+#[must_use]
+pub fn check_permutation_parts(
+    object: &str,
+    new_ids: &[u32],
+    expected_len: Option<u64>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Some(expect) = expected_len {
+        if new_ids.len() as u64 != expect {
+            out.push(Diagnostic::error(
+                codes::PERM_LENGTH,
+                Location::whole(object),
+                format!(
+                    "permutation has {} entries, expected {expect}",
+                    new_ids.len()
+                ),
+            ));
+        }
+    }
+    let n = new_ids.len() as u64;
+    let mut first_use = vec![u32::MAX; new_ids.len()];
+    for (old, &new) in new_ids.iter().enumerate() {
+        if u64::from(new) >= n {
+            out.push(Diagnostic::error(
+                codes::PERM_RANGE,
+                Location::at(object, old as u64),
+                format!("entry {new} must be < length {n}"),
+            ));
+            continue;
+        }
+        let slot = &mut first_use[new as usize];
+        if *slot != u32::MAX {
+            out.push(Diagnostic::error(
+                codes::PERM_DUPLICATE,
+                Location::at(object, old as u64),
+                format!("target id {new} already assigned to position {}", *slot),
+            ));
+        } else {
+            *slot = old as u32;
+        }
+    }
+    out
+}
+
+/// Audits a constructed [`Permutation`] against the length of the object
+/// it should act on. Range/duplicate findings are impossible for a typed
+/// permutation; the length check (`CHK0403`) is the one that can fire.
+#[must_use]
+pub fn check_permutation(p: &Permutation, expected_len: Option<u64>) -> Vec<Diagnostic> {
+    check_permutation_parts("permutation", p.as_slice(), expected_len)
+}
+
+/// Audits a community assignment `communities[v] = community id` against
+/// the vertex count and the declared number of communities: totality
+/// (`CHK0501`), id range (`CHK0502`), and — as a warning — declared
+/// communities with no members (`CHK0503`).
+#[must_use]
+pub fn check_assignment(
+    communities: &[u32],
+    n_vertices: u64,
+    n_communities: u32,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if communities.len() as u64 != n_vertices {
+        out.push(Diagnostic::error(
+            codes::COMM_TOTAL,
+            Location::whole("communities"),
+            format!(
+                "assignment covers {} vertices, graph has {n_vertices}",
+                communities.len()
+            ),
+        ));
+    }
+    let mut members = vec![0u64; n_communities as usize];
+    for (v, &c) in communities.iter().enumerate() {
+        if c >= n_communities {
+            out.push(Diagnostic::error(
+                codes::COMM_RANGE,
+                Location::at("communities", v as u64),
+                format!("community id {c} exceeds declared count {n_communities}"),
+            ));
+        } else {
+            members[c as usize] += 1;
+        }
+    }
+    for (c, &count) in members.iter().enumerate() {
+        if count == 0 {
+            out.push(Diagnostic::warning(
+                codes::COMM_EMPTY,
+                Location::at("communities", c as u64),
+                format!("declared community {c} has no members"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_permutation_is_clean() {
+        let p = Permutation::from_new_ids(vec![2, 0, 1]).expect("bijection");
+        assert!(check_permutation(&p, Some(3)).is_empty());
+        assert!(check_permutation_parts("p", &[], None).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_entry_is_chk0401() {
+        let d = check_permutation_parts("p", &[0, 3], None);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, codes::PERM_RANGE);
+        assert_eq!(d[0].location.index, Some(1));
+    }
+
+    #[test]
+    fn duplicate_target_is_chk0402() {
+        let d = check_permutation_parts("p", &[1, 1, 0], None);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, codes::PERM_DUPLICATE);
+        assert_eq!(d[0].location.index, Some(1));
+    }
+
+    #[test]
+    fn length_mismatch_is_chk0403() {
+        let p = Permutation::identity(3);
+        let d = check_permutation(&p, Some(5));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, codes::PERM_LENGTH);
+    }
+
+    #[test]
+    fn valid_assignment_is_clean() {
+        assert!(check_assignment(&[0, 1, 0, 1], 4, 2).is_empty());
+    }
+
+    #[test]
+    fn partial_assignment_is_chk0501() {
+        let d = check_assignment(&[0, 1], 4, 2);
+        assert!(d.iter().any(|d| d.code == codes::COMM_TOTAL), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_range_community_is_chk0502() {
+        let d = check_assignment(&[0, 7], 2, 2);
+        assert!(d.iter().any(|d| d.code == codes::COMM_RANGE), "{d:?}");
+    }
+
+    #[test]
+    fn empty_community_is_chk0503_warning() {
+        let d = check_assignment(&[0, 0], 2, 2);
+        let hit = d
+            .iter()
+            .find(|d| d.code == codes::COMM_EMPTY)
+            .expect("finding");
+        assert_eq!(hit.severity, crate::diag::Severity::Warning);
+        assert_eq!(hit.location.index, Some(1));
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal deterministic property-test harness.
+//!
+//! The workspace runs offline, so instead of a registry dependency this
+//! module drives the vendored [`commorder_synth::rng::Rng`] through a
+//! fixed number of seeded cases. Failures panic with the case name and
+//! seed, so any counterexample is reproducible with
+//! `Rng::new(case_seed(name, seed))`.
+//!
+//! ```
+//! use commorder_check::propcheck::{arb_perm, run_cases};
+//!
+//! run_cases("inverse-round-trips", 16, |rng| {
+//!     let p = arb_perm(rng, 50);
+//!     assert!(p.then(&p.inverse()).expect("same length").is_identity());
+//! });
+//! ```
+
+use commorder_cachesim::Access;
+use commorder_sparse::{CooMatrix, CsrMatrix, Permutation, ELEM_BYTES};
+use commorder_synth::rng::Rng;
+
+/// Number of cases the workspace property tests default to.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Deterministic per-case seed: FNV-1a over the case name mixed with the
+/// case number, so distinct properties explore distinct streams.
+#[must_use]
+pub fn case_seed(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= case;
+    h.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Runs `property` against `cases` independently seeded RNGs.
+///
+/// # Panics
+///
+/// Re-panics any property failure, prefixed with the case name and seed
+/// needed to reproduce it.
+pub fn run_cases<F: FnMut(&mut Rng)>(name: &str, cases: u64, mut property: F) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng::new(seed);
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            let detail = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property {name:?} failed at case {case} (seed {seed:#x}): {detail}");
+        }
+    }
+}
+
+/// A random valid CSR matrix with up to `max_n` rows/columns and about
+/// `avg_degree` entries per row (duplicates merged, so possibly fewer).
+#[must_use]
+pub fn arb_csr(rng: &mut Rng, max_n: u32, avg_degree: u32) -> CsrMatrix {
+    let n = 1 + rng.gen_u32(max_n.max(1));
+    let target = (u64::from(n) * u64::from(avg_degree.max(1))) as usize;
+    let mut entries = Vec::with_capacity(target);
+    for _ in 0..target {
+        let r = rng.gen_u32(n);
+        let c = rng.gen_u32(n);
+        let v = (rng.next_f64() * 4.0 - 2.0) as f32;
+        entries.push((r, c, v));
+    }
+    let coo = CooMatrix::from_entries(n, n, entries).expect("coords drawn in bounds");
+    CsrMatrix::try_from(coo).expect("conversion preserves validity")
+}
+
+/// A random undirected (symmetric) graph as CSR, the input shape every
+/// reordering technique expects.
+#[must_use]
+pub fn arb_graph(rng: &mut Rng, max_n: u32, avg_degree: u32) -> CsrMatrix {
+    let n = 2 + rng.gen_u32(max_n.max(2));
+    let target = (u64::from(n) * u64::from(avg_degree.max(1)) / 2) as usize;
+    let mut entries = Vec::with_capacity(2 * target);
+    for _ in 0..target {
+        let u = rng.gen_u32(n);
+        let v = rng.gen_u32(n);
+        if u == v {
+            continue;
+        }
+        entries.push((u, v, 1.0));
+        entries.push((v, u, 1.0));
+    }
+    let coo = CooMatrix::from_entries(n, n, entries).expect("coords drawn in bounds");
+    CsrMatrix::try_from(coo).expect("conversion preserves validity")
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates over the
+/// identity).
+#[must_use]
+pub fn arb_perm(rng: &mut Rng, n: u32) -> Permutation {
+    let mut ids: Vec<u32> = (0..n).collect();
+    rng.shuffle(&mut ids);
+    Permutation::from_new_ids(ids).expect("a shuffle of the identity is a bijection")
+}
+
+/// A random element-aligned trace over `[0, end)`.
+#[must_use]
+pub fn arb_trace(rng: &mut Rng, len: usize, end: u64) -> Vec<Access> {
+    let elems = (end / ELEM_BYTES).max(1);
+    (0..len)
+        .map(|_| Access {
+            addr: rng.gen_range(elems) * ELEM_BYTES,
+            write: rng.gen_bool(0.25),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::check_csr;
+    use crate::perm::check_permutation;
+    use crate::trace::check_trace;
+
+    #[test]
+    fn case_seeds_are_distinct_per_name_and_case() {
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+        assert_eq!(case_seed("a", 3), case_seed("a", 3));
+    }
+
+    #[test]
+    fn generators_produce_valid_objects() {
+        run_cases("generators-valid", 16, |rng| {
+            let m = arb_csr(rng, 40, 4);
+            assert!(check_csr(&m).is_empty());
+            let g = arb_graph(rng, 40, 4);
+            assert!(g.is_symmetric());
+            let p = arb_perm(rng, g.n_rows());
+            assert!(check_permutation(&p, Some(u64::from(g.n_rows()))).is_empty());
+            let t = arb_trace(rng, 50, 4096);
+            assert!(check_trace(&t, Some(4096), 32).is_empty());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_carry_name_and_seed() {
+        run_cases("always-fails", 4, |_| panic!("boom"));
+    }
+}

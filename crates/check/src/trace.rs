@@ -1,0 +1,316 @@
+//! Validators for address traces, cache geometry, and the GPU spec.
+
+use commorder_cachesim::{Access, CacheConfig};
+use commorder_gpumodel::GpuSpec;
+use commorder_sparse::ELEM_BYTES;
+
+use crate::codes;
+use crate::diag::{Diagnostic, Location};
+
+/// Audits an address trace against the layout it was generated for.
+///
+/// Every access must be element-aligned (`CHK0601`), must not straddle a
+/// `line_bytes` sector (`CHK0602` — impossible for aligned 4-byte
+/// elements, but misaligned fixtures can exhibit it), and must fall
+/// inside `[0, end)` when `end` is given (`CHK0603`, where `end` is the
+/// exclusive byte bound of the operand address space, i.e.
+/// [`ArrayLayout::end`]). An empty trace is flagged as a warning
+/// (`CHK0604`) since every kernel on a non-empty matrix emits accesses.
+///
+/// [`ArrayLayout::end`]: commorder_cachesim::ArrayLayout::end
+#[must_use]
+pub fn check_trace(trace: &[Access], end: Option<u64>, line_bytes: u32) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if trace.is_empty() {
+        out.push(Diagnostic::warning(
+            codes::TRACE_EMPTY,
+            Location::whole("trace"),
+            "trace contains no accesses".to_string(),
+        ));
+        return out;
+    }
+    let line = u64::from(line_bytes.max(1));
+    for (i, a) in trace.iter().enumerate() {
+        if !a.addr.is_multiple_of(ELEM_BYTES) {
+            out.push(Diagnostic::error(
+                codes::TRACE_ALIGN,
+                Location::at("trace", i as u64),
+                format!("address {:#x} is not {ELEM_BYTES}-byte aligned", a.addr),
+            ));
+        }
+        if a.addr / line != (a.addr + ELEM_BYTES - 1) / line {
+            out.push(Diagnostic::error(
+                codes::TRACE_SECTOR,
+                Location::at("trace", i as u64),
+                format!(
+                    "access at {:#x} straddles the {line}-byte sector boundary at {:#x}",
+                    a.addr,
+                    (a.addr / line + 1) * line
+                ),
+            ));
+        }
+        if let Some(end) = end {
+            if a.addr + ELEM_BYTES > end {
+                out.push(Diagnostic::error(
+                    codes::TRACE_BOUNDS,
+                    Location::at("trace", i as u64),
+                    format!("address {:#x} is beyond the layout end {end:#x}", a.addr),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Audits cache geometry: positive line size and associativity
+/// (`CHK0701`), capacity a whole number of sets (`CHK0702`), and — as a
+/// warning — a non-power-of-two line size (`CHK0703`), which no modelled
+/// hardware uses and which breaks the cheap addr/line arithmetic
+/// assumptions elsewhere.
+#[must_use]
+pub fn check_cache_config(config: &CacheConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if config.line_bytes == 0 {
+        out.push(Diagnostic::error(
+            codes::CACHE_ZERO,
+            Location::whole("cache.line_bytes"),
+            "line size must be positive".to_string(),
+        ));
+    }
+    if config.associativity == 0 {
+        out.push(Diagnostic::error(
+            codes::CACHE_ZERO,
+            Location::whole("cache.associativity"),
+            "associativity must be positive".to_string(),
+        ));
+    }
+    if config.capacity_bytes == 0 {
+        out.push(Diagnostic::error(
+            codes::CACHE_ZERO,
+            Location::whole("cache.capacity_bytes"),
+            "capacity must be positive".to_string(),
+        ));
+    }
+    if config.line_bytes > 0 && config.associativity > 0 {
+        let set_bytes = u64::from(config.line_bytes) * u64::from(config.associativity);
+        if !config.capacity_bytes.is_multiple_of(set_bytes) {
+            out.push(Diagnostic::error(
+                codes::CACHE_RAGGED,
+                Location::whole("cache.capacity_bytes"),
+                format!(
+                    "capacity {} is not a multiple of the {set_bytes}-byte set",
+                    config.capacity_bytes
+                ),
+            ));
+        }
+    }
+    if config.line_bytes > 0 && !config.line_bytes.is_power_of_two() {
+        out.push(Diagnostic::warning(
+            codes::CACHE_LINE_POW2,
+            Location::whole("cache.line_bytes"),
+            format!("line size {} is not a power of two", config.line_bytes),
+        ));
+    }
+    out
+}
+
+/// The calibrated bounds for [`GpuSpec::fine_grain_penalty`]; the paper's
+/// Fig. 2 fit gives 0.9, and anything far outside `[0, 5]` no longer
+/// describes a bandwidth-bound device.
+pub const PENALTY_RANGE: (f64, f64) = (0.0, 5.0);
+
+/// Audits a GPU spec: positive finite rate constants (`CHK0801`),
+/// measured bandwidth at or below peak (`CHK0802`), the fine-grain
+/// penalty inside its calibrated range (`CHK0803`), an L2 no larger than
+/// main memory (`CHK0804`), plus the embedded cache geometry checks.
+#[must_use]
+pub fn check_gpu_spec(gpu: &GpuSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let rates = [
+        ("gpu.peak_bandwidth", gpu.peak_bandwidth),
+        ("gpu.measured_bandwidth", gpu.measured_bandwidth),
+        ("gpu.peak_flops_sp", gpu.peak_flops_sp),
+    ];
+    for (object, value) in rates {
+        if !(value.is_finite() && value > 0.0) {
+            out.push(Diagnostic::error(
+                codes::GPU_CONSTANTS,
+                Location::whole(object),
+                format!("rate constant is {value}, must be positive and finite"),
+            ));
+        }
+    }
+    if gpu.memory_capacity == 0 {
+        out.push(Diagnostic::error(
+            codes::GPU_CONSTANTS,
+            Location::whole("gpu.memory_capacity"),
+            "memory capacity must be positive".to_string(),
+        ));
+    }
+    if gpu.measured_bandwidth > gpu.peak_bandwidth {
+        out.push(Diagnostic::error(
+            codes::GPU_BANDWIDTH_ORDER,
+            Location::whole("gpu.measured_bandwidth"),
+            format!(
+                "measured bandwidth {} exceeds theoretical peak {}",
+                gpu.measured_bandwidth, gpu.peak_bandwidth
+            ),
+        ));
+    }
+    if !(gpu.fine_grain_penalty.is_finite()
+        && (PENALTY_RANGE.0..=PENALTY_RANGE.1).contains(&gpu.fine_grain_penalty))
+    {
+        out.push(Diagnostic::error(
+            codes::GPU_PENALTY_RANGE,
+            Location::whole("gpu.fine_grain_penalty"),
+            format!(
+                "penalty {} outside the calibrated range [{}, {}]",
+                gpu.fine_grain_penalty, PENALTY_RANGE.0, PENALTY_RANGE.1
+            ),
+        ));
+    }
+    if gpu.l2.capacity_bytes > gpu.memory_capacity {
+        out.push(Diagnostic::error(
+            codes::GPU_L2_CAPACITY,
+            Location::whole("gpu.l2.capacity_bytes"),
+            format!(
+                "L2 capacity {} exceeds memory capacity {}",
+                gpu.l2.capacity_bytes, gpu.memory_capacity
+            ),
+        ));
+    }
+    out.extend(check_cache_config(&gpu.l2).into_iter().map(|mut d| {
+        d.location.object = format!("gpu.l2.{}", d.location.object.trim_start_matches("cache."));
+        d
+    }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(addr: u64) -> Access {
+        Access { addr, write: false }
+    }
+
+    #[test]
+    fn aligned_in_bounds_trace_is_clean() {
+        let t = [acc(0), acc(4), acc(64)];
+        assert!(check_trace(&t, Some(128), 32).is_empty());
+    }
+
+    #[test]
+    fn misaligned_address_is_chk0601() {
+        let d = check_trace(&[acc(6)], None, 32);
+        assert!(d.iter().any(|d| d.code == codes::TRACE_ALIGN), "{d:?}");
+    }
+
+    #[test]
+    fn sector_straddle_is_chk0602() {
+        // 30..34 crosses the 32-byte boundary (and is misaligned too).
+        let d = check_trace(&[acc(30)], None, 32);
+        assert!(d.iter().any(|d| d.code == codes::TRACE_SECTOR), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_address_is_chk0603() {
+        let d = check_trace(&[acc(128)], Some(128), 32);
+        assert!(d.iter().any(|d| d.code == codes::TRACE_BOUNDS), "{d:?}");
+        assert!(check_trace(&[acc(124)], Some(128), 32).is_empty());
+    }
+
+    #[test]
+    fn empty_trace_is_chk0604_warning() {
+        let d = check_trace(&[], Some(128), 32);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, codes::TRACE_EMPTY);
+        assert_eq!(d[0].severity, crate::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn stock_cache_configs_are_clean() {
+        for c in [
+            CacheConfig::a6000(),
+            CacheConfig::a6000_scaled(),
+            CacheConfig::test_scale(),
+        ] {
+            assert!(check_cache_config(&c).is_empty(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn zero_geometry_is_chk0701() {
+        let d = check_cache_config(&CacheConfig {
+            capacity_bytes: 0,
+            line_bytes: 0,
+            associativity: 0,
+        });
+        assert_eq!(d.iter().filter(|d| d.code == codes::CACHE_ZERO).count(), 3);
+    }
+
+    #[test]
+    fn ragged_capacity_is_chk0702() {
+        let d = check_cache_config(&CacheConfig {
+            capacity_bytes: 1000,
+            line_bytes: 32,
+            associativity: 16,
+        });
+        assert!(d.iter().any(|d| d.code == codes::CACHE_RAGGED), "{d:?}");
+    }
+
+    #[test]
+    fn odd_line_size_is_chk0703_warning() {
+        let d = check_cache_config(&CacheConfig {
+            capacity_bytes: 48 * 16,
+            line_bytes: 48,
+            associativity: 16,
+        });
+        let hit = d
+            .iter()
+            .find(|d| d.code == codes::CACHE_LINE_POW2)
+            .expect("finding");
+        assert_eq!(hit.severity, crate::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn stock_gpu_specs_are_clean() {
+        for g in [
+            GpuSpec::a6000(),
+            GpuSpec::a6000_scaled(),
+            GpuSpec::test_scale(),
+        ] {
+            assert!(check_gpu_spec(&g).is_empty(), "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn corrupted_gpu_spec_reports_each_code() {
+        let mut g = GpuSpec::a6000();
+        g.peak_flops_sp = f64::NAN;
+        g.measured_bandwidth = 2.0 * g.peak_bandwidth;
+        g.fine_grain_penalty = -1.0;
+        g.memory_capacity = g.l2.capacity_bytes / 2;
+        let d = check_gpu_spec(&g);
+        for code in [
+            codes::GPU_CONSTANTS,
+            codes::GPU_BANDWIDTH_ORDER,
+            codes::GPU_PENALTY_RANGE,
+            codes::GPU_L2_CAPACITY,
+        ] {
+            assert!(d.iter().any(|d| d.code == code), "missing {code}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn gpu_spec_embeds_cache_findings_with_prefix() {
+        let mut g = GpuSpec::a6000();
+        g.l2.capacity_bytes = 1000;
+        let d = check_gpu_spec(&g);
+        let hit = d
+            .iter()
+            .find(|d| d.code == codes::CACHE_RAGGED)
+            .expect("finding");
+        assert_eq!(hit.location.object, "gpu.l2.capacity_bytes");
+    }
+}

@@ -7,8 +7,13 @@
 //! commorder-cli simulate <in.mtx> [technique] [kernel]
 //! commorder-cli spy      <in.mtx> [technique]
 //! commorder-cli advise   <in.mtx>
+//! commorder-cli check    <file> [--json]
 //! commorder-cli corpus [export <dir>]
 //! ```
+//!
+//! `check` audits a data file (`.mtx`, `.csr`, `.perm`, `.trace`) against
+//! the workspace invariants and reports stable `CHK` diagnostics; the
+//! process exits non-zero when any error-severity finding is present.
 
 use std::process::ExitCode;
 
@@ -20,7 +25,7 @@ use commorder::synth::corpus;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli corpus [export <dir>]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>",
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace)\n  commorder-cli corpus [export <dir>]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>",
         TECHNIQUE_NAMES.join(" | ")
     );
     ExitCode::FAILURE
@@ -33,7 +38,12 @@ fn load(path: &str) -> Result<CsrMatrix, Box<dyn std::error::Error>> {
 
 fn analyze(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let m = load(path)?;
-    println!("{path}: {} x {}, {} non-zeros", m.n_rows(), m.n_cols(), m.nnz());
+    println!(
+        "{path}: {} x {}, {} non-zeros",
+        m.n_rows(),
+        m.n_cols(),
+        m.nnz()
+    );
     let deg = stats::DegreeStats::from_degrees(&m.out_degrees());
     println!(
         "degrees: min {} / mean {:.2} / median {} / p90 {} / max {} (empty rows: {})",
@@ -65,8 +75,8 @@ fn analyze(path: &str) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn reorder(input: &str, output: &str, technique: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let technique = parse_technique(technique)
-        .ok_or_else(|| format!("unknown technique {technique:?}"))?;
+    let technique =
+        parse_technique(technique).ok_or_else(|| format!("unknown technique {technique:?}"))?;
     let m = load(input)?;
     let start = std::time::Instant::now();
     let perm = technique.reorder(&m)?;
@@ -82,8 +92,8 @@ fn reorder(input: &str, output: &str, technique: &str) -> Result<(), Box<dyn std
 }
 
 fn simulate(path: &str, technique: &str, kernel: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let technique = parse_technique(technique)
-        .ok_or_else(|| format!("unknown technique {technique:?}"))?;
+    let technique =
+        parse_technique(technique).ok_or_else(|| format!("unknown technique {technique:?}"))?;
     let kernel = parse_kernel(kernel).ok_or_else(|| format!("unknown kernel {kernel:?}"))?;
     let m = load(path)?;
     let pipeline = Pipeline::new(GpuSpec::a6000_scaled()).with_kernel(kernel);
@@ -114,6 +124,21 @@ fn spy_plot(path: &str, technique: Option<&str>) -> Result<(), Box<dyn std::erro
         print!("{}", commorder::viz::spy(&reordered, 40));
     }
     Ok(())
+}
+
+fn check(path: &str, json: bool) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let contents = std::fs::read_to_string(path)?;
+    let report = commorder::check::check_file_contents(path, &contents);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.error_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn advise(path: &str) -> Result<(), Box<dyn std::error::Error>> {
@@ -150,8 +175,18 @@ fn main() -> ExitCode {
         [cmd, input, output, technique] if cmd == "reorder" => reorder(input, output, technique),
         [cmd, input] if cmd == "simulate" => simulate(input, "rabbit++", "spmv-csr"),
         [cmd, input, technique] if cmd == "simulate" => simulate(input, technique, "spmv-csr"),
-        [cmd, input, technique, kernel] if cmd == "simulate" => {
-            simulate(input, technique, kernel)
+        [cmd, input, technique, kernel] if cmd == "simulate" => simulate(input, technique, kernel),
+        [cmd, input] if cmd == "check" => {
+            return check(input, false).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            })
+        }
+        [cmd, input, flag] if cmd == "check" && flag == "--json" => {
+            return check(input, true).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            })
         }
         [cmd, input] if cmd == "advise" => advise(input),
         [cmd, input] if cmd == "spy" => spy_plot(input, None),

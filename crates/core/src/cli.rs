@@ -10,8 +10,19 @@ use commorder_sparse::traffic::Kernel;
 
 /// Names accepted by [`parse_technique`], for help text.
 pub const TECHNIQUE_NAMES: &[&str] = &[
-    "original", "random", "degsort", "dbg", "hubsort", "hubgroup", "rcm", "gorder", "rabbit",
-    "rabbit++", "slashburn", "bisection", "labelprop",
+    "original",
+    "random",
+    "degsort",
+    "dbg",
+    "hubsort",
+    "hubgroup",
+    "rcm",
+    "gorder",
+    "rabbit",
+    "rabbit++",
+    "slashburn",
+    "bisection",
+    "labelprop",
 ];
 
 /// Resolves a (case-insensitive) technique name to an instance.
@@ -48,7 +59,10 @@ pub fn parse_kernel(name: &str) -> Option<Kernel> {
         "spmv-coo" => Some(Kernel::SpmvCoo),
         _ => {
             if let Some(k) = lower.strip_prefix("spmm-") {
-                k.parse::<u32>().ok().filter(|&k| k > 0).map(|k| Kernel::SpmmCsr { k })
+                k.parse::<u32>()
+                    .ok()
+                    .filter(|&k| k > 0)
+                    .map(|k| Kernel::SpmmCsr { k })
             } else if let Some(w) = lower.strip_prefix("spmv-tiled-") {
                 w.parse::<u32>()
                     .ok()

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use commorder_cachesim as cachesim;
+pub use commorder_check as check;
 pub use commorder_gpumodel as gpumodel;
 pub use commorder_reorder as reorder;
 pub use commorder_sparse as sparse;
@@ -58,11 +59,11 @@ pub mod prelude {
     pub use crate::cachesim::{trace::ExecutionModel, CacheConfig, CacheStats, LruCache};
     pub use crate::gpumodel::GpuSpec;
     pub use crate::pipeline::{Evaluation, KernelRun, Pipeline, ReplacementPolicy};
-    pub use crate::report::Table;
     pub use crate::reorder::{
         paper_suite, Dbg, DegSort, Gorder, HubGroup, HubPolicy, HubSort, Original, Rabbit,
         RabbitPlusPlus, RabbitPlusPlusConfig, RandomOrder, Rcm, Reordering,
     };
+    pub use crate::report::Table;
     pub use crate::sparse::{traffic::Kernel, CooMatrix, CsrMatrix, Permutation};
     pub use crate::synth::corpus;
 }

@@ -127,6 +127,10 @@ impl Pipeline {
         let nnz = matrix.nnz() as u64;
         let dram_bytes = stats.dram_traffic_bytes();
         let compulsory_bytes = self.kernel.compulsory_bytes(n, nnz);
+        commorder_sparse::debug_validate!(
+            n == 0 || compulsory_bytes > 0,
+            "compulsory traffic must be positive for a non-empty matrix (n = {n}, nnz = {nnz})"
+        );
         KernelRun {
             stats,
             dram_bytes,
@@ -151,7 +155,21 @@ impl Pipeline {
         let start = Instant::now();
         let permutation = technique.reorder(matrix)?;
         let reorder_seconds = start.elapsed().as_secs_f64();
+        commorder_sparse::debug_validate!(
+            permutation.len() == matrix.n_rows() as usize,
+            "{}: permutation length {} does not match n = {}",
+            technique.name(),
+            permutation.len(),
+            matrix.n_rows()
+        );
         let reordered = matrix.permute_symmetric(&permutation)?;
+        commorder_sparse::debug_validate!(
+            reordered.nnz() == matrix.nnz(),
+            "{}: relabelling changed the entry count ({} -> {})",
+            technique.name(),
+            matrix.nnz(),
+            reordered.nnz()
+        );
         let run = self.simulate(&reordered);
         Ok(Evaluation {
             technique: technique.name().to_string(),

@@ -225,7 +225,13 @@ impl Table {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
@@ -271,7 +277,12 @@ mod csv_tests {
         t.add_row(vec!["soc".into()]);
         let path = t.save_csv_if_configured().unwrap().expect("path written");
         assert!(path.exists());
-        assert!(path.file_name().unwrap().to_str().unwrap().contains("fig_2"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("fig_2"));
         std::env::remove_var("COMMORDER_CSV");
         let _ = std::fs::remove_dir_all(&dir);
     }

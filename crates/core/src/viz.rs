@@ -146,19 +146,16 @@ mod tests {
     #[test]
     fn empty_matrix_renders_empty() {
         assert_eq!(spy(&commorder_sparse::CsrMatrix::empty(0), 8), "");
-        assert_eq!(diagonal_mass(&commorder_sparse::CsrMatrix::empty(4), 8, 1), 1.0);
+        assert_eq!(
+            diagonal_mass(&commorder_sparse::CsrMatrix::empty(4), 8, 1),
+            1.0
+        );
     }
 
     #[test]
     fn small_matrix_clamps_grid() {
-        let m = commorder_sparse::CsrMatrix::new(
-            2,
-            2,
-            vec![0, 1, 2],
-            vec![0, 1],
-            vec![1.0, 1.0],
-        )
-        .unwrap();
+        let m = commorder_sparse::CsrMatrix::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0])
+            .unwrap();
         let plot = spy(&m, 40);
         assert_eq!(plot.lines().count(), 2);
     }

@@ -221,12 +221,7 @@ mod tests {
         let g = GpuSpec::a6000();
         let compulsory = Kernel::SpmvCsr.compulsory_bytes(N, NNZ) as f64;
         let check = |traffic_ratio: f64, paper_time_ratio: f64, tolerance: f64| {
-            let t = g.normalized_time(
-                Kernel::SpmvCsr,
-                N,
-                NNZ,
-                (traffic_ratio * compulsory) as u64,
-            );
+            let t = g.normalized_time(Kernel::SpmvCsr, N, NNZ, (traffic_ratio * compulsory) as u64);
             assert!(
                 (t - paper_time_ratio).abs() / paper_time_ratio < tolerance,
                 "traffic {traffic_ratio} -> model {t} vs paper {paper_time_ratio}"
@@ -288,10 +283,7 @@ mod tests {
         let full = GpuSpec::a6000();
         let scaled = GpuSpec::a6000_scaled();
         assert_eq!(full.measured_bandwidth, scaled.measured_bandwidth);
-        assert_eq!(
-            full.l2.capacity_bytes,
-            scaled.l2.capacity_bytes * 48
-        );
+        assert_eq!(full.l2.capacity_bytes, scaled.l2.capacity_bytes * 48);
     }
 }
 
@@ -384,7 +376,12 @@ mod energy_tests {
         let (n, nnz) = (1_000_000u64, 20_000_000u64);
         let bytes = Kernel::SpmvCsr.compulsory_bytes(n, nnz);
         let e = EnergyModel::default().energy(Kernel::SpmvCsr, nnz, bytes, 4 * nnz, 32);
-        assert!(e.dram > e.compute * 10.0, "dram {} vs compute {}", e.dram, e.compute);
+        assert!(
+            e.dram > e.compute * 10.0,
+            "dram {} vs compute {}",
+            e.dram,
+            e.compute
+        );
         assert!(e.dram_fraction() > 0.3);
         assert!(e.total() > 0.0);
     }

@@ -175,9 +175,7 @@ mod tests {
         }
         .generate(1)
         .unwrap();
-        let rec = Advisor::default()
-            .recommend(&g, Budget::Amortized)
-            .unwrap();
+        let rec = Advisor::default().recommend(&g, Budget::Amortized).unwrap();
         assert_eq!(rec.technique.name(), "RCM", "{}", rec.rationale);
         assert!(rec.signals.normalized_index_distance < 0.005);
     }
@@ -200,9 +198,7 @@ mod tests {
     #[test]
     fn skewed_low_insularity_input_gets_rabbitpp() {
         let g = Rmat::graph500(12, 16.0).generate(3).unwrap();
-        let rec = Advisor::default()
-            .recommend(&g, Budget::Amortized)
-            .unwrap();
+        let rec = Advisor::default().recommend(&g, Budget::Amortized).unwrap();
         assert_eq!(rec.technique.name(), "RABBIT++", "{}", rec.rationale);
         assert!(rec.signals.insularity.unwrap() < 0.95);
         assert!(rec.signals.skew > 0.3);
@@ -219,9 +215,7 @@ mod tests {
     #[test]
     fn recommended_technique_actually_runs() {
         let g = Rmat::graph500(9, 6.0).generate(5).unwrap();
-        let rec = Advisor::default()
-            .recommend(&g, Budget::Amortized)
-            .unwrap();
+        let rec = Advisor::default().recommend(&g, Budget::Amortized).unwrap();
         let p = rec.technique.reorder(&g).unwrap();
         assert_eq!(p.len(), g.n_rows() as usize);
     }

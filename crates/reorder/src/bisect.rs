@@ -79,9 +79,10 @@ impl Reordering for Bisection {
 
     fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError> {
         if self.leaf_size == 0 {
-            return Err(SparseError::InvalidPermutation(
-                "leaf_size must be positive".to_string(),
-            ));
+            return Err(SparseError::DimensionMismatch {
+                expected: "leaf_size >= 1".to_string(),
+                found: "leaf_size == 0".to_string(),
+            });
         }
         let sym = ops::symmetrize(a)?;
         let n = sym.n_rows();

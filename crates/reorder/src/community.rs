@@ -283,7 +283,9 @@ pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, Spar
         }
     }
 
-    let mut roots: Vec<u32> = (0..n as u32).filter(|&v| parent[v as usize] == NONE).collect();
+    let mut roots: Vec<u32> = (0..n as u32)
+        .filter(|&v| parent[v as usize] == NONE)
+        .collect();
     roots.sort_unstable();
     Ok(Dendrogram {
         parent,
@@ -326,10 +328,7 @@ mod tests {
         for block in 0..3u32 {
             let base = (block * 5) as usize;
             for i in 1..5 {
-                assert_eq!(
-                    comm[base], comm[base + i],
-                    "clique {block} split apart"
-                );
+                assert_eq!(comm[base], comm[base + i], "clique {block} split apart");
             }
         }
         assert_eq!(d.community_count(), 3, "cliques collapsed or fragmented");

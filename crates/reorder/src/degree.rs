@@ -301,10 +301,7 @@ mod tests {
         let g = star_graph();
         // nnz = 12, n = 6, mean = 2; hub iff degree > 2: only vertex 3 (5).
         let mask = hub_mask(&g);
-        assert_eq!(
-            mask,
-            vec![false, false, false, true, false, false]
-        );
+        assert_eq!(mask, vec![false, false, false, true, false, false]);
     }
 
     #[test]

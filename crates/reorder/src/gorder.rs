@@ -152,13 +152,7 @@ impl UnitHeap {
 impl Gorder {
     /// Applies the score delta of vertex `v` entering (+1) or leaving (-1)
     /// the window.
-    fn apply_window_delta(
-        &self,
-        sym: &CsrMatrix,
-        heap: &mut UnitHeap,
-        v: u32,
-        enter: bool,
-    ) {
+    fn apply_window_delta(&self, sym: &CsrMatrix, heap: &mut UnitHeap, v: u32, enter: bool) {
         let bump = |heap: &mut UnitHeap, w: u32| {
             if enter {
                 heap.increment(w);
@@ -204,9 +198,7 @@ impl Reordering for Gorder {
         let mut order: Vec<u32> = Vec::with_capacity(n as usize);
 
         // Seed with the maximum-degree vertex (reference implementation).
-        let start = (0..n)
-            .max_by_key(|&v| sym.row_degree(v))
-            .expect("n > 0");
+        let start = (0..n).max_by_key(|&v| sym.row_degree(v)).expect("n > 0");
         heap.extract(start);
         order.push(start);
         self.apply_window_delta(&sym, &mut heap, start, true);

@@ -88,7 +88,11 @@ pub fn insular_fraction(a: &CsrMatrix, assignment: &[u32]) -> Result<f64, Sparse
 /// wrong-length assignment.
 pub fn modularity(a: &CsrMatrix, assignment: &[u32]) -> Result<f64, SparseError> {
     validate(a, assignment)?;
-    let k = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let k = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut w_in = vec![0f64; k];
     let mut d = vec![0f64; k];
     let mut total = 0f64;
@@ -137,7 +141,11 @@ impl CommunityStats {
         let n: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
         let max = sizes.iter().copied().max().unwrap_or(0);
         let count = sizes.len();
-        let mean = if count == 0 { 0.0 } else { n as f64 / count as f64 };
+        let mean = if count == 0 {
+            0.0
+        } else {
+            n as f64 / count as f64
+        };
         CommunityStats {
             count,
             mean_size: mean,
@@ -162,9 +170,15 @@ mod tests {
     /// entries) and 2 inter (4 entries), so insularity is 18/22.
     fn fig1() -> (CsrMatrix, Vec<u32>) {
         let intra = [
-            (0, 1), (1, 2), (0, 2), // community 0
-            (3, 4), (4, 5), (3, 5), // community 1
-            (6, 7), (7, 8), (6, 8), // community 2
+            (0, 1),
+            (1, 2),
+            (0, 2), // community 0
+            (3, 4),
+            (4, 5),
+            (3, 5), // community 1
+            (6, 7),
+            (7, 8),
+            (6, 8), // community 2
         ];
         let inter = [(2, 3), (5, 6)];
         let entries: Vec<_> = intra
@@ -404,7 +418,10 @@ mod agreement_tests {
         let detected = crate::Rabbit::new().run(&g).unwrap().assignment;
         let planted: Vec<u32> = (0..1024).map(|v| v / 64).collect();
         let ari = adjusted_rand_index(&detected, &planted).unwrap();
-        assert!(ari > 0.8, "rabbit should recover planted blocks: ari = {ari}");
+        assert!(
+            ari > 0.8,
+            "rabbit should recover planted blocks: ari = {ari}"
+        );
         let nmi = normalized_mutual_information(&detected, &planted).unwrap();
         assert!(nmi > 0.85, "nmi = {nmi}");
     }

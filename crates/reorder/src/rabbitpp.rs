@@ -174,8 +174,7 @@ impl RabbitPlusPlus {
                 .collect();
             if seg == 0 && self.config.hub_policy == HubPolicy::Sort {
                 let degrees = a.in_degrees();
-                seg_vertices
-                    .sort_by_key(|&v| std::cmp::Reverse(degrees[v as usize]));
+                seg_vertices.sort_by_key(|&v| std::cmp::Reverse(degrees[v as usize]));
             }
             order.extend(seg_vertices);
         }
@@ -347,6 +346,9 @@ mod tests {
         assert_eq!(r.insular.len(), g.n_rows() as usize);
         assert_eq!(r.hubs.len(), g.n_rows() as usize);
         assert!(r.hubs.iter().any(|&h| h), "web graph must have hubs");
-        assert!(r.insular.iter().any(|&i| i), "web graph must have insular nodes");
+        assert!(
+            r.insular.iter().any(|&i| i),
+            "web graph must have insular nodes"
+        );
     }
 }

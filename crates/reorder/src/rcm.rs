@@ -127,8 +127,7 @@ mod tests {
     fn rcm_recovers_path_bandwidth_after_scrambling() {
         let tidy = path(64);
         // Scramble with a fixed permutation.
-        let scramble =
-            crate::RandomOrder::new(9).reorder(&tidy).unwrap();
+        let scramble = crate::RandomOrder::new(9).reorder(&tidy).unwrap();
         let messy = tidy.permute_symmetric(&scramble).unwrap();
         assert!(bandwidth(&messy) > 10);
         let p = Rcm.reorder(&messy).unwrap();
@@ -179,8 +178,12 @@ mod tests {
     fn rcm_works_on_directed_input() {
         // Directed cycle — symmetrized internally.
         let m = CsrMatrix::try_from(
-            CooMatrix::from_entries(4, 4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
-                .unwrap(),
+            CooMatrix::from_entries(
+                4,
+                4,
+                vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
+            )
+            .unwrap(),
         )
         .unwrap();
         let p = Rcm.reorder(&m).unwrap();

@@ -39,10 +39,10 @@ impl Reordering for SlashBurn {
 
     fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError> {
         if !(0.0..=1.0).contains(&self.hub_fraction) || self.hub_fraction == 0.0 {
-            return Err(SparseError::InvalidPermutation(format!(
-                "hub_fraction {} must be in (0, 1]",
-                self.hub_fraction
-            )));
+            return Err(SparseError::DimensionMismatch {
+                expected: "hub_fraction in (0, 1]".to_string(),
+                found: format!("hub_fraction == {}", self.hub_fraction),
+            });
         }
         let sym = ops::symmetrize(a)?;
         let n = sym.n_rows();

@@ -1,29 +1,17 @@
 //! Property-based tests for the reordering crate: every technique yields
 //! a bijection on arbitrary graphs, community metrics respect their
 //! bounds, and RABBIT++'s segment layout laws hold.
+//!
+//! Driven by the offline `commorder_check::propcheck` harness.
 
+use commorder_check::propcheck::{arb_graph, run_cases, DEFAULT_CASES};
 use commorder_reorder::{
     community::{detect, DetectionConfig},
     quality, Bisection, Dbg, DegSort, FlatCommunity, Gorder, HubGroup, HubPolicy, HubSort,
     LabelPropagation, Original, Rabbit, RabbitPlusPlus, RabbitPlusPlusConfig, RandomOrder, Rcm,
     Reordering, SlashBurn,
 };
-use commorder_sparse::{ops, CooMatrix, CsrMatrix};
-use proptest::prelude::*;
-
-fn arb_graph(max_n: u32) -> impl Strategy<Value = CsrMatrix> {
-    (2..=max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n), 0..120).prop_map(move |pairs| {
-            let entries: Vec<(u32, u32, f32)> = pairs
-                .into_iter()
-                .filter(|&(u, v)| u != v)
-                .flat_map(|(u, v)| [(u, v, 1.0), (v, u, 1.0)])
-                .collect();
-            let coo = CooMatrix::from_entries(n, n, entries).expect("coords in range");
-            CsrMatrix::try_from(coo).expect("valid")
-        })
-    })
-}
+use commorder_sparse::ops;
 
 fn all_techniques() -> Vec<Box<dyn Reordering>> {
     vec![
@@ -44,90 +32,107 @@ fn all_techniques() -> Vec<Box<dyn Reordering>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_technique_is_total_and_bijective(g in arb_graph(32)) {
+#[test]
+fn every_technique_is_total_and_bijective() {
+    run_cases("techniques-bijective", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 30, 4);
         for technique in all_techniques() {
             let p = technique.reorder(&g).expect("square input must succeed");
-            prop_assert_eq!(p.len(), g.n_rows() as usize, "{}", technique.name());
+            assert_eq!(p.len(), g.n_rows() as usize, "{}", technique.name());
             let r = g.permute_symmetric(&p).expect("valid perm");
-            prop_assert_eq!(r.nnz(), g.nnz(), "{}", technique.name());
-            prop_assert!(r.is_symmetric(), "{}", technique.name());
+            assert_eq!(r.nnz(), g.nnz(), "{}", technique.name());
+            assert!(r.is_symmetric(), "{}", technique.name());
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_technique_is_deterministic(g in arb_graph(24)) {
+#[test]
+fn every_technique_is_deterministic() {
+    run_cases("techniques-deterministic", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 22, 4);
         for technique in all_techniques() {
             let a = technique.reorder(&g).expect("square");
             let b = technique.reorder(&g).expect("square");
-            prop_assert_eq!(a, b, "{} not deterministic", technique.name());
+            assert_eq!(a, b, "{} not deterministic", technique.name());
         }
-    }
+    });
+}
 
-    #[test]
-    fn dendrogram_assignment_and_order_are_consistent(g in arb_graph(32)) {
+#[test]
+fn dendrogram_assignment_and_order_are_consistent() {
+    run_cases("dendrogram-consistent", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 30, 4);
         let d = detect(&g, DetectionConfig::default()).expect("square");
         let comm = d.assignment();
         let order = d.dfs_order();
         // dfs_order is a permutation of all vertices.
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..g.n_rows()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..g.n_rows()).collect::<Vec<_>>());
         // Communities are contiguous runs in the order.
         let mut seen = std::collections::HashSet::new();
         let mut prev = u32::MAX;
         for &v in &order {
             let c = comm[v as usize];
             if c != prev {
-                prop_assert!(seen.insert(c), "community {} fragmented", c);
+                assert!(seen.insert(c), "community {c} fragmented");
                 prev = c;
             }
         }
         // Sizes sum to n.
         let total: u32 = d.community_sizes().iter().sum();
-        prop_assert_eq!(total, g.n_rows());
-    }
+        assert_eq!(total, g.n_rows());
+    });
+}
 
-    #[test]
-    fn singleton_assignment_has_zero_insularity_iff_edges_exist(g in arb_graph(24)) {
+#[test]
+fn singleton_assignment_has_zero_insularity_iff_edges_exist() {
+    run_cases("singleton-insularity", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 22, 3);
         let singletons: Vec<u32> = (0..g.n_rows()).collect();
         let ins = quality::insularity(&g, &singletons).expect("validated");
         if g.nnz() == 0 {
-            prop_assert_eq!(ins, 1.0);
+            assert_eq!(ins, 1.0);
         } else {
             // No self loops in arb_graph, so no intra edges.
-            prop_assert_eq!(ins, 0.0);
+            assert_eq!(ins, 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn one_community_maximizes_insularity_minimizes_modularity_gap(g in arb_graph(24)) {
+#[test]
+fn one_community_maximizes_insularity_minimizes_modularity_gap() {
+    run_cases("blob-community", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 22, 3);
         let blob = vec![0u32; g.n_rows() as usize];
-        prop_assert_eq!(quality::insularity(&g, &blob).expect("validated"), 1.0);
+        assert_eq!(quality::insularity(&g, &blob).expect("validated"), 1.0);
         let sym = ops::symmetrize(&g).expect("square");
         let q = quality::modularity(&sym, &blob).expect("validated");
-        prop_assert!(q.abs() < 1e-9, "single blob modularity must be 0, got {}", q);
-    }
+        assert!(q.abs() < 1e-9, "single blob modularity must be 0, got {q}");
+    });
+}
 
-    #[test]
-    fn detected_modularity_not_worse_than_singletons(g in arb_graph(32)) {
+#[test]
+fn detected_modularity_not_worse_than_singletons() {
+    run_cases("modularity-improves", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 30, 4);
         let sym = ops::symmetrize(&g).expect("square");
         let d = detect(&sym, DetectionConfig::default()).expect("square");
         let detected = quality::modularity(&sym, &d.assignment()).expect("validated");
         let singles: Vec<u32> = (0..sym.n_rows()).collect();
         let baseline = quality::modularity(&sym, &singles).expect("validated");
         // Each merge required a positive gain, so Q can only have grown.
-        prop_assert!(detected >= baseline - 1e-9, "{} < {}", detected, baseline);
-    }
+        assert!(detected >= baseline - 1e-9, "{detected} < {baseline}");
+    });
+}
 
-    #[test]
-    fn rabbitpp_design_space_all_valid(g in arb_graph(24)) {
+#[test]
+fn rabbitpp_design_space_all_valid() {
+    run_cases("rabbitpp-design-space", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 22, 4);
         for config in RabbitPlusPlusConfig::design_space() {
             let r = RabbitPlusPlus::with_config(config).run(&g).expect("square");
-            prop_assert_eq!(r.permutation.len(), g.n_rows() as usize);
+            assert_eq!(r.permutation.len(), g.n_rows() as usize);
             // Hub segment must be sorted by decreasing degree under Sort.
             if config.hub_policy == HubPolicy::Sort && !config.group_insular {
                 let inv = r.permutation.inverse();
@@ -136,26 +141,27 @@ proptest! {
                 let mut prev = u32::MAX;
                 for new_id in 0..hub_count {
                     let d = degrees[inv.new_of(new_id) as usize];
-                    prop_assert!(d <= prev);
+                    assert!(d <= prev);
                     prev = d;
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn insular_nodes_never_touch_other_communities(g in arb_graph(32)) {
+#[test]
+fn insular_nodes_never_touch_other_communities() {
+    run_cases("insular-no-cross-edges", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 30, 4);
         let r = Rabbit::new().run(&g).expect("square");
         let mask = quality::insular_nodes(&g, &r.assignment).expect("validated");
         for (row, col, _) in g.iter() {
             if mask[row as usize] {
-                prop_assert_eq!(
-                    r.assignment[row as usize],
-                    r.assignment[col as usize],
-                    "insular node {} has a cross-community edge",
-                    row
+                assert_eq!(
+                    r.assignment[row as usize], r.assignment[col as usize],
+                    "insular node {row} has a cross-community edge"
                 );
             }
         }
-    }
+    });
 }

@@ -49,17 +49,21 @@ impl CsrMatrix {
         values: Vec<f32>,
     ) -> Result<Self, SparseError> {
         if row_offsets.len() != n_rows as usize + 1 {
-            return Err(SparseError::InvalidOffsets(format!(
-                "row_offsets.len() = {}, expected n_rows + 1 = {}",
-                row_offsets.len(),
-                n_rows as usize + 1
-            )));
+            return Err(SparseError::InvalidOffsets {
+                index: row_offsets.len(),
+                value: row_offsets.len() as u64,
+                message: format!(
+                    "row_offsets.len() must be n_rows + 1 = {}",
+                    n_rows as usize + 1
+                ),
+            });
         }
         if row_offsets[0] != 0 {
-            return Err(SparseError::InvalidOffsets(format!(
-                "row_offsets[0] = {}, expected 0",
-                row_offsets[0]
-            )));
+            return Err(SparseError::InvalidOffsets {
+                index: 0,
+                value: u64::from(row_offsets[0]),
+                message: "row_offsets must start at 0".to_string(),
+            });
         }
         if values.len() != col_indices.len() {
             return Err(SparseError::DimensionMismatch {
@@ -67,19 +71,21 @@ impl CsrMatrix {
                 found: format!("values.len() == {}", values.len()),
             });
         }
-        if *row_offsets.last().expect("non-empty by construction") as usize != col_indices.len() {
-            return Err(SparseError::InvalidOffsets(format!(
-                "last offset {} != nnz {}",
-                row_offsets.last().unwrap(),
-                col_indices.len()
-            )));
+        let last = *row_offsets.last().expect("non-empty by construction");
+        if last as usize != col_indices.len() {
+            return Err(SparseError::InvalidOffsets {
+                index: row_offsets.len() - 1,
+                value: u64::from(last),
+                message: format!("last offset must equal nnz = {}", col_indices.len()),
+            });
         }
-        for w in row_offsets.windows(2) {
+        for (i, w) in row_offsets.windows(2).enumerate() {
             if w[1] < w[0] {
-                return Err(SparseError::InvalidOffsets(format!(
-                    "offsets decrease: {} then {}",
-                    w[0], w[1]
-                )));
+                return Err(SparseError::InvalidOffsets {
+                    index: i + 1,
+                    value: u64::from(w[1]),
+                    message: format!("offsets must be non-decreasing (previous was {})", w[0]),
+                });
             }
         }
         for r in 0..n_rows as usize {
@@ -93,10 +99,14 @@ impl CsrMatrix {
                     });
                 }
                 if k > 0 && row[k - 1] >= c {
-                    return Err(SparseError::InvalidOffsets(format!(
-                        "row {r} columns not strictly increasing: {} then {c}",
-                        row[k - 1]
-                    )));
+                    return Err(SparseError::InvalidOffsets {
+                        index: lo + k,
+                        value: u64::from(c),
+                        message: format!(
+                            "row {r} columns must be strictly increasing (previous was {})",
+                            row[k - 1]
+                        ),
+                    });
                 }
             }
         }
@@ -299,11 +309,7 @@ impl CsrMatrix {
             let old_r = inv.new_of(new_r);
             let (cols, vals) = self.row(old_r);
             scratch.clear();
-            scratch.extend(
-                cols.iter()
-                    .zip(vals)
-                    .map(|(&c, &v)| (perm.new_of(c), v)),
-            );
+            scratch.extend(cols.iter().zip(vals).map(|(&c, &v)| (perm.new_of(c), v)));
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in &scratch {
                 col_indices.push(c);
@@ -383,46 +389,46 @@ mod tests {
     #[test]
     fn new_validates_offsets_length() {
         let err = CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
-        assert!(matches!(err, SparseError::InvalidOffsets(_)));
+        assert!(matches!(err, SparseError::InvalidOffsets { .. }));
     }
 
     #[test]
     fn new_validates_first_offset_zero() {
         let err = CsrMatrix::new(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
-        assert!(matches!(err, SparseError::InvalidOffsets(_)));
+        assert!(matches!(err, SparseError::InvalidOffsets { .. }));
     }
 
     #[test]
     fn new_validates_monotone_offsets() {
-        let err =
-            CsrMatrix::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
-        assert!(matches!(err, SparseError::InvalidOffsets(_)));
+        let err = CsrMatrix::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidOffsets { .. }));
     }
 
     #[test]
     fn new_validates_last_offset() {
         let err = CsrMatrix::new(1, 2, vec![0, 2], vec![0], vec![1.0]).unwrap_err();
-        assert!(matches!(err, SparseError::InvalidOffsets(_)));
+        assert!(matches!(err, SparseError::InvalidOffsets { .. }));
     }
 
     #[test]
     fn new_validates_column_bounds() {
         let err = CsrMatrix::new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
-        assert!(matches!(err, SparseError::IndexOutOfBounds { index: 5, bound: 2 }));
+        assert!(matches!(
+            err,
+            SparseError::IndexOutOfBounds { index: 5, bound: 2 }
+        ));
     }
 
     #[test]
     fn new_rejects_unsorted_rows() {
-        let err =
-            CsrMatrix::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
-        assert!(matches!(err, SparseError::InvalidOffsets(_)));
+        let err = CsrMatrix::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidOffsets { .. }));
     }
 
     #[test]
     fn new_rejects_duplicate_columns() {
-        let err =
-            CsrMatrix::new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
-        assert!(matches!(err, SparseError::InvalidOffsets(_)));
+        let err = CsrMatrix::new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidOffsets { .. }));
     }
 
     #[test]
@@ -488,7 +494,7 @@ mod tests {
         let p = Permutation::from_new_ids(vec![2, 1, 0]).unwrap();
         let pm = m.permute_symmetric(&p).unwrap();
         assert_eq!(pm, m); // path 0-1-2 relabelled as 2-1-0 is the same CSR
-        // A non-trivial relabelling: rotate.
+                           // A non-trivial relabelling: rotate.
         let p = Permutation::from_new_ids(vec![1, 2, 0]).unwrap();
         let pm = m.permute_symmetric(&p).unwrap();
         // old edges (0,1),(1,2) -> new edges (1,2),(2,0)

@@ -227,10 +227,8 @@ mod tests {
             entries.push((0, v, 1.0));
             entries.push((v, 0, 1.0));
         }
-        let csr = CsrMatrix::try_from(
-            crate::CooMatrix::from_entries(100, 100, entries).unwrap(),
-        )
-        .unwrap();
+        let csr = CsrMatrix::try_from(crate::CooMatrix::from_entries(100, 100, entries).unwrap())
+            .unwrap();
         let ell = EllMatrix::from_csr(&csr).unwrap();
         assert_eq!(ell.width(), 99);
         // 100 rows x width 99 vs 198 nnz: ~50x padding waste.

@@ -21,9 +21,24 @@ pub enum SparseError {
     /// A CSR/CSC offsets array is malformed (wrong length, not
     /// monotonically non-decreasing, or its last entry disagrees with the
     /// index-array length).
-    InvalidOffsets(String),
+    InvalidOffsets {
+        /// Position in the offsets (or index) array where the violation
+        /// was detected; equals the array length for length mismatches.
+        index: usize,
+        /// The offending value observed at `index`.
+        value: u64,
+        /// What the invariant required instead.
+        message: String,
+    },
     /// A permutation is not a bijection on `0..len`.
-    InvalidPermutation(String),
+    InvalidPermutation {
+        /// Position (old ID / rank) of the offending entry.
+        index: usize,
+        /// The offending entry value.
+        value: u32,
+        /// Which bijection law was broken.
+        message: String,
+    },
     /// The matrix (or an operation's requirement) exceeds `u32` indexing.
     TooLarge(String),
     /// A Matrix Market stream could not be parsed.
@@ -47,8 +62,22 @@ impl fmt::Display for SparseError {
             SparseError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds (must be < {bound})")
             }
-            SparseError::InvalidOffsets(msg) => write!(f, "invalid offsets array: {msg}"),
-            SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::InvalidOffsets {
+                index,
+                value,
+                message,
+            } => write!(
+                f,
+                "invalid offsets array at index {index} (value {value}): {message}"
+            ),
+            SparseError::InvalidPermutation {
+                index,
+                value,
+                message,
+            } => write!(
+                f,
+                "invalid permutation at position {index} (value {value}): {message}"
+            ),
             SparseError::TooLarge(msg) => write!(f, "matrix too large: {msg}"),
             SparseError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -99,5 +128,30 @@ mod tests {
     fn index_out_of_bounds_display() {
         let e = SparseError::IndexOutOfBounds { index: 9, bound: 5 };
         assert_eq!(e.to_string(), "index 9 out of bounds (must be < 5)");
+    }
+
+    #[test]
+    fn invalid_offsets_carries_index_and_value() {
+        let e = SparseError::InvalidOffsets {
+            index: 3,
+            value: 7,
+            message: "offsets must be non-decreasing".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("index 3"), "{s}");
+        assert!(s.contains("value 7"), "{s}");
+        assert!(s.contains("non-decreasing"), "{s}");
+    }
+
+    #[test]
+    fn invalid_permutation_carries_index_and_value() {
+        let e = SparseError::InvalidPermutation {
+            index: 2,
+            value: 9,
+            message: "entry exceeds permutation length 4".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("position 2"), "{s}");
+        assert!(s.contains("value 9"), "{s}");
     }
 }

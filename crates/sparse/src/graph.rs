@@ -25,11 +25,7 @@ pub const UNREACHED: u32 = u32::MAX;
 /// # Errors
 ///
 /// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
-pub fn pagerank(
-    a: &CsrMatrix,
-    damping: f32,
-    iterations: u32,
-) -> Result<Vec<f32>, SparseError> {
+pub fn pagerank(a: &CsrMatrix, damping: f32, iterations: u32) -> Result<Vec<f32>, SparseError> {
     if !a.is_square() {
         return Err(SparseError::DimensionMismatch {
             expected: "square matrix".to_string(),
@@ -46,10 +42,7 @@ pub fn pagerank(
     let mut next = vec![0f32; n];
     for _ in 0..iterations {
         // Dangling mass redistributes uniformly.
-        let dangling: f32 = (0..n)
-            .filter(|&v| out_degrees[v] == 0)
-            .map(|v| pr[v])
-            .sum();
+        let dangling: f32 = (0..n).filter(|&v| out_degrees[v] == 0).map(|v| pr[v]).sum();
         let base = (1.0 - damping) / n as f32 + damping * dangling / n as f32;
         for v in 0..a.n_rows() {
             let (in_neighbours, _) = transpose.row(v);
@@ -139,8 +132,7 @@ mod tests {
             entries.push((0, v, 1.0));
             entries.push((v, 0, 1.0));
         }
-        let g =
-            CsrMatrix::try_from(CooMatrix::from_entries(10, 10, entries).unwrap()).unwrap();
+        let g = CsrMatrix::try_from(CooMatrix::from_entries(10, 10, entries).unwrap()).unwrap();
         let pr = pagerank(&g, 0.85, 30).unwrap();
         for v in 1..10 {
             assert!(pr[0] > pr[v], "hub must outrank leaf {v}");

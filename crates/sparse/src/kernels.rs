@@ -38,6 +38,10 @@ pub fn spmv_csr(a: &CsrMatrix, x: &[f32]) -> Result<Vec<f32>, SparseError> {
     let mut y = vec![0f32; a.n_rows() as usize];
     for row in 0..a.n_rows() {
         let (cols, vals) = a.row(row);
+        crate::debug_validate!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "spmv_csr: row {row} columns must be strictly increasing"
+        );
         let mut acc = 0f32;
         for (&c, &v) in cols.iter().zip(vals) {
             acc += v * x[c as usize];
@@ -64,6 +68,12 @@ pub fn spmv_coo(a: &CooMatrix, x: &[f32]) -> Result<Vec<f32>, SparseError> {
     }
     let mut y = vec![0f32; a.n_rows() as usize];
     for &(r, c, v) in a.entries() {
+        crate::debug_validate!(
+            r < a.n_rows() && c < a.n_cols(),
+            "spmv_coo: entry ({r}, {c}) outside {} x {}",
+            a.n_rows(),
+            a.n_cols()
+        );
         y[r as usize] += v * x[c as usize];
     }
     Ok(y)
@@ -97,6 +107,10 @@ pub fn spmm_csr(a: &CsrMatrix, b: &[f32], k: u32) -> Result<Vec<f32>, SparseErro
     let mut c_out = vec![0f32; a.n_rows() as usize * k];
     for row in 0..a.n_rows() {
         let (cols, vals) = a.row(row);
+        crate::debug_validate!(
+            cols.last().is_none_or(|&c| c < a.n_cols()),
+            "spmm_csr: row {row} column out of bounds"
+        );
         let out = &mut c_out[row as usize * k..(row as usize + 1) * k];
         for (&c, &v) in cols.iter().zip(vals) {
             let b_row = &b[c as usize * k..(c as usize + 1) * k];
@@ -141,6 +155,10 @@ pub fn spmv_csr_tiled(a: &CsrMatrix, x: &[f32], tile_cols: u32) -> Result<Vec<f3
             // Rows are sorted: binary-search the tile's column range.
             let lo = cols.partition_point(|&c| c < tile_start);
             let hi = cols.partition_point(|&c| c < tile_end);
+            crate::debug_validate!(
+                lo <= hi && cols[lo..hi].iter().all(|&c| tile_start <= c && c < tile_end),
+                "spmv_csr_tiled: row {row} tile [{tile_start}, {tile_end}) selected out-of-tile columns"
+            );
             let mut acc = 0f32;
             for (&c, &v) in cols[lo..hi].iter().zip(&vals[lo..hi]) {
                 acc += v * x[c as usize];
@@ -194,6 +212,10 @@ pub fn spmv_blocked(a: &CsrMatrix, x: &[f32], bins: u32) -> Result<Vec<f32>, Spa
         let xv = x[c as usize];
         let (rows, vals) = csc.col(c);
         for (&r, &v) in rows.iter().zip(vals) {
+            crate::debug_validate!(
+                r / rows_per_bin < bins,
+                "spmv_blocked: row {r} maps past bin {bins}"
+            );
             buckets[(r / rows_per_bin) as usize].push((r, v * xv));
         }
     }

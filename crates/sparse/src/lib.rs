@@ -71,3 +71,43 @@ pub use sell::SellMatrix;
 /// The paper's traffic model (§IV-B) assumes 4-byte values and coordinates;
 /// every byte-accounting helper in this workspace uses this constant.
 pub const ELEM_BYTES: u64 = 4;
+
+/// Strict-mode invariant assertion, compiled out unless the *calling*
+/// crate enables its `strict-checks` feature.
+///
+/// Hot paths (kernels, trace generators, the pipeline) thread their
+/// structural invariants through this macro so that
+/// `cargo test --features strict-checks` audits every stage while release
+/// builds pay nothing: `cfg!(feature = "strict-checks")` is a compile-time
+/// constant, so the whole check folds away when the feature is off.
+///
+/// Each crate that uses the macro must declare its own `strict-checks`
+/// feature (macro expansion evaluates `cfg!` against the caller), and
+/// downstream crates forward it (`commorder-cachesim/strict-checks`
+/// enables `commorder-sparse/strict-checks`, and so on up to
+/// `commorder/strict-checks`).
+///
+/// # Example
+///
+/// ```
+/// use commorder_sparse::debug_validate;
+///
+/// let offsets = [0u32, 2, 5];
+/// debug_validate!(
+///     offsets.windows(2).all(|w| w[0] <= w[1]),
+///     "offsets must be monotone: {offsets:?}"
+/// );
+/// ```
+#[macro_export]
+macro_rules! debug_validate {
+    ($cond:expr, $($arg:tt)+) => {
+        if cfg!(feature = "strict-checks") {
+            assert!($cond, $($arg)+);
+        }
+    };
+    ($cond:expr) => {
+        if cfg!(feature = "strict-checks") {
+            assert!($cond);
+        }
+    };
+}

@@ -130,7 +130,12 @@ pub fn mask_incident(a: &CsrMatrix, keep: &[bool]) -> Result<CsrMatrix, SparseEr
     if !a.is_square() || keep.len() != a.n_rows() as usize {
         return Err(SparseError::DimensionMismatch {
             expected: format!("square matrix with keep.len() == {}", a.n_rows()),
-            found: format!("{} x {}, keep.len() == {}", a.n_rows(), a.n_cols(), keep.len()),
+            found: format!(
+                "{} x {}, keep.len() == {}",
+                a.n_rows(),
+                a.n_cols(),
+                keep.len()
+            ),
         });
     }
     let mut row_offsets = Vec::with_capacity(a.n_rows() as usize + 1);
@@ -191,14 +196,7 @@ mod tests {
 
     fn directed_sample() -> CsrMatrix {
         // 0 -> 1, 2 -> 1 (directed), self loop at 2.
-        CsrMatrix::new(
-            3,
-            3,
-            vec![0, 1, 1, 3],
-            vec![1, 1, 2],
-            vec![1.0, 1.0, 9.0],
-        )
-        .unwrap()
+        CsrMatrix::new(3, 3, vec![0, 1, 1, 3], vec![1, 1, 2], vec![1.0, 1.0, 9.0]).unwrap()
     }
 
     #[test]

@@ -59,14 +59,18 @@ impl Permutation {
         let mut seen = vec![false; new_ids.len()];
         for (old, &new) in new_ids.iter().enumerate() {
             if new >= n {
-                return Err(SparseError::InvalidPermutation(format!(
-                    "entry {new} at position {old} is >= length {n}"
-                )));
+                return Err(SparseError::InvalidPermutation {
+                    index: old,
+                    value: new,
+                    message: format!("entry must be < length {n}"),
+                });
             }
             if seen[new as usize] {
-                return Err(SparseError::InvalidPermutation(format!(
-                    "target id {new} appears more than once"
-                )));
+                return Err(SparseError::InvalidPermutation {
+                    index: old,
+                    value: new,
+                    message: "target id appears more than once".to_string(),
+                });
             }
             seen[new as usize] = true;
         }
@@ -94,14 +98,18 @@ impl Permutation {
         let mut new_ids = vec![u32::MAX; order.len()];
         for (new, &old) in order.iter().enumerate() {
             if old >= n {
-                return Err(SparseError::InvalidPermutation(format!(
-                    "order entry {old} at rank {new} is >= length {n}"
-                )));
+                return Err(SparseError::InvalidPermutation {
+                    index: new,
+                    value: old,
+                    message: format!("order entry must be < length {n}"),
+                });
             }
             if new_ids[old as usize] != u32::MAX {
-                return Err(SparseError::InvalidPermutation(format!(
-                    "old id {old} appears more than once in order"
-                )));
+                return Err(SparseError::InvalidPermutation {
+                    index: new,
+                    value: old,
+                    message: "old id appears more than once in order".to_string(),
+                });
             }
             new_ids[old as usize] = new as u32;
         }
@@ -153,6 +161,11 @@ impl Permutation {
     pub fn inverse(&self) -> Permutation {
         let mut inv = vec![0u32; self.new_ids.len()];
         for (old, &new) in self.new_ids.iter().enumerate() {
+            crate::debug_validate!(
+                (new as usize) < inv.len(),
+                "inverse: entry {new} at {old} escapes 0..{}",
+                inv.len()
+            );
             inv[new as usize] = old as u32;
         }
         Permutation { new_ids: inv }
@@ -217,6 +230,12 @@ impl Permutation {
         }
         let mut out = vec![T::default(); data.len()];
         for (old, item) in data.iter().enumerate() {
+            crate::debug_validate!(
+                (self.new_ids[old] as usize) < out.len(),
+                "apply_to_vec: target slot {} for old id {old} escapes 0..{}",
+                self.new_ids[old],
+                out.len()
+            );
             out[self.new_ids[old] as usize] = item.clone();
         }
         Ok(out)
@@ -246,13 +265,13 @@ mod tests {
     #[test]
     fn from_new_ids_rejects_out_of_range() {
         let err = Permutation::from_new_ids(vec![0, 3]).unwrap_err();
-        assert!(matches!(err, SparseError::InvalidPermutation(_)));
+        assert!(matches!(err, SparseError::InvalidPermutation { .. }));
     }
 
     #[test]
     fn from_new_ids_rejects_duplicates() {
         let err = Permutation::from_new_ids(vec![1, 1, 0]).unwrap_err();
-        assert!(matches!(err, SparseError::InvalidPermutation(_)));
+        assert!(matches!(err, SparseError::InvalidPermutation { .. }));
     }
 
     #[test]

@@ -62,11 +62,7 @@ impl SellMatrix {
         slice_offsets.push(0u32);
         let mut total: u64 = 0;
         for slice in sorted_rows.chunks(c as usize) {
-            let width = slice
-                .iter()
-                .map(|&r| csr.row_degree(r))
-                .max()
-                .unwrap_or(0);
+            let width = slice.iter().map(|&r| csr.row_degree(r)).max().unwrap_or(0);
             slice_widths.push(width);
             total += u64::from(width) * c as u64;
             if total > u64::from(u32::MAX) {
@@ -107,6 +103,12 @@ impl SellMatrix {
     #[must_use]
     pub fn n_rows(&self) -> u32 {
         self.n_rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn n_cols(&self) -> u32 {
+        self.n_cols
     }
 
     /// Slice height `C`.
@@ -286,8 +288,7 @@ mod tests {
         let entries: Vec<_> = (0..9u32)
             .flat_map(|v| [(v, v + 1, 1.0), (v + 1, v, 1.0)])
             .collect();
-        let csr =
-            CsrMatrix::try_from(CooMatrix::from_entries(10, 10, entries).unwrap()).unwrap();
+        let csr = CsrMatrix::try_from(CooMatrix::from_entries(10, 10, entries).unwrap()).unwrap();
         let sell = SellMatrix::from_csr(&csr, 4, 8).unwrap();
         let x = vec![1.0f32; 10];
         assert_eq!(sell.spmv(&x).unwrap(), spmv_csr(&csr, &x).unwrap());

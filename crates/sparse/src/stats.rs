@@ -94,10 +94,7 @@ pub fn skew_top_fraction(a: &CsrMatrix, frac: f64) -> f64 {
 /// "non-zeros close to the main diagonal").
 #[must_use]
 pub fn bandwidth(a: &CsrMatrix) -> u32 {
-    a.iter()
-        .map(|(r, c, _)| r.abs_diff(c))
-        .max()
-        .unwrap_or(0)
+    a.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
 }
 
 /// Mean |r - c| over stored entries (0 for an empty matrix) — a smoother

@@ -96,15 +96,9 @@ impl Kernel {
         match *self {
             Kernel::SpmvCsr => (2 * n + (n + 1) + 2 * nnz) * ELEM_BYTES,
             Kernel::SpmvCoo => (2 * n + 3 * nnz) * ELEM_BYTES,
-            Kernel::SpmmCsr { k } => {
-                (2 * n * u64::from(k) + (n + 1) + 2 * nnz) * ELEM_BYTES
-            }
-            Kernel::SpmvCsrTiled { .. } => {
-                (2 * n + self.tiles(n) * (n + 1) + 2 * nnz) * ELEM_BYTES
-            }
-            Kernel::SpmvBlocked { .. } => {
-                (2 * n + (n + 1) + 2 * nnz + 4 * nnz) * ELEM_BYTES
-            }
+            Kernel::SpmmCsr { k } => (2 * n * u64::from(k) + (n + 1) + 2 * nnz) * ELEM_BYTES,
+            Kernel::SpmvCsrTiled { .. } => (2 * n + self.tiles(n) * (n + 1) + 2 * nnz) * ELEM_BYTES,
+            Kernel::SpmvBlocked { .. } => (2 * n + (n + 1) + 2 * nnz + 4 * nnz) * ELEM_BYTES,
         }
     }
 

@@ -205,155 +205,608 @@ pub fn standard() -> Vec<CorpusEntry> {
     };
 
     // --- Social networks: R-MAT, heavy skew (5) -------------------------
-    push("soc-rmat-32k", Domain::Social, S::Rmat(Rmat::graph500(15, 16.0)), 101, AsGenerated);
-    push("soc-rmat-65k", Domain::Social, S::Rmat(Rmat::graph500(16, 16.0)), 102, AsGenerated);
-    push("soc-rmat-131k", Domain::Social, S::Rmat(Rmat::graph500(17, 12.0)), 103, AsGenerated);
-    push("soc-rmat-dense", Domain::Social, S::Rmat(Rmat::graph500(15, 32.0)), 104, AsGenerated);
-    push("soc-rmat-mild", Domain::Social, S::Rmat(Rmat::mild(16, 14.0)), 105, AsGenerated);
+    push(
+        "soc-rmat-32k",
+        Domain::Social,
+        S::Rmat(Rmat::graph500(15, 16.0)),
+        101,
+        AsGenerated,
+    );
+    push(
+        "soc-rmat-65k",
+        Domain::Social,
+        S::Rmat(Rmat::graph500(16, 16.0)),
+        102,
+        AsGenerated,
+    );
+    push(
+        "soc-rmat-131k",
+        Domain::Social,
+        S::Rmat(Rmat::graph500(17, 12.0)),
+        103,
+        AsGenerated,
+    );
+    push(
+        "soc-rmat-dense",
+        Domain::Social,
+        S::Rmat(Rmat::graph500(15, 32.0)),
+        104,
+        AsGenerated,
+    );
+    push(
+        "soc-rmat-mild",
+        Domain::Social,
+        S::Rmat(Rmat::mild(16, 14.0)),
+        105,
+        AsGenerated,
+    );
 
     // --- Social networks: preferential attachment (3) -------------------
-    push("soc-pa-65k", Domain::Social,
-        S::BarabasiAlbert(BarabasiAlbert { n: 65_536, m: 8, scramble_ids: true }), 111, AsGenerated);
-    push("soc-pa-100k", Domain::Social,
-        S::BarabasiAlbert(BarabasiAlbert { n: 100_000, m: 6, scramble_ids: true }), 112, AsGenerated);
-    push("soc-pa-heavy", Domain::Social,
-        S::BarabasiAlbert(BarabasiAlbert { n: 49_152, m: 16, scramble_ids: true }), 113, AsGenerated);
+    push(
+        "soc-pa-65k",
+        Domain::Social,
+        S::BarabasiAlbert(BarabasiAlbert {
+            n: 65_536,
+            m: 8,
+            scramble_ids: true,
+        }),
+        111,
+        AsGenerated,
+    );
+    push(
+        "soc-pa-100k",
+        Domain::Social,
+        S::BarabasiAlbert(BarabasiAlbert {
+            n: 100_000,
+            m: 6,
+            scramble_ids: true,
+        }),
+        112,
+        AsGenerated,
+    );
+    push(
+        "soc-pa-heavy",
+        Domain::Social,
+        S::BarabasiAlbert(BarabasiAlbert {
+            n: 49_152,
+            m: 16,
+            scramble_ids: true,
+        }),
+        113,
+        AsGenerated,
+    );
 
     // --- Web crawls: communities + hubs (6) ------------------------------
     // "sk-2005": publisher shipped it already community-ordered.
-    push("web-sk-like", Domain::Web,
-        S::CommunityHub(CommunityHub { n: 98_304, communities: 768, intra_degree: 12.0,
-            hub_fraction: 0.01, hub_degree: 24.0, mixing: 0.04, scramble_ids: false }), 121, AsGenerated);
+    push(
+        "web-sk-like",
+        Domain::Web,
+        S::CommunityHub(CommunityHub {
+            n: 98_304,
+            communities: 768,
+            intra_degree: 12.0,
+            hub_fraction: 0.01,
+            hub_degree: 24.0,
+            mixing: 0.04,
+            scramble_ids: false,
+        }),
+        121,
+        AsGenerated,
+    );
     // "pld-arc": same structure, carelessly published.
-    push("web-pld-like", Domain::Web,
-        S::CommunityHub(CommunityHub { n: 98_304, communities: 768, intra_degree: 12.0,
-            hub_fraction: 0.01, hub_degree: 24.0, mixing: 0.04, scramble_ids: false }), 121, Scrambled);
-    push("web-stackex", Domain::Web,
-        S::CommunityHub(CommunityHub { n: 65_536, communities: 512, intra_degree: 8.0,
-            hub_fraction: 0.05, hub_degree: 20.0, mixing: 0.10, scramble_ids: true }), 123, AsGenerated);
-    push("web-portal", Domain::Web,
-        S::CommunityHub(CommunityHub { n: 81_920, communities: 320, intra_degree: 10.0,
-            hub_fraction: 0.03, hub_degree: 40.0, mixing: 0.08, scramble_ids: true }), 124, AsGenerated);
-    push("web-forum", Domain::Web,
-        S::CommunityHub(CommunityHub { n: 49_152, communities: 384, intra_degree: 14.0,
-            hub_fraction: 0.02, hub_degree: 16.0, mixing: 0.15, scramble_ids: true }), 125, AsGenerated);
-    push("web-deep", Domain::Web,
-        S::CommunityHub(CommunityHub { n: 131_072, communities: 1024, intra_degree: 6.0,
-            hub_fraction: 0.008, hub_degree: 32.0, mixing: 0.05, scramble_ids: true }), 126, AsGenerated);
+    push(
+        "web-pld-like",
+        Domain::Web,
+        S::CommunityHub(CommunityHub {
+            n: 98_304,
+            communities: 768,
+            intra_degree: 12.0,
+            hub_fraction: 0.01,
+            hub_degree: 24.0,
+            mixing: 0.04,
+            scramble_ids: false,
+        }),
+        121,
+        Scrambled,
+    );
+    push(
+        "web-stackex",
+        Domain::Web,
+        S::CommunityHub(CommunityHub {
+            n: 65_536,
+            communities: 512,
+            intra_degree: 8.0,
+            hub_fraction: 0.05,
+            hub_degree: 20.0,
+            mixing: 0.10,
+            scramble_ids: true,
+        }),
+        123,
+        AsGenerated,
+    );
+    push(
+        "web-portal",
+        Domain::Web,
+        S::CommunityHub(CommunityHub {
+            n: 81_920,
+            communities: 320,
+            intra_degree: 10.0,
+            hub_fraction: 0.03,
+            hub_degree: 40.0,
+            mixing: 0.08,
+            scramble_ids: true,
+        }),
+        124,
+        AsGenerated,
+    );
+    push(
+        "web-forum",
+        Domain::Web,
+        S::CommunityHub(CommunityHub {
+            n: 49_152,
+            communities: 384,
+            intra_degree: 14.0,
+            hub_fraction: 0.02,
+            hub_degree: 16.0,
+            mixing: 0.15,
+            scramble_ids: true,
+        }),
+        125,
+        AsGenerated,
+    );
+    push(
+        "web-deep",
+        Domain::Web,
+        S::CommunityHub(CommunityHub {
+            n: 131_072,
+            communities: 1024,
+            intra_degree: 6.0,
+            hub_fraction: 0.008,
+            hub_degree: 32.0,
+            mixing: 0.05,
+            scramble_ids: true,
+        }),
+        126,
+        AsGenerated,
+    );
 
     // --- Optimization / strongly clustered (6) ---------------------------
-    push("opt-block-512", Domain::Optimization,
-        S::PlantedPartition(PlantedPartition::uniform(65_536, 512, 12.0, 0.02)), 131, Scrambled);
-    push("opt-block-256", Domain::Optimization,
-        S::PlantedPartition(PlantedPartition::uniform(65_536, 256, 16.0, 0.01)), 132, Scrambled);
-    push("opt-block-1k", Domain::Optimization,
-        S::PlantedPartition(PlantedPartition::uniform(98_304, 1024, 10.0, 0.03)), 133, Scrambled);
-    push("opt-clean", Domain::Optimization,
-        S::PlantedPartition(PlantedPartition::uniform(49_152, 768, 14.0, 0.005)), 134, AsGenerated);
-    push("opt-plaw-sizes", Domain::Optimization,
-        S::PlantedPartition(PlantedPartition { n: 65_536, communities: 400, intra_degree: 10.0,
-            mixing: 0.05, size_alpha: Some(1.8) }), 135, Scrambled);
-    push("opt-mixed", Domain::Optimization,
-        S::PlantedPartition(PlantedPartition::uniform(81_920, 640, 8.0, 0.20)), 136, Scrambled);
+    push(
+        "opt-block-512",
+        Domain::Optimization,
+        S::PlantedPartition(PlantedPartition::uniform(65_536, 512, 12.0, 0.02)),
+        131,
+        Scrambled,
+    );
+    push(
+        "opt-block-256",
+        Domain::Optimization,
+        S::PlantedPartition(PlantedPartition::uniform(65_536, 256, 16.0, 0.01)),
+        132,
+        Scrambled,
+    );
+    push(
+        "opt-block-1k",
+        Domain::Optimization,
+        S::PlantedPartition(PlantedPartition::uniform(98_304, 1024, 10.0, 0.03)),
+        133,
+        Scrambled,
+    );
+    push(
+        "opt-clean",
+        Domain::Optimization,
+        S::PlantedPartition(PlantedPartition::uniform(49_152, 768, 14.0, 0.005)),
+        134,
+        AsGenerated,
+    );
+    push(
+        "opt-plaw-sizes",
+        Domain::Optimization,
+        S::PlantedPartition(PlantedPartition {
+            n: 65_536,
+            communities: 400,
+            intra_degree: 10.0,
+            mixing: 0.05,
+            size_alpha: Some(1.8),
+        }),
+        135,
+        Scrambled,
+    );
+    push(
+        "opt-mixed",
+        Domain::Optimization,
+        S::PlantedPartition(PlantedPartition::uniform(81_920, 640, 8.0, 0.20)),
+        136,
+        Scrambled,
+    );
 
     // --- Road networks (4) ------------------------------------------------
-    push("road-grid-64k", Domain::Road,
-        S::Grid2d(Grid2d { width: 320, height: 205, diagonals: false, shortcut_p: 0.02,
-            scramble_ids: false }), 141, AsGenerated);
-    push("road-grid-messy", Domain::Road,
-        S::Grid2d(Grid2d { width: 320, height: 205, diagonals: false, shortcut_p: 0.02,
-            scramble_ids: false }), 141, Scrambled);
-    push("road-grid-131k", Domain::Road,
-        S::Grid2d(Grid2d { width: 512, height: 256, diagonals: false, shortcut_p: 0.01,
-            scramble_ids: false }), 143, Scrambled);
-    push("road-bridges", Domain::Road,
-        S::Grid2d(Grid2d { width: 400, height: 240, diagonals: false, shortcut_p: 0.08,
-            scramble_ids: false }), 144, Scrambled);
+    push(
+        "road-grid-64k",
+        Domain::Road,
+        S::Grid2d(Grid2d {
+            width: 320,
+            height: 205,
+            diagonals: false,
+            shortcut_p: 0.02,
+            scramble_ids: false,
+        }),
+        141,
+        AsGenerated,
+    );
+    push(
+        "road-grid-messy",
+        Domain::Road,
+        S::Grid2d(Grid2d {
+            width: 320,
+            height: 205,
+            diagonals: false,
+            shortcut_p: 0.02,
+            scramble_ids: false,
+        }),
+        141,
+        Scrambled,
+    );
+    push(
+        "road-grid-131k",
+        Domain::Road,
+        S::Grid2d(Grid2d {
+            width: 512,
+            height: 256,
+            diagonals: false,
+            shortcut_p: 0.01,
+            scramble_ids: false,
+        }),
+        143,
+        Scrambled,
+    );
+    push(
+        "road-bridges",
+        Domain::Road,
+        S::Grid2d(Grid2d {
+            width: 400,
+            height: 240,
+            diagonals: false,
+            shortcut_p: 0.08,
+            scramble_ids: false,
+        }),
+        144,
+        Scrambled,
+    );
 
     // --- CFD meshes (4) ----------------------------------------------------
-    push("cfd-cube-40", Domain::Cfd,
-        S::Grid3d(Grid3d { nx: 40, ny: 40, nz: 40, scramble_ids: false }), 151, AsGenerated);
-    push("cfd-slab", Domain::Cfd,
-        S::Grid3d(Grid3d { nx: 128, ny: 64, nz: 12, scramble_ids: false }), 152, Scrambled);
-    push("cfd-stencil9", Domain::Cfd,
-        S::Grid2d(Grid2d { width: 300, height: 220, diagonals: true, shortcut_p: 0.0,
-            scramble_ids: false }), 153, AsGenerated);
-    push("cfd-stencil9-messy", Domain::Cfd,
-        S::Grid2d(Grid2d { width: 300, height: 220, diagonals: true, shortcut_p: 0.0,
-            scramble_ids: false }), 153, Scrambled);
+    push(
+        "cfd-cube-40",
+        Domain::Cfd,
+        S::Grid3d(Grid3d {
+            nx: 40,
+            ny: 40,
+            nz: 40,
+            scramble_ids: false,
+        }),
+        151,
+        AsGenerated,
+    );
+    push(
+        "cfd-slab",
+        Domain::Cfd,
+        S::Grid3d(Grid3d {
+            nx: 128,
+            ny: 64,
+            nz: 12,
+            scramble_ids: false,
+        }),
+        152,
+        Scrambled,
+    );
+    push(
+        "cfd-stencil9",
+        Domain::Cfd,
+        S::Grid2d(Grid2d {
+            width: 300,
+            height: 220,
+            diagonals: true,
+            shortcut_p: 0.0,
+            scramble_ids: false,
+        }),
+        153,
+        AsGenerated,
+    );
+    push(
+        "cfd-stencil9-messy",
+        Domain::Cfd,
+        S::Grid2d(Grid2d {
+            width: 300,
+            height: 220,
+            diagonals: true,
+            shortcut_p: 0.0,
+            scramble_ids: false,
+        }),
+        153,
+        Scrambled,
+    );
 
     // --- Circuit simulation (4) --------------------------------------------
-    push("circuit-40k", Domain::Circuit,
-        S::Banded(Banded { n: 40_960, band: 48, fill_degree: 6.0, long_range_p: 0.08,
-            scramble_ids: false }), 161, AsGenerated);
-    push("circuit-80k", Domain::Circuit,
-        S::Banded(Banded { n: 81_920, band: 64, fill_degree: 5.0, long_range_p: 0.12,
-            scramble_ids: false }), 162, AsGenerated);
-    push("circuit-messy", Domain::Circuit,
-        S::Banded(Banded { n: 65_536, band: 48, fill_degree: 6.0, long_range_p: 0.10,
-            scramble_ids: false }), 163, Scrambled);
-    push("circuit-global", Domain::Circuit,
-        S::Banded(Banded { n: 49_152, band: 32, fill_degree: 5.0, long_range_p: 0.30,
-            scramble_ids: false }), 164, AsGenerated);
+    push(
+        "circuit-40k",
+        Domain::Circuit,
+        S::Banded(Banded {
+            n: 40_960,
+            band: 48,
+            fill_degree: 6.0,
+            long_range_p: 0.08,
+            scramble_ids: false,
+        }),
+        161,
+        AsGenerated,
+    );
+    push(
+        "circuit-80k",
+        Domain::Circuit,
+        S::Banded(Banded {
+            n: 81_920,
+            band: 64,
+            fill_degree: 5.0,
+            long_range_p: 0.12,
+            scramble_ids: false,
+        }),
+        162,
+        AsGenerated,
+    );
+    push(
+        "circuit-messy",
+        Domain::Circuit,
+        S::Banded(Banded {
+            n: 65_536,
+            band: 48,
+            fill_degree: 6.0,
+            long_range_p: 0.10,
+            scramble_ids: false,
+        }),
+        163,
+        Scrambled,
+    );
+    push(
+        "circuit-global",
+        Domain::Circuit,
+        S::Banded(Banded {
+            n: 49_152,
+            band: 32,
+            fill_degree: 5.0,
+            long_range_p: 0.30,
+            scramble_ids: false,
+        }),
+        164,
+        AsGenerated,
+    );
 
     // --- Electromagnetics / DNA electrophoresis (2) --------------------------
-    push("em-wideband", Domain::Physics,
-        S::Banded(Banded { n: 65_536, band: 256, fill_degree: 10.0, long_range_p: 0.02,
-            scramble_ids: false }), 171, AsGenerated);
-    push("dna-electro", Domain::Physics,
-        S::Banded(Banded { n: 98_304, band: 96, fill_degree: 7.0, long_range_p: 0.01,
-            scramble_ids: false }), 172, Scrambled);
+    push(
+        "em-wideband",
+        Domain::Physics,
+        S::Banded(Banded {
+            n: 65_536,
+            band: 256,
+            fill_degree: 10.0,
+            long_range_p: 0.02,
+            scramble_ids: false,
+        }),
+        171,
+        AsGenerated,
+    );
+    push(
+        "dna-electro",
+        Domain::Physics,
+        S::Banded(Banded {
+            n: 98_304,
+            band: 96,
+            fill_degree: 7.0,
+            long_range_p: 0.01,
+            scramble_ids: false,
+        }),
+        172,
+        Scrambled,
+    );
 
     // --- Protein k-mer / DNA assembly (4) -------------------------------------
-    push("kmer-65k", Domain::Kmer,
-        S::KmerChain(KmerChain { n: 65_536, chains: 64, branch_p: 0.05, cross_p: 0.01,
-            scramble_ids: false }), 181, Scrambled);
-    push("kmer-131k", Domain::Kmer,
-        S::KmerChain(KmerChain { n: 131_072, chains: 128, branch_p: 0.04, cross_p: 0.01,
-            scramble_ids: false }), 182, Scrambled);
-    push("kmer-branchy", Domain::Kmer,
-        S::KmerChain(KmerChain { n: 81_920, chains: 80, branch_p: 0.15, cross_p: 0.02,
-            scramble_ids: false }), 183, Scrambled);
-    push("kmer-tidy", Domain::Kmer,
-        S::KmerChain(KmerChain { n: 65_536, chains: 64, branch_p: 0.05, cross_p: 0.01,
-            scramble_ids: false }), 184, AsGenerated);
+    push(
+        "kmer-65k",
+        Domain::Kmer,
+        S::KmerChain(KmerChain {
+            n: 65_536,
+            chains: 64,
+            branch_p: 0.05,
+            cross_p: 0.01,
+            scramble_ids: false,
+        }),
+        181,
+        Scrambled,
+    );
+    push(
+        "kmer-131k",
+        Domain::Kmer,
+        S::KmerChain(KmerChain {
+            n: 131_072,
+            chains: 128,
+            branch_p: 0.04,
+            cross_p: 0.01,
+            scramble_ids: false,
+        }),
+        182,
+        Scrambled,
+    );
+    push(
+        "kmer-branchy",
+        Domain::Kmer,
+        S::KmerChain(KmerChain {
+            n: 81_920,
+            chains: 80,
+            branch_p: 0.15,
+            cross_p: 0.02,
+            scramble_ids: false,
+        }),
+        183,
+        Scrambled,
+    );
+    push(
+        "kmer-tidy",
+        Domain::Kmer,
+        S::KmerChain(KmerChain {
+            n: 65_536,
+            chains: 64,
+            branch_p: 0.05,
+            cross_p: 0.01,
+            scramble_ids: false,
+        }),
+        184,
+        AsGenerated,
+    );
 
     // --- Knowledge bases / citation (3) -----------------------------------------
-    push("kb-cite", Domain::Knowledge,
-        S::BarabasiAlbert(BarabasiAlbert { n: 81_920, m: 10, scramble_ids: true }), 191, AsGenerated);
-    push("kb-wiki-like", Domain::Knowledge,
-        S::CommunityHub(CommunityHub { n: 98_304, communities: 256, intra_degree: 7.0,
-            hub_fraction: 0.04, hub_degree: 28.0, mixing: 0.25, scramble_ids: true }), 192, AsGenerated);
-    push("kb-patents", Domain::Knowledge,
-        S::BarabasiAlbert(BarabasiAlbert { n: 131_072, m: 5, scramble_ids: true }), 193, AsGenerated);
+    push(
+        "kb-cite",
+        Domain::Knowledge,
+        S::BarabasiAlbert(BarabasiAlbert {
+            n: 81_920,
+            m: 10,
+            scramble_ids: true,
+        }),
+        191,
+        AsGenerated,
+    );
+    push(
+        "kb-wiki-like",
+        Domain::Knowledge,
+        S::CommunityHub(CommunityHub {
+            n: 98_304,
+            communities: 256,
+            intra_degree: 7.0,
+            hub_fraction: 0.04,
+            hub_degree: 28.0,
+            mixing: 0.25,
+            scramble_ids: true,
+        }),
+        192,
+        AsGenerated,
+    );
+    push(
+        "kb-patents",
+        Domain::Knowledge,
+        S::BarabasiAlbert(BarabasiAlbert {
+            n: 131_072,
+            m: 5,
+            scramble_ids: true,
+        }),
+        193,
+        AsGenerated,
+    );
 
     // --- Network traces: the mawi anomaly (2) --------------------------------------
-    push("trace-mawi-like", Domain::NetworkTrace,
-        S::HubAndSpoke(HubAndSpoke { n: 65_536, hubs: 1, hub_coverage: 0.85,
-            background_degree: 0.3 }), 201, AsGenerated);
-    push("trace-sensors", Domain::NetworkTrace,
-        S::HubAndSpoke(HubAndSpoke { n: 49_152, hubs: 8, hub_coverage: 0.20,
-            background_degree: 2.0 }), 202, Scrambled);
+    push(
+        "trace-mawi-like",
+        Domain::NetworkTrace,
+        S::HubAndSpoke(HubAndSpoke {
+            n: 65_536,
+            hubs: 1,
+            hub_coverage: 0.85,
+            background_degree: 0.3,
+        }),
+        201,
+        AsGenerated,
+    );
+    push(
+        "trace-sensors",
+        Domain::NetworkTrace,
+        S::HubAndSpoke(HubAndSpoke {
+            n: 49_152,
+            hubs: 8,
+            hub_coverage: 0.20,
+            background_degree: 2.0,
+        }),
+        202,
+        Scrambled,
+    );
 
     // --- Small world (3) --------------------------------------------------------------
-    push("sw-ring-65k", Domain::SmallWorld,
-        S::WattsStrogatz(WattsStrogatz { n: 65_536, k: 12, rewire_p: 0.05 }), 211, Scrambled);
-    push("sw-ring-100k", Domain::SmallWorld,
-        S::WattsStrogatz(WattsStrogatz { n: 100_000, k: 8, rewire_p: 0.10 }), 212, Scrambled);
-    push("sw-chaotic", Domain::SmallWorld,
-        S::WattsStrogatz(WattsStrogatz { n: 49_152, k: 16, rewire_p: 0.35 }), 213, Scrambled);
+    push(
+        "sw-ring-65k",
+        Domain::SmallWorld,
+        S::WattsStrogatz(WattsStrogatz {
+            n: 65_536,
+            k: 12,
+            rewire_p: 0.05,
+        }),
+        211,
+        Scrambled,
+    );
+    push(
+        "sw-ring-100k",
+        Domain::SmallWorld,
+        S::WattsStrogatz(WattsStrogatz {
+            n: 100_000,
+            k: 8,
+            rewire_p: 0.10,
+        }),
+        212,
+        Scrambled,
+    );
+    push(
+        "sw-chaotic",
+        Domain::SmallWorld,
+        S::WattsStrogatz(WattsStrogatz {
+            n: 49_152,
+            k: 16,
+            rewire_p: 0.35,
+        }),
+        213,
+        Scrambled,
+    );
 
     // --- Random controls (2) -------------------------------------------------------------
-    push("rnd-er-49k", Domain::Random,
-        S::ErdosRenyi(ErdosRenyi { n: 49_152, avg_degree: 12.0 }), 221, AsGenerated);
-    push("rnd-er-sparse", Domain::Random,
-        S::ErdosRenyi(ErdosRenyi { n: 81_920, avg_degree: 4.0 }), 222, AsGenerated);
+    push(
+        "rnd-er-49k",
+        Domain::Random,
+        S::ErdosRenyi(ErdosRenyi {
+            n: 49_152,
+            avg_degree: 12.0,
+        }),
+        221,
+        AsGenerated,
+    );
+    push(
+        "rnd-er-sparse",
+        Domain::Random,
+        S::ErdosRenyi(ErdosRenyi {
+            n: 81_920,
+            avg_degree: 4.0,
+        }),
+        222,
+        AsGenerated,
+    );
 
     // --- Additional diversity to reach 50 ---------------------------------------------------
-    push("soc-rmat-xl", Domain::Social, S::Rmat(Rmat::graph500(17, 16.0)), 231, AsGenerated);
-    push("web-crawl-frontier", Domain::Web,
-        S::CommunityHub(CommunityHub { n: 114_688, communities: 896, intra_degree: 9.0,
-            hub_fraction: 0.015, hub_degree: 36.0, mixing: 0.06, scramble_ids: true }), 232, AsGenerated);
+    push(
+        "soc-rmat-xl",
+        Domain::Social,
+        S::Rmat(Rmat::graph500(17, 16.0)),
+        231,
+        AsGenerated,
+    );
+    push(
+        "web-crawl-frontier",
+        Domain::Web,
+        S::CommunityHub(CommunityHub {
+            n: 114_688,
+            communities: 896,
+            intra_degree: 9.0,
+            hub_fraction: 0.015,
+            hub_degree: 36.0,
+            mixing: 0.06,
+            scramble_ids: true,
+        }),
+        232,
+        AsGenerated,
+    );
     assert_eq!(v.len(), 50, "standard corpus must have exactly 50 entries");
     v
 }

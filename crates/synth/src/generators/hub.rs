@@ -49,8 +49,7 @@ impl HubAndSpoke {
                 }
             }
         }
-        let background_edges =
-            (f64::from(self.n) * self.background_degree / 2.0).round() as usize;
+        let background_edges = (f64::from(self.n) * self.background_degree / 2.0).round() as usize;
         for _ in 0..background_edges {
             let u = rng.gen_u32(self.n);
             let v = rng.gen_u32(self.n);

@@ -72,8 +72,7 @@ impl CommunityHub {
         let hub_count = ((f64::from(self.n) * self.hub_fraction).round() as u32).max(1);
         for _ in 0..hub_count {
             let h = rng.gen_u32(self.n);
-            let extra =
-                (self.hub_degree * rng.power_law(2.0, 16) as f64).round() as usize;
+            let extra = (self.hub_degree * rng.power_law(2.0, 16) as f64).round() as usize;
             for _ in 0..extra {
                 let v = rng.gen_u32(self.n);
                 if v != h {
@@ -124,10 +123,7 @@ mod tests {
     fn majority_of_edges_stay_in_planted_blocks_when_unscrambled() {
         let g = sample(false).generate(2).unwrap();
         let size = 100; // 4000 / 40
-        let intra = g
-            .iter()
-            .filter(|&(r, c, _)| r / size == c / size)
-            .count();
+        let intra = g.iter().filter(|&(r, c, _)| r / size == c / size).count();
         let frac = intra as f64 / g.nnz() as f64;
         assert!(frac > 0.5, "intra fraction = {frac}");
     }

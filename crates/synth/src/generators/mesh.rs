@@ -36,7 +36,10 @@ impl Grid2d {
     /// Panics if either dimension is zero or the vertex count overflows
     /// `u32`.
     pub fn generate(&self, seed: u64) -> Result<CsrMatrix, SparseError> {
-        assert!(self.width > 0 && self.height > 0, "dimensions must be positive");
+        assert!(
+            self.width > 0 && self.height > 0,
+            "dimensions must be positive"
+        );
         let n_u64 = u64::from(self.width) * u64::from(self.height);
         assert!(n_u64 <= u64::from(u32::MAX), "grid too large for u32 ids");
         let n = n_u64 as u32;

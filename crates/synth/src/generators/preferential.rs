@@ -40,8 +40,7 @@ impl BarabasiAlbert {
         // `targets` holds one entry per edge endpoint: sampling uniformly
         // from it is sampling proportional to degree.
         let mut targets: Vec<u32> = Vec::with_capacity(2 * self.n as usize * self.m as usize);
-        let mut edges: Vec<(u32, u32)> =
-            Vec::with_capacity(self.n as usize * self.m as usize);
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(self.n as usize * self.m as usize);
         // Seed clique over the first m+1 vertices.
         for u in 0..=self.m {
             for v in (u + 1)..=self.m {

@@ -51,9 +51,7 @@ impl PlantedPartition {
             None => vec![self.n / k; k as usize],
             Some(alpha) => {
                 // Draw relative weights from a power law, then scale to n.
-                let weights: Vec<f64> = (0..k)
-                    .map(|_| rng.power_law(alpha, 1000) as f64)
-                    .collect();
+                let weights: Vec<f64> = (0..k).map(|_| rng.power_law(alpha, 1000) as f64).collect();
                 let total: f64 = weights.iter().sum();
                 weights
                     .iter()
@@ -73,11 +71,15 @@ impl PlantedPartition {
         }
         // Prefix-sum into bounds [0, b1, b2, ..., n].
         let mut bounds = Vec::with_capacity(k as usize + 1);
-        bounds.push(0u32);
+        let mut acc = 0u32;
+        bounds.push(acc);
         for s in sizes {
-            bounds.push(bounds.last().unwrap() + s);
+            acc += s;
+            bounds.push(acc);
         }
-        *bounds.last_mut().unwrap() = self.n;
+        if let Some(last) = bounds.last_mut() {
+            *last = self.n;
+        }
         bounds
     }
 
@@ -102,8 +104,7 @@ impl PlantedPartition {
             if size < 2 {
                 continue;
             }
-            let intra_edges =
-                (f64::from(size) * self.intra_degree / 2.0).round() as usize;
+            let intra_edges = (f64::from(size) * self.intra_degree / 2.0).round() as usize;
             for _ in 0..intra_edges {
                 let u = lo + rng.gen_u32(size);
                 let v = lo + rng.gen_u32(size);

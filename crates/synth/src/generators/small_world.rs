@@ -33,7 +33,10 @@ impl WattsStrogatz {
     ///
     /// Panics if `k` is odd, zero, or `>= n`.
     pub fn generate(&self, seed: u64) -> Result<CsrMatrix, SparseError> {
-        assert!(self.k >= 2 && self.k.is_multiple_of(2), "k must be even and >= 2");
+        assert!(
+            self.k >= 2 && self.k.is_multiple_of(2),
+            "k must be even and >= 2"
+        );
         assert!(self.k < self.n, "k must be < n");
         let mut rng = Rng::new(seed);
         let mut edges = Vec::with_capacity(self.n as usize * self.k as usize / 2);

@@ -1,0 +1,408 @@
+//! The offline source-lint pass.
+//!
+//! Rules (stable `XT` codes, mirroring the runtime checker's `CHK` codes):
+//!
+//! | Code   | Severity | Rule |
+//! |--------|----------|------|
+//! | XT0001 | error    | `unsafe` token in source (defence in depth on top of `forbid(unsafe_code)`) |
+//! | XT0002 | error    | `.unwrap()` in non-test library code |
+//! | XT0003 | warning  | `.expect(` in non-test library code (allowed when the proof is in the message) |
+//! | XT0004 | warning  | `panic!` in non-test library code |
+//! | XT0005 | error    | `todo!` / `unimplemented!` anywhere |
+//! | XT0101 | error    | library `lib.rs` missing `#![forbid(unsafe_code)]` |
+//! | XT0102 | error    | library `lib.rs` missing `#![warn(missing_docs)]` |
+//! | XT0201 | error    | crate manifest missing the `[lints] workspace = true` opt-in |
+//! | XT0202 | error    | workspace manifest missing the `[workspace.lints]` deny-list |
+//! | XT0301 | warning  | `pub` item without a doc comment (naive scan; rustc's `missing_docs` is authoritative) |
+//!
+//! Test code (`#[cfg(test)]` items) and comments are exempt from the
+//! call-site rules. The pass exits non-zero when any error-severity
+//! finding is present.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint finding.
+struct Finding {
+    code: &'static str,
+    error: bool,
+    file: PathBuf,
+    line: usize,
+    message: String,
+}
+
+/// Runs the pass rooted at `root`; returns the process exit code.
+pub fn run(root: &Path, json: bool) -> ExitCode {
+    let mut findings = Vec::new();
+
+    check_workspace_manifest(root, &mut findings);
+
+    let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(root.join("crates")) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect(),
+        Err(e) => {
+            eprintln!("xtask lint: cannot read crates/: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    crate_dirs.sort();
+    // The root umbrella package follows the same rules as the crates.
+    crate_dirs.push(root.to_path_buf());
+
+    for dir in &crate_dirs {
+        check_crate_manifest(&dir.join("Cargo.toml"), root, &mut findings);
+        let lib = dir.join("src/lib.rs");
+        if lib.is_file() {
+            check_lib_header(&lib, root, &mut findings);
+        }
+        for file in rust_sources(&dir.join("src")) {
+            check_source(&file, root, &mut findings);
+        }
+    }
+
+    report(&findings, json)
+}
+
+fn report(findings: &[Finding], json: bool) -> ExitCode {
+    let errors = findings.iter().filter(|f| f.error).count();
+    let warnings = findings.len() - errors;
+    if json {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"errors\":{errors},\"warnings\":{warnings},\"findings\":["
+        );
+        for (i, f) in findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                f.code,
+                if f.error { "error" } else { "warning" },
+                f.file.display().to_string().replace('\\', "/").replace('"', "\\\""),
+                f.line,
+                f.message.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else {
+        for f in findings {
+            println!(
+                "{}[{}] {}:{}: {}",
+                if f.error { "error" } else { "warning" },
+                f.code,
+                f.file.display(),
+                f.line,
+                f.message
+            );
+        }
+        println!("xtask lint: {errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn rel(path: &Path, root: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}
+
+fn check_workspace_manifest(root: &Path, findings: &mut Vec<Finding>) {
+    let manifest = root.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest).unwrap_or_default();
+    if !text.contains("[workspace.lints") {
+        findings.push(Finding {
+            code: "XT0202",
+            error: true,
+            file: rel(&manifest, root),
+            line: 1,
+            message: "workspace manifest must declare the [workspace.lints] deny-list".to_string(),
+        });
+    }
+}
+
+fn check_crate_manifest(manifest: &Path, root: &Path, findings: &mut Vec<Finding>) {
+    let text = fs::read_to_string(manifest).unwrap_or_default();
+    let has_opt_in = text
+        .split("[lints]")
+        .nth(1)
+        .is_some_and(|after| after.trim_start().starts_with("workspace = true"));
+    if !has_opt_in {
+        findings.push(Finding {
+            code: "XT0201",
+            error: true,
+            file: rel(manifest, root),
+            line: 1,
+            message: "crate must opt into the workspace lint table ([lints] workspace = true)"
+                .to_string(),
+        });
+    }
+}
+
+fn check_lib_header(lib: &Path, root: &Path, findings: &mut Vec<Finding>) {
+    let text = fs::read_to_string(lib).unwrap_or_default();
+    if !text.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            code: "XT0101",
+            error: true,
+            file: rel(lib, root),
+            line: 1,
+            message: "library crate must declare #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+    if !text.contains("#![warn(missing_docs)]") && !text.contains("#![deny(missing_docs)]") {
+        findings.push(Finding {
+            code: "XT0102",
+            error: true,
+            file: rel(lib, root),
+            line: 1,
+            message: "library crate must enable the missing_docs lint".to_string(),
+        });
+    }
+}
+
+/// `true` when `needle` occurs in `line` as a whole word (not embedded in
+/// a longer identifier).
+fn has_word(line: &str, needle: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let clear_before = start == 0 || !is_ident(bytes[start - 1]);
+        let clear_after = end >= bytes.len() || !is_ident(bytes[end]);
+        if clear_before && clear_after {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn check_source(file: &Path, root: &Path, findings: &mut Vec<Finding>) {
+    let Ok(text) = fs::read_to_string(file) else {
+        return;
+    };
+    let relpath = rel(file, root);
+    // Binary targets are entry points: aborting on a broken environment
+    // via expect()/panic! is their job, so only the hard rules apply.
+    let is_bin = relpath.components().any(|c| c.as_os_str() == "bin")
+        || relpath.file_name().is_some_and(|f| f == "main.rs");
+    // Depth tracking skips `#[cfg(test)]` items (the module or fn the
+    // attribute applies to), brace-counted from the following `{`.
+    let mut skip_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    let mut doc_ready = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+
+        if let Some(depth) = &mut skip_depth {
+            *depth += braces(line);
+            if *depth <= 0 && line.contains('}') {
+                skip_depth = None;
+            }
+            continue;
+        }
+        if pending_cfg_test {
+            if line.contains('{') {
+                let d = braces(line);
+                if d > 0 {
+                    skip_depth = Some(d);
+                } // `{ ... }` on one line: nothing left to skip.
+                pending_cfg_test = false;
+            } else if line.ends_with(';') {
+                // Attribute applied to a braceless item (e.g. a `use`).
+                pending_cfg_test = false;
+            }
+            continue;
+        }
+        if line.starts_with("//") {
+            doc_ready = doc_ready || line.starts_with("///") || line.starts_with("//!");
+            continue;
+        }
+        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
+            pending_cfg_test = true;
+            continue;
+        }
+
+        // Call-site rules match against the line with string and char
+        // literal contents removed, so a rule never fires on its own
+        // description (this file lints clean against itself).
+        let line = &strip_literals(line);
+        if has_word(line, "unsafe") {
+            findings.push(finding(
+                "XT0001",
+                true,
+                &relpath,
+                line_no,
+                "unsafe code is forbidden across the workspace",
+            ));
+        }
+        if line.contains(".unwrap()") {
+            findings.push(finding(
+                "XT0002",
+                true,
+                &relpath,
+                line_no,
+                "library code must not unwrap(); return a SparseError or use expect with a proof",
+            ));
+        }
+        if !is_bin && line.contains(".expect(") {
+            findings.push(finding(
+                "XT0003",
+                false,
+                &relpath,
+                line_no,
+                "expect() in library code: the message must state why it cannot fail",
+            ));
+        }
+        if !is_bin && line.contains("panic!") {
+            findings.push(finding(
+                "XT0004",
+                false,
+                &relpath,
+                line_no,
+                "panic! in library code: prefer a structured error",
+            ));
+        }
+        if line.contains("todo!(") || line.contains("unimplemented!(") {
+            findings.push(finding(
+                "XT0005",
+                true,
+                &relpath,
+                line_no,
+                "todo!/unimplemented! must not ship",
+            ));
+        }
+        if is_pub_item(line) && !doc_ready {
+            findings.push(finding(
+                "XT0301",
+                false,
+                &relpath,
+                line_no,
+                "public item without a doc comment",
+            ));
+        }
+        // Attributes between doc comment and item keep the doc "ready".
+        if !line.starts_with("#[") && !line.starts_with("#![") {
+            doc_ready = false;
+        }
+    }
+}
+
+fn finding(code: &'static str, error: bool, file: &Path, line: usize, message: &str) -> Finding {
+    Finding {
+        code,
+        error,
+        file: file.to_path_buf(),
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Net brace depth change of a line (approximate: ignores braces inside
+/// string literals, which this codebase's formatting keeps off item
+/// boundaries).
+fn braces(line: &str) -> i64 {
+    let mut d = 0i64;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Removes the contents of string and char literals (best effort, single
+/// line) so call-site rules never match text inside messages.
+fn strip_literals(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                out.push('"');
+                let mut escaped = false;
+                for c in chars.by_ref() {
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        out.push('"');
+                        break;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal (`'x'`, `'\\''`) vs lifetime (`'a`): a
+                // closing quote within a few chars marks a literal.
+                let rest: String = chars.clone().take(3).collect();
+                if let Some(close) = rest.find('\'') {
+                    for _ in 0..=close {
+                        chars.next();
+                    }
+                    out.push_str("''");
+                } else {
+                    out.push('\'');
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `true` for lines that introduce a documented-by-policy public item.
+/// `pub mod name;` declarations are exempt — the module file's `//!` inner
+/// docs satisfy `missing_docs`, which this scan cannot see.
+fn is_pub_item(line: &str) -> bool {
+    const ITEMS: [&str; 9] = [
+        "pub fn ",
+        "pub async fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub const ",
+        "pub static ",
+        "pub type ",
+        "pub macro ",
+    ];
+    ITEMS.iter().any(|kw| line.starts_with(kw))
+}

@@ -1,0 +1,40 @@
+//! Workspace automation tasks.
+//!
+//! `cargo run -p xtask -- lint` runs the offline source-lint pass over
+//! every crate: it needs no network, no rustc invocation, and no
+//! third-party dependencies, so it works in the most restricted CI
+//! sandbox. It complements (not replaces) `cargo clippy` with the
+//! workspace deny-list: clippy enforces expression-level lints, xtask
+//! enforces the *policy* invariants a lint pass can't express —
+//! crate-header pragmas, manifest opt-ins, and the panic-free-library
+//! rule with this workspace's documented-`expect` exception.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&workspace_root(), args.iter().any(|a| a == "--json")),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--json]");
+            eprintln!();
+            eprintln!("tasks:");
+            eprintln!("  lint    offline static-analysis pass over all workspace crates");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}

@@ -21,10 +21,7 @@ impl Reordering for CommunityDegreeSort {
         "COMM+DEGSORT"
     }
 
-    fn reorder(
-        &self,
-        a: &CsrMatrix,
-    ) -> Result<Permutation, commorder::sparse::SparseError> {
+    fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, commorder::sparse::SparseError> {
         let result = Rabbit::new().run(a)?;
         let degrees = a.in_degrees();
         // Each community block stays where RABBIT put it (keyed by the

@@ -71,10 +71,7 @@ fn main() -> Result<(), commorder::sparse::SparseError> {
 
     // The numerics are untouched: top-ranked pages keep their ranks.
     let pr = pagerank(&matrix, 0.85, 20)?;
-    let top = pr
-        .iter()
-        .cloned()
-        .fold(0f32, f32::max);
+    let top = pr.iter().cloned().fold(0f32, f32::max);
     println!("top PageRank score (order-independent): {top:.6}");
     Ok(())
 }

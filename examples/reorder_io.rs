@@ -28,18 +28,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let demo = tidy.permute_symmetric(&RandomOrder::new(8).reorder(&tidy)?)?;
             let mut buf = Vec::new();
             io::write_matrix_market(&mut buf, &demo)?;
-            println!("no input given; generated a demo matrix ({} bytes as .mtx)", buf.len());
+            println!(
+                "no input given; generated a demo matrix ({} bytes as .mtx)",
+                buf.len()
+            );
             io::read_matrix_market(buf.as_slice())?
         }
     };
     let matrix = CsrMatrix::try_from(coo)?;
-    println!("loaded: {} x {}, {} non-zeros", matrix.n_rows(), matrix.n_cols(), matrix.nnz());
+    println!(
+        "loaded: {} x {}, {} non-zeros",
+        matrix.n_rows(),
+        matrix.n_cols(),
+        matrix.nnz()
+    );
 
     // 2. Reorder with RABBIT++.
     let rpp = RabbitPlusPlus::new();
     let start = std::time::Instant::now();
     let perm = rpp.reorder(&matrix)?;
-    println!("RABBIT++ reordering took {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "RABBIT++ reordering took {:.1} ms",
+        start.elapsed().as_secs_f64() * 1e3
+    );
     let reordered = matrix.permute_symmetric(&perm)?;
 
     // 3. Verify numerics: SpMV commutes with the symmetric permutation

@@ -43,8 +43,7 @@ fn main() -> Result<(), commorder::sparse::SparseError> {
 
         let rpp = RabbitPlusPlus::new().run(&matrix)?;
         let insularity = quality::insularity(&matrix, &rpp.rabbit.assignment)?;
-        let rabbit_run =
-            pipeline.simulate(&matrix.permute_symmetric(&rpp.rabbit.permutation)?);
+        let rabbit_run = pipeline.simulate(&matrix.permute_symmetric(&rpp.rabbit.permutation)?);
         let rpp_run = pipeline.simulate(&matrix.permute_symmetric(&rpp.permutation)?);
         table.add_row(vec![
             format!("{a_quadrant:.2}"),

@@ -1,2 +1,6 @@
 //! Umbrella package hosting the workspace's examples and integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use commorder;

@@ -138,9 +138,14 @@ fn detection_quality_on_every_mini_community_matrix() {
         .expect("mini corpus entry exists");
     let tidy = entry.spec.generate(entry.seed).expect("generates");
     let detected = Rabbit::new().run(&tidy).expect("square").assignment;
-    let planted: Vec<u32> = (0..tidy.n_rows()).map(|v| v / (tidy.n_rows() / 32)).collect();
+    let planted: Vec<u32> = (0..tidy.n_rows())
+        .map(|v| v / (tidy.n_rows() / 32))
+        .collect();
     let ari = adjusted_rand_index(&detected, &planted).expect("equal lengths");
-    assert!(ari > 0.7, "detection should recover planted blocks: ari = {ari}");
+    assert!(
+        ari > 0.7,
+        "detection should recover planted blocks: ari = {ari}"
+    );
 }
 
 #[test]

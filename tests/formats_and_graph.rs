@@ -30,7 +30,10 @@ fn all_formats_compute_the_same_spmv() {
         ("ell", ell.spmv(&x).expect("dims")),
         ("sell", sell.spmv(&x).expect("dims")),
         ("coo", kernels::spmv_coo(&coo, &x).expect("dims")),
-        ("tiled", kernels::spmv_csr_tiled(&csr, &x, 100).expect("dims")),
+        (
+            "tiled",
+            kernels::spmv_csr_tiled(&csr, &x, 100).expect("dims"),
+        ),
         ("blocked", kernels::spmv_blocked(&csr, &x, 8).expect("dims")),
     ] {
         for (got, want) in result.iter().zip(&reference) {
@@ -86,8 +89,12 @@ fn format_traffic_ordering_matches_padding_ordering() {
         cache.finish().dram_traffic_bytes()
     };
     let ell = run(ell_trace(&EllMatrix::from_csr(&m).expect("fits")));
-    let sorted = run(sell_trace(&SellMatrix::from_csr(&m, 32, 512).expect("valid")));
-    let unsorted = run(sell_trace(&SellMatrix::from_csr(&m, 32, 32).expect("valid")));
+    let sorted = run(sell_trace(
+        &SellMatrix::from_csr(&m, 32, 512).expect("valid"),
+    ));
+    let unsorted = run(sell_trace(
+        &SellMatrix::from_csr(&m, 32, 32).expect("valid"),
+    ));
     assert!(sorted <= unsorted, "sorted {sorted} vs unsorted {unsorted}");
     assert!(unsorted <= ell, "unsorted {unsorted} vs ell {ell}");
 }

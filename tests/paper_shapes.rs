@@ -9,7 +9,12 @@ use commorder::synth::corpus;
 fn load_mini() -> Vec<(String, CsrMatrix)> {
     corpus::mini()
         .into_iter()
-        .map(|e| (e.name.to_string(), e.generate().expect("mini corpus generates")))
+        .map(|e| {
+            (
+                e.name.to_string(),
+                e.generate().expect("mini corpus generates"),
+            )
+        })
         .collect()
 }
 
@@ -62,7 +67,10 @@ fn high_insularity_means_near_ideal() {
             checked += 1;
         }
     }
-    assert!(checked >= 1, "mini corpus must include a high-insularity case");
+    assert!(
+        checked >= 1,
+        "mini corpus must include a high-insularity case"
+    );
 }
 
 #[test]
@@ -75,8 +83,10 @@ fn rabbitpp_helps_the_low_insularity_webby_matrix() {
         .find(|(name, _)| name == "mini-webhub")
         .expect("mini corpus has the web matrix");
     let rpp = RabbitPlusPlus::new().run(m).expect("square");
-    let rabbit_run =
-        pipeline.simulate(&m.permute_symmetric(&rpp.rabbit.permutation).expect("validated"));
+    let rabbit_run = pipeline.simulate(
+        &m.permute_symmetric(&rpp.rabbit.permutation)
+            .expect("validated"),
+    );
     let rpp_run = pipeline.simulate(&m.permute_symmetric(&rpp.permutation).expect("validated"));
     assert!(
         rpp_run.traffic_ratio < rabbit_run.traffic_ratio,
@@ -124,7 +134,11 @@ fn publish_order_changes_original_but_not_rabbit() {
     // Re-generate without scrambling by re-running the raw spec.
     let tidy = sbm.spec.generate(sbm.seed).expect("generates");
 
-    let orig_tidy = pipeline.evaluate(&tidy, &Original).expect("square").run.traffic_ratio;
+    let orig_tidy = pipeline
+        .evaluate(&tidy, &Original)
+        .expect("square")
+        .run
+        .traffic_ratio;
     let orig_scrambled = pipeline
         .evaluate(&scrambled, &Original)
         .expect("square")
@@ -135,7 +149,11 @@ fn publish_order_changes_original_but_not_rabbit() {
         "publisher order must matter for ORIGINAL: {orig_tidy} vs {orig_scrambled}"
     );
 
-    let rabbit_tidy = pipeline.evaluate(&tidy, &Rabbit::new()).expect("square").run.traffic_ratio;
+    let rabbit_tidy = pipeline
+        .evaluate(&tidy, &Rabbit::new())
+        .expect("square")
+        .run
+        .traffic_ratio;
     let rabbit_scrambled = pipeline
         .evaluate(&scrambled, &Rabbit::new())
         .expect("square")
@@ -182,7 +200,11 @@ fn all_kernels_agree_on_technique_ordering() {
             .expect("square")
             .run
             .time_ratio;
-        let rabbit = pipeline.evaluate(m, &Rabbit::new()).expect("square").run.time_ratio;
+        let rabbit = pipeline
+            .evaluate(m, &Rabbit::new())
+            .expect("square")
+            .run
+            .time_ratio;
         let rpp = pipeline
             .evaluate(m, &RabbitPlusPlus::new())
             .expect("square")

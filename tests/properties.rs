@@ -1,40 +1,20 @@
-//! Property-based integration tests (proptest) over randomly generated
-//! sparse matrices: permutation algebra, kernel/permutation commutation,
-//! format round-trips, metric bounds and cache-policy dominance.
+//! Property-based integration tests over randomly generated sparse
+//! matrices: permutation algebra, kernel/permutation commutation, format
+//! round-trips, metric bounds and cache-policy dominance.
+//!
+//! Driven by the offline `commorder_check::propcheck` harness.
 
 use commorder::cachesim::belady::simulate_belady;
 use commorder::cachesim::trace::{collect_trace, ExecutionModel};
 use commorder::prelude::*;
 use commorder::reorder::quality;
 use commorder::sparse::{io, kernels, ops};
-use proptest::prelude::*;
+use commorder_check::propcheck::{arb_csr, arb_perm, run_cases, DEFAULT_CASES};
 
-/// Strategy: a random square pattern matrix with `n in 2..=40` and a
-/// sprinkle of entries (possibly duplicated coordinates).
-fn arb_square_matrix() -> impl Strategy<Value = CsrMatrix> {
-    (2u32..=40).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..200).prop_map(move |coords| {
-            let entries: Vec<(u32, u32, f32)> = coords
-                .into_iter()
-                .map(|(r, c)| (r, c, 1.0 + (r % 5) as f32))
-                .collect();
-            let coo = CooMatrix::from_entries(n, n, entries).expect("coords in range");
-            CsrMatrix::try_from(coo).expect("valid conversion")
-        })
-    })
-}
-
-/// A seeded random permutation of `0..n` (via the RANDOM reordering on an
-/// empty matrix — the library's own deterministic shuffle).
-fn seeded_perm(n: u32, seed: u64) -> Permutation {
-    RandomOrder::new(seed)
-        .reorder(&CsrMatrix::empty(n))
-        .expect("square")
-}
-
-proptest! {
-    #[test]
-    fn spmv_commutes_with_symmetric_permutation(m in arb_square_matrix()) {
+#[test]
+fn spmv_commutes_with_symmetric_permutation() {
+    run_cases("spmv-permutation-commutes", DEFAULT_CASES, |rng| {
+        let m = arb_csr(rng, 38, 5);
         let n = m.n_rows();
         let perm = RandomOrder::new(42).reorder(&m).expect("square");
         let pm = m.permute_symmetric(&perm).expect("validated");
@@ -44,76 +24,113 @@ proptest! {
         let yp = kernels::spmv_csr(&pm, &xp).expect("dims");
         let y_expect = perm.apply_to_vec(&y).expect("lengths match");
         for (a, b) in yp.iter().zip(&y_expect) {
-            prop_assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0));
+            assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_technique_outputs_a_bijection(m in arb_square_matrix(), seed in 0u64..100) {
+#[test]
+fn every_technique_outputs_a_bijection() {
+    run_cases("paper-suite-bijections", DEFAULT_CASES, |rng| {
+        let m = arb_csr(rng, 38, 5);
+        let seed = rng.gen_range(100);
         for technique in paper_suite(seed) {
             let p = technique.reorder(&m).expect("square input");
-            prop_assert_eq!(p.len(), m.n_rows() as usize);
+            assert_eq!(p.len(), m.n_rows() as usize);
             // from_new_ids validated it; double-check the inverse law.
             let inv = p.inverse();
             for v in 0..m.n_rows() {
-                prop_assert_eq!(inv.new_of(p.new_of(v)), v);
+                assert_eq!(inv.new_of(p.new_of(v)), v);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn permutation_composition_is_associative(
-        n in 1u32..30,
-        s1 in 0u64..1000,
-        s2 in 0u64..1000,
-        s3 in 0u64..1000,
-    ) {
-        let (a, b, c) = (seeded_perm(n, s1), seeded_perm(n, s2), seeded_perm(n, s3));
-        let left = a.then(&b).expect("same length").then(&c).expect("same length");
-        let right = a.then(&b.then(&c).expect("same length")).expect("same length");
-        prop_assert_eq!(left, right);
-    }
+#[test]
+fn permutation_composition_is_associative() {
+    run_cases("composition-associative", DEFAULT_CASES, |rng| {
+        let n = 1 + rng.gen_u32(29);
+        let (a, b, c) = (arb_perm(rng, n), arb_perm(rng, n), arb_perm(rng, n));
+        let left = a
+            .then(&b)
+            .expect("same length")
+            .then(&c)
+            .expect("same length");
+        let right = a
+            .then(&b.then(&c).expect("same length"))
+            .expect("same length");
+        assert_eq!(left, right);
+    });
+}
 
-    #[test]
-    fn matrix_market_round_trip(m in arb_square_matrix()) {
+#[test]
+fn matrix_market_round_trip() {
+    run_cases("matrix-market-round-trip", DEFAULT_CASES, |rng| {
+        let m = arb_csr(rng, 38, 5);
         let mut buf = Vec::new();
         io::write_matrix_market(&mut buf, &m).expect("in-memory write");
-        let back = CsrMatrix::try_from(
-            io::read_matrix_market(buf.as_slice()).expect("own output parses"),
-        ).expect("valid");
-        prop_assert_eq!(back, m);
-    }
+        let back =
+            CsrMatrix::try_from(io::read_matrix_market(buf.as_slice()).expect("own output parses"))
+                .expect("valid");
+        assert_eq!(back, m);
+    });
+}
 
-    #[test]
-    fn transpose_is_an_involution(m in arb_square_matrix()) {
-        prop_assert_eq!(m.transpose().transpose(), m.clone());
-        prop_assert_eq!(m.transpose().nnz(), m.nnz());
-    }
+#[test]
+fn transpose_is_an_involution() {
+    run_cases("transpose-involution", DEFAULT_CASES, |rng| {
+        let m = arb_csr(rng, 38, 5);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().nnz(), m.nnz());
+    });
+}
 
-    #[test]
-    fn symmetrize_produces_symmetric_superset(m in arb_square_matrix()) {
+#[test]
+fn symmetrize_produces_symmetric_superset() {
+    run_cases("symmetrize-superset", DEFAULT_CASES, |rng| {
+        let m = arb_csr(rng, 38, 5);
         let s = ops::symmetrize(&m).expect("square");
-        prop_assert!(s.is_symmetric());
-        prop_assert!(s.nnz() >= m.nnz());
-        prop_assert!(s.nnz() <= 2 * m.nnz());
-    }
+        assert!(s.is_symmetric());
+        assert!(s.nnz() >= m.nnz());
+        assert!(s.nnz() <= 2 * m.nnz());
+    });
+}
 
-    #[test]
-    fn insularity_and_modularity_bounds(m in arb_square_matrix()) {
+#[test]
+fn insularity_and_modularity_bounds() {
+    run_cases("quality-metric-bounds", DEFAULT_CASES, |rng| {
+        // Modularity is defined for non-negative weights; rebuild the
+        // random pattern with the positive values the paper's corpus uses.
+        let raw = arb_csr(rng, 38, 5);
+        let entries: Vec<(u32, u32, f32)> = raw
+            .iter()
+            .map(|(row, col, _)| (row, col, 1.0 + (row % 5) as f32))
+            .collect();
+        let m = CsrMatrix::try_from(
+            CooMatrix::from_entries(raw.n_rows(), raw.n_cols(), entries).expect("in range"),
+        )
+        .expect("valid");
         let r = Rabbit::new().run(&m).expect("square");
         let ins = quality::insularity(&m, &r.assignment).expect("validated");
-        prop_assert!((0.0..=1.0).contains(&ins));
+        assert!((0.0..=1.0).contains(&ins));
         let sym = ops::symmetrize(&m).expect("square");
         let q = quality::modularity(&sym, &r.assignment).expect("validated");
-        prop_assert!((-0.5..=1.0).contains(&q), "modularity {}", q);
+        assert!((-0.5..=1.0).contains(&q), "modularity {q}");
         // Insular fraction is consistent with the node mask.
         let frac = quality::insular_fraction(&m, &r.assignment).expect("validated");
-        prop_assert!((0.0..=1.0).contains(&frac));
-    }
+        assert!((0.0..=1.0).contains(&frac));
+    });
+}
 
-    #[test]
-    fn lru_dominated_by_belady_on_kernel_traces(m in arb_square_matrix()) {
-        let config = CacheConfig { capacity_bytes: 1024, line_bytes: 32, associativity: 4 };
+#[test]
+fn lru_dominated_by_belady_on_kernel_traces() {
+    run_cases("belady-dominates-pipeline", DEFAULT_CASES, |rng| {
+        let m = arb_csr(rng, 38, 5);
+        let config = CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 32,
+            associativity: 4,
+        };
         let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
         let mut lru = LruCache::new(config);
         for &acc in &trace {
@@ -121,27 +138,31 @@ proptest! {
         }
         let l = lru.finish();
         let o = simulate_belady(config, &trace);
-        prop_assert!(o.misses() <= l.misses());
-        prop_assert!(l.compulsory_misses <= l.misses());
-        prop_assert_eq!(o.compulsory_misses, l.compulsory_misses);
-        prop_assert_eq!(o.accesses, trace.len() as u64);
-    }
+        assert!(o.misses() <= l.misses());
+        assert!(l.compulsory_misses <= l.misses());
+        assert_eq!(o.compulsory_misses, l.compulsory_misses);
+        assert_eq!(o.accesses, trace.len() as u64);
+    });
+}
 
-    #[test]
-    fn traffic_is_at_least_compulsory_reads(m in arb_square_matrix()) {
+#[test]
+fn traffic_is_at_least_compulsory_reads() {
+    run_cases("traffic-at-least-compulsory", DEFAULT_CASES, |rng| {
         // Fill misses alone must cover every distinct read line once.
+        let m = arb_csr(rng, 38, 5);
         let pipeline = Pipeline::new(GpuSpec::test_scale());
         let run = pipeline.simulate(&m);
-        prop_assert!(run.stats.fills >= run.stats.compulsory_misses);
-        prop_assert!(run.time_seconds >= 0.0);
-    }
+        assert!(run.stats.fills >= run.stats.compulsory_misses);
+        assert!(run.time_seconds >= 0.0);
+    });
+}
 
-    #[test]
-    fn interleaved_and_sequential_have_same_footprint(
-        m in arb_square_matrix(),
-        streams in 1u32..8,
-    ) {
+#[test]
+fn interleaved_and_sequential_have_same_footprint() {
+    run_cases("schedule-independent-footprint", DEFAULT_CASES, |rng| {
         // Compulsory misses are schedule independent.
+        let m = arb_csr(rng, 38, 5);
+        let streams = 1 + rng.gen_u32(7);
         let config = CacheConfig::test_scale();
         let count = |model| {
             let trace = collect_trace(&m, Kernel::SpmvCsr, model);
@@ -153,7 +174,7 @@ proptest! {
         };
         let (len_a, comp_a) = count(ExecutionModel::Sequential);
         let (len_b, comp_b) = count(ExecutionModel::Interleaved { streams });
-        prop_assert_eq!(len_a, len_b);
-        prop_assert_eq!(comp_a, comp_b);
-    }
+        assert_eq!(len_a, len_b);
+        assert_eq!(comp_a, comp_b);
+    });
 }
