@@ -17,6 +17,12 @@ echo "== tier-1: build + test"
 cargo build --release -q
 cargo test -q --workspace
 
+echo "== suite smoke (--threads 4, deterministic report)"
+COMMORDER_CORPUS=mini COMMORDER_MAX_MATRICES=3 \
+  cargo run --release -q -p commorder --bin commorder-cli -- \
+  suite --threads 4 --corpus mini --max-matrices 3 --json /tmp/commorder-suite-smoke.json
+test -s /tmp/commorder-suite-smoke.json
+
 echo "== strict-checks feature"
 cargo test -q -p commorder-sparse -p commorder-cachesim -p commorder \
   --features commorder-sparse/strict-checks,commorder-cachesim/strict-checks,commorder/strict-checks

@@ -27,9 +27,9 @@ fn main() {
         "web-stackex"
     };
     let case = harness
-        .load()
+        .load_subset(&[name])
         .into_iter()
-        .find(|c| c.entry.name == name)
+        .next()
         .expect("representative matrix exists");
     eprintln!("[ablation_cache] {}", case.entry.name);
 
@@ -56,43 +56,51 @@ fn main() {
             "advantage".into(),
         ],
     );
-    let mut add = |label: String, l2: CacheConfig| {
-        let gpu = GpuSpec { l2, ..harness.gpu };
+    // The sweep axis: every geometry variant, labelled. Each point is an
+    // independent simulation pair, fanned across the engine's workers.
+    let mut geometries: Vec<(String, CacheConfig)> = Vec::new();
+    for factor in [4u64, 2, 1] {
+        geometries.push((
+            format!("capacity {} KiB", base.capacity_bytes / 1024 / factor),
+            CacheConfig {
+                capacity_bytes: base.capacity_bytes / factor,
+                ..base
+            },
+        ));
+    }
+    for assoc in [4u32, 8, 16, 32] {
+        geometries.push((
+            format!("assoc {assoc}-way"),
+            CacheConfig {
+                associativity: assoc,
+                ..base
+            },
+        ));
+    }
+    for line in [32u32, 64, 128] {
+        geometries.push((
+            format!("line {line} B"),
+            CacheConfig {
+                line_bytes: line,
+                ..base
+            },
+        ));
+    }
+    let rows = harness.engine().map(&geometries, |_, (label, l2)| {
+        let gpu = GpuSpec {
+            l2: *l2,
+            ..harness.gpu
+        };
         let (a, b, adv) = advantage(gpu, &random_m, &rpp_m);
+        (label.clone(), a, b, adv)
+    });
+    for (label, a, b, adv) in rows {
         table.add_row(vec![
             label,
             Table::ratio(a),
             Table::ratio(b),
             Table::ratio(adv),
         ]);
-    };
-
-    for factor in [4u64, 2, 1] {
-        add(
-            format!("capacity {} KiB", base.capacity_bytes / 1024 / factor),
-            CacheConfig {
-                capacity_bytes: base.capacity_bytes / factor,
-                ..base
-            },
-        );
-    }
-    for assoc in [4u32, 8, 16, 32] {
-        add(
-            format!("assoc {assoc}-way"),
-            CacheConfig {
-                associativity: assoc,
-                ..base
-            },
-        );
-    }
-    for line in [32u32, 64, 128] {
-        add(
-            format!("line {line} B"),
-            CacheConfig {
-                line_bytes: line,
-                ..base
-            },
-        );
     }
     println!("{table}");
 

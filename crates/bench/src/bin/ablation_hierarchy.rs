@@ -27,11 +27,7 @@ fn main() {
     } else {
         vec!["opt-block-512", "web-stackex", "web-deep"]
     };
-    let cases: Vec<_> = harness
-        .load()
-        .into_iter()
-        .filter(|c| subset.contains(&c.entry.name))
-        .collect();
+    let cases = harness.load_subset(&subset);
 
     // L1 = 1/16 of the L2 (GPU-SM-like ratio), same line size.
     let l2 = harness.gpu.l2;
@@ -61,7 +57,7 @@ fn main() {
             Box::new(Rabbit::new()),
             Box::new(RabbitPlusPlus::new()),
         ];
-        for ordering in &orderings {
+        let rows = harness.engine().map(&orderings, |_, ordering| {
             let perm = ordering
                 .reorder(&case.matrix)
                 .expect("square corpus matrix");
@@ -77,12 +73,15 @@ fn main() {
             );
             let stats = stack.finish();
             let compulsory = Kernel::SpmvCsr.compulsory_bytes_for(&reordered) as f64;
-            table.add_row(vec![
+            vec![
                 ordering.name().to_string(),
                 Table::percent(stats.l1.hit_rate()),
                 Table::percent(stats.l2.hit_rate()),
                 Table::ratio(stats.dram_traffic_bytes() as f64 / compulsory),
-            ]);
+            ]
+        });
+        for row in rows {
+            table.add_row(row);
         }
         println!("{table}");
     }

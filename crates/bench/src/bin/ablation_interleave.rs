@@ -22,61 +22,57 @@ fn main() {
             "road-grid-messy",
         ]
     };
-    let cases: Vec<_> = harness
-        .load()
-        .into_iter()
-        .filter(|c| subset.contains(&c.entry.name))
-        .collect();
 
+    // One grid: 3 orderings x 4 interleaving levels (the model axis).
     let stream_counts = [1u32, 4, 16, 64];
-    for case in &cases {
-        eprintln!("[ablation_interleave] {}", case.entry.name);
+    let models: Vec<ExecutionModel> = stream_counts
+        .iter()
+        .map(|&streams| {
+            if streams == 1 {
+                ExecutionModel::Sequential
+            } else {
+                ExecutionModel::Interleaved { streams }
+            }
+        })
+        .collect();
+    let orderings: Vec<Box<dyn Reordering>> = vec![
+        Box::new(RandomOrder::new(harness.random_seed)),
+        Box::new(Rabbit::new()),
+        Box::new(RabbitPlusPlus::new()),
+    ];
+    let result = harness
+        .spec_for(&subset, orderings)
+        .models(models)
+        .run(&harness.engine())
+        .expect("valid corpus grid");
+    eprintln!("[ablation_interleave] engine: {}", result.stats.summary());
+
+    for (mi, (name, _)) in result.matrices.iter().enumerate() {
         let mut table = Table::new(
-            format!(
-                "{}: traffic/compulsory vs concurrent row streams",
-                case.entry.name
-            ),
+            format!("{name}: traffic/compulsory vs concurrent row streams"),
             {
                 let mut h = vec!["ordering".into()];
                 h.extend(stream_counts.iter().map(|s| format!("{s} streams")));
                 h
             },
         );
-        let orderings: Vec<Box<dyn Reordering>> = vec![
-            Box::new(RandomOrder::new(harness.random_seed)),
-            Box::new(Rabbit::new()),
-            Box::new(RabbitPlusPlus::new()),
-        ];
-        let mut per_stream_order: Vec<Vec<f64>> = vec![Vec::new(); stream_counts.len()];
-        for ordering in &orderings {
-            let perm = ordering
-                .reorder(&case.matrix)
-                .expect("square corpus matrix");
-            let reordered = case.matrix.permute_symmetric(&perm).expect("validated");
-            let mut row = vec![ordering.name().to_string()];
-            for (si, &streams) in stream_counts.iter().enumerate() {
-                let model = if streams == 1 {
-                    ExecutionModel::Sequential
-                } else {
-                    ExecutionModel::Interleaved { streams }
-                };
-                let run = Pipeline::new(harness.gpu)
-                    .with_model(model)
-                    .simulate(&reordered);
-                row.push(Table::ratio(run.traffic_ratio));
-                per_stream_order[si].push(run.traffic_ratio);
+        for (ti, technique) in result.techniques.iter().enumerate() {
+            let mut row = vec![technique.clone()];
+            for si in 0..result.models.len() {
+                row.push(Table::ratio(
+                    result.record(mi, ti, 0, si, 0).run.traffic_ratio,
+                ));
             }
             table.add_row(row);
         }
         println!("{table}");
         // The invariant the paper's claims need: RABBIT and RABBIT++ beat
         // RANDOM at every interleaving level.
-        for (si, ratios) in per_stream_order.iter().enumerate() {
-            let (random, rabbit, rpp) = (ratios[0], ratios[1], ratios[2]);
-            let ok = rabbit < random && rpp < random;
+        for (si, &streams) in stream_counts.iter().enumerate() {
+            let ratio = |ti: usize| result.record(mi, ti, 0, si, 0).run.traffic_ratio;
+            let ok = ratio(1) < ratio(0) && ratio(2) < ratio(0);
             println!(
-                "  {} streams: RABBIT/RABBIT++ < RANDOM ? {}",
-                stream_counts[si],
+                "  {streams} streams: RABBIT/RABBIT++ < RANDOM ? {}",
                 if ok { "yes" } else { "NO (!)" },
             );
         }

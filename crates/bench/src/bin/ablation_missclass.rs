@@ -16,11 +16,7 @@ fn main() {
     } else {
         vec!["opt-block-512", "web-stackex", "soc-rmat-65k"]
     };
-    let cases: Vec<_> = harness
-        .load()
-        .into_iter()
-        .filter(|c| subset.contains(&c.entry.name))
-        .collect();
+    let cases = harness.load_subset(&subset);
 
     for case in &cases {
         eprintln!("[ablation_missclass] {}", case.entry.name);
@@ -39,7 +35,7 @@ fn main() {
             Box::new(Rabbit::new()),
             Box::new(RabbitPlusPlus::new()),
         ];
-        for ordering in &orderings {
+        let rows = harness.engine().map(&orderings, |_, ordering| {
             let perm = ordering
                 .reorder(&case.matrix)
                 .expect("square corpus matrix");
@@ -47,13 +43,16 @@ fn main() {
             let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
             let c = classify(harness.gpu.l2, &trace);
             let total = c.accesses as f64;
-            table.add_row(vec![
+            vec![
                 ordering.name().to_string(),
                 Table::percent(c.compulsory as f64 / total),
                 Table::percent(c.capacity as f64 / total),
                 Table::percent(c.conflict as f64 / total),
                 Table::percent(c.hits as f64 / total),
-            ]);
+            ]
+        });
+        for row in rows {
+            table.add_row(row);
         }
         println!("{table}");
     }

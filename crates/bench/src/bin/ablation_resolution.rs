@@ -19,12 +19,9 @@ fn main() {
     } else {
         vec!["opt-block-512", "web-stackex", "soc-rmat-65k"]
     };
-    let cases: Vec<_> = harness
-        .load()
-        .into_iter()
-        .filter(|c| subset.contains(&c.entry.name))
-        .collect();
+    let cases = harness.load_subset(&subset);
     let pipeline = Pipeline::new(harness.gpu);
+    let gammas = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
 
     for case in &cases {
         eprintln!("[ablation_resolution] {}", case.entry.name);
@@ -38,7 +35,7 @@ fn main() {
                 "traffic/compulsory".into(),
             ],
         );
-        for gamma in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let rows = harness.engine().map(&gammas, |_, &gamma| {
             let rabbit = Rabbit {
                 detection: DetectionConfig {
                     resolution: gamma,
@@ -54,13 +51,16 @@ fn main() {
                     .permute_symmetric(&r.permutation)
                     .expect("validated"),
             );
-            table.add_row(vec![
+            vec![
                 format!("{gamma:.2}"),
                 stats.count.to_string(),
                 format!("{:.1}", stats.mean_size),
                 format!("{ins:.3}"),
                 Table::ratio(run.traffic_ratio),
-            ]);
+            ]
+        });
+        for row in rows {
+            table.add_row(row);
         }
         println!("{table}");
     }

@@ -23,25 +23,33 @@ fn main() {
     } else {
         vec!["soc-rmat-65k", "web-stackex", "soc-pa-65k", "rnd-er-49k"]
     };
-    let cases: Vec<_> = harness
-        .load()
-        .into_iter()
-        .filter(|c| subset.contains(&c.entry.name))
-        .collect();
 
     // Tile widths in elements; cache holds line_elems * num_lines X values.
     let cache_elems = (harness.gpu.l2.capacity_bytes / 4) as u32;
     let widths = [cache_elems / 8, cache_elems / 2, cache_elems * 2];
     let bins = 16u32;
-    let untiled = Pipeline::new(harness.gpu);
 
-    for case in &cases {
-        eprintln!("[ablation_tiling] {}", case.entry.name);
+    // One grid: 3 orderings x {untiled, 3 tile widths, blocked} on the
+    // kernel axis.
+    let orderings: Vec<Box<dyn Reordering>> = vec![
+        Box::new(RandomOrder::new(harness.random_seed)),
+        Box::new(Rabbit::new()),
+        Box::new(RabbitPlusPlus::new()),
+    ];
+    let mut kernels = vec![Kernel::SpmvCsr];
+    kernels.extend(
+        widths
+            .iter()
+            .map(|&w| Kernel::SpmvCsrTiled { tile_cols: w }),
+    );
+    kernels.push(Kernel::SpmvBlocked { bins });
+    let spec = harness.spec_for(&subset, orderings).kernels(kernels);
+    let result = spec.run(&harness.engine()).expect("valid corpus grid");
+    eprintln!("[ablation_tiling] engine: {}", result.stats.summary());
+
+    for (mi, (name, _)) in result.matrices.iter().enumerate() {
         let mut table = Table::new(
-            format!(
-                "Tiling x reordering on {} (traffic normalized to UNTILED compulsory)",
-                case.entry.name
-            ),
+            format!("Tiling x reordering on {name} (traffic normalized to UNTILED compulsory)"),
             vec![
                 "ordering".into(),
                 "untiled".into(),
@@ -51,30 +59,15 @@ fn main() {
                 format!("blocked-{bins}"),
             ],
         );
-        let orderings: Vec<Box<dyn Reordering>> = vec![
-            Box::new(RandomOrder::new(harness.random_seed)),
-            Box::new(Rabbit::new()),
-            Box::new(RabbitPlusPlus::new()),
-        ];
-        let untiled_compulsory = Kernel::SpmvCsr.compulsory_bytes_for(&case.matrix) as f64;
-        for ordering in &orderings {
-            let perm = ordering
-                .reorder(&case.matrix)
-                .expect("square corpus matrix");
-            let reordered = case.matrix.permute_symmetric(&perm).expect("validated");
-            let mut row = vec![ordering.name().to_string()];
-            row.push(Table::ratio(
-                untiled.simulate(&reordered).dram_bytes as f64 / untiled_compulsory,
-            ));
-            for &w in &widths {
-                let tiled =
-                    Pipeline::new(harness.gpu).with_kernel(Kernel::SpmvCsrTiled { tile_cols: w });
-                let run = tiled.simulate(&reordered);
-                row.push(Table::ratio(run.dram_bytes as f64 / untiled_compulsory));
+        let untiled_compulsory =
+            Kernel::SpmvCsr.compulsory_bytes_for(&spec.matrices[mi].matrix) as f64;
+        for (ti, technique) in result.techniques.iter().enumerate() {
+            let mut row = vec![technique.clone()];
+            for ki in 0..result.kernels.len() {
+                row.push(Table::ratio(
+                    result.record(mi, ti, ki, 0, 0).run.dram_bytes as f64 / untiled_compulsory,
+                ));
             }
-            let blocked = Pipeline::new(harness.gpu).with_kernel(Kernel::SpmvBlocked { bins });
-            let run = blocked.simulate(&reordered);
-            row.push(Table::ratio(run.dram_bytes as f64 / untiled_compulsory));
             table.add_row(row);
         }
         println!("{table}");

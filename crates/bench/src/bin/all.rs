@@ -43,7 +43,11 @@ fn main() {
         println!("  cargo run --release -p commorder-bench --bin {bin:7} # {what}");
     }
     println!(
-        "\nEnvironment: COMMORDER_CORPUS=standard|mini, COMMORDER_MAX_MATRICES=N\n\
-         The standard corpus takes minutes per experiment; mini takes seconds."
+        "\nEnvironment: COMMORDER_CORPUS=standard|mini, COMMORDER_MAX_MATRICES=N,\n\
+         COMMORDER_THREADS=N (engine workers; default: available parallelism —\n\
+         results are identical for any value).\n\
+         The standard corpus takes minutes per experiment; mini takes seconds.\n\
+         For the headline grid with a machine-readable report, run:\n\
+         cargo run --release -p commorder --bin commorder-cli -- suite --json report.json"
     );
 }

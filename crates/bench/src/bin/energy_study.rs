@@ -10,12 +10,14 @@ use commorder_bench::{figure2_techniques, Harness};
 fn main() {
     let harness = Harness::from_env();
     harness.print_platform();
-    let cases = harness.load();
-    let pipeline = Pipeline::new(harness.gpu);
     let model = EnergyModel::default();
 
     let mut techniques = figure2_techniques(harness.random_seed);
     techniques.push(Box::new(RabbitPlusPlus::new()));
+    let spec = harness.spec(techniques);
+    let result = spec.run(&harness.engine()).expect("valid corpus grid");
+    eprintln!("[energy] engine: {}", result.stats.summary());
+    let kernel = result.kernels[0];
 
     let mut table = Table::new(
         "Mean SpMV energy per execution (GDDR6-class constants)",
@@ -28,19 +30,16 @@ fn main() {
     );
     let mut totals: Vec<f64> = Vec::new();
     let mut shares: Vec<f64> = Vec::new();
-    for technique in &techniques {
-        eprintln!("[energy] {}", technique.name());
+    for ti in 0..result.techniques.len() {
         let mut joules = Vec::new();
         let mut dram_share = Vec::new();
-        for case in &cases {
-            let eval = pipeline
-                .evaluate(&case.matrix, technique.as_ref())
-                .expect("square corpus matrix");
+        for (mi, named) in spec.matrices.iter().enumerate() {
+            let run = &result.run_for(mi, ti).run;
             let e = model.energy(
-                pipeline.kernel,
-                case.matrix.nnz() as u64,
-                eval.run.dram_bytes,
-                eval.run.stats.accesses,
+                kernel,
+                named.matrix.nnz() as u64,
+                run.dram_bytes,
+                run.stats.accesses,
                 harness.gpu.l2.line_bytes,
             );
             joules.push(e.total());
@@ -50,12 +49,12 @@ fn main() {
         shares.push(arith_mean_ratio(&dram_share).unwrap_or(f64::NAN));
     }
     let baseline = *totals.last().expect("non-empty technique list");
-    for (i, technique) in techniques.iter().enumerate() {
+    for (ti, technique) in result.techniques.iter().enumerate() {
         table.add_row(vec![
-            technique.name().to_string(),
-            format!("{:.3}", totals[i] * 1e3),
-            Table::percent(shares[i]),
-            Table::ratio(totals[i] / baseline),
+            technique.clone(),
+            format!("{:.3}", totals[ti] * 1e3),
+            Table::percent(shares[ti]),
+            Table::ratio(totals[ti] / baseline),
         ]);
     }
     println!("{table}");

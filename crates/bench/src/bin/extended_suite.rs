@@ -12,8 +12,6 @@ use commorder_bench::Harness;
 fn main() {
     let harness = Harness::from_env();
     harness.print_platform();
-    let cases = harness.load();
-    let pipeline = Pipeline::new(harness.gpu);
 
     let techniques: Vec<Box<dyn Reordering>> = vec![
         Box::new(RandomOrder::new(harness.random_seed)),
@@ -31,6 +29,23 @@ fn main() {
         Box::new(Rabbit::new()),
         Box::new(RabbitPlusPlus::new()),
     ];
+    let spec = harness.spec(techniques);
+    let engine = harness.engine();
+    let result = spec.run(&engine).expect("valid corpus grid");
+    eprintln!("[extended] engine: {}", result.stats.summary());
+
+    // Simulator-free locality scorecard on the reordered matrices, from
+    // the permutations the grid run already computed.
+    let pairs: Vec<(usize, usize)> = (0..result.matrices.len())
+        .flat_map(|mi| (0..result.techniques.len()).map(move |ti| (mi, ti)))
+        .collect();
+    let scores: Vec<LocalityScore> = engine.map(&pairs, |_, &(mi, ti)| {
+        let reordered = spec.matrices[mi]
+            .matrix
+            .permute_symmetric(&result.permutations[mi][ti])
+            .expect("validated");
+        LocalityScore::measure(&reordered, 64)
+    });
 
     let mut table = Table::new(
         "Extended suite: mean SpMV traffic + locality scorecard across the corpus",
@@ -43,32 +58,20 @@ fn main() {
             "reorder time (mean)".into(),
         ],
     );
-    for technique in &techniques {
-        eprintln!("[extended] {}", technique.name());
-        let mut traffic = Vec::new();
-        let mut time = Vec::new();
+    for (ti, technique) in result.techniques.iter().enumerate() {
         let mut util = Vec::new();
         let mut reuse = Vec::new();
         let mut seconds = Vec::new();
-        for case in &cases {
-            let eval = pipeline
-                .evaluate(&case.matrix, technique.as_ref())
-                .expect("square corpus matrix");
-            let reordered = case
-                .matrix
-                .permute_symmetric(&eval.permutation)
-                .expect("validated");
-            let score = LocalityScore::measure(&reordered, 64);
-            traffic.push(eval.run.traffic_ratio);
-            time.push(eval.run.time_ratio);
+        for mi in 0..result.matrices.len() {
+            let score = &scores[mi * result.techniques.len() + ti];
             util.push(score.line_utilization);
             reuse.push(score.windowed_reuse);
-            seconds.push(eval.reorder_seconds);
+            seconds.push(result.run_for(mi, ti).reorder_seconds);
         }
         table.add_row(vec![
-            technique.name().to_string(),
-            Table::ratio(arith_mean_ratio(&traffic).unwrap_or(f64::NAN)),
-            Table::ratio(arith_mean_ratio(&time).unwrap_or(f64::NAN)),
+            technique.clone(),
+            Table::ratio(arith_mean_ratio(&result.traffic_ratios(ti)).unwrap_or(f64::NAN)),
+            Table::ratio(arith_mean_ratio(&result.time_ratios(ti)).unwrap_or(f64::NAN)),
             Table::percent(arith_mean_ratio(&util).unwrap_or(f64::NAN)),
             Table::percent(arith_mean_ratio(&reuse).unwrap_or(f64::NAN)),
             Table::seconds(arith_mean_ratio(&seconds).unwrap_or(f64::NAN)),

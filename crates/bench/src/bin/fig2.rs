@@ -5,54 +5,34 @@
 
 use commorder::prelude::*;
 use commorder::sparse::stats::pearson;
-use commorder_bench::{figure2_techniques, parallel_map, Harness};
+use commorder_bench::{figure2_techniques, Harness};
 
 fn main() {
     let harness = Harness::from_env();
     harness.print_platform();
-    let cases = harness.load();
-    let pipeline = Pipeline::new(harness.gpu);
-    let techniques = figure2_techniques(harness.random_seed);
+    let spec = harness.spec(figure2_techniques(harness.random_seed));
+    let result = spec.run(&harness.engine()).expect("valid corpus grid");
+    eprintln!("[fig2] engine: {}", result.stats.summary());
 
     let mut headers = vec!["matrix".to_string(), "domain".to_string()];
-    headers.extend(techniques.iter().map(|t| t.name().to_string()));
+    headers.extend(result.techniques.iter().cloned());
     let mut traffic_table = Table::new(
         "Fig. 2: SpMV DRAM traffic normalized to compulsory",
         headers,
     );
 
-    let mut traffic: Vec<Vec<f64>> = vec![Vec::new(); techniques.len()];
-    let mut time: Vec<Vec<f64>> = vec![Vec::new(); techniques.len()];
     let mut within_10pct = 0usize;
-    let mut best_counts = vec![0usize; techniques.len()];
+    let mut best_counts = vec![0usize; result.techniques.len()];
     let mut sizes: Vec<f64> = Vec::new();
     let mut best_ratios: Vec<f64> = Vec::new();
 
-    // One matrix per worker thread: every (matrix, technique) evaluation
-    // is independent.
-    let per_matrix: Vec<(Vec<f64>, Vec<f64>)> = parallel_map(&cases, |case| {
-        eprintln!("[fig2] {}", case.entry.name);
-        let mut ratios = Vec::with_capacity(techniques.len());
-        let mut times = Vec::with_capacity(techniques.len());
-        for technique in &techniques {
-            let eval = pipeline
-                .evaluate(&case.matrix, technique.as_ref())
-                .expect("corpus matrices are square");
-            ratios.push(eval.run.traffic_ratio);
-            times.push(eval.run.time_ratio);
-        }
-        (ratios, times)
-    });
-
-    for (case, (ratios, times)) in cases.iter().zip(&per_matrix) {
-        let mut row = vec![
-            case.entry.name.to_string(),
-            case.entry.domain.label().to_string(),
-        ];
-        for (i, (&ratio, &t)) in ratios.iter().zip(times).enumerate() {
+    for (mi, (name, group)) in result.matrices.iter().enumerate() {
+        let mut row = vec![name.clone(), group.clone()];
+        let ratios: Vec<f64> = (0..result.techniques.len())
+            .map(|ti| result.run_for(mi, ti).run.traffic_ratio)
+            .collect();
+        for &ratio in &ratios {
             row.push(Table::ratio(ratio));
-            traffic[i].push(ratio);
-            time[i].push(t);
         }
         traffic_table.add_row(row);
         // Observation 1: best technique within 10% of ideal traffic?
@@ -60,7 +40,7 @@ fn main() {
         if best <= 1.10 {
             within_10pct += 1;
         }
-        sizes.push(case.matrix.nnz() as f64);
+        sizes.push(spec.matrices[mi].matrix.nnz() as f64);
         best_ratios.push(best);
         // Observation 4: which technique wins this matrix (RANDOM and
         // ORIGINAL included for completeness)?
@@ -75,11 +55,13 @@ fn main() {
 
     let mut mean_row = vec!["MEAN (traffic)".to_string(), String::new()];
     let mut time_row = vec!["MEAN (run time)".to_string(), String::new()];
-    for i in 0..techniques.len() {
+    for ti in 0..result.techniques.len() {
         mean_row.push(Table::ratio(
-            arith_mean_ratio(&traffic[i]).unwrap_or(f64::NAN),
+            arith_mean_ratio(&result.traffic_ratios(ti)).unwrap_or(f64::NAN),
         ));
-        time_row.push(Table::ratio(arith_mean_ratio(&time[i]).unwrap_or(f64::NAN)));
+        time_row.push(Table::ratio(
+            arith_mean_ratio(&result.time_ratios(ti)).unwrap_or(f64::NAN),
+        ));
     }
     traffic_table.add_row(mean_row);
     traffic_table.add_row(time_row);
@@ -91,11 +73,11 @@ fn main() {
     println!(
         "Observation 1: best-technique traffic within 10% of ideal for {}/{} matrices",
         within_10pct,
-        cases.len()
+        result.matrices.len()
     );
     print!("Observation 4: per-matrix winners —");
-    for (i, technique) in techniques.iter().enumerate() {
-        print!(" {}:{}", technique.name(), best_counts[i]);
+    for (ti, technique) in result.techniques.iter().enumerate() {
+        print!(" {technique}:{}", best_counts[ti]);
     }
     println!();
     if let Some(c) = pearson(&sizes, &best_ratios) {

@@ -22,8 +22,7 @@ fn main() {
         max_comm_fraction: f64,
         skew: f64,
     }
-    let mut rows: Vec<Row> = Vec::new();
-    for case in &cases {
+    let mut rows: Vec<Row> = harness.engine().map(&cases, |_, case| {
         eprintln!("[fig3] {}", case.entry.name);
         let result = Rabbit::new()
             .run(&case.matrix)
@@ -35,15 +34,15 @@ fn main() {
             .permute_symmetric(&result.permutation)
             .expect("validated");
         let run = pipeline.simulate(&reordered);
-        rows.push(Row {
+        Row {
             name: case.entry.name.to_string(),
             insularity,
             time_ratio: run.time_ratio,
             norm_comm_size: stats.mean_size_normalized,
             max_comm_fraction: stats.max_size_fraction,
             skew: skew_top10(&case.matrix),
-        });
-    }
+        }
+    });
     rows.sort_by(|a, b| a.insularity.partial_cmp(&b.insularity).expect("finite"));
 
     let mut table = Table::new(

@@ -12,8 +12,7 @@ fn main() {
     harness.print_platform();
     let cases = harness.load();
 
-    let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    for case in &cases {
+    let mut rows: Vec<(String, f64, f64)> = harness.engine().map(&cases, |_, case| {
         eprintln!("[fig4] {}", case.entry.name);
         let result = Rabbit::new()
             .run(&case.matrix)
@@ -21,8 +20,8 @@ fn main() {
         let insularity = quality::insularity(&case.matrix, &result.assignment).expect("validated");
         let insular_frac =
             quality::insular_fraction(&case.matrix, &result.assignment).expect("validated");
-        rows.push((case.entry.name.to_string(), insularity, insular_frac));
-    }
+        (case.entry.name.to_string(), insularity, insular_frac)
+    });
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
 
     let mut table = Table::new(

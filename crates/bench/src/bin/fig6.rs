@@ -28,13 +28,12 @@ fn main() {
             "traffic/compulsory".into(),
         ],
     );
-    let mut ratios = Vec::new();
     let insular_only = RabbitPlusPlus::with_config(RabbitPlusPlusConfig {
         group_insular: true,
         hub_policy: HubPolicy::None,
         rabbit: Rabbit::new(),
     });
-    for case in &cases {
+    let rows: Vec<(f64, f64, f64)> = harness.engine().map(&cases, |_, case| {
         eprintln!("[fig6] {}", case.entry.name);
         let result = insular_only
             .run(&case.matrix)
@@ -49,14 +48,21 @@ fn main() {
         let reordered = masked
             .permute_symmetric(&result.permutation)
             .expect("validated");
-        let run = pipeline.simulate(&reordered);
+        (
+            insularity,
+            insular_frac,
+            pipeline.simulate(&reordered).traffic_ratio,
+        )
+    });
+    let mut ratios = Vec::new();
+    for (case, &(insularity, insular_frac, traffic_ratio)) in cases.iter().zip(&rows) {
         table.add_row(vec![
             case.entry.name.to_string(),
             format!("{insularity:.3}"),
             Table::percent(insular_frac),
-            Table::ratio(run.traffic_ratio),
+            Table::ratio(traffic_ratio),
         ]);
-        ratios.push(run.traffic_ratio);
+        ratios.push(traffic_ratio);
     }
     println!("{table}");
     println!(

@@ -20,8 +20,7 @@ fn main() {
         rabbitpp: f64,
         speedup: f64,
     }
-    let mut rows = Vec::new();
-    for case in &cases {
+    let mut rows: Vec<Row> = harness.engine().map(&cases, |_, case| {
         eprintln!("[fig7] {}", case.entry.name);
         let rpp = RabbitPlusPlus::new()
             .run(&case.matrix)
@@ -40,24 +39,24 @@ fn main() {
                 .permute_symmetric(&rpp.permutation)
                 .expect("validated"),
         );
-        rows.push(Row {
+        Row {
             name: case.entry.name.to_string(),
             insularity,
             rabbit: rabbit_run.traffic_ratio,
             rabbitpp: rpp_run.traffic_ratio,
-            speedup: pipeline.gpu.estimate_time(
-                pipeline.kernel,
+            speedup: pipeline.gpu().estimate_time(
+                pipeline.kernel(),
                 u64::from(case.matrix.n_rows()),
                 case.matrix.nnz() as u64,
                 rabbit_run.dram_bytes,
-            ) / pipeline.gpu.estimate_time(
-                pipeline.kernel,
+            ) / pipeline.gpu().estimate_time(
+                pipeline.kernel(),
                 u64::from(case.matrix.n_rows()),
                 case.matrix.nnz() as u64,
                 rpp_run.dram_bytes,
             ),
-        });
-    }
+        }
+    });
     rows.sort_by(|a, b| a.insularity.partial_cmp(&b.insularity).expect("finite"));
 
     let mut table = Table::new(

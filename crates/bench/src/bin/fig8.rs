@@ -5,17 +5,19 @@
 //! achievable locality.
 
 use commorder::prelude::*;
-use commorder_bench::{figure2_techniques, parallel_map, Harness};
+use commorder_bench::{figure2_techniques, Harness};
 
 fn main() {
     let harness = Harness::from_env();
     harness.print_platform();
-    let cases = harness.load();
-    let lru = Pipeline::new(harness.gpu);
-    let opt = Pipeline::new(harness.gpu).with_policy(ReplacementPolicy::Belady);
 
     let mut techniques = figure2_techniques(harness.random_seed);
     techniques.push(Box::new(RabbitPlusPlus::new()));
+    let spec = harness
+        .spec(techniques)
+        .policies(vec![ReplacementPolicy::Lru, ReplacementPolicy::Belady]);
+    let result = spec.run(&harness.engine()).expect("valid corpus grid");
+    eprintln!("[fig8] engine: {}", result.stats.summary());
 
     let mut table = Table::new(
         "Fig. 8: mean SpMV traffic (normalized to compulsory), LRU vs Belady",
@@ -26,24 +28,16 @@ fn main() {
             "gap".into(),
         ],
     );
-    for technique in &techniques {
-        eprintln!("[fig8] {}", technique.name());
-        let pairs: Vec<(f64, f64)> = parallel_map(&cases, |case| {
-            let perm = technique
-                .reorder(&case.matrix)
-                .expect("square corpus matrix");
-            let reordered = case.matrix.permute_symmetric(&perm).expect("validated");
-            (
-                lru.simulate(&reordered).traffic_ratio,
-                opt.simulate(&reordered).traffic_ratio,
-            )
-        });
-        let lru_ratios: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let opt_ratios: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-        let l = arith_mean_ratio(&lru_ratios).unwrap_or(f64::NAN);
-        let o = arith_mean_ratio(&opt_ratios).unwrap_or(f64::NAN);
+    for (ti, technique) in result.techniques.iter().enumerate() {
+        let column = |policy: usize| -> Vec<f64> {
+            (0..result.matrices.len())
+                .map(|mi| result.record(mi, ti, 0, 0, policy).run.traffic_ratio)
+                .collect()
+        };
+        let l = arith_mean_ratio(&column(0)).unwrap_or(f64::NAN);
+        let o = arith_mean_ratio(&column(1)).unwrap_or(f64::NAN);
         table.add_row(vec![
-            technique.name().to_string(),
+            technique.clone(),
             Table::ratio(l),
             Table::ratio(o),
             Table::percent(l / o - 1.0),

@@ -76,8 +76,8 @@ fn main() {
             let seconds = start.elapsed().as_secs_f64();
             time_row.push(Table::seconds(seconds));
             let run = pipeline.simulate(&matrix.permute_symmetric(&perm).expect("validated"));
-            let iters = pipeline.gpu.amortization_iterations(
-                pipeline.kernel,
+            let iters = pipeline.gpu().amortization_iterations(
+                pipeline.kernel(),
                 u64::from(matrix.n_rows()),
                 matrix.nnz() as u64,
                 seconds,

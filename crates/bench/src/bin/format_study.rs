@@ -29,11 +29,7 @@ fn main() {
     } else {
         vec!["opt-block-512", "soc-rmat-65k", "kmer-65k", "web-stackex"]
     };
-    let cases: Vec<_> = harness
-        .load()
-        .into_iter()
-        .filter(|c| subset.contains(&c.entry.name))
-        .collect();
+    let cases = harness.load_subset(&subset);
     let csr_pipeline = Pipeline::new(harness.gpu);
 
     for case in &cases {
@@ -57,7 +53,7 @@ fn main() {
             Box::new(RabbitPlusPlus::new()),
         ];
         let compulsory = Kernel::SpmvCsr.compulsory_bytes_for(&case.matrix) as f64;
-        for ordering in &orderings {
+        let rows = harness.engine().map(&orderings, |_, ordering| {
             let perm = ordering
                 .reorder(&case.matrix)
                 .expect("square corpus matrix");
@@ -87,6 +83,9 @@ fn main() {
             let traffic = simulate_trace(&harness.gpu, &sell_trace(&sell));
             row.push(Table::ratio(traffic as f64 / compulsory));
             row.push(format!("{:.2}x", sell.padding_factor(m.nnz())));
+            row
+        });
+        for row in rows {
             table.add_row(row);
         }
         println!("{table}");

@@ -34,11 +34,7 @@ fn main() {
             "soc-rmat-65k",
         ]
     };
-    let cases: Vec<_> = harness
-        .load()
-        .into_iter()
-        .filter(|c| subset.contains(&c.entry.name))
-        .collect();
+    let cases = harness.load_subset(&subset);
 
     for case in &cases {
         eprintln!("[graph_study] {}", case.entry.name);
@@ -57,8 +53,7 @@ fn main() {
             Box::new(Rabbit::new()),
             Box::new(RabbitPlusPlus::new()),
         ];
-        let mut pr_traffic = Vec::new();
-        for ordering in &orderings {
+        let results = harness.engine().map(&orderings, |_, ordering| {
             let perm = ordering
                 .reorder(&case.matrix)
                 .expect("square corpus matrix");
@@ -71,8 +66,18 @@ fn main() {
                 .max_by_key(|&v| degrees[v as usize])
                 .expect("non-empty corpus matrix");
             let (bfs_bytes, bfs_hit) = simulate(&harness.gpu, &bfs_trace(&m, source));
-            table.add_row(vec![
+            (
                 ordering.name().to_string(),
+                pr_bytes,
+                pr_hit,
+                bfs_bytes,
+                bfs_hit,
+            )
+        });
+        let mut pr_traffic = Vec::new();
+        for (name, pr_bytes, pr_hit, bfs_bytes, bfs_hit) in results {
+            table.add_row(vec![
+                name,
                 format!("{:.1}", pr_bytes as f64 / 1e6),
                 Table::percent(pr_hit),
                 format!("{:.1}", bfs_bytes as f64 / 1e6),

@@ -9,18 +9,27 @@ use commorder_bench::Harness;
 fn main() {
     let harness = Harness::from_env();
     harness.print_platform();
-    let cases = harness.load();
-    let pipeline = Pipeline::new(harness.gpu);
+
+    // The technique axis is the whole design space, in design-space order.
+    let configs = RabbitPlusPlusConfig::design_space();
+    let techniques: Vec<Box<dyn Reordering>> = configs
+        .iter()
+        .map(|&config| Box::new(RabbitPlusPlus::with_config(config)) as Box<dyn Reordering>)
+        .collect();
+    let spec = harness.spec(techniques);
+    let engine = harness.engine();
 
     // Per-matrix insularity (bucket key), computed once.
-    let mut insularities = Vec::with_capacity(cases.len());
-    for case in &cases {
-        eprintln!("[table2] insularity {}", case.entry.name);
+    let insularities: Vec<f64> = engine.map(&spec.matrices, |_, named| {
+        eprintln!("[table2] insularity {}", named.name);
         let r = Rabbit::new()
-            .run(&case.matrix)
+            .run(&named.matrix)
             .expect("square corpus matrix");
-        insularities.push(quality::insularity(&case.matrix, &r.assignment).expect("validated"));
-    }
+        quality::insularity(&named.matrix, &r.assignment).expect("validated")
+    });
+
+    let result = spec.run(&engine).expect("valid corpus grid");
+    eprintln!("[table2] engine: {}", result.stats.summary());
 
     let mut table = Table::new(
         "Table II: SpMV run time normalized to ideal, RABBIT modification design space",
@@ -31,16 +40,12 @@ fn main() {
             "INS >= 0.95".into(),
         ],
     );
-    for config in RabbitPlusPlusConfig::design_space() {
-        let technique = RabbitPlusPlus::with_config(config);
-        eprintln!("[table2] {}", config.label());
-        let mut pairs = Vec::with_capacity(cases.len());
-        for (case, &ins) in cases.iter().zip(&insularities) {
-            let eval = pipeline
-                .evaluate(&case.matrix, &technique)
-                .expect("square corpus matrix");
-            pairs.push((ins, eval.run.time_ratio));
-        }
+    for (ti, config) in configs.iter().enumerate() {
+        let pairs: Vec<(f64, f64)> = insularities
+            .iter()
+            .zip(result.time_ratios(ti))
+            .map(|(&ins, time)| (ins, time))
+            .collect();
         let split = InsularitySplit::from_pairs(&pairs);
         table.add_row(vec![
             config.label(),

@@ -3,33 +3,30 @@
 //! reordering technique — the mechanism behind RABBIT++'s traffic wins.
 
 use commorder::prelude::*;
-use commorder_bench::{figure2_techniques, parallel_map, Harness};
+use commorder_bench::{figure2_techniques, Harness};
 
 fn main() {
     let harness = Harness::from_env();
     harness.print_platform();
-    let cases = harness.load();
-    let pipeline = Pipeline::new(harness.gpu);
 
     let mut techniques = figure2_techniques(harness.random_seed);
     techniques.push(Box::new(RabbitPlusPlus::new()));
+    let result = harness
+        .spec(techniques)
+        .run(&harness.engine())
+        .expect("valid corpus grid");
+    eprintln!("[table3] engine: {}", result.stats.summary());
 
     let mut table = Table::new(
         "Table III: average % of dead lines inserted into the L2 (SpMV)",
         vec!["technique".into(), "% dead lines".into()],
     );
-    for technique in &techniques {
-        eprintln!("[table3] {}", technique.name());
-        let fractions: Vec<f64> = parallel_map(&cases, |case| {
-            pipeline
-                .evaluate(&case.matrix, technique.as_ref())
-                .expect("square corpus matrix")
-                .run
-                .stats
-                .dead_line_fraction()
-        });
+    for (ti, technique) in result.techniques.iter().enumerate() {
+        let fractions: Vec<f64> = (0..result.matrices.len())
+            .map(|mi| result.run_for(mi, ti).run.stats.dead_line_fraction())
+            .collect();
         table.add_row(vec![
-            technique.name().to_string(),
+            technique.clone(),
             Table::percent(arith_mean_ratio(&fractions).unwrap_or(f64::NAN)),
         ]);
     }

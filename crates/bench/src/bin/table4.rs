@@ -9,39 +9,36 @@ use commorder_bench::Harness;
 fn main() {
     let harness = Harness::from_env();
     harness.print_platform();
-    let cases = harness.load();
 
-    // Insularity per matrix (bucket key) and the per-technique
-    // permutations, computed once and reused across the three kernels.
-    let mut insularities = Vec::with_capacity(cases.len());
-    let mut perms: Vec<Vec<Permutation>> = Vec::with_capacity(cases.len());
+    // One grid: 4 techniques x 3 kernels. The engine computes each
+    // permutation once per (matrix, technique) job and reuses it for all
+    // three kernels.
     let techniques: Vec<Box<dyn Reordering>> = vec![
         Box::new(RandomOrder::new(harness.random_seed)),
         Box::new(Original),
         Box::new(Rabbit::new()),
         Box::new(RabbitPlusPlus::new()),
     ];
-    for case in &cases {
-        eprintln!("[table4] reorder {}", case.entry.name);
-        let r = Rabbit::new()
-            .run(&case.matrix)
-            .expect("square corpus matrix");
-        insularities.push(quality::insularity(&case.matrix, &r.assignment).expect("validated"));
-        perms.push(
-            techniques
-                .iter()
-                .map(|t| t.reorder(&case.matrix).expect("square corpus matrix"))
-                .collect(),
-        );
-    }
-
-    let kernels = [
+    let spec = harness.spec(techniques).kernels(vec![
         Kernel::SpmvCoo,
         Kernel::SpmmCsr { k: 4 },
         Kernel::SpmmCsr { k: 256 },
-    ];
-    for kernel in kernels {
-        let pipeline = Pipeline::new(harness.gpu).with_kernel(kernel);
+    ]);
+    let engine = harness.engine();
+
+    // Insularity per matrix (bucket key), computed once.
+    let insularities: Vec<f64> = engine.map(&spec.matrices, |_, named| {
+        eprintln!("[table4] insularity {}", named.name);
+        let r = Rabbit::new()
+            .run(&named.matrix)
+            .expect("square corpus matrix");
+        quality::insularity(&named.matrix, &r.assignment).expect("validated")
+    });
+
+    let result = spec.run(&engine).expect("valid corpus grid");
+    eprintln!("[table4] engine: {}", result.stats.summary());
+
+    for (ki, kernel) in result.kernels.iter().enumerate() {
         let mut table = Table::new(
             format!("Table IV ({}): run time normalized to ideal", kernel.name()),
             vec![
@@ -51,20 +48,18 @@ fn main() {
                 "INS >= 0.95".into(),
             ],
         );
-        for (ti, technique) in techniques.iter().enumerate() {
-            eprintln!("[table4] {} x {}", kernel.name(), technique.name());
-            let mut pairs = Vec::with_capacity(cases.len());
-            for (ci, case) in cases.iter().enumerate() {
-                let reordered = case
-                    .matrix
-                    .permute_symmetric(&perms[ci][ti])
-                    .expect("validated");
-                let run = pipeline.simulate(&reordered);
-                pairs.push((insularities[ci], run.time_ratio));
-            }
+        for (ti, technique) in result.techniques.iter().enumerate() {
+            let pairs: Vec<(f64, f64)> = (0..result.matrices.len())
+                .map(|mi| {
+                    (
+                        insularities[mi],
+                        result.record(mi, ti, ki, 0, 0).run.time_ratio,
+                    )
+                })
+                .collect();
             let split = InsularitySplit::from_pairs(&pairs);
             table.add_row(vec![
-                technique.name().to_string(),
+                technique.clone(),
                 Table::ratio(split.all),
                 Table::ratio(split.low),
                 Table::ratio(split.high),

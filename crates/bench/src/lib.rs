@@ -2,13 +2,16 @@
 //! table and figure of the paper.
 //!
 //! Each binary (`fig2` … `fig9`, `table2` … `table4`, `all`) loads the
-//! evaluation corpus, runs the relevant pipeline, and prints a table
-//! shaped like the paper's. Two environment variables control scale:
+//! evaluation corpus, declares an [`ExperimentSpec`] grid (or maps a
+//! bespoke analysis over the corpus with the [`Engine`]), and prints a
+//! table shaped like the paper's. Environment variables control scale:
 //!
 //! * `COMMORDER_CORPUS` — `standard` (default, the 50-matrix corpus with
 //!   the 128 KiB scaled A6000 L2) or `mini` (8 small matrices with an
 //!   8 KiB L2; seconds instead of minutes, same qualitative shapes).
 //! * `COMMORDER_MAX_MATRICES` — truncate the corpus for smoke runs.
+//! * `COMMORDER_THREADS` — engine worker count (default: available
+//!   parallelism). Results are identical for any value.
 //! * `COMMORDER_CSV` — directory to additionally save the main data
 //!   tables as CSV (for external plotting).
 
@@ -20,8 +23,9 @@ pub mod microbench;
 use commorder::prelude::*;
 use commorder::synth::corpus::{self, CorpusEntry};
 
-/// A generated corpus matrix with its RABBIT-derived analysis metrics,
-/// shared by most experiments.
+/// A generated corpus matrix with its corpus metadata, for the bespoke
+/// analyses (insularity splits, dendrogram statistics) that need more
+/// than the grid API exposes.
 pub struct MatrixCase {
     /// Corpus entry metadata.
     pub entry: CorpusEntry,
@@ -60,6 +64,41 @@ impl Harness {
         }
     }
 
+    /// The execution engine every binary shares: `COMMORDER_THREADS`
+    /// workers, defaulting to the machine's available parallelism.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        Engine::from_env()
+    }
+
+    /// An [`ExperimentSpec`] over the whole corpus with the given
+    /// technique axis — the one-liner most figure binaries start from.
+    /// Kernel/model/policy axes keep their Fig. 2 defaults; extend with
+    /// `.kernels(..)` / `.models(..)` / `.policies(..)` as needed.
+    #[must_use]
+    pub fn spec(&self, techniques: Vec<Box<dyn Reordering>>) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(self.gpu).techniques(techniques);
+        for case in self.load() {
+            spec = spec.matrix_in_group(case.entry.name, case.entry.domain.label(), case.matrix);
+        }
+        spec
+    }
+
+    /// Like [`Harness::spec`], but restricted to the named corpus subset
+    /// (for the per-matrix ablation studies).
+    #[must_use]
+    pub fn spec_for(
+        &self,
+        subset: &[&str],
+        techniques: Vec<Box<dyn Reordering>>,
+    ) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(self.gpu).techniques(techniques);
+        for case in self.load_subset(subset) {
+            spec = spec.matrix_in_group(case.entry.name, case.entry.domain.label(), case.matrix);
+        }
+        spec
+    }
+
     /// Generates every corpus matrix (reporting progress on stderr).
     ///
     /// # Panics
@@ -70,6 +109,25 @@ impl Harness {
     pub fn load(&self) -> Vec<MatrixCase> {
         self.entries
             .iter()
+            .map(|entry| {
+                eprintln!("[gen] {}", entry.name);
+                let matrix = entry
+                    .generate()
+                    .unwrap_or_else(|e| panic!("corpus entry {} failed: {e}", entry.name));
+                MatrixCase {
+                    entry: entry.clone(),
+                    matrix,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates only the named corpus entries, in corpus order.
+    #[must_use]
+    pub fn load_subset(&self, subset: &[&str]) -> Vec<MatrixCase> {
+        self.entries
+            .iter()
+            .filter(|e| subset.contains(&e.name))
             .map(|entry| {
                 eprintln!("[gen] {}", entry.name);
                 let matrix = entry
@@ -97,8 +155,9 @@ impl Harness {
             g.memory_capacity >> 30,
         );
         println!(
-            "  corpus: {} matrices | kernel model: sequential trace, LRU L2\n",
-            self.entries.len()
+            "  corpus: {} matrices | kernel model: sequential trace, LRU L2 | engine: {} threads\n",
+            self.entries.len(),
+            self.engine().threads(),
         );
     }
 }
@@ -141,69 +200,5 @@ mod tests {
             names,
             vec!["RANDOM", "ORIGINAL", "DEGSORT", "DBG", "GORDER", "RABBIT"]
         );
-    }
-}
-
-/// Runs `f` over `items` on all available cores, preserving input order
-/// in the output. Each item's evaluation is independent (the corpus
-/// pipeline has no shared mutable state), so this is a pure wall-clock
-/// optimization for multi-core machines; on a single core it degrades to
-/// sequential execution.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(&items[i]);
-                **slot_refs[i].lock().expect("no poisoned slot") = Some(result);
-            });
-        }
-    });
-    drop(slot_refs);
-    slots
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod parallel_tests {
-    use super::parallel_map;
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<u64> = parallel_map(&[] as &[u64], |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_item() {
-        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
     }
 }

@@ -9,6 +9,7 @@
 //! commorder-cli advise   <in.mtx>
 //! commorder-cli check    <file> [--json]
 //! commorder-cli corpus [export <dir>]
+//! commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--json PATH|-]
 //! ```
 //!
 //! `check` audits a data file (`.mtx`, `.csr`, `.perm`, `.trace`) against
@@ -17,18 +18,95 @@
 
 use std::process::ExitCode;
 
-use commorder::cli::{parse_kernel, parse_technique, TECHNIQUE_NAMES};
+use commorder::cli::{parse_kernel, parse_technique, SuiteOptions, TECHNIQUE_NAMES};
 use commorder::prelude::*;
+use commorder::reorder::paper_suite;
 use commorder::reorder::quality::{self, CommunityStats};
 use commorder::sparse::{io, ops, stats};
 use commorder::synth::corpus;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace)\n  commorder-cli corpus [export <dir>]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>",
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace)\n  commorder-cli corpus [export <dir>]\n  commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--json PATH|-]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count.",
         TECHNIQUE_NAMES.join(" | ")
     );
     ExitCode::FAILURE
+}
+
+/// The full paper-suite grid run behind the `suite` subcommand.
+fn run_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
+    let corpus_kind = options.corpus.clone().unwrap_or_else(|| {
+        std::env::var("COMMORDER_CORPUS").unwrap_or_else(|_| "standard".to_string())
+    });
+    let (entries, gpu) = match corpus_kind.as_str() {
+        "mini" => (corpus::mini(), GpuSpec::test_scale()),
+        _ => (corpus::standard(), GpuSpec::a6000_scaled()),
+    };
+    let limit = options.max_matrices.unwrap_or(usize::MAX);
+    let engine = match options.threads {
+        Some(n) => Engine::new(n),
+        None => Engine::from_env(),
+    };
+
+    let mut spec = ExperimentSpec::new(gpu).techniques(paper_suite(0xC0DE));
+    for entry in entries.into_iter().take(limit) {
+        eprintln!("[suite] gen {}", entry.name);
+        let matrix = entry.generate()?;
+        spec = spec.matrix_in_group(entry.name, entry.domain.label(), matrix);
+    }
+    eprintln!(
+        "[suite] {} matrices x {} techniques on {} threads",
+        spec.matrices.len(),
+        spec.techniques.len(),
+        engine.threads()
+    );
+    let result = spec.run(&engine)?;
+
+    let mut headers = vec!["matrix".to_string(), "domain".to_string()];
+    headers.extend(result.techniques.iter().cloned());
+    let mut table = Table::new(
+        "Paper suite: SpMV DRAM traffic normalized to compulsory",
+        headers,
+    );
+    for (mi, (name, group)) in result.matrices.iter().enumerate() {
+        let mut row = vec![name.clone(), group.clone()];
+        for ti in 0..result.techniques.len() {
+            row.push(Table::ratio(result.run_for(mi, ti).run.traffic_ratio));
+        }
+        table.add_row(row);
+    }
+    let mut mean_row = vec!["MEAN (traffic)".to_string(), String::new()];
+    let mut time_row = vec!["MEAN (run time)".to_string(), String::new()];
+    for ti in 0..result.techniques.len() {
+        mean_row.push(Table::ratio(
+            arith_mean_ratio(&result.traffic_ratios(ti)).unwrap_or(f64::NAN),
+        ));
+        time_row.push(Table::ratio(
+            arith_mean_ratio(&result.time_ratios(ti)).unwrap_or(f64::NAN),
+        ));
+    }
+    table.add_row(mean_row);
+    table.add_row(time_row);
+    // With `--json -` stdout is the machine-readable report; keep the
+    // human table on stderr so the stream stays parseable.
+    let json_to_stdout = options.json.as_deref() == Some("-");
+    if json_to_stdout {
+        eprintln!("{table}");
+    } else {
+        println!("{table}");
+    }
+    eprintln!("[suite] engine: {}", result.stats.summary());
+
+    if let Some(path) = &options.json {
+        let json = result.render_json();
+        if json_to_stdout {
+            print!("{json}");
+        } else {
+            std::fs::write(path, json)?;
+            eprintln!("[suite] report json -> {path}");
+        }
+    }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<CsrMatrix, Box<dyn std::error::Error>> {
@@ -96,7 +174,9 @@ fn simulate(path: &str, technique: &str, kernel: &str) -> Result<(), Box<dyn std
         parse_technique(technique).ok_or_else(|| format!("unknown technique {technique:?}"))?;
     let kernel = parse_kernel(kernel).ok_or_else(|| format!("unknown kernel {kernel:?}"))?;
     let m = load(path)?;
-    let pipeline = Pipeline::new(GpuSpec::a6000_scaled()).with_kernel(kernel);
+    let pipeline = Pipeline::builder(GpuSpec::a6000_scaled())
+        .kernel(kernel)
+        .build()?;
     let before = pipeline.simulate(&m);
     let eval = pipeline.evaluate(&m, technique.as_ref())?;
     println!(
@@ -195,6 +275,13 @@ fn main() -> ExitCode {
             list_corpus();
             Ok(())
         }
+        [cmd, rest @ ..] if cmd == "suite" => match SuiteOptions::parse(rest) {
+            Ok(options) => run_suite(&options),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return usage();
+            }
+        },
         [cmd, sub, dir] if cmd == "corpus" && sub == "export" => {
             let entries = corpus::standard();
             corpus::export_to_directory(&entries, std::path::Path::new(dir))

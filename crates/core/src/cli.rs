@@ -75,6 +75,75 @@ pub fn parse_kernel(name: &str) -> Option<Kernel> {
     }
 }
 
+/// Options of the `commorder-cli suite` subcommand (the full paper-suite
+/// grid run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteOptions {
+    /// Worker threads (`--threads N`); `None` = available parallelism.
+    pub threads: Option<usize>,
+    /// Corpus name (`--corpus mini|standard`); `None` = honour the
+    /// `COMMORDER_CORPUS` environment variable, defaulting to `standard`.
+    pub corpus: Option<String>,
+    /// Truncate the corpus (`--max-matrices N`).
+    pub max_matrices: Option<usize>,
+    /// Write the deterministic report JSON here (`--json PATH`, `-` for
+    /// stdout).
+    pub json: Option<String>,
+}
+
+impl SuiteOptions {
+    /// Parses `suite` flags. Unknown flags and malformed values are
+    /// errors (returned as the usage message).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending flag.
+    pub fn parse(args: &[String]) -> Result<SuiteOptions, String> {
+        let mut options = SuiteOptions {
+            threads: None,
+            corpus: None,
+            max_matrices: None,
+            json: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value_of = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--threads" => {
+                    let v = value_of("--threads")?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--threads expects a positive integer, got {v:?}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".to_string());
+                    }
+                    options.threads = Some(n);
+                }
+                "--corpus" => {
+                    let v = value_of("--corpus")?;
+                    if v != "mini" && v != "standard" {
+                        return Err(format!("--corpus expects mini|standard, got {v:?}"));
+                    }
+                    options.corpus = Some(v);
+                }
+                "--max-matrices" => {
+                    let v = value_of("--max-matrices")?;
+                    options.max_matrices = Some(v.parse().map_err(|_| {
+                        format!("--max-matrices expects a non-negative integer, got {v:?}")
+                    })?);
+                }
+                "--json" => options.json = Some(value_of("--json")?),
+                other => return Err(format!("unknown suite flag {other:?}")),
+            }
+        }
+        Ok(options)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +160,32 @@ mod tests {
         assert_eq!(parse_technique("RABBIT").unwrap().name(), "RABBIT");
         assert_eq!(parse_technique("rabbitpp").unwrap().name(), "RABBIT++");
         assert!(parse_technique("metis").is_none());
+    }
+
+    #[test]
+    fn suite_options_parse() {
+        let args: Vec<String> = ["--threads", "4", "--corpus", "mini", "--json", "-"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let options = SuiteOptions::parse(&args).unwrap();
+        assert_eq!(options.threads, Some(4));
+        assert_eq!(options.corpus.as_deref(), Some("mini"));
+        assert_eq!(options.json.as_deref(), Some("-"));
+        assert_eq!(options.max_matrices, None);
+    }
+
+    #[test]
+    fn suite_options_reject_bad_values() {
+        let bad = |args: &[&str]| {
+            SuiteOptions::parse(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
+                .unwrap_err()
+        };
+        assert!(bad(&["--threads"]).contains("--threads"));
+        assert!(bad(&["--threads", "zero"]).contains("--threads"));
+        assert!(bad(&["--threads", "0"]).contains("at least 1"));
+        assert!(bad(&["--corpus", "huge"]).contains("--corpus"));
+        assert!(bad(&["--frobnicate"]).contains("unknown"));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub use commorder_cachesim as cachesim;
 pub use commorder_check as check;
+pub use commorder_exec as exec;
 pub use commorder_gpumodel as gpumodel;
 pub use commorder_reorder as reorder;
 pub use commorder_sparse as sparse;
@@ -47,18 +48,24 @@ pub use commorder_synth as synth;
 
 pub mod analysis;
 pub mod cli;
+pub mod experiment;
 pub mod pipeline;
 pub mod report;
 pub mod viz;
 
-pub use pipeline::{Evaluation, KernelRun, Pipeline, ReplacementPolicy};
+pub use experiment::{ExperimentResult, ExperimentSpec, NamedMatrix, RunRecord};
+pub use pipeline::{Evaluation, KernelRun, Pipeline, PipelineBuilder, ReplacementPolicy};
 
 /// One-stop imports for examples and experiment binaries.
 pub mod prelude {
     pub use crate::analysis::{arith_mean_ratio, geo_mean_ratio, InsularitySplit};
     pub use crate::cachesim::{trace::ExecutionModel, CacheConfig, CacheStats, LruCache};
+    pub use crate::exec::{Engine, EngineStats, JobTiming};
+    pub use crate::experiment::{ExperimentResult, ExperimentSpec, NamedMatrix, RunRecord};
     pub use crate::gpumodel::GpuSpec;
-    pub use crate::pipeline::{Evaluation, KernelRun, Pipeline, ReplacementPolicy};
+    pub use crate::pipeline::{
+        Evaluation, KernelRun, Pipeline, PipelineBuilder, ReplacementPolicy,
+    };
     pub use crate::reorder::{
         paper_suite, Dbg, DegSort, Gorder, HubGroup, HubPolicy, HubSort, Original, Rabbit,
         RabbitPlusPlus, RabbitPlusPlusConfig, RandomOrder, Rcm, Reordering,

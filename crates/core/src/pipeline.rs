@@ -4,8 +4,15 @@
 //! This is the measurement loop behind every figure and table of the
 //! paper, with the real GPU and Nsight Compute replaced by the validated
 //! cache simulator (§VI-B) and the analytic A6000 model.
-
-use std::time::Instant;
+//!
+//! A [`Pipeline`] is built through [`Pipeline::builder`], which validates
+//! the whole configuration (cache geometry, kernel parameters, execution
+//! model) up front, so a misconfigured experiment fails with a
+//! [`SparseError::InvalidConfig`] at construction instead of panicking
+//! thousands of accesses into a simulation. Wall-clock timing of the
+//! reordering pre-processing lives in the execution engine's job wrapper
+//! (see `commorder::experiment`), not here, so measured times never
+//! include scheduler queue wait.
 
 use commorder_cachesim::belady::simulate_belady;
 use commorder_cachesim::trace::{self, ExecutionModel};
@@ -23,6 +30,17 @@ pub enum ReplacementPolicy {
     Lru,
     /// Belady's optimal policy (Fig. 8's idealized headroom analysis).
     Belady,
+}
+
+impl ReplacementPolicy {
+    /// Lower-case stable name (report JSON, CLI parsing).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Belady => "belady",
+        }
+    }
 }
 
 /// Result of simulating one kernel execution on one (reordered) matrix.
@@ -43,36 +61,159 @@ pub struct KernelRun {
 }
 
 /// A [`KernelRun`] together with the reordering that produced it.
+///
+/// Pre-processing wall-clock time is *not* measured here: per-job
+/// `reorder_seconds` is recorded by the experiment engine's job wrapper
+/// (`commorder::experiment::RunRecord`), where it provably excludes
+/// queue wait.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
     /// Display name of the technique.
     pub technique: String,
-    /// Wall-clock pre-processing time of the reordering (§VI-C).
-    pub reorder_seconds: f64,
     /// The permutation the technique produced.
     pub permutation: Permutation,
     /// Simulation results on the reordered matrix.
     pub run: KernelRun,
 }
 
-/// Experiment configuration: platform, kernel and execution model.
+/// Experiment configuration: platform, kernel, execution model and
+/// replacement policy — validated at construction.
+///
+/// Build with [`Pipeline::builder`]; [`Pipeline::new`] is shorthand for
+/// the all-defaults configuration (SpMV-CSR, sequential trace, LRU).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pipeline {
-    /// Simulated platform (L2 geometry + bandwidth model).
-    pub gpu: GpuSpec,
-    /// Kernel whose trace is simulated.
-    pub kernel: Kernel,
-    /// Trace linearization model.
-    pub model: ExecutionModel,
-    /// Replacement policy.
-    pub policy: ReplacementPolicy,
+    gpu: GpuSpec,
+    kernel: Kernel,
+    model: ExecutionModel,
+    policy: ReplacementPolicy,
+}
+
+/// Validating builder for [`Pipeline`]. Obtained from
+/// [`Pipeline::builder`].
+///
+/// # Example
+///
+/// ```
+/// use commorder::prelude::*;
+///
+/// let pipeline = Pipeline::builder(GpuSpec::test_scale())
+///     .kernel(Kernel::SpmmCsr { k: 4 })
+///     .policy(ReplacementPolicy::Belady)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(pipeline.kernel(), Kernel::SpmmCsr { k: 4 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "call .build() to obtain the validated Pipeline"]
+pub struct PipelineBuilder {
+    gpu: GpuSpec,
+    kernel: Kernel,
+    model: ExecutionModel,
+    policy: ReplacementPolicy,
+}
+
+impl PipelineBuilder {
+    /// Selects the kernel whose trace is simulated.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects the trace linearization model.
+    pub fn model(mut self, model: ExecutionModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Selects the cache replacement policy.
+    pub fn policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Validates the configuration and produces the [`Pipeline`].
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::InvalidConfig`] when the cache geometry is
+    /// degenerate (zero capacity/line/associativity, capacity not a whole
+    /// number of sets), a bandwidth constant is non-positive, or a
+    /// parameterized kernel/model has a zero parameter.
+    pub fn build(self) -> Result<Pipeline, SparseError> {
+        let invalid = |what: &str, message: String| {
+            Err(SparseError::InvalidConfig {
+                what: what.to_string(),
+                message,
+            })
+        };
+        let l2 = self.gpu.l2;
+        if l2.capacity_bytes == 0 {
+            return invalid(
+                "l2.capacity_bytes",
+                "cache capacity must be positive".into(),
+            );
+        }
+        if l2.line_bytes == 0 {
+            return invalid("l2.line_bytes", "cache line size must be positive".into());
+        }
+        if l2.associativity == 0 {
+            return invalid("l2.associativity", "associativity must be positive".into());
+        }
+        let set_bytes = u64::from(l2.line_bytes) * u64::from(l2.associativity);
+        if !l2.capacity_bytes.is_multiple_of(set_bytes) {
+            return invalid(
+                "l2.capacity_bytes",
+                format!(
+                    "capacity {} is not a whole number of {}-byte sets",
+                    l2.capacity_bytes, set_bytes
+                ),
+            );
+        }
+        if !self.gpu.measured_bandwidth.is_finite() || self.gpu.measured_bandwidth <= 0.0 {
+            return invalid(
+                "gpu.measured_bandwidth",
+                "measured bandwidth must be positive".into(),
+            );
+        }
+        if !self.gpu.peak_bandwidth.is_finite() || self.gpu.peak_bandwidth <= 0.0 {
+            return invalid(
+                "gpu.peak_bandwidth",
+                "peak bandwidth must be positive".into(),
+            );
+        }
+        match self.kernel {
+            Kernel::SpmmCsr { k: 0 } => {
+                return invalid("kernel.k", "SpMM needs at least one dense column".into())
+            }
+            Kernel::SpmvCsrTiled { tile_cols: 0 } => {
+                return invalid("kernel.tile_cols", "tile width must be positive".into())
+            }
+            Kernel::SpmvBlocked { bins: 0 } => {
+                return invalid("kernel.bins", "blocking needs at least one bin".into())
+            }
+            _ => {}
+        }
+        if let ExecutionModel::Interleaved { streams: 0 } = self.model {
+            return invalid(
+                "model.streams",
+                "interleaved execution needs at least one stream".into(),
+            );
+        }
+        Ok(Pipeline {
+            gpu: self.gpu,
+            kernel: self.kernel,
+            model: self.model,
+            policy: self.policy,
+        })
+    }
 }
 
 impl Pipeline {
-    /// SpMV-CSR, sequential trace, LRU — the default for Figs. 2–7.
-    #[must_use]
-    pub fn new(gpu: GpuSpec) -> Self {
-        Pipeline {
+    /// Starts a builder with the given platform and the Fig. 2–7
+    /// defaults: SpMV-CSR, sequential trace, LRU.
+    pub fn builder(gpu: GpuSpec) -> PipelineBuilder {
+        PipelineBuilder {
             gpu,
             kernel: Kernel::SpmvCsr,
             model: ExecutionModel::Sequential,
@@ -80,25 +221,42 @@ impl Pipeline {
         }
     }
 
-    /// Same pipeline with a different kernel (builder-style).
+    /// SpMV-CSR, sequential trace, LRU — the default for Figs. 2–7.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gpu` fails builder validation (the built-in
+    /// [`GpuSpec`] constructors never do); use [`Pipeline::builder`] for
+    /// fallible construction of custom platforms.
     #[must_use]
-    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
-        self.kernel = kernel;
-        self
+    pub fn new(gpu: GpuSpec) -> Self {
+        Pipeline::builder(gpu)
+            .build()
+            .expect("built-in GpuSpec configurations are valid")
     }
 
-    /// Same pipeline with a different replacement policy.
+    /// Simulated platform (L2 geometry + bandwidth model).
     #[must_use]
-    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
-        self.policy = policy;
-        self
+    pub fn gpu(&self) -> GpuSpec {
+        self.gpu
     }
 
-    /// Same pipeline with a different execution model.
+    /// Kernel whose trace is simulated.
     #[must_use]
-    pub fn with_model(mut self, model: ExecutionModel) -> Self {
-        self.model = model;
-        self
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Trace linearization model.
+    #[must_use]
+    pub fn model(&self) -> ExecutionModel {
+        self.model
+    }
+
+    /// Replacement policy.
+    #[must_use]
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
     }
 
     /// Simulates the configured kernel on `matrix` as-is (no reordering).
@@ -141,8 +299,8 @@ impl Pipeline {
         }
     }
 
-    /// Reorders `matrix` with `technique` (timing the pre-processing),
-    /// then simulates the kernel on the reordered matrix.
+    /// Reorders `matrix` with `technique`, then simulates the kernel on
+    /// the reordered matrix.
     ///
     /// # Errors
     ///
@@ -152,9 +310,7 @@ impl Pipeline {
         matrix: &CsrMatrix,
         technique: &dyn Reordering,
     ) -> Result<Evaluation, SparseError> {
-        let start = Instant::now();
         let permutation = technique.reorder(matrix)?;
-        let reorder_seconds = start.elapsed().as_secs_f64();
         commorder_sparse::debug_validate!(
             permutation.len() == matrix.n_rows() as usize,
             "{}: permutation length {} does not match n = {}",
@@ -173,7 +329,6 @@ impl Pipeline {
         let run = self.simulate(&reordered);
         Ok(Evaluation {
             technique: technique.name().to_string(),
-            reorder_seconds,
             permutation,
             run,
         })
@@ -183,6 +338,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use commorder_cachesim::CacheConfig;
     use commorder_reorder::{Original, Rabbit, RandomOrder};
     use commorder_synth::generators::PlantedPartition;
 
@@ -216,7 +372,6 @@ mod tests {
             rabbit.run.traffic_ratio,
             original.run.traffic_ratio
         );
-        assert!(rabbit.reorder_seconds >= 0.0);
         assert_eq!(rabbit.technique, "RABBIT");
     }
 
@@ -224,8 +379,10 @@ mod tests {
     fn belady_never_exceeds_lru_traffic() {
         let m = strong_community_matrix();
         let lru = Pipeline::new(GpuSpec::test_scale()).simulate(&m);
-        let opt = Pipeline::new(GpuSpec::test_scale())
-            .with_policy(ReplacementPolicy::Belady)
+        let opt = Pipeline::builder(GpuSpec::test_scale())
+            .policy(ReplacementPolicy::Belady)
+            .build()
+            .unwrap()
             .simulate(&m);
         assert!(opt.dram_bytes <= lru.dram_bytes);
     }
@@ -234,8 +391,10 @@ mod tests {
     fn kernel_builder_changes_compulsory() {
         let m = strong_community_matrix();
         let csr = Pipeline::new(GpuSpec::test_scale()).simulate(&m);
-        let coo = Pipeline::new(GpuSpec::test_scale())
-            .with_kernel(Kernel::SpmvCoo)
+        let coo = Pipeline::builder(GpuSpec::test_scale())
+            .kernel(Kernel::SpmvCoo)
+            .build()
+            .unwrap()
             .simulate(&m);
         assert!(coo.compulsory_bytes > csr.compulsory_bytes);
     }
@@ -243,9 +402,73 @@ mod tests {
     #[test]
     fn interleaved_model_runs() {
         let m = strong_community_matrix();
-        let run = Pipeline::new(GpuSpec::test_scale())
-            .with_model(ExecutionModel::Interleaved { streams: 8 })
+        let run = Pipeline::builder(GpuSpec::test_scale())
+            .model(ExecutionModel::Interleaved { streams: 8 })
+            .build()
+            .unwrap()
             .simulate(&m);
         assert!(run.traffic_ratio >= 0.99);
+    }
+
+    #[test]
+    fn builder_rejects_zero_capacity_cache() {
+        let gpu = GpuSpec {
+            l2: CacheConfig {
+                capacity_bytes: 0,
+                line_bytes: 32,
+                associativity: 16,
+            },
+            ..GpuSpec::test_scale()
+        };
+        let err = Pipeline::builder(gpu).build().unwrap_err();
+        assert!(
+            matches!(err, SparseError::InvalidConfig { ref what, .. } if what == "l2.capacity_bytes")
+        );
+    }
+
+    #[test]
+    fn builder_rejects_ragged_capacity_and_zero_params() {
+        let ragged = GpuSpec {
+            l2: CacheConfig {
+                capacity_bytes: 1000,
+                line_bytes: 32,
+                associativity: 16,
+            },
+            ..GpuSpec::test_scale()
+        };
+        assert!(Pipeline::builder(ragged).build().is_err());
+        assert!(Pipeline::builder(GpuSpec::test_scale())
+            .kernel(Kernel::SpmmCsr { k: 0 })
+            .build()
+            .is_err());
+        assert!(Pipeline::builder(GpuSpec::test_scale())
+            .kernel(Kernel::SpmvCsrTiled { tile_cols: 0 })
+            .build()
+            .is_err());
+        assert!(Pipeline::builder(GpuSpec::test_scale())
+            .model(ExecutionModel::Interleaved { streams: 0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_accepts_all_builtin_specs() {
+        for gpu in [
+            GpuSpec::a6000(),
+            GpuSpec::a6000_scaled(),
+            GpuSpec::test_scale(),
+        ] {
+            let p = Pipeline::builder(gpu).build().unwrap();
+            assert_eq!(p.kernel(), Kernel::SpmvCsr);
+            assert_eq!(p.policy(), ReplacementPolicy::Lru);
+            assert_eq!(p.model(), ExecutionModel::Sequential);
+            assert_eq!(p.gpu().l2, gpu.l2);
+        }
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(ReplacementPolicy::Lru.name(), "lru");
+        assert_eq!(ReplacementPolicy::Belady.name(), "belady");
     }
 }

@@ -1,0 +1,46 @@
+//! Engine-level determinism: the value stream out of a batch must be a
+//! pure function of the input, never of the thread count or schedule.
+
+use commorder_exec::Engine;
+
+/// A deterministic but order-sensitive job: hash of index and item. If
+/// results were placed by completion order instead of submission order,
+/// any scheduling jitter would scramble the output vector.
+fn job(i: usize, x: &u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (i as u64);
+    for _ in 0..(x % 7 + 1) * 1_000 {
+        h = h.wrapping_mul(0x0000_0100_0000_01b3).rotate_left(17) ^ x;
+    }
+    h
+}
+
+#[test]
+fn value_stream_is_identical_across_thread_counts() {
+    let items: Vec<u64> = (0..200).map(|i| i * 2_654_435_761).collect();
+    let reference = Engine::serial().map(&items, job);
+    for threads in [2, 3, 4, 8, 16] {
+        let out = Engine::new(threads).map(&items, job);
+        assert_eq!(out, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn repeated_runs_agree() {
+    let items: Vec<u64> = (0..64).collect();
+    let engine = Engine::new(4);
+    let a = engine.map(&items, job);
+    let b = engine.map(&items, job);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn owned_items_and_timing_roundtrip() {
+    let engine = Engine::new(4);
+    let items: Vec<String> = (0..32).map(|i| format!("job-{i}")).collect();
+    let (outputs, stats) = engine.run_with_stats(items, |i, s| format!("{s}#{i}"));
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(out.value, format!("job-{i}#{i}"));
+        assert!(out.timing.exec_seconds >= 0.0);
+    }
+    assert_eq!(stats.jobs, 32);
+}

@@ -51,6 +51,16 @@ pub enum SparseError {
     /// An underlying I/O error (kind and message preserved as text so the
     /// error stays `Clone + Eq`).
     Io(String),
+    /// An experiment/pipeline configuration value is invalid (e.g. a
+    /// zero-capacity cache, a kernel with zero tile width). Surfaced by
+    /// validating builders so misconfiguration fails at construction
+    /// instead of panicking mid-simulation.
+    InvalidConfig {
+        /// The configuration field at fault (e.g. `"l2.capacity_bytes"`).
+        what: String,
+        /// Why the value is rejected.
+        message: String,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -83,6 +93,9 @@ impl fmt::Display for SparseError {
                 write!(f, "parse error at line {line}: {message}")
             }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::InvalidConfig { what, message } => {
+                write!(f, "invalid configuration for {what}: {message}")
+            }
         }
     }
 }
@@ -141,6 +154,17 @@ mod tests {
         assert!(s.contains("index 3"), "{s}");
         assert!(s.contains("value 7"), "{s}");
         assert!(s.contains("non-decreasing"), "{s}");
+    }
+
+    #[test]
+    fn invalid_config_display() {
+        let e = SparseError::InvalidConfig {
+            what: "l2.capacity_bytes".to_string(),
+            message: "capacity must be positive".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("invalid configuration"), "{s}");
+        assert!(s.contains("l2.capacity_bytes"), "{s}");
     }
 
     #[test]

@@ -60,8 +60,9 @@ fn main() -> Result<(), commorder::sparse::SparseError> {
     // One Fig.-8-style headroom probe at the interesting point.
     let gpu = GpuSpec::test_scale();
     let lru = Pipeline::new(gpu).simulate(&rabbit);
-    let opt = Pipeline::new(gpu)
-        .with_policy(ReplacementPolicy::Belady)
+    let opt = Pipeline::builder(gpu)
+        .policy(ReplacementPolicy::Belady)
+        .build()?
         .simulate(&rabbit);
     println!(
         "RABBIT order @ 8 KiB L2: LRU {} vs Belady {} => replacement headroom {}",

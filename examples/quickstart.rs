@@ -1,5 +1,5 @@
 //! Quickstart: reorder one matrix with every technique and compare DRAM
-//! traffic against the hardware limit.
+//! traffic against the hardware limit, using the experiment grid API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -27,8 +27,14 @@ fn main() -> Result<(), commorder::sparse::SparseError> {
         matrix.nnz()
     );
 
-    // Simulate cuSPARSE-style SpMV on a scaled A6000 L2 (see DESIGN.md).
-    let pipeline = Pipeline::new(GpuSpec::test_scale());
+    // Declare the grid (1 matrix x 7 techniques x SpMV-CSR on a scaled
+    // A6000 L2, see DESIGN.md) and fan it across all cores. The result
+    // table is identical for any thread count.
+    let spec = ExperimentSpec::new(GpuSpec::test_scale())
+        .matrix("webhub", matrix)
+        .techniques(paper_suite(7));
+    let result = spec.run(&Engine::available())?;
+
     let mut table = Table::new(
         "SpMV on the simulated A6000 L2",
         vec![
@@ -39,17 +45,18 @@ fn main() -> Result<(), commorder::sparse::SparseError> {
             "reorder time".into(),
         ],
     );
-    for technique in paper_suite(7) {
-        let eval = pipeline.evaluate(&matrix, technique.as_ref())?;
+    for (ti, technique) in result.techniques.iter().enumerate() {
+        let record = result.run_for(0, ti);
         table.add_row(vec![
-            eval.technique.clone(),
-            Table::ratio(eval.run.traffic_ratio),
-            Table::ratio(eval.run.time_ratio),
-            Table::percent(eval.run.stats.hit_rate()),
-            Table::seconds(eval.reorder_seconds),
+            technique.clone(),
+            Table::ratio(record.run.traffic_ratio),
+            Table::ratio(record.run.time_ratio),
+            Table::percent(record.run.stats.hit_rate()),
+            Table::seconds(record.reorder_seconds),
         ]);
     }
     println!("{table}");
     println!("lower is better; 1.00x = hardware limit (compulsory traffic / ideal time)");
+    println!("engine: {}", result.stats.summary());
     Ok(())
 }

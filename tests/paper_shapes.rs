@@ -100,7 +100,10 @@ fn rabbitpp_helps_the_low_insularity_webby_matrix() {
 fn belady_is_a_lower_bound_for_every_technique() {
     // Fig. 8's invariant, across techniques and matrices.
     let lru = Pipeline::new(GpuSpec::test_scale());
-    let opt = Pipeline::new(GpuSpec::test_scale()).with_policy(ReplacementPolicy::Belady);
+    let opt = Pipeline::builder(GpuSpec::test_scale())
+        .policy(ReplacementPolicy::Belady)
+        .build()
+        .expect("valid built-in spec");
     for (name, m) in load_mini().into_iter().take(4) {
         for technique in paper_suite(3) {
             let perm = technique.reorder(&m).expect("square");
@@ -194,7 +197,10 @@ fn all_kernels_agree_on_technique_ordering() {
         .find(|(name, _)| name == "mini-sbm")
         .expect("mini corpus has the sbm entry");
     for kernel in [Kernel::SpmvCsr, Kernel::SpmvCoo, Kernel::SpmmCsr { k: 4 }] {
-        let pipeline = Pipeline::new(GpuSpec::test_scale()).with_kernel(kernel);
+        let pipeline = Pipeline::builder(GpuSpec::test_scale())
+            .kernel(kernel)
+            .build()
+            .expect("valid built-in spec");
         let random = pipeline
             .evaluate(m, &RandomOrder::new(1))
             .expect("square")
