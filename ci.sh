@@ -17,11 +17,17 @@ echo "== tier-1: build + test"
 cargo build --release -q
 cargo test -q --workspace
 
-echo "== suite smoke (--threads 4, deterministic report)"
+echo "== suite smoke (--threads 4, deterministic report + telemetry)"
 COMMORDER_CORPUS=mini COMMORDER_MAX_MATRICES=3 \
   cargo run --release -q -p commorder --bin commorder-cli -- \
-  suite --threads 4 --corpus mini --max-matrices 3 --json /tmp/commorder-suite-smoke.json
+  suite --threads 4 --corpus mini --max-matrices 3 \
+  --json /tmp/commorder-suite-smoke.json --telemetry /tmp/commorder-suite-smoke.jsonl
 test -s /tmp/commorder-suite-smoke.json
+test -s /tmp/commorder-suite-smoke.jsonl
+
+echo "== telemetry stream validates (CHK09xx)"
+cargo run --release -q -p commorder --bin commorder-cli -- \
+  check /tmp/commorder-suite-smoke.jsonl
 
 echo "== strict-checks feature"
 cargo test -q -p commorder-sparse -p commorder-cachesim -p commorder \

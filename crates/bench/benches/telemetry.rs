@@ -1,0 +1,60 @@
+//! Microbenchmarks for the telemetry layer: the cost of a `span!` /
+//! `counter!` call site when no sink is installed (the price every
+//! library pays unconditionally), under the aggregating registry, and
+//! under a JSONL writer draining to a null sink.
+
+use std::sync::Arc;
+
+use commorder::obs::{self, JsonlSink, Registry};
+use commorder_bench::microbench::Runner;
+
+const N: u64 = 100_000;
+
+fn spans() -> u64 {
+    let mut acc = 0u64;
+    for i in 0..N {
+        let _span = obs::span!("bench.leaf");
+        acc = acc.wrapping_add(i);
+    }
+    acc
+}
+
+fn detailed_spans() -> u64 {
+    let mut acc = 0u64;
+    for i in 0..N {
+        // The format args must only be evaluated when a sink is live.
+        let _span = obs::span!("bench.leaf", "i={i}");
+        acc = acc.wrapping_add(i);
+    }
+    acc
+}
+
+fn counters() -> u64 {
+    for _ in 0..N {
+        obs::counter!("grid.cells", 1);
+    }
+    N
+}
+
+fn main() {
+    let runner = Runner::from_env();
+    println!("== telemetry ==");
+
+    runner.bench("span_disabled", Some(N), spans);
+    runner.bench("span_detailed_disabled", Some(N), detailed_spans);
+    runner.bench("counter_disabled", Some(N), counters);
+
+    {
+        let registry = Arc::new(Registry::new());
+        let _guard = obs::install(registry);
+        runner.bench("span_registry", Some(N), spans);
+        runner.bench("span_detailed_registry", Some(N), detailed_spans);
+        runner.bench("counter_registry", Some(N), counters);
+    }
+
+    {
+        let sink = Arc::new(JsonlSink::new(std::io::sink()));
+        let _guard = obs::install(sink);
+        runner.bench("span_jsonl_null", Some(N), spans);
+    }
+}

@@ -364,6 +364,21 @@ mod tests {
     }
 
     #[test]
+    fn empty_stats_ratios_are_zero_not_nan() {
+        // Zero accesses / zero fills (e.g. an empty trace) must yield
+        // well-defined ratios, never NaN.
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.dead_line_fraction(), 0.0);
+        assert!(s.hit_rate().is_finite());
+        assert!(s.dead_line_fraction().is_finite());
+        // A cache that saw no accesses finishes to the same empty stats.
+        let fresh = tiny().finish();
+        assert_eq!(fresh.hit_rate(), 0.0);
+        assert_eq!(fresh.dead_line_fraction(), 0.0);
+    }
+
+    #[test]
     fn streaming_fits_exactly_in_compulsory() {
         // Sequential sweep over 1 KiB with a 128 B cache: every line
         // fetched exactly once -> traffic == compulsory.

@@ -55,6 +55,7 @@ pub mod graph_trace;
 pub mod hierarchy;
 pub mod layout;
 pub mod plru;
+pub mod telemetry;
 pub mod trace;
 
 pub use cache::{AccessOutcome, CacheStats, LruCache};

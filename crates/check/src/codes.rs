@@ -14,6 +14,7 @@
 //! | CHK06xx | Address traces                          |
 //! | CHK07xx | Cache configuration                     |
 //! | CHK08xx | GPU specification                       |
+//! | CHK09xx | Telemetry JSONL streams                 |
 
 /// One row of the code table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,25 @@ pub const GPU_BANDWIDTH_ORDER: &str = "CHK0802";
 pub const GPU_PENALTY_RANGE: &str = "CHK0803";
 /// L2 capacity exceeds main-memory capacity.
 pub const GPU_L2_CAPACITY: &str = "CHK0804";
+
+/// Telemetry line is not a flat JSON object.
+pub const TELEM_PARSE: &str = "CHK0901";
+/// Telemetry event is missing a required field, or a field has the
+/// wrong JSON type.
+pub const TELEM_FIELD: &str = "CHK0902";
+/// Telemetry event `type` is not one of the published discriminators.
+pub const TELEM_TYPE: &str = "CHK0903";
+/// Telemetry value is negative or non-finite where it must not be.
+pub const TELEM_VALUE: &str = "CHK0904";
+/// Span nesting violated: child interval escapes its parent, end
+/// timestamps regress within a thread, or a span has no enclosing
+/// parent at the next shallower depth.
+pub const TELEM_NESTING: &str = "CHK0905";
+/// Metric name is not declared in the `commorder-obs` registry, or the
+/// event kind disagrees with the declared kind.
+pub const TELEM_METRIC: &str = "CHK0906";
+/// Span `path`, `depth`, and `name` fields are mutually inconsistent.
+pub const TELEM_PATH: &str = "CHK0907";
 
 /// Every published code with its meaning, in code order.
 pub const CODE_TABLE: &[CodeInfo] = &[
@@ -225,6 +245,34 @@ pub const CODE_TABLE: &[CodeInfo] = &[
     CodeInfo {
         code: GPU_L2_CAPACITY,
         title: "L2 capacity exceeds memory capacity",
+    },
+    CodeInfo {
+        code: TELEM_PARSE,
+        title: "telemetry line is not a flat JSON object",
+    },
+    CodeInfo {
+        code: TELEM_FIELD,
+        title: "telemetry event field missing or mistyped",
+    },
+    CodeInfo {
+        code: TELEM_TYPE,
+        title: "unknown telemetry event type",
+    },
+    CodeInfo {
+        code: TELEM_VALUE,
+        title: "telemetry value negative or non-finite",
+    },
+    CodeInfo {
+        code: TELEM_NESTING,
+        title: "span nesting or end-order violated",
+    },
+    CodeInfo {
+        code: TELEM_METRIC,
+        title: "metric name undeclared or kind mismatch",
+    },
+    CodeInfo {
+        code: TELEM_PATH,
+        title: "span path/depth/name inconsistent",
     },
 ];
 

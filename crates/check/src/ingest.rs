@@ -16,7 +16,9 @@
 //! * `.perm` — one `new_id` per line (`new_ids[old] = new`),
 //! * `.trace` — one access per line, `R <addr>` or `W <addr>` (decimal or
 //!   `0x` hex); optional directives `@line <bytes>` and `@end <bytes>`
-//!   set the sector size and the exclusive address bound.
+//!   set the sector size and the exclusive address bound,
+//! * `.jsonl` — a `commorder-obs` telemetry stream, audited by the
+//!   `CHK09xx` validators in [`crate::telemetry`].
 
 use commorder_cachesim::Access;
 
@@ -34,8 +36,8 @@ fn parse_error(line_no: usize, message: String) -> Diagnostic {
 }
 
 /// Audits file `contents` according to the extension of `name`
-/// (`mtx`, `csr`, `perm`, or `trace`); an unknown extension yields a
-/// single parse diagnostic.
+/// (`mtx`, `csr`, `perm`, `trace`, or `jsonl`); an unknown extension
+/// yields a single parse diagnostic.
 #[must_use]
 pub fn check_file_contents(name: &str, contents: &str) -> CheckReport {
     let ext = name.rsplit('.').next().unwrap_or("").to_ascii_lowercase();
@@ -45,9 +47,12 @@ pub fn check_file_contents(name: &str, contents: &str) -> CheckReport {
         "csr" => report.extend(check_csr_dump(contents)),
         "perm" => report.extend(check_perm_file(contents)),
         "trace" => report.extend(check_trace_file(contents)),
+        "jsonl" => report.extend(crate::telemetry::check_telemetry(contents)),
         other => report.extend(vec![parse_error(
             0,
-            format!("unknown fixture extension {other:?} (expected mtx, csr, perm, or trace)"),
+            format!(
+                "unknown fixture extension {other:?} (expected mtx, csr, perm, trace, or jsonl)"
+            ),
         )]),
     }
     report
@@ -319,6 +324,14 @@ mod tests {
     fn trace_file_end_directive_bounds_accesses() {
         let r = check_file_contents("oob.trace", "@end 64\nR 0x40\n");
         assert_eq!(r.codes(), vec![codes::TRACE_BOUNDS]);
+    }
+
+    #[test]
+    fn jsonl_files_route_to_the_telemetry_validators() {
+        let stream = "{\"type\":\"meta\",\"version\":1}\n\
+                      {\"type\":\"counter\",\"name\":\"no.such.metric\",\"delta\":1}\n";
+        let r = check_file_contents("run.jsonl", stream);
+        assert_eq!(r.codes(), vec![codes::TELEM_METRIC], "{}", r.render_text());
     }
 
     #[test]

@@ -9,16 +9,28 @@
 //! commorder-cli advise   <in.mtx>
 //! commorder-cli check    <file> [--json]
 //! commorder-cli corpus [export <dir>]
-//! commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--json PATH|-]
+//! commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--json PATH|-] [--telemetry PATH]
+//! commorder-cli profile [--top N] [suite flags]
 //! ```
 //!
-//! `check` audits a data file (`.mtx`, `.csr`, `.perm`, `.trace`) against
-//! the workspace invariants and reports stable `CHK` diagnostics; the
-//! process exits non-zero when any error-severity finding is present.
+//! `check` audits a data file (`.mtx`, `.csr`, `.perm`, `.trace`,
+//! telemetry `.jsonl`) against the workspace invariants and reports
+//! stable `CHK` diagnostics; the process exits non-zero when any
+//! error-severity finding is present.
+//!
+//! `suite --telemetry <path>` streams structured telemetry (span
+//! timings, counters) as JSON Lines while the grid runs; the
+//! deterministic JSON report is byte-identical with or without it.
+//! `profile` runs the same grid under the aggregating registry and
+//! prints the phase tree plus the hottest (matrix, technique) cells.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use commorder::cli::{parse_kernel, parse_technique, SuiteOptions, TECHNIQUE_NAMES};
+use commorder::cli::{
+    parse_kernel, parse_technique, ProfileOptions, SuiteOptions, TECHNIQUE_NAMES,
+};
+use commorder::obs;
 use commorder::prelude::*;
 use commorder::reorder::paper_suite;
 use commorder::reorder::quality::{self, CommunityStats};
@@ -27,14 +39,54 @@ use commorder::synth::corpus;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace)\n  commorder-cli corpus [export <dir>]\n  commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--json PATH|-]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count.",
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir>]\n  commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--json PATH|-] [--telemetry PATH]\n  commorder-cli profile [--top N] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). profile runs the same\ngrid under the telemetry registry and prints the phase tree plus the\n--top hottest (matrix, technique) cells.",
         TECHNIQUE_NAMES.join(" | ")
     );
     ExitCode::FAILURE
 }
 
-/// The full paper-suite grid run behind the `suite` subcommand.
-fn run_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
+type JsonlFileSink = obs::JsonlSink<std::io::BufWriter<std::fs::File>>;
+/// An installed `--telemetry` sink: the sink itself (for the final
+/// flush) alongside its install guard.
+type InstalledJsonl = (Arc<JsonlFileSink>, obs::SinkGuard);
+
+/// Installs the `--telemetry PATH` JSONL sink when requested.
+fn install_jsonl(
+    options: &SuiteOptions,
+) -> Result<Option<InstalledJsonl>, Box<dyn std::error::Error>> {
+    match &options.telemetry {
+        Some(path) => {
+            let writer = std::io::BufWriter::new(std::fs::File::create(path)?);
+            let sink = Arc::new(obs::JsonlSink::new(writer));
+            let guard = obs::install(sink.clone());
+            Ok(Some((sink, guard)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Flushes and uninstalls a `--telemetry` sink after the run.
+fn finish_jsonl(
+    jsonl: Option<InstalledJsonl>,
+    path: Option<&String>,
+    label: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some((sink, guard)) = jsonl {
+        drop(guard);
+        sink.flush()?;
+        if let Some(path) = path {
+            eprintln!("[{label}] telemetry jsonl -> {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Generates the corpus and runs the paper-suite grid — the shared core
+/// of the `suite` and `profile` subcommands. Emits `suite` /
+/// `suite.generate` spans around the main-thread phases; per-job spans
+/// come from the engine and pipeline instrumentation.
+fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::error::Error>> {
+    let _root = obs::span!("suite");
     let corpus_kind = options.corpus.clone().unwrap_or_else(|| {
         std::env::var("COMMORDER_CORPUS").unwrap_or_else(|_| "standard".to_string())
     });
@@ -51,6 +103,7 @@ fn run_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = ExperimentSpec::new(gpu).techniques(paper_suite(0xC0DE));
     for entry in entries.into_iter().take(limit) {
         eprintln!("[suite] gen {}", entry.name);
+        let _span = obs::span!("suite.generate", "{}", entry.name);
         let matrix = entry.generate()?;
         spec = spec.matrix_in_group(entry.name, entry.domain.label(), matrix);
     }
@@ -60,7 +113,13 @@ fn run_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
         spec.techniques.len(),
         engine.threads()
     );
-    let result = spec.run(&engine)?;
+    Ok(spec.run(&engine)?)
+}
+
+/// The full paper-suite grid run behind the `suite` subcommand.
+fn run_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
+    let jsonl = install_jsonl(options)?;
+    let result = run_grid(options)?;
 
     let mut headers = vec!["matrix".to_string(), "domain".to_string()];
     headers.extend(result.techniques.iter().cloned());
@@ -106,6 +165,47 @@ fn run_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("[suite] report json -> {path}");
         }
     }
+    finish_jsonl(jsonl, options.telemetry.as_ref(), "suite")?;
+    Ok(())
+}
+
+/// The `profile` subcommand: the suite grid under the aggregating
+/// registry, reported as a phase tree plus the hottest cells.
+fn run_profile(options: &ProfileOptions) -> Result<(), Box<dyn std::error::Error>> {
+    let registry = Arc::new(obs::Registry::new());
+    let registry_guard = obs::install(registry.clone());
+    let jsonl = install_jsonl(&options.grid)?;
+    let result = run_grid(&options.grid)?;
+    drop(registry_guard);
+    finish_jsonl(jsonl, options.grid.telemetry.as_ref(), "profile")?;
+
+    print!("{}", registry.render_tree());
+    let hottest = registry.hottest("grid.cell", options.top);
+    if !hottest.is_empty() {
+        println!(
+            "top {} hottest (matrix, technique) cells by simulation time",
+            hottest.len()
+        );
+        for (rank, (label, stat)) in hottest.iter().enumerate() {
+            println!(
+                "  {:>2}. {:<34} {:>4} cells {:>10}",
+                rank + 1,
+                label,
+                stat.count,
+                obs::registry::fmt_ns(stat.total_ns),
+            );
+        }
+    }
+    if let Some(path) = &options.grid.json {
+        let json = result.render_json();
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, json)?;
+            eprintln!("[profile] report json -> {path}");
+        }
+    }
+    eprintln!("[profile] engine: {}", result.stats.summary());
     Ok(())
 }
 
@@ -277,6 +377,13 @@ fn main() -> ExitCode {
         }
         [cmd, rest @ ..] if cmd == "suite" => match SuiteOptions::parse(rest) {
             Ok(options) => run_suite(&options),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return usage();
+            }
+        },
+        [cmd, rest @ ..] if cmd == "profile" => match ProfileOptions::parse(rest) {
+            Ok(options) => run_profile(&options),
             Err(message) => {
                 eprintln!("error: {message}");
                 return usage();

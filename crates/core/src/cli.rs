@@ -89,6 +89,10 @@ pub struct SuiteOptions {
     /// Write the deterministic report JSON here (`--json PATH`, `-` for
     /// stdout).
     pub json: Option<String>,
+    /// Stream telemetry events as JSON Lines to this file
+    /// (`--telemetry PATH`). The JSON report is byte-identical with or
+    /// without this flag — telemetry is a sidecar stream.
+    pub telemetry: Option<String>,
 }
 
 impl SuiteOptions {
@@ -104,6 +108,7 @@ impl SuiteOptions {
             corpus: None,
             max_matrices: None,
             json: None,
+            telemetry: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -137,10 +142,54 @@ impl SuiteOptions {
                     })?);
                 }
                 "--json" => options.json = Some(value_of("--json")?),
+                "--telemetry" => options.telemetry = Some(value_of("--telemetry")?),
                 other => return Err(format!("unknown suite flag {other:?}")),
             }
         }
         Ok(options)
+    }
+}
+
+/// Options of the `commorder-cli profile` subcommand: a suite grid run
+/// under the aggregating telemetry registry, reporting the phase tree
+/// and the hottest (matrix, technique) cells instead of the result
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileOptions {
+    /// The underlying grid configuration (same flags as `suite`).
+    pub grid: SuiteOptions,
+    /// How many hottest cells to report (`--top N`, default 5).
+    pub top: usize,
+}
+
+impl ProfileOptions {
+    /// Parses `profile` flags: `--top N` plus every `suite` flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending flag.
+    pub fn parse(args: &[String]) -> Result<ProfileOptions, String> {
+        let mut top = 5usize;
+        let mut grid_args = Vec::with_capacity(args.len());
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if flag == "--top" {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--top requires a value".to_string())?;
+                top = v
+                    .parse()
+                    .map_err(|_| format!("--top expects a positive integer, got {v:?}"))?;
+                if top == 0 {
+                    return Err("--top must be at least 1".to_string());
+                }
+            } else {
+                grid_args.push(flag.clone());
+            }
+        }
+        let grid =
+            SuiteOptions::parse(&grid_args).map_err(|e| e.replace("suite flag", "profile flag"))?;
+        Ok(ProfileOptions { grid, top })
     }
 }
 
@@ -164,15 +213,46 @@ mod tests {
 
     #[test]
     fn suite_options_parse() {
-        let args: Vec<String> = ["--threads", "4", "--corpus", "mini", "--json", "-"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let args: Vec<String> = [
+            "--threads",
+            "4",
+            "--corpus",
+            "mini",
+            "--json",
+            "-",
+            "--telemetry",
+            "out.jsonl",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
         let options = SuiteOptions::parse(&args).unwrap();
         assert_eq!(options.threads, Some(4));
         assert_eq!(options.corpus.as_deref(), Some("mini"));
         assert_eq!(options.json.as_deref(), Some("-"));
         assert_eq!(options.max_matrices, None);
+        assert_eq!(options.telemetry.as_deref(), Some("out.jsonl"));
+    }
+
+    #[test]
+    fn profile_options_extract_top_and_delegate() {
+        let args: Vec<String> = ["--top", "3", "--corpus", "mini", "--threads", "2"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let options = ProfileOptions::parse(&args).unwrap();
+        assert_eq!(options.top, 3);
+        assert_eq!(options.grid.corpus.as_deref(), Some("mini"));
+        assert_eq!(options.grid.threads, Some(2));
+        // Default top.
+        assert_eq!(ProfileOptions::parse(&[]).unwrap().top, 5);
+        let bad = |args: &[&str]| {
+            ProfileOptions::parse(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
+                .unwrap_err()
+        };
+        assert!(bad(&["--top"]).contains("--top"));
+        assert!(bad(&["--top", "0"]).contains("at least 1"));
+        assert!(bad(&["--frobnicate"]).contains("profile flag"));
     }
 
     #[test]

@@ -42,6 +42,7 @@ use std::time::Instant;
 use commorder_cachesim::trace::ExecutionModel;
 use commorder_exec::{Engine, EngineStats};
 use commorder_gpumodel::GpuSpec;
+use commorder_obs as obs;
 use commorder_reorder::Reordering;
 use commorder_sparse::traffic::Kernel;
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
@@ -246,16 +247,37 @@ impl ExperimentSpec {
             engine.run_with_stats(jobs, |_, (mi, ti)| -> Result<JobValue, SparseError> {
                 let matrix = &self.matrices[mi].matrix;
                 let technique = self.techniques[ti].as_ref();
+                let _job_span = obs::span!(
+                    "grid.job",
+                    "{}/{}",
+                    self.matrices[mi].name,
+                    technique.name()
+                );
                 // Timed on the worker, after dequeue: queue wait is in
                 // JobTiming.queue_seconds, never in reorder_seconds.
                 let started = Instant::now();
-                let permutation = technique.reorder(matrix)?;
+                let permutation = {
+                    let _span = obs::span!("grid.reorder", "{}", technique.name());
+                    technique.reorder(matrix)?
+                };
                 let reorder_seconds = started.elapsed().as_secs_f64();
-                let reordered = matrix.permute_symmetric(&permutation)?;
+                let reordered = {
+                    let _span = obs::span!("grid.permute");
+                    matrix.permute_symmetric(&permutation)?
+                };
                 let mut cells = Vec::with_capacity(pipelines.len());
                 for pipeline in &pipelines {
                     let sim_started = Instant::now();
-                    let run = pipeline.simulate(&reordered);
+                    let run = {
+                        let _span = obs::span!(
+                            "grid.cell",
+                            "{}/{}",
+                            self.matrices[mi].name,
+                            technique.name()
+                        );
+                        pipeline.simulate(&reordered)
+                    };
+                    obs::counter!("grid.cells", 1);
                     cells.push((run, sim_started.elapsed().as_secs_f64()));
                 }
                 Ok(JobValue {

@@ -12,6 +12,9 @@
 //!   the community-quality metrics,
 //! * [`cachesim`] — the A6000 L2 simulator (LRU + Belady, dead lines),
 //! * [`gpumodel`] — ideal/estimated run times on the A6000,
+//! * [`obs`] — zero-dependency structured telemetry (span timers,
+//!   counters, JSONL/registry sinks) threaded through the pipeline,
+//!   engine and cache simulator,
 //!
 //! and adds the experiment plumbing: [`Pipeline`] (matrix → reorder →
 //! simulate → metrics), [`analysis`] helpers (insularity splits, means)
@@ -42,6 +45,7 @@ pub use commorder_cachesim as cachesim;
 pub use commorder_check as check;
 pub use commorder_exec as exec;
 pub use commorder_gpumodel as gpumodel;
+pub use commorder_obs as obs;
 pub use commorder_reorder as reorder;
 pub use commorder_sparse as sparse;
 pub use commorder_synth as synth;
@@ -63,6 +67,7 @@ pub mod prelude {
     pub use crate::exec::{Engine, EngineStats, JobTiming};
     pub use crate::experiment::{ExperimentResult, ExperimentSpec, NamedMatrix, RunRecord};
     pub use crate::gpumodel::GpuSpec;
+    pub use crate::obs::{JsonlSink, MemorySink, Registry, Sink};
     pub use crate::pipeline::{
         Evaluation, KernelRun, Pipeline, PipelineBuilder, ReplacementPolicy,
     };

@@ -18,6 +18,7 @@ use commorder_cachesim::belady::simulate_belady;
 use commorder_cachesim::trace::{self, ExecutionModel};
 use commorder_cachesim::{CacheStats, LruCache};
 use commorder_gpumodel::GpuSpec;
+use commorder_obs as obs;
 use commorder_reorder::Reordering;
 use commorder_sparse::traffic::Kernel;
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
@@ -263,6 +264,24 @@ impl Pipeline {
     #[must_use]
     pub fn simulate(&self, matrix: &CsrMatrix) -> KernelRun {
         let stats = match self.policy {
+            ReplacementPolicy::Lru if obs::enabled() => {
+                // Collect-then-replay so trace generation and cache
+                // simulation time as separate phases. The replay feeds
+                // the cache the identical access sequence the streaming
+                // path below produces, so `CacheStats` — and therefore
+                // the deterministic JSON report — is unchanged by
+                // telemetry (the workspace golden test enforces this).
+                let full = {
+                    let _span = obs::span!("pipeline.trace_gen");
+                    trace::collect_trace(matrix, self.kernel, self.model)
+                };
+                let _span = obs::span!("pipeline.simulate");
+                let mut cache = LruCache::new(self.gpu.l2);
+                for &a in &full {
+                    cache.access(a);
+                }
+                cache.finish()
+            }
             ReplacementPolicy::Lru => {
                 let mut cache = LruCache::new(self.gpu.l2);
                 trace::for_each_access(matrix, self.kernel, self.model, |a| {
@@ -271,10 +290,16 @@ impl Pipeline {
                 cache.finish()
             }
             ReplacementPolicy::Belady => {
-                let full = trace::collect_trace(matrix, self.kernel, self.model);
+                let full = {
+                    let _span = obs::span!("pipeline.trace_gen");
+                    trace::collect_trace(matrix, self.kernel, self.model)
+                };
+                let _span = obs::span!("pipeline.simulate");
                 simulate_belady(self.gpu.l2, &full)
             }
         };
+        commorder_cachesim::telemetry::record_cache_stats(&stats);
+        let _span = obs::span!("pipeline.model");
         self.run_from_stats(matrix, stats)
     }
 

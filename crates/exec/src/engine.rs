@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
+use commorder_obs as obs;
+
 /// Scheduling observability for one job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobTiming {
@@ -246,13 +248,23 @@ impl Engine {
                     }
                     per_worker[worker].fetch_add(1, Ordering::Relaxed);
                     let started = Instant::now();
-                    let value = f(job.index, job.item);
+                    let value = {
+                        let _span = obs::span!("exec.job", "job={}", job.index);
+                        f(job.index, job.item)
+                    };
                     let timing = JobTiming {
                         queue_seconds: started.duration_since(submitted).as_secs_f64(),
                         exec_seconds: started.elapsed().as_secs_f64(),
                         worker,
                         stolen,
                     };
+                    if obs::enabled() {
+                        obs::counter!("exec.jobs", 1);
+                        if stolen {
+                            obs::counter!("exec.steals", 1);
+                        }
+                        obs::observe!("exec.queue_wait_seconds", timing.queue_seconds);
+                    }
                     // The receiver outlives the scope; a send can only
                     // fail if the main thread is already unwinding.
                     let _ = sender.send((job.index, JobOutput { value, timing }));
@@ -281,6 +293,7 @@ impl Engine {
                 .collect(),
             busy_seconds,
         };
+        obs::gauge!("exec.utilization", stats.utilization());
         (outputs, stats)
     }
 }
@@ -394,6 +407,56 @@ mod tests {
         );
         // Threads are clamped to the job count: no idle spawn.
         assert_eq!(stats.threads, 2);
+    }
+
+    #[test]
+    fn utilization_guards_zero_denominator() {
+        // A zero-job batch (or a wall-clock too fast to measure) must
+        // report 0.0 utilization, never NaN or infinity.
+        let stats = EngineStats {
+            threads: 0,
+            jobs: 0,
+            steals: 0,
+            wall_seconds: 0.0,
+            per_worker_jobs: Vec::new(),
+            busy_seconds: 0.0,
+        };
+        assert_eq!(stats.utilization(), 0.0);
+        let degenerate = EngineStats {
+            threads: 4,
+            jobs: 1,
+            steals: 0,
+            wall_seconds: 0.0,
+            per_worker_jobs: vec![1, 0, 0, 0],
+            busy_seconds: 0.5,
+        };
+        assert_eq!(degenerate.utilization(), 0.0);
+        assert!(degenerate.utilization().is_finite());
+        assert!(!degenerate.summary().is_empty());
+    }
+
+    #[test]
+    fn batches_emit_job_spans_and_counters() {
+        // The only telemetry-installing test in this binary (the obs
+        // dispatcher is process-global).
+        let _serial = obs::tests_serial();
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let _guard = obs::install(registry.clone());
+        let engine = Engine::new(2);
+        let (outputs, stats) = engine.run_with_stats((0..12u64).collect(), |_, x| x * 2);
+        assert_eq!(outputs.len(), 12);
+        assert_eq!(registry.counter("exec.jobs"), 12);
+        assert_eq!(registry.counter("exec.steals"), stats.steals);
+        let spans = registry.span("exec.job").expect("job spans recorded");
+        assert_eq!(spans.count, 12);
+        let waits = registry
+            .histogram("exec.queue_wait_seconds")
+            .expect("queue waits observed");
+        assert_eq!(waits.count, 12);
+        assert_eq!(
+            registry.gauge("exec.utilization"),
+            Some(stats.utilization())
+        );
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! The metric-name registry.
+//!
+//! Counter/gauge/histogram names are declared here, once, so that the
+//! `CHK09xx` telemetry validators in `commorder-check` can flag typos
+//! and undeclared metrics in emitted JSONL streams, and so `profile`
+//! output can attach a one-line meaning to every number. The table is
+//! **append only**: a published name never changes meaning.
+
+/// How a metric aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic sum of non-negative deltas.
+    Counter,
+    /// Point-in-time sample; last write wins.
+    Gauge,
+    /// Distribution of raw observations (power-of-two buckets in the
+    /// registry sink).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lowercase stable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registry row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricInfo {
+    /// The stable metric name, e.g. `cachesim.hits`.
+    pub name: &'static str,
+    /// How the metric aggregates.
+    pub kind: MetricKind,
+    /// One-line meaning.
+    pub help: &'static str,
+}
+
+/// Every declared metric, in name order.
+pub const METRICS: &[MetricInfo] = &[
+    MetricInfo {
+        name: "cachesim.accesses",
+        kind: MetricKind::Counter,
+        help: "cache accesses simulated",
+    },
+    MetricInfo {
+        name: "cachesim.compulsory_misses",
+        kind: MetricKind::Counter,
+        help: "first-touch (compulsory) misses",
+    },
+    MetricInfo {
+        name: "cachesim.dead_lines",
+        kind: MetricKind::Counter,
+        help: "lines evicted or flushed without a single reuse",
+    },
+    MetricInfo {
+        name: "cachesim.dram_bytes",
+        kind: MetricKind::Counter,
+        help: "simulated DRAM traffic in bytes (fills + write-backs)",
+    },
+    MetricInfo {
+        name: "cachesim.evictions",
+        kind: MetricKind::Counter,
+        help: "lines evicted to make room",
+    },
+    MetricInfo {
+        name: "cachesim.fill_misses",
+        kind: MetricKind::Counter,
+        help: "read misses that fetched a line from DRAM",
+    },
+    MetricInfo {
+        name: "cachesim.fills",
+        kind: MetricKind::Counter,
+        help: "lines filled or allocated",
+    },
+    MetricInfo {
+        name: "cachesim.hits",
+        kind: MetricKind::Counter,
+        help: "cache hits",
+    },
+    MetricInfo {
+        name: "cachesim.miss.capacity",
+        kind: MetricKind::Counter,
+        help: "Three-C capacity misses (classify runs only)",
+    },
+    MetricInfo {
+        name: "cachesim.miss.compulsory",
+        kind: MetricKind::Counter,
+        help: "Three-C compulsory misses (classify runs only)",
+    },
+    MetricInfo {
+        name: "cachesim.miss.conflict",
+        kind: MetricKind::Counter,
+        help: "Three-C conflict misses (classify runs only)",
+    },
+    MetricInfo {
+        name: "cachesim.write_alloc_misses",
+        kind: MetricKind::Counter,
+        help: "write misses allocated without fetch",
+    },
+    MetricInfo {
+        name: "cachesim.writebacks",
+        kind: MetricKind::Counter,
+        help: "dirty lines written back to DRAM",
+    },
+    MetricInfo {
+        name: "exec.jobs",
+        kind: MetricKind::Counter,
+        help: "jobs executed by the engine",
+    },
+    MetricInfo {
+        name: "exec.queue_wait_seconds",
+        kind: MetricKind::Histogram,
+        help: "per-job seconds between batch submission and job start",
+    },
+    MetricInfo {
+        name: "exec.steals",
+        kind: MetricKind::Counter,
+        help: "jobs stolen from a sibling worker's queue",
+    },
+    MetricInfo {
+        name: "exec.utilization",
+        kind: MetricKind::Gauge,
+        help: "busy_seconds / (threads * wall_seconds) of the last batch",
+    },
+    MetricInfo {
+        name: "grid.cells",
+        kind: MetricKind::Counter,
+        help: "experiment grid cells simulated",
+    },
+    MetricInfo {
+        name: "reorder.community.merges",
+        kind: MetricKind::Counter,
+        help: "aggregate merges performed during community detection",
+    },
+    MetricInfo {
+        name: "reorder.community.passes",
+        kind: MetricKind::Counter,
+        help: "aggregation sweeps performed during community detection",
+    },
+];
+
+/// Looks up a metric's registry row; `None` for undeclared names.
+#[must_use]
+pub fn lookup(name: &str) -> Option<&'static MetricInfo> {
+    METRICS
+        .binary_search_by(|info| info.name.cmp(name))
+        .ok()
+        .map(|i| &METRICS[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_unique_and_documented() {
+        for w in METRICS.windows(2) {
+            assert!(w[0].name < w[1].name, "{} !< {}", w[0].name, w[1].name);
+        }
+        for info in METRICS {
+            assert!(!info.help.is_empty(), "{}", info.name);
+            assert!(
+                info.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c)),
+                "{}",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_known_and_unknown() {
+        assert_eq!(
+            lookup("exec.steals").map(|i| i.kind),
+            Some(MetricKind::Counter)
+        );
+        assert_eq!(
+            lookup("exec.queue_wait_seconds").map(|i| i.kind),
+            Some(MetricKind::Histogram)
+        );
+        assert!(lookup("exec.stolen").is_none());
+    }
+}

@@ -1,0 +1,433 @@
+//! The aggregating in-memory registry sink: span statistics by path,
+//! counter/gauge totals, power-of-two histograms, and the
+//! human-readable phase-tree summary behind `commorder-cli profile`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+use crate::event::Event;
+use crate::names;
+use crate::sink::Sink;
+
+/// Aggregate timing of one span path (or one `(path, detail)` instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Completed spans recorded.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+    /// Fastest single span.
+    pub min_ns: u64,
+    /// Slowest single span.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn add(&mut self, dur_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = dur_ns;
+            self.max_ns = dur_ns;
+        } else {
+            self.min_ns = self.min_ns.min(dur_ns);
+            self.max_ns = self.max_ns.max(dur_ns);
+        }
+        self.count += 1;
+        self.total_ns += dur_ns;
+    }
+}
+
+/// Power-of-two bucketed distribution of `observe` values (bucket `i`
+/// counts observations with `floor(log2(value_ns)) == i`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Bucket counts (index = `floor(log2(value_ns))`, clamped).
+    pub buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl Histogram {
+    fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let ns = (value * 1e9).max(0.0);
+        let bucket = if ns < 1.0 {
+            0
+        } else {
+            (ns.log2() as usize).min(63)
+        };
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    spans: BTreeMap<String, SpanStat>,
+    detailed: BTreeMap<(String, String), SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// Aggregating sink: keeps totals instead of a stream.
+///
+/// Install alongside a [`crate::JsonlSink`] (or alone) and read it back
+/// after the run via [`Registry::render_tree`], [`Registry::hottest`],
+/// and the metric accessors.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Aggregate statistics for an exact span path (`a/b/c`).
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<SpanStat> {
+        self.lock().spans.get(path).copied()
+    }
+
+    /// All span paths with their statistics, in path order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<(String, SpanStat)> {
+        self.lock()
+            .spans
+            .iter()
+            .map(|(p, s)| (p.clone(), *s))
+            .collect()
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last sampled value of a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// The `k` slowest span instances (by summed duration) among spans
+    /// named `name` that carried a detail label — e.g. the hottest
+    /// (matrix, technique) grid cells. Ties break by label so the order
+    /// is stable.
+    #[must_use]
+    pub fn hottest(&self, name: &str, k: usize) -> Vec<(String, SpanStat)> {
+        let inner = self.lock();
+        let mut rows: Vec<(String, SpanStat)> = inner
+            .detailed
+            .iter()
+            .filter(|((path, _), _)| path.rsplit('/').next() == Some(name))
+            .map(|((_, detail), stat)| (detail.clone(), *stat))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        rows
+    }
+
+    /// Renders the aggregated spans as an indented phase tree, children
+    /// sorted by total time (descending) with a percent-of-parent
+    /// column, followed by the counter/gauge/histogram summaries.
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        out.push_str("phase tree (by span path; % of parent)\n");
+        let paths: Vec<(&String, &SpanStat)> = inner.spans.iter().collect();
+        let roots: Vec<&String> = paths
+            .iter()
+            .map(|(p, _)| *p)
+            .filter(|p| !p.contains('/'))
+            .collect();
+        let root_total: u64 = roots
+            .iter()
+            .filter_map(|p| inner.spans.get(*p))
+            .map(|s| s.total_ns)
+            .sum();
+        let mut ordered_roots = roots;
+        ordered_roots.sort_by(|a, b| {
+            let ta = inner.spans[*a].total_ns;
+            let tb = inner.spans[*b].total_ns;
+            tb.cmp(&ta).then(a.cmp(b))
+        });
+        for root in ordered_roots {
+            render_subtree(&mut out, &inner.spans, root, root_total, 0);
+        }
+        if !inner.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, value) in &inner.counters {
+                let _ = writeln!(out, "  {name:<32} {value}");
+            }
+        }
+        if !inner.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, value) in &inner.gauges {
+                let _ = writeln!(out, "  {name:<32} {value:.4}");
+            }
+        }
+        if !inner.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for (name, h) in &inner.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} n={} mean={} min={} max={}",
+                    h.count,
+                    fmt_seconds(h.mean()),
+                    fmt_seconds(if h.count == 0 { 0.0 } else { h.min }),
+                    fmt_seconds(if h.count == 0 { 0.0 } else { h.max }),
+                );
+            }
+        }
+        out
+    }
+}
+
+fn render_subtree(
+    out: &mut String,
+    spans: &BTreeMap<String, SpanStat>,
+    path: &str,
+    parent_total: u64,
+    level: usize,
+) {
+    let Some(stat) = spans.get(path) else { return };
+    let name = path.rsplit('/').next().unwrap_or(path);
+    let percent = if parent_total > 0 {
+        100.0 * stat.total_ns as f64 / parent_total as f64
+    } else {
+        100.0
+    };
+    let indent = "  ".repeat(level);
+    let label = format!("{indent}{name}");
+    let _ = writeln!(
+        out,
+        "  {label:<34} {:>6}x {:>10} {percent:5.1}%",
+        stat.count,
+        fmt_ns(stat.total_ns),
+    );
+    // Direct children: paths extending `path` by exactly one segment.
+    let prefix = format!("{path}/");
+    let mut children: Vec<&String> = spans
+        .range(prefix.clone()..)
+        .take_while(|(p, _)| p.starts_with(&prefix))
+        .map(|(p, _)| p)
+        .filter(|p| !p[prefix.len()..].contains('/'))
+        .collect();
+    children.sort_by(|a, b| spans[*b].total_ns.cmp(&spans[*a].total_ns).then(a.cmp(b)));
+    for child in children {
+        render_subtree(out, spans, child, stat.total_ns, level + 1);
+    }
+}
+
+/// Adaptive duration formatting for nanosecond totals.
+#[must_use]
+pub fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    fmt_seconds(s)
+}
+
+/// Adaptive duration formatting for seconds.
+#[must_use]
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+impl Sink for Registry {
+    fn record(&self, event: &Event) {
+        let mut inner = self.lock();
+        match event {
+            Event::Meta { .. } => {}
+            Event::Span {
+                path,
+                detail,
+                dur_ns,
+                ..
+            } => {
+                inner.spans.entry(path.clone()).or_default().add(*dur_ns);
+                if let Some(detail) = detail {
+                    inner
+                        .detailed
+                        .entry((path.clone(), detail.clone()))
+                        .or_default()
+                        .add(*dur_ns);
+                }
+            }
+            Event::Counter { name, delta } => {
+                *inner.counters.entry(name).or_insert(0) += delta;
+            }
+            Event::Gauge { name, value } => {
+                inner.gauges.insert(name, *value);
+            }
+            Event::Observe { name, value } => {
+                inner.histograms.entry(name).or_default().add(*value);
+            }
+        }
+        // Every name reaching a registry should be declared; aggregation
+        // still proceeds for unknown names (the CHK validators flag them).
+        debug_assert!(
+            match event {
+                Event::Counter { name, .. }
+                | Event::Gauge { name, .. }
+                | Event::Observe { name, .. } => names::lookup(name).is_some(),
+                _ => true,
+            },
+            "undeclared metric: {event:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, detail: Option<&str>, dur_ns: u64) -> Event {
+        Event::Span {
+            thread: 0,
+            depth: path.matches('/').count() as u64,
+            path: path.to_string(),
+            name: "test",
+            detail: detail.map(ToString::to_string),
+            start_ns: 0,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let r = Registry::new();
+        r.record(&span("job", None, 10));
+        r.record(&span("job", None, 30));
+        r.record(&span("job/reorder", None, 5));
+        let s = r.span("job").expect("path recorded");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 40);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+        assert_eq!(r.spans().len(), 2);
+    }
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let r = Registry::new();
+        r.record(&Event::Counter {
+            name: "exec.jobs",
+            delta: 2,
+        });
+        r.record(&Event::Counter {
+            name: "exec.jobs",
+            delta: 3,
+        });
+        r.record(&Event::Gauge {
+            name: "exec.utilization",
+            value: 0.5,
+        });
+        r.record(&Event::Observe {
+            name: "exec.queue_wait_seconds",
+            value: 0.001,
+        });
+        r.record(&Event::Observe {
+            name: "exec.queue_wait_seconds",
+            value: 0.003,
+        });
+        assert_eq!(r.counter("exec.jobs"), 5);
+        assert_eq!(r.counter("exec.steals"), 0);
+        assert_eq!(r.gauge("exec.utilization"), Some(0.5));
+        let h = r.histogram("exec.queue_wait_seconds").expect("observed");
+        assert_eq!(h.count, 2);
+        assert!((h.mean() - 0.002).abs() < 1e-12);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn hottest_ranks_detailed_instances() {
+        let r = Registry::new();
+        r.record(&span("job/grid.cell", Some("a/RABBIT"), 10));
+        r.record(&span("job/grid.cell", Some("b/RCM"), 90));
+        r.record(&span("job/grid.cell", Some("a/RABBIT"), 20));
+        let top = r.hottest("grid.cell", 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "b/RCM");
+        assert_eq!(top[0].1.total_ns, 90);
+        assert_eq!(top[1].0, "a/RABBIT");
+        assert_eq!(top[1].1.total_ns, 30);
+        assert!(r.hottest("nope", 5).is_empty());
+    }
+
+    #[test]
+    fn tree_renders_nested_phases() {
+        let r = Registry::new();
+        r.record(&span("run", None, 100));
+        r.record(&span("run/fast", None, 20));
+        r.record(&span("run/slow", None, 80));
+        r.record(&span("run/slow/inner", None, 40));
+        let tree = r.render_tree();
+        let slow = tree.find("slow").expect("slow phase listed");
+        let fast = tree.find("fast").expect("fast phase listed");
+        assert!(slow < fast, "children sorted by total time:\n{tree}");
+        assert!(tree.contains("inner"));
+        assert!(tree.contains("80.0%"), "{tree}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_ns(1_500_000_000), "1.500s");
+        assert_eq!(fmt_ns(2_500_000), "2.500ms");
+        assert_eq!(fmt_ns(900), "0.9us");
+    }
+}

@@ -1,0 +1,157 @@
+//! Event sinks: where telemetry goes.
+//!
+//! * [`JsonlSink`] streams every event as one JSON line to any writer
+//!   (the `suite --telemetry <path>` file sink),
+//! * [`MemorySink`] buffers events for tests and the `profile`
+//!   subcommand's post-run analysis.
+//!
+//! The aggregating [`crate::Registry`] is a third sink, in its own
+//! module. Sinks are `Send + Sync` and handle their own locking: the
+//! dispatcher calls [`Sink::record`] concurrently from worker threads.
+
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+use crate::event::Event;
+
+/// A telemetry event consumer.
+pub trait Sink: Send + Sync {
+    /// Records one event. Must not panic; I/O errors are the sink's to
+    /// swallow or surface through its own API (telemetry is a sidecar —
+    /// it never aborts the measured computation).
+    fn record(&self, event: &Event);
+}
+
+/// Streams events as JSON Lines to a writer.
+///
+/// Lines are buffered internally; call [`JsonlSink::flush`] (or drop the
+/// sink) once the run completes. Write errors are latched and reported
+/// by `flush` rather than panicking mid-run.
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<JsonlInner<W>>,
+}
+
+struct JsonlInner<W: Write + Send> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`; callers usually pass a `BufWriter<File>`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            inner: Mutex::new(JsonlInner {
+                writer,
+                error: None,
+            }),
+        }
+    }
+
+    /// Flushes the writer and returns the first I/O error encountered
+    /// since the last call (subsequent events after an error are
+    /// dropped).
+    ///
+    /// # Errors
+    ///
+    /// The latched write error, or the flush error itself.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        inner.writer.flush()
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.error.is_some() {
+            return;
+        }
+        let line = event.to_jsonl();
+        if let Err(e) = writeln!(inner.writer, "{line}") {
+            inner.error = Some(e);
+        }
+    }
+}
+
+/// Buffers every event in memory, in arrival order.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Snapshot of the captured events.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The captured stream rendered as JSON Lines (one event per line,
+    /// trailing newline) — feed this to the `CHK09xx` validators.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for event in events.iter() {
+            out.push_str(&event.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&Event::Meta { version: 1 });
+        sink.record(&Event::Counter {
+            name: "exec.jobs",
+            delta: 2,
+        });
+        sink.flush().expect("Vec<u8> writes cannot fail");
+        let inner = sink.inner.lock().expect("no contention in tests");
+        let text = String::from_utf8(inner.writer.clone()).expect("ASCII JSON");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"type\":\"meta\",\"version\":1}");
+    }
+
+    #[test]
+    fn memory_sink_round_trips_jsonl() {
+        let sink = MemorySink::new();
+        sink.record(&Event::Gauge {
+            name: "exec.utilization",
+            value: 1.0,
+        });
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(
+            sink.to_jsonl(),
+            "{\"type\":\"gauge\",\"name\":\"exec.utilization\",\"value\":1}\n"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use commorder_obs as obs;
 use commorder_sparse::{ops, CsrMatrix, SparseError};
 
 const NONE: u32 = u32::MAX;
@@ -158,6 +159,7 @@ impl Default for DetectionConfig {
 ///
 /// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
 pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, SparseError> {
+    let _span = obs::span!("community.detect");
     let sym = ops::remove_self_loops(&ops::symmetrize(a)?);
     let n = sym.n_rows() as usize;
     let mut parent = vec![NONE; n];
@@ -219,7 +221,9 @@ pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, Spar
 
     let mut alive: Vec<u32> = (0..n as u32).collect();
     let two_m_sq = 2.0 * total_m * total_m;
-    for _pass in 0..config.max_passes {
+    for pass in 0..config.max_passes {
+        let _pass_span = obs::span!("community.pass", "pass={pass}");
+        let mut pass_merges = 0u64;
         // Sweep live aggregates in increasing-strength order (degree order
         // on the first pass — the RABBIT visit order).
         alive.sort_by(|&x, &y| {
@@ -273,11 +277,14 @@ pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, Spar
                     parent[v as usize] = u;
                     children[u as usize].push(v);
                     merged_any = true;
+                    pass_merges += 1;
                 }
                 None => next_alive.push(v),
             }
         }
         alive = next_alive;
+        obs::counter!("reorder.community.passes", 1);
+        obs::counter!("reorder.community.merges", pass_merges);
         if !merged_any {
             break;
         }

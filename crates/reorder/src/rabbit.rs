@@ -7,6 +7,7 @@
 //! hierarchy onto the cache hierarchy: innermost communities to the
 //! closest cache, outer levels to larger caches (§V-A).
 
+use commorder_obs as obs;
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
 
 use crate::community::{self, Dendrogram, DetectionConfig};
@@ -46,10 +47,13 @@ impl Rabbit {
     ///
     /// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
     pub fn run(&self, a: &CsrMatrix) -> Result<RabbitResult, SparseError> {
+        let _span = obs::span!("reorder.rabbit");
         let dendrogram = community::detect(a, self.detection)?;
-        let order = dendrogram.dfs_order();
-        let permutation = Permutation::from_order(&order)?;
-        let assignment = dendrogram.assignment();
+        let (permutation, assignment) = {
+            let _order_span = obs::span!("rabbit.order");
+            let order = dendrogram.dfs_order();
+            (Permutation::from_order(&order)?, dendrogram.assignment())
+        };
         Ok(RabbitResult {
             permutation,
             dendrogram,
@@ -236,6 +240,48 @@ mod tests {
         // Deterministic per seed.
         assert_eq!(flat, FlatCommunity::new(3).reorder(&messy).unwrap());
         assert_ne!(flat, FlatCommunity::new(4).reorder(&messy).unwrap());
+    }
+
+    #[test]
+    fn rabbit_emits_phase_spans_and_counters() {
+        // The only telemetry-installing test in this binary (the obs
+        // dispatcher is process-global).
+        let _serial = obs::tests_serial();
+        let messy = scrambled_sbm();
+        let baseline = Rabbit::new().run(&messy).unwrap();
+        let registry = std::sync::Arc::new(obs::Registry::new());
+        let guard = obs::install(registry.clone());
+        let observed = Rabbit::new().run(&messy).unwrap();
+        drop(guard);
+        assert_eq!(
+            observed, baseline,
+            "telemetry must not change the reordering"
+        );
+        assert_eq!(
+            registry.span("reorder.rabbit").map(|s| s.count),
+            Some(1),
+            "root span"
+        );
+        let detect = registry
+            .span("reorder.rabbit/community.detect")
+            .expect("detect nests under rabbit");
+        assert_eq!(detect.count, 1);
+        let passes = registry.counter("reorder.community.passes");
+        assert!(passes >= 1, "at least one aggregation sweep");
+        assert_eq!(
+            registry
+                .span("reorder.rabbit/community.detect/community.pass")
+                .map(|s| s.count),
+            Some(passes),
+            "one pass span per counted pass"
+        );
+        assert!(registry.counter("reorder.community.merges") > 0);
+        assert_eq!(
+            registry
+                .span("reorder.rabbit/rabbit.order")
+                .map(|s| s.count),
+            Some(1)
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! | XT0003 | warning  | `.expect(` in non-test library code (allowed when the proof is in the message) |
 //! | XT0004 | warning  | `panic!` in non-test library code |
 //! | XT0005 | error    | `todo!` / `unimplemented!` anywhere |
+//! | XT0006 | error    | `println!` / `eprintln!` in quiet library crates (route output through `commorder-obs` or return it) |
 //! | XT0101 | error    | library `lib.rs` missing `#![forbid(unsafe_code)]` |
 //! | XT0102 | error    | library `lib.rs` missing `#![warn(missing_docs)]` |
 //! | XT0201 | error    | crate manifest missing the `[lints] workspace = true` opt-in |
@@ -211,6 +212,24 @@ fn has_word(line: &str, needle: &str) -> bool {
     false
 }
 
+/// Library crates whose code must stay silent on stdout/stderr: their
+/// results flow through return values, and diagnostics through the
+/// `commorder-obs` sinks, so they compose into pipelines and tests
+/// without interleaved console noise.
+const QUIET_CRATES: [&str; 7] = [
+    "cachesim", "exec", "gpumodel", "obs", "reorder", "sparse", "synth",
+];
+
+/// `true` when `relpath` is `crates/<quiet>/src/...`.
+fn in_quiet_crate(relpath: &Path) -> bool {
+    let mut comps = relpath.components().map(|c| c.as_os_str());
+    comps.next().is_some_and(|c| c == "crates")
+        && comps
+            .next()
+            .is_some_and(|c| QUIET_CRATES.iter().any(|q| c == *q))
+        && comps.next().is_some_and(|c| c == "src")
+}
+
 fn check_source(file: &Path, root: &Path, findings: &mut Vec<Finding>) {
     let Ok(text) = fs::read_to_string(file) else {
         return;
@@ -220,6 +239,7 @@ fn check_source(file: &Path, root: &Path, findings: &mut Vec<Finding>) {
     // via expect()/panic! is their job, so only the hard rules apply.
     let is_bin = relpath.components().any(|c| c.as_os_str() == "bin")
         || relpath.file_name().is_some_and(|f| f == "main.rs");
+    let is_quiet = !is_bin && in_quiet_crate(&relpath);
     // Depth tracking skips `#[cfg(test)]` items (the module or fn the
     // attribute applies to), brace-counted from the following `{`.
     let mut skip_depth: Option<i64> = None;
@@ -306,6 +326,15 @@ fn check_source(file: &Path, root: &Path, findings: &mut Vec<Finding>) {
                 &relpath,
                 line_no,
                 "todo!/unimplemented! must not ship",
+            ));
+        }
+        if is_quiet && (has_word(line, "println") || has_word(line, "eprintln")) {
+            findings.push(finding(
+                "XT0006",
+                true,
+                &relpath,
+                line_no,
+                "quiet library crates must not print; emit through commorder-obs or return the text",
             ));
         }
         if is_pub_item(line) && !doc_ready {

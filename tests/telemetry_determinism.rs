@@ -1,0 +1,69 @@
+//! Telemetry is a strict sidecar: installing a sink must never change
+//! the experiment report, only add a parallel event stream. This golden
+//! test pins that contract end to end — the report JSON is byte
+//! identical with and without telemetry at 1 and 4 worker threads, and
+//! the captured stream validates clean under the `CHK09xx` auditors
+//! while covering every pipeline phase for every grid cell.
+
+use std::sync::Arc;
+
+use commorder::obs;
+use commorder::prelude::*;
+use commorder::synth::corpus;
+
+/// Three mini-corpus matrices x two techniques on the test-scale
+/// platform: small enough for a test, real enough to exercise the
+/// reorder, trace-gen, simulate, and model phases.
+fn mini_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(GpuSpec::test_scale())
+        .techniques(vec![Box::new(Original), Box::new(Rabbit::new())]);
+    for entry in corpus::mini().into_iter().take(3) {
+        let matrix = entry.generate().expect("mini corpus generates");
+        spec = spec.matrix_in_group(entry.name, entry.domain.label(), matrix);
+    }
+    spec
+}
+
+#[test]
+fn report_json_is_byte_identical_with_and_without_telemetry() {
+    let _serial = obs::tests_serial();
+    let cells = 3 * 2;
+
+    let baseline = mini_spec()
+        .run(&Engine::new(1))
+        .expect("valid grid")
+        .render_json();
+
+    for threads in [1usize, 4] {
+        let sink = Arc::new(MemorySink::new());
+        let guard = obs::install(sink.clone());
+        let json = mini_spec()
+            .run(&Engine::new(threads))
+            .expect("valid grid")
+            .render_json();
+        drop(guard);
+        assert_eq!(
+            json, baseline,
+            "telemetry changed the report at {threads} worker threads"
+        );
+
+        // The sidecar stream must satisfy its own invariants: parseable
+        // events, exact span nesting, declared metric names.
+        let stream = sink.to_jsonl();
+        let mut report = commorder::check::CheckReport::new();
+        report.extend(commorder::check::check_telemetry(&stream));
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+
+        // Every grid cell reports its reorder and all three pipeline
+        // phases (trace-gen is explicit when telemetry is on).
+        let spans = |name: &str| stream.matches(&format!("\"name\":\"{name}\"")).count();
+        assert_eq!(spans("grid.job"), cells, "one job span per cell");
+        assert_eq!(spans("grid.reorder"), cells);
+        assert_eq!(spans("grid.cell"), cells);
+        assert_eq!(spans("pipeline.trace_gen"), cells);
+        assert_eq!(spans("pipeline.simulate"), cells);
+        assert_eq!(spans("pipeline.model"), cells);
+        assert!(stream.contains("\"name\":\"exec.jobs\""));
+        assert!(stream.contains("\"name\":\"cachesim.accesses\""));
+    }
+}
