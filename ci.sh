@@ -29,6 +29,23 @@ echo "== telemetry stream validates (CHK09xx)"
 cargo run --release -q -p commorder --bin commorder-cli -- \
   check /tmp/commorder-suite-smoke.jsonl
 
+echo "== streaming-memory tripwire (ulimit -v 256 MiB)"
+# Regression tripwire for reintroduced full-trace materialization: the
+# largest synth corpus matrix (soc-rmat-xl, ~6.2M accesses per SpMV
+# trace) runs the whole paper grid under a hard 256 MiB address-space
+# ceiling. The streaming pipeline peaks at ~200 MiB VSZ (measured with
+# MALLOC_ARENA_MAX=2 for a deterministic arena count), while holding
+# even one full Vec<Access> trace adds 48-71 MiB and aborts on
+# allocation failure. Uses the binary built by the tier-1 step; cargo
+# itself must stay outside the limited subshell.
+(
+  ulimit -v 262144
+  MALLOC_ARENA_MAX=2 ./target/release/commorder-cli \
+    suite --threads 2 --corpus standard --only soc-rmat-xl \
+    --json /tmp/commorder-tripwire.json
+)
+test -s /tmp/commorder-tripwire.json
+
 echo "== strict-checks feature"
 cargo test -q -p commorder-sparse -p commorder-cachesim -p commorder \
   --features commorder-sparse/strict-checks,commorder-cachesim/strict-checks,commorder/strict-checks

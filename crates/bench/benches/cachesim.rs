@@ -1,10 +1,16 @@
 //! Microbenchmarks for the cache simulator itself: LRU and Belady
 //! throughput on an SpMV trace, and trace-generation cost.
+//!
+//! Every simulator consumes the kernel trace as a replayable stream
+//! ([`KernelTrace`]); nothing here materializes a `Vec<Access>`, so the
+//! Belady numbers include the cost of its two regeneration passes —
+//! exactly what the pipeline pays.
 
 use commorder::cachesim::belady::simulate_belady;
 use commorder::cachesim::hierarchy::CacheHierarchy;
 use commorder::cachesim::plru::PlruCache;
-use commorder::cachesim::trace::{collect_trace, for_each_access, ExecutionModel};
+use commorder::cachesim::source::KernelTrace;
+use commorder::cachesim::trace::ExecutionModel;
 use commorder::prelude::*;
 use commorder::synth::generators::PlantedPartition;
 use commorder_bench::microbench::Runner;
@@ -18,31 +24,27 @@ fn fixture() -> CsrMatrix {
 fn main() {
     let runner = Runner::from_env();
     let a = fixture();
-    let trace = collect_trace(&a, Kernel::SpmvCsr, ExecutionModel::Sequential);
+    let source = KernelTrace::new(&a, Kernel::SpmvCsr, ExecutionModel::Sequential);
     let config = CacheConfig::test_scale();
-    let accesses = Some(trace.len() as u64);
+    let mut n = 0u64;
+    source.replay(&mut |_| n += 1);
+    let accesses = Some(n);
 
     println!("== cachesim ==");
     runner.bench("trace_generation", accesses, || {
         let mut count = 0u64;
-        for_each_access(&a, Kernel::SpmvCsr, ExecutionModel::Sequential, |_| {
-            count += 1;
-        });
+        source.replay(&mut |_| count += 1);
         count
     });
     runner.bench("lru", accesses, || {
         let mut cache = LruCache::new(config);
-        for &acc in &trace {
-            cache.access(acc);
-        }
+        cache.consume(&source);
         cache.finish()
     });
-    runner.bench("belady", accesses, || simulate_belady(config, &trace));
+    runner.bench("belady", accesses, || simulate_belady(config, &source));
     runner.bench("plru", accesses, || {
         let mut cache = PlruCache::new(config);
-        for &acc in &trace {
-            cache.access(acc);
-        }
+        cache.consume(&source);
         cache.finish()
     });
     runner.bench("two_level_hierarchy", accesses, || {
@@ -51,9 +53,7 @@ fn main() {
             ..config
         };
         let mut stack = CacheHierarchy::new(l1, config);
-        for &acc in &trace {
-            stack.access(acc);
-        }
+        stack.consume(&source);
         stack.finish()
     });
 }

@@ -4,7 +4,8 @@
 //! set-index (conflict) effects that a different hash could also fix.
 
 use commorder::cachesim::classify::classify;
-use commorder::cachesim::trace::{collect_trace, ExecutionModel};
+use commorder::cachesim::source::KernelTrace;
+use commorder::cachesim::trace::ExecutionModel;
 use commorder::prelude::*;
 use commorder_bench::Harness;
 
@@ -40,8 +41,8 @@ fn main() {
                 .reorder(&case.matrix)
                 .expect("square corpus matrix");
             let m = case.matrix.permute_symmetric(&perm).expect("validated");
-            let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
-            let c = classify(harness.gpu.l2, &trace);
+            let source = KernelTrace::new(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
+            let c = classify(harness.gpu.l2, &source);
             let total = c.accesses as f64;
             vec![
                 ordering.name().to_string(),

@@ -8,16 +8,14 @@
 //! fixes X locality under every format. Traffic is normalized to the CSR
 //! compulsory baseline so format overhead is directly visible.
 
-use commorder::cachesim::format_trace::{ell_trace, sell_trace};
+use commorder::cachesim::format_trace::{EllTrace, SellTrace};
 use commorder::prelude::*;
 use commorder::sparse::{EllMatrix, SellMatrix};
 use commorder_bench::Harness;
 
-fn simulate_trace(gpu: &GpuSpec, trace: &[commorder::cachesim::Access]) -> u64 {
+fn simulate_trace(gpu: &GpuSpec, source: &dyn TraceSource) -> u64 {
     let mut cache = LruCache::new(gpu.l2);
-    for &a in trace {
-        cache.access(a);
-    }
+    cache.consume(source);
     cache.finish().dram_traffic_bytes()
 }
 
@@ -66,7 +64,7 @@ fn main() {
             // mode — report it instead of simulating gigabytes).
             match EllMatrix::from_csr(&m) {
                 Ok(ell) if ell.padding_factor(m.nnz()) <= 16.0 => {
-                    let traffic = simulate_trace(&harness.gpu, &ell_trace(&ell));
+                    let traffic = simulate_trace(&harness.gpu, &EllTrace::new(&ell));
                     row.push(Table::ratio(traffic as f64 / compulsory));
                     row.push(format!("{:.1}x", ell.padding_factor(m.nnz())));
                 }
@@ -80,7 +78,7 @@ fn main() {
                 }
             }
             let sell = SellMatrix::from_csr(&m, 32, 256).expect("valid geometry");
-            let traffic = simulate_trace(&harness.gpu, &sell_trace(&sell));
+            let traffic = simulate_trace(&harness.gpu, &SellTrace::new(&sell));
             row.push(Table::ratio(traffic as f64 / compulsory));
             row.push(format!("{:.2}x", sell.padding_factor(m.nnz())));
             row

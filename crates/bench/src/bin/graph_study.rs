@@ -8,15 +8,13 @@
 //! amortization argument in kernel form); BFS shows the effect on a
 //! frontier-driven, data-dependent access pattern.
 
-use commorder::cachesim::graph_trace::{bfs_trace, pagerank_trace};
+use commorder::cachesim::graph_trace::{BfsTrace, PagerankTrace};
 use commorder::prelude::*;
 use commorder_bench::Harness;
 
-fn simulate(gpu: &GpuSpec, trace: &[commorder::cachesim::Access]) -> (u64, f64) {
+fn simulate(gpu: &GpuSpec, source: &dyn TraceSource) -> (u64, f64) {
     let mut cache = LruCache::new(gpu.l2);
-    for &a in trace {
-        cache.access(a);
-    }
+    cache.consume(source);
     let stats = cache.finish();
     (stats.dram_traffic_bytes(), stats.hit_rate())
 }
@@ -58,14 +56,14 @@ fn main() {
                 .reorder(&case.matrix)
                 .expect("square corpus matrix");
             let m = case.matrix.permute_symmetric(&perm).expect("validated");
-            let (pr_bytes, pr_hit) = simulate(&harness.gpu, &pagerank_trace(&m, 3));
+            let (pr_bytes, pr_hit) = simulate(&harness.gpu, &PagerankTrace::new(&m, 3));
             // BFS from the (reordered) vertex with the highest degree —
             // a deterministic, component-covering start.
             let degrees = m.out_degrees();
             let source = (0..m.n_rows())
                 .max_by_key(|&v| degrees[v as usize])
                 .expect("non-empty corpus matrix");
-            let (bfs_bytes, bfs_hit) = simulate(&harness.gpu, &bfs_trace(&m, source));
+            let (bfs_bytes, bfs_hit) = simulate(&harness.gpu, &BfsTrace::new(&m, source));
             (
                 ordering.name().to_string(),
                 pr_bytes,

@@ -2,34 +2,141 @@
 //! quantify the remaining headroom over LRU: on a miss in a full set, the
 //! resident line whose next use lies farthest in the future is evicted.
 //!
-//! Requires the full trace up front: a backward pass precomputes each
-//! access's next-use index, then the forward simulation evicts by maximum
-//! next use. Classification (compulsory, dead lines, write-backs) matches
-//! [`LruCache`](crate::LruCache) so the statistics are directly
-//! comparable.
+//! The oracle needs per-access next-use knowledge, but **not** the trace
+//! itself: the simulation is two [`TraceSource`] replays. Pass one walks
+//! the stream forward and patches a compact per-access next-use array
+//! (`u32` entries, promoted to `u64` only past 4 Gi accesses — at most 8
+//! bytes per access, the bound the `trace_stream` microbench pins); pass
+//! two walks the stream again and evicts by maximum next use. No
+//! `Vec<Access>` is ever held. Classification (compulsory, dead lines,
+//! write-backs) matches [`LruCache`](crate::LruCache) so the statistics
+//! are directly comparable.
 
 use std::collections::{HashMap, HashSet};
 
+use crate::source::TraceSource;
 use crate::trace::Access;
 use crate::{CacheConfig, CacheStats};
 
 /// Index meaning "never used again".
 const NEVER: u64 = u64::MAX;
 
-/// Per-access index of the *next* access to the same line (`NEVER` when
-/// the line is not touched again).
+/// Compact next-use store: one `u32` per access until the trace index
+/// space overflows, then one `u64`. The `u32::MAX` slot value is the
+/// in-band "never" sentinel (a valid index can never reach it: the store
+/// is promoted before the length gets there).
+enum NextUses {
+    Small(Vec<u32>),
+    Large(Vec<u64>),
+}
+
+const NEVER_SMALL: u32 = u32::MAX;
+
+impl NextUses {
+    fn with_hint(hint: Option<u64>) -> Self {
+        match hint {
+            Some(n) if n >= u64::from(u32::MAX) => {
+                NextUses::Large(Vec::with_capacity(usize::try_from(n).unwrap_or(0)))
+            }
+            Some(n) => NextUses::Small(Vec::with_capacity(n as usize)),
+            None => NextUses::Small(Vec::new()),
+        }
+    }
+
+    fn promote(&mut self) {
+        if let NextUses::Small(v) = self {
+            let wide = v
+                .iter()
+                .map(|&x| {
+                    if x == NEVER_SMALL {
+                        NEVER
+                    } else {
+                        u64::from(x)
+                    }
+                })
+                .collect();
+            *self = NextUses::Large(wide);
+        }
+    }
+
+    /// Appends one access whose next use is (so far) "never".
+    fn push_never(&mut self) {
+        if let NextUses::Small(v) = self {
+            if v.len() >= NEVER_SMALL as usize {
+                self.promote();
+            }
+        }
+        match self {
+            NextUses::Small(v) => v.push(NEVER_SMALL),
+            NextUses::Large(v) => v.push(NEVER),
+        }
+    }
+
+    /// Patches an earlier access's next-use index.
+    fn set(&mut self, idx: usize, value: u64) {
+        match self {
+            // `value` is a trace index below the current length, which
+            // `push_never` keeps under the sentinel in the small repr.
+            NextUses::Small(v) => v[idx] = value as u32,
+            NextUses::Large(v) => v[idx] = value,
+        }
+    }
+
+    fn get(&self, idx: usize) -> u64 {
+        match self {
+            NextUses::Small(v) => {
+                let x = v[idx];
+                if x == NEVER_SMALL {
+                    NEVER
+                } else {
+                    u64::from(x)
+                }
+            }
+            NextUses::Large(v) => v[idx],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            NextUses::Small(v) => v.len(),
+            NextUses::Large(v) => v.len(),
+        }
+    }
+
+    /// Bytes held by the array — the oracle's whole per-access footprint.
+    fn bytes(&self) -> u64 {
+        match self {
+            NextUses::Small(v) => v.len() as u64 * 4,
+            NextUses::Large(v) => v.len() as u64 * 8,
+        }
+    }
+}
+
+/// Pass one: forward replay patching each tag's previous access with the
+/// current index (equivalent to the classic backward pass, but it never
+/// needs the trace in memory).
+fn build_next_uses<S: TraceSource + ?Sized>(source: &S, config: &CacheConfig) -> NextUses {
+    let mut next = NextUses::with_hint(source.len_hint());
+    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+    let mut i = 0u64;
+    source.replay(&mut |acc| {
+        let (_, tag) = config.set_and_tag(acc.addr());
+        next.push_never();
+        if let Some(prev) = last_seen.insert(tag, i) {
+            next.set(prev as usize, i);
+        }
+        i += 1;
+    });
+    next
+}
+
+/// Per-access index of the *next* access to the same line (`u64::MAX`
+/// when the line is not touched again) — the slice-shaped view used by
+/// tests and the CHK1003 monotone-consistency validator.
 #[must_use]
 pub fn next_use_indices(trace: &[Access], config: &CacheConfig) -> Vec<u64> {
-    let mut next = vec![NEVER; trace.len()];
-    let mut last_seen: HashMap<u64, u64> = HashMap::new();
-    for (i, acc) in trace.iter().enumerate().rev() {
-        let (_, tag) = config.set_and_tag(acc.addr);
-        if let Some(&later) = last_seen.get(&tag) {
-            next[i] = later;
-        }
-        last_seen.insert(tag, i as u64);
-    }
-    next
+    let next = build_next_uses(trace, config);
+    (0..trace.len()).map(|i| next.get(i)).collect()
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -41,15 +148,20 @@ struct Way {
     valid: bool,
 }
 
-/// Simulates the trace under Belady's optimal replacement.
+/// Simulates `source` under Belady's optimal replacement (two streaming
+/// replays; see the module docs).
+///
+/// While telemetry is enabled, the peak next-use-array footprint is
+/// published as the `cachesim.trace.peak_bytes` gauge.
 ///
 /// # Panics
 ///
 /// Panics on a degenerate cache geometry (see
 /// [`CacheConfig::num_lines`]).
 #[must_use]
-pub fn simulate_belady(config: CacheConfig, trace: &[Access]) -> CacheStats {
-    let next = next_use_indices(trace, &config);
+pub fn simulate_belady<S: TraceSource + ?Sized>(config: CacheConfig, source: &S) -> CacheStats {
+    let next = build_next_uses(source, &config);
+    crate::telemetry::record_trace_peak_bytes(next.bytes());
     let assoc = config.associativity as usize;
     let mut ways = vec![
         Way {
@@ -67,21 +179,24 @@ pub fn simulate_belady(config: CacheConfig, trace: &[Access]) -> CacheStats {
     };
     let mut seen: HashSet<u64> = HashSet::new();
 
-    for (i, acc) in trace.iter().enumerate() {
+    let mut i = 0usize;
+    source.replay(&mut |acc| {
+        let ni = next.get(i);
+        i += 1;
         stats.accesses += 1;
-        let (set, tag) = config.set_and_tag(acc.addr);
+        let (set, tag) = config.set_and_tag(acc.addr());
         let slice = &mut ways[set * assoc..(set + 1) * assoc];
         if let Some(w) = slice.iter_mut().find(|w| w.valid && w.tag == tag) {
-            w.next_use = next[i];
+            w.next_use = ni;
             w.reuses += 1;
-            w.dirty |= acc.write;
+            w.dirty |= acc.is_write();
             stats.hits += 1;
-            continue;
+            return;
         }
         if seen.insert(tag) {
             stats.compulsory_misses += 1;
         }
-        if acc.write {
+        if acc.is_write() {
             stats.write_alloc_misses += 1;
         } else {
             stats.fill_misses += 1;
@@ -102,13 +217,13 @@ pub fn simulate_belady(config: CacheConfig, trace: &[Access]) -> CacheStats {
                 // If the incoming line's next use is farther than every
                 // resident's, evict the incoming line "immediately":
                 // count the fill and a dead line, keep the set intact.
-                if next[i] >= slice[idx].next_use {
+                if ni >= slice[idx].next_use {
                     stats.evictions += 1;
-                    stats.dead_lines += u64::from(next[i] == NEVER);
-                    if acc.write {
+                    stats.dead_lines += u64::from(ni == NEVER);
+                    if acc.is_write() {
                         stats.writebacks += 1;
                     }
-                    continue;
+                    return;
                 }
                 stats.evictions += 1;
                 if slice[idx].reuses == 0 {
@@ -122,12 +237,17 @@ pub fn simulate_belady(config: CacheConfig, trace: &[Access]) -> CacheStats {
         };
         slice[victim] = Way {
             tag,
-            next_use: next[i],
-            dirty: acc.write,
+            next_use: ni,
+            dirty: acc.is_write(),
             reuses: 0,
             valid: true,
         };
-    }
+    });
+    commorder_sparse::debug_validate!(
+        i == next.len(),
+        "belady replay drifted: pass two saw {i} accesses, pass one {}",
+        next.len()
+    );
     for w in ways.iter().filter(|w| w.valid) {
         if w.dirty {
             stats.writebacks += 1;
@@ -145,7 +265,7 @@ mod tests {
     use crate::LruCache;
 
     fn read(addr: u64) -> Access {
-        Access { addr, write: false }
+        Access::read(addr)
     }
 
     fn tiny() -> CacheConfig {
@@ -161,6 +281,31 @@ mod tests {
         let trace = [read(0), read(64), read(4), read(0)];
         let next = next_use_indices(&trace, &tiny());
         assert_eq!(next, vec![2, NEVER, 3, NEVER]);
+    }
+
+    #[test]
+    fn compact_store_promotes_losslessly() {
+        let mut next = NextUses::with_hint(Some(3));
+        next.push_never();
+        next.push_never();
+        next.push_never();
+        next.set(0, 2);
+        assert!(matches!(next, NextUses::Small(_)));
+        assert_eq!(next.bytes(), 3 * 4);
+        next.promote();
+        assert_eq!(next.get(0), 2);
+        assert_eq!(next.get(1), NEVER);
+        assert_eq!(next.get(2), NEVER);
+        assert_eq!(next.bytes(), 3 * 8);
+        next.set(1, u64::from(u32::MAX) + 5);
+        assert_eq!(next.get(1), u64::from(u32::MAX) + 5);
+    }
+
+    #[test]
+    fn small_store_costs_four_bytes_per_access() {
+        let trace = [read(0), read(64), read(4), read(0)];
+        let next = build_next_uses(&trace[..], &tiny());
+        assert_eq!(next.bytes(), 4 * 4);
     }
 
     #[test]
@@ -201,10 +346,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let addr = (state >> 33) % 2048;
-            trace.push(Access {
-                addr,
-                write: state.is_multiple_of(7),
-            });
+            trace.push(Access::new(addr, state.is_multiple_of(7)));
         }
         let cfg = tiny();
         let mut lru = LruCache::new(cfg);
@@ -235,8 +377,35 @@ mod tests {
     }
 
     #[test]
+    fn streaming_source_matches_slice_source() {
+        // The same stats must come out whether the source is an
+        // in-memory slice or a regenerating kernel-trace source.
+        use crate::source::{KernelTrace, TraceSource};
+        use commorder_sparse::traffic::Kernel;
+        let a = commorder_sparse::CsrMatrix::new(
+            4,
+            4,
+            vec![0, 1, 3, 4, 4],
+            vec![1, 0, 2, 1],
+            vec![1.0; 4],
+        )
+        .unwrap();
+        let source = KernelTrace::new(
+            &a,
+            Kernel::SpmvCsr,
+            crate::trace::ExecutionModel::Sequential,
+        );
+        let collected = source.collect_trace();
+        assert_eq!(
+            simulate_belady(tiny(), &source),
+            simulate_belady(tiny(), &collected)
+        );
+    }
+
+    #[test]
     fn empty_trace() {
-        let s = simulate_belady(tiny(), &[]);
+        let empty: &[Access] = &[];
+        let s = simulate_belady(tiny(), empty);
         assert_eq!(s.accesses, 0);
         assert_eq!(s.dram_traffic_bytes(), 0);
     }

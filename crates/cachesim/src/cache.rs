@@ -144,12 +144,21 @@ impl LruCache {
         self.access_detailed(access).hit
     }
 
+    /// Streams every access of `source` through the cache — the
+    /// single-pass consumer of the workspace's replayable trace sources
+    /// (nothing is buffered).
+    pub fn consume<S: crate::source::TraceSource + ?Sized>(&mut self, source: &S) {
+        source.replay(&mut |acc| {
+            self.access(acc);
+        });
+    }
+
     /// Simulates one access, also reporting any eviction it caused —
     /// needed by multi-level hierarchies to forward write-backs.
     pub fn access_detailed(&mut self, access: Access) -> AccessOutcome {
         self.clock += 1;
         self.stats.accesses += 1;
-        let (set, tag) = self.config.set_and_tag(access.addr);
+        let (set, tag) = self.config.set_and_tag(access.addr());
         let base = set * self.assoc;
         let ways = &mut self.ways[base..base + self.assoc];
 
@@ -157,7 +166,7 @@ impl LruCache {
         if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.lru_stamp = self.clock;
             way.reuses += 1;
-            way.dirty |= access.write;
+            way.dirty |= access.is_write();
             self.stats.hits += 1;
             return AccessOutcome {
                 hit: true,
@@ -169,7 +178,7 @@ impl LruCache {
         if self.seen_lines.insert(tag) {
             self.stats.compulsory_misses += 1;
         }
-        if access.write {
+        if access.is_write() {
             self.stats.write_alloc_misses += 1;
         } else {
             self.stats.fill_misses += 1;
@@ -203,7 +212,7 @@ impl LruCache {
         ways[victim] = Way {
             tag,
             lru_stamp: self.clock,
-            dirty: access.write,
+            dirty: access.is_write(),
             reuses: 0,
             valid: true,
         };
@@ -254,11 +263,11 @@ mod tests {
     use super::*;
 
     fn read(addr: u64) -> Access {
-        Access { addr, write: false }
+        Access::read(addr)
     }
 
     fn write(addr: u64) -> Access {
-        Access { addr, write: true }
+        Access::write(addr)
     }
 
     fn tiny() -> LruCache {

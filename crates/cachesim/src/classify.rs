@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use crate::trace::Access;
+use crate::source::TraceSource;
 use crate::{CacheConfig, LruCache};
 
 /// Miss counts by Three-C class, plus totals.
@@ -76,25 +76,26 @@ impl FullyAssociative {
     }
 }
 
-/// Classifies every miss of `trace` on the given geometry.
+/// Classifies every miss of `source`'s stream on the given geometry
+/// (single forward replay; nothing is buffered).
 ///
 /// # Panics
 ///
 /// Panics on a degenerate geometry (see [`CacheConfig::num_lines`]).
 #[must_use]
-pub fn classify(config: CacheConfig, trace: &[Access]) -> MissClasses {
+pub fn classify<S: TraceSource + ?Sized>(config: CacheConfig, source: &S) -> MissClasses {
     let mut set_assoc = LruCache::new(config);
     let mut full = FullyAssociative::new(config.num_lines());
     let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut out = MissClasses::default();
-    for &acc in trace {
+    source.replay(&mut |acc| {
         out.accesses += 1;
-        let line = acc.addr / u64::from(config.line_bytes);
+        let line = acc.addr() / u64::from(config.line_bytes);
         let sa_hit = set_assoc.access(acc);
         let fa_hit = full.access(line);
         if sa_hit {
             out.hits += 1;
-            continue;
+            return;
         }
         if seen.insert(line) {
             out.compulsory += 1;
@@ -103,19 +104,17 @@ pub fn classify(config: CacheConfig, trace: &[Access]) -> MissClasses {
         } else {
             out.capacity += 1;
         }
-    }
+    });
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::Access;
 
     fn read(line: u64) -> Access {
-        Access {
-            addr: line * 32,
-            write: false,
-        }
+        Access::read(line * 32)
     }
 
     fn cfg(sets: u64, ways: u32) -> CacheConfig {

@@ -10,9 +10,14 @@
 //! (that is the point of measuring them), but padded entries read
 //! neither `X` nor `values` (the classic guarded ELL kernel reads the
 //! column index, tests it, and skips the rest).
+//!
+//! Both traces are replayable [`TraceSource`]s ([`EllTrace`],
+//! [`SellTrace`]); the stream is regenerated per replay, never
+//! materialized.
 
 use commorder_sparse::{EllMatrix, SellMatrix, ELEM_BYTES, ELL_PAD};
 
+use crate::source::TraceSource;
 use crate::trace::Access;
 
 /// Region bases for a padded-format trace.
@@ -39,95 +44,90 @@ fn padded_layout(padded_len: u64, n: u64, extra_meta: u64, line_bytes: u64) -> P
     }
 }
 
-/// Trace of a guarded ELL SpMV (slot-major, coalesced `cols`/`values`
-/// streams, irregular `X` gathers, one `Y` store per row).
-#[must_use]
-pub fn ell_trace(a: &EllMatrix) -> Vec<Access> {
-    let n = u64::from(a.n_rows());
-    let layout = padded_layout(a.padded_len() as u64, n, 0, 32);
-    let mut t = Vec::with_capacity(a.padded_len() * 2 + a.n_rows() as usize);
-    for slot in 0..a.width() {
-        for r in 0..a.n_rows() {
-            let idx = u64::from(slot) * n + u64::from(r);
-            t.push(Access {
-                addr: layout.cols + idx * ELEM_BYTES,
-                write: false,
-            });
-            let col = a.col_at(slot, r);
-            if col != ELL_PAD {
-                t.push(Access {
-                    addr: layout.values + idx * ELEM_BYTES,
-                    write: false,
-                });
-                t.push(Access {
-                    addr: layout.x + u64::from(col) * ELEM_BYTES,
-                    write: false,
-                });
-            }
-        }
-    }
-    for r in 0..n {
-        t.push(Access {
-            addr: layout.y + r * ELEM_BYTES,
-            write: true,
-        });
-    }
-    t
+/// Replayable trace of a guarded ELL SpMV (slot-major, coalesced
+/// `cols`/`values` streams, irregular `X` gathers, one `Y` store per
+/// row).
+pub struct EllTrace<'a> {
+    a: &'a EllMatrix,
 }
 
-/// Trace of a SELL-C-σ SpMV: per slice, slot-major coalesced streams
-/// plus irregular `X` gathers; `Y` stores scatter back to the original
-/// row IDs at the end of each slice.
-#[must_use]
-pub fn sell_trace(a: &SellMatrix) -> Vec<Access> {
-    let n = u64::from(a.n_rows());
-    // Slice offset/width metadata is streamed once (2 words per slice).
-    let layout = padded_layout(a.padded_len() as u64, n, 2 * a.n_slices() as u64, 32);
-    let c = u64::from(a.c());
-    let mut t = Vec::with_capacity(a.padded_len() * 2 + a.n_rows() as usize);
-    let mut base = 0u64;
-    for s in 0..a.n_slices() {
-        // Slice metadata reads (offset + width) live in the low region.
-        t.push(Access {
-            addr: 2 * s as u64 * ELEM_BYTES,
-            write: false,
-        });
-        t.push(Access {
-            addr: (2 * s as u64 + 1) * ELEM_BYTES,
-            write: false,
-        });
-        let width = u64::from(a.slice_width(s));
-        let lanes = (n - s as u64 * c).min(c);
-        for slot in 0..width {
-            for lane in 0..lanes {
-                let idx = base + slot * c + lane;
-                t.push(Access {
-                    addr: layout.cols + idx * ELEM_BYTES,
-                    write: false,
-                });
-                if let Some(col) = a.col_at(s, slot as u32, lane as u32) {
-                    t.push(Access {
-                        addr: layout.values + idx * ELEM_BYTES,
-                        write: false,
-                    });
-                    t.push(Access {
-                        addr: layout.x + u64::from(col) * ELEM_BYTES,
-                        write: false,
-                    });
+impl<'a> EllTrace<'a> {
+    /// A source replaying the ELL kernel on `a`.
+    #[must_use]
+    pub fn new(a: &'a EllMatrix) -> Self {
+        EllTrace { a }
+    }
+}
+
+impl TraceSource for EllTrace<'_> {
+    fn replay(&self, sink: &mut dyn FnMut(Access)) {
+        let a = self.a;
+        let n = u64::from(a.n_rows());
+        let layout = padded_layout(a.padded_len() as u64, n, 0, 32);
+        for slot in 0..a.width() {
+            for r in 0..a.n_rows() {
+                let idx = u64::from(slot) * n + u64::from(r);
+                sink(Access::read(layout.cols + idx * ELEM_BYTES));
+                let col = a.col_at(slot, r);
+                if col != ELL_PAD {
+                    sink(Access::read(layout.values + idx * ELEM_BYTES));
+                    sink(Access::read(layout.x + u64::from(col) * ELEM_BYTES));
                 }
             }
         }
-        // Y scatter for the slice's rows.
-        for lane in 0..lanes {
-            let row = a.original_row((s as u64 * c + lane) as u32);
-            t.push(Access {
-                addr: layout.y + u64::from(row) * ELEM_BYTES,
-                write: true,
-            });
+        for r in 0..n {
+            sink(Access::write(layout.y + r * ELEM_BYTES));
         }
-        base += width * c;
     }
-    t
+}
+
+/// Replayable trace of a SELL-C-σ SpMV: per slice, slot-major coalesced
+/// streams plus irregular `X` gathers; `Y` stores scatter back to the
+/// original row IDs at the end of each slice.
+pub struct SellTrace<'a> {
+    a: &'a SellMatrix,
+}
+
+impl<'a> SellTrace<'a> {
+    /// A source replaying the SELL-C-σ kernel on `a`.
+    #[must_use]
+    pub fn new(a: &'a SellMatrix) -> Self {
+        SellTrace { a }
+    }
+}
+
+impl TraceSource for SellTrace<'_> {
+    fn replay(&self, sink: &mut dyn FnMut(Access)) {
+        let a = self.a;
+        let n = u64::from(a.n_rows());
+        // Slice offset/width metadata is streamed once (2 words per slice).
+        let layout = padded_layout(a.padded_len() as u64, n, 2 * a.n_slices() as u64, 32);
+        let c = u64::from(a.c());
+        let mut base = 0u64;
+        for s in 0..a.n_slices() {
+            // Slice metadata reads (offset + width) live in the low region.
+            sink(Access::read(2 * s as u64 * ELEM_BYTES));
+            sink(Access::read((2 * s as u64 + 1) * ELEM_BYTES));
+            let width = u64::from(a.slice_width(s));
+            let lanes = (n - s as u64 * c).min(c);
+            for slot in 0..width {
+                for lane in 0..lanes {
+                    let idx = base + slot * c + lane;
+                    sink(Access::read(layout.cols + idx * ELEM_BYTES));
+                    if let Some(col) = a.col_at(s, slot as u32, lane as u32) {
+                        sink(Access::read(layout.values + idx * ELEM_BYTES));
+                        sink(Access::read(layout.x + u64::from(col) * ELEM_BYTES));
+                    }
+                }
+            }
+            // Y scatter for the slice's rows.
+            for lane in 0..lanes {
+                let row = a.original_row((s as u64 * c + lane) as u32);
+                sink(Access::write(layout.y + u64::from(row) * ELEM_BYTES));
+            }
+            base += width * c;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +144,14 @@ mod tests {
         CsrMatrix::try_from(CooMatrix::from_entries(8, 8, entries).unwrap()).unwrap()
     }
 
+    fn ell_trace(a: &EllMatrix) -> Vec<Access> {
+        EllTrace::new(a).collect_trace()
+    }
+
+    fn sell_trace(a: &SellMatrix) -> Vec<Access> {
+        SellTrace::new(a).collect_trace()
+    }
+
     #[test]
     fn ell_trace_streams_all_padded_cols() {
         let ell = EllMatrix::from_csr(&skewed()).unwrap();
@@ -152,7 +160,7 @@ mod tests {
         // one Y write per row.
         let nnz = skewed().nnz();
         assert_eq!(t.len(), ell.padded_len() + 2 * nnz + 8);
-        assert_eq!(t.iter().filter(|a| a.write).count(), 8);
+        assert_eq!(t.iter().filter(|a| a.is_write()).count(), 8);
     }
 
     #[test]
@@ -160,7 +168,7 @@ mod tests {
         let csr = skewed();
         let sell = SellMatrix::from_csr(&csr, 2, 8).unwrap();
         let t = sell_trace(&sell);
-        assert_eq!(t.iter().filter(|a| a.write).count(), 8);
+        assert_eq!(t.iter().filter(|a| a.is_write()).count(), 8);
         // cols reads = padded_len; per-entry values+X = 2*nnz; plus 2
         // metadata reads per slice and 8 Y writes.
         assert_eq!(
@@ -175,5 +183,16 @@ mod tests {
         let ell = EllMatrix::from_csr(&csr).unwrap();
         let sell = SellMatrix::from_csr(&csr, 2, 8).unwrap();
         assert!(sell_trace(&sell).len() < ell_trace(&ell).len());
+    }
+
+    #[test]
+    fn format_replays_are_deterministic() {
+        let csr = skewed();
+        let ell = EllMatrix::from_csr(&csr).unwrap();
+        let source = EllTrace::new(&ell);
+        assert_eq!(source.collect_trace(), source.collect_trace());
+        let sell = SellMatrix::from_csr(&csr, 2, 8).unwrap();
+        let source = SellTrace::new(&sell);
+        assert_eq!(source.collect_trace(), source.collect_trace());
     }
 }

@@ -10,9 +10,17 @@
 //!   `level[v]` probe per edge, and a store for each newly discovered
 //!   vertex. Data-dependent and sparse per level, unlike SpMV's full
 //!   sweeps.
+//!
+//! Both kernels are exposed as replayable [`TraceSource`]s
+//! ([`PagerankTrace`], [`BfsTrace`]): the trace is regenerated per
+//! replay, never materialized. [`PagerankTrace::new`] precomputes the
+//! transpose once so repeated replays (two-pass Belady) don't redo the
+//! O(nnz) transposition; BFS recomputes its frontier per replay, which is
+//! deterministic by construction.
 
 use commorder_sparse::{CsrMatrix, ELEM_BYTES};
 
+use crate::source::TraceSource;
 use crate::trace::Access;
 
 struct GraphLayout {
@@ -54,130 +62,144 @@ fn graph_layout(n: u64, nnz: u64, line_bytes: u64) -> GraphLayout {
     }
 }
 
-/// Strict-mode audit of a finished graph trace: every access must be
-/// element-aligned and inside the operand address space.
-fn audit_trace(name: &str, t: &[Access], layout: &GraphLayout) {
+/// Strict-mode audit applied to each streamed access: element-aligned
+/// and inside the operand address space.
+fn audit_access(name: &str, acc: Access, layout: &GraphLayout) {
     commorder_sparse::debug_validate!(
-        t.iter()
-            .all(|acc| acc.addr.is_multiple_of(ELEM_BYTES) && acc.addr + ELEM_BYTES <= layout.end),
-        "{name}: trace escapes the operand address space (end {:#x})",
+        acc.addr().is_multiple_of(ELEM_BYTES) && acc.addr() + ELEM_BYTES <= layout.end,
+        "{name}: access {:#x} escapes the operand address space (end {:#x})",
+        acc.addr(),
         layout.end
     );
 }
 
-/// Trace of `iterations` pull-PageRank rounds over the transpose of `a`
-/// (for the symmetric corpus, `aᵀ = a`).
-#[must_use]
-pub fn pagerank_trace(a: &CsrMatrix, iterations: u32) -> Vec<Access> {
-    let transpose = a.transpose();
-    let n = u64::from(a.n_rows());
-    let layout = graph_layout(n, a.nnz() as u64, 32);
-    let mut t = Vec::new();
-    for iter in 0..iterations {
-        // Ping-pong: even iterations read rank_a / write rank_b.
-        let (src, dst) = if iter % 2 == 0 {
-            (layout.rank_a, layout.rank_b)
-        } else {
-            (layout.rank_b, layout.rank_a)
-        };
-        for v in 0..a.n_rows() {
-            t.push(Access {
-                addr: layout.offsets + u64::from(v) * ELEM_BYTES,
-                write: false,
-            });
-            t.push(Access {
-                addr: layout.offsets + (u64::from(v) + 1) * ELEM_BYTES,
-                write: false,
-            });
-            let (in_neighbours, _) = transpose.row(v);
-            let base = transpose.row_offsets()[v as usize] as u64;
-            for (k, &u) in in_neighbours.iter().enumerate() {
-                t.push(Access {
-                    addr: layout.coords + (base + k as u64) * ELEM_BYTES,
-                    write: false,
-                });
-                // Irregular gathers: pr[u] and outdeg[u].
-                t.push(Access {
-                    addr: src + u64::from(u) * ELEM_BYTES,
-                    write: false,
-                });
-                t.push(Access {
-                    addr: layout.outdeg + u64::from(u) * ELEM_BYTES,
-                    write: false,
-                });
-            }
-            t.push(Access {
-                addr: dst + u64::from(v) * ELEM_BYTES,
-                write: true,
-            });
-        }
-    }
-    audit_trace("pagerank_trace", &t, &layout);
-    t
+/// Replayable trace of pull-PageRank rounds over the transpose of the
+/// matrix (for the symmetric corpus, `aᵀ = a`). The transpose is built
+/// once at construction and shared by every replay.
+pub struct PagerankTrace<'a> {
+    a: &'a CsrMatrix,
+    transpose: CsrMatrix,
+    iterations: u32,
 }
 
-/// Trace of a push BFS from `source`, following the real frontier.
-///
-/// # Panics
-///
-/// Panics if `source >= n_rows`.
-#[must_use]
-pub fn bfs_trace(a: &CsrMatrix, source: u32) -> Vec<Access> {
-    assert!(source < a.n_rows(), "source out of range");
-    let n = u64::from(a.n_rows());
-    let layout = graph_layout(n, a.nnz() as u64, 32);
-    let mut t = Vec::new();
-    let mut visited = vec![false; a.n_rows() as usize];
-    visited[source as usize] = true;
-    let mut frontier = vec![source];
-    let mut frontier_cursor = 0u64; // streaming frontier array writes
-    t.push(Access {
-        addr: layout.frontier,
-        write: true,
-    });
-    frontier_cursor += 1;
-    while !frontier.is_empty() {
-        let mut next = Vec::new();
-        for &u in &frontier {
-            t.push(Access {
-                addr: layout.offsets + u64::from(u) * ELEM_BYTES,
-                write: false,
-            });
-            t.push(Access {
-                addr: layout.offsets + (u64::from(u) + 1) * ELEM_BYTES,
-                write: false,
-            });
-            let (neighbours, _) = a.row(u);
-            let base = a.row_offsets()[u as usize] as u64;
-            for (k, &v) in neighbours.iter().enumerate() {
-                t.push(Access {
-                    addr: layout.coords + (base + k as u64) * ELEM_BYTES,
-                    write: false,
-                });
-                // Irregular probe of level[v]; write on first discovery.
-                t.push(Access {
-                    addr: layout.level + u64::from(v) * ELEM_BYTES,
-                    write: false,
-                });
-                if !visited[v as usize] {
-                    visited[v as usize] = true;
-                    t.push(Access {
-                        addr: layout.level + u64::from(v) * ELEM_BYTES,
-                        write: true,
-                    });
-                    t.push(Access {
-                        addr: layout.frontier + frontier_cursor * ELEM_BYTES,
-                        write: true,
-                    });
-                    frontier_cursor += 1;
-                    next.push(v);
+impl<'a> PagerankTrace<'a> {
+    /// A source replaying `iterations` PageRank rounds on `a`.
+    #[must_use]
+    pub fn new(a: &'a CsrMatrix, iterations: u32) -> Self {
+        PagerankTrace {
+            a,
+            transpose: a.transpose(),
+            iterations,
+        }
+    }
+}
+
+impl TraceSource for PagerankTrace<'_> {
+    fn len_hint(&self) -> Option<u64> {
+        // Per iteration: 2 offset reads + 1 store per vertex, 3 reads per
+        // edge entry.
+        let n = u64::from(self.a.n_rows());
+        let per_iter = 3 * n + 3 * self.a.nnz() as u64;
+        Some(u64::from(self.iterations) * per_iter)
+    }
+
+    fn replay(&self, raw_sink: &mut dyn FnMut(Access)) {
+        let a = self.a;
+        let n = u64::from(a.n_rows());
+        let layout = graph_layout(n, a.nnz() as u64, 32);
+        let mut sink = |acc: Access| {
+            audit_access("pagerank_trace", acc, &layout);
+            raw_sink(acc);
+        };
+        for iter in 0..self.iterations {
+            // Ping-pong: even iterations read rank_a / write rank_b.
+            let (src, dst) = if iter % 2 == 0 {
+                (layout.rank_a, layout.rank_b)
+            } else {
+                (layout.rank_b, layout.rank_a)
+            };
+            for v in 0..a.n_rows() {
+                sink(Access::read(layout.offsets + u64::from(v) * ELEM_BYTES));
+                sink(Access::read(
+                    layout.offsets + (u64::from(v) + 1) * ELEM_BYTES,
+                ));
+                let (in_neighbours, _) = self.transpose.row(v);
+                let base = self.transpose.row_offsets()[v as usize] as u64;
+                for (k, &u) in in_neighbours.iter().enumerate() {
+                    sink(Access::read(layout.coords + (base + k as u64) * ELEM_BYTES));
+                    // Irregular gathers: pr[u] and outdeg[u].
+                    sink(Access::read(src + u64::from(u) * ELEM_BYTES));
+                    sink(Access::read(layout.outdeg + u64::from(u) * ELEM_BYTES));
                 }
+                sink(Access::write(dst + u64::from(v) * ELEM_BYTES));
             }
         }
-        frontier = next;
     }
-    audit_trace("bfs_trace", &t, &layout);
-    t
+}
+
+/// Replayable trace of a push BFS from a source vertex, following the
+/// real frontier. Each replay re-runs the traversal (deterministic, so
+/// every replay emits the identical stream).
+pub struct BfsTrace<'a> {
+    a: &'a CsrMatrix,
+    source: u32,
+}
+
+impl<'a> BfsTrace<'a> {
+    /// A source replaying a BFS on `a` from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n_rows`.
+    #[must_use]
+    pub fn new(a: &'a CsrMatrix, source: u32) -> Self {
+        assert!(source < a.n_rows(), "source out of range");
+        BfsTrace { a, source }
+    }
+}
+
+impl TraceSource for BfsTrace<'_> {
+    fn replay(&self, raw_sink: &mut dyn FnMut(Access)) {
+        let a = self.a;
+        let n = u64::from(a.n_rows());
+        let layout = graph_layout(n, a.nnz() as u64, 32);
+        let mut sink = |acc: Access| {
+            audit_access("bfs_trace", acc, &layout);
+            raw_sink(acc);
+        };
+        let mut visited = vec![false; a.n_rows() as usize];
+        visited[self.source as usize] = true;
+        let mut frontier = vec![self.source];
+        let mut frontier_cursor = 0u64; // streaming frontier array writes
+        sink(Access::write(layout.frontier));
+        frontier_cursor += 1;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                sink(Access::read(layout.offsets + u64::from(u) * ELEM_BYTES));
+                sink(Access::read(
+                    layout.offsets + (u64::from(u) + 1) * ELEM_BYTES,
+                ));
+                let (neighbours, _) = a.row(u);
+                let base = a.row_offsets()[u as usize] as u64;
+                for (k, &v) in neighbours.iter().enumerate() {
+                    sink(Access::read(layout.coords + (base + k as u64) * ELEM_BYTES));
+                    // Irregular probe of level[v]; write on first discovery.
+                    sink(Access::read(layout.level + u64::from(v) * ELEM_BYTES));
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        sink(Access::write(layout.level + u64::from(v) * ELEM_BYTES));
+                        sink(Access::write(
+                            layout.frontier + frontier_cursor * ELEM_BYTES,
+                        ));
+                        frontier_cursor += 1;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +214,14 @@ mod tests {
         CsrMatrix::try_from(CooMatrix::from_entries(4, 4, entries).unwrap()).unwrap()
     }
 
+    fn pagerank_trace(a: &CsrMatrix, iterations: u32) -> Vec<Access> {
+        PagerankTrace::new(a, iterations).collect_trace()
+    }
+
+    fn bfs_trace(a: &CsrMatrix, source: u32) -> Vec<Access> {
+        BfsTrace::new(a, source).collect_trace()
+    }
+
     #[test]
     fn pagerank_trace_per_iteration_shape() {
         let a = path4();
@@ -202,14 +232,20 @@ mod tests {
         let per_iter = 4 * 3 + a.nnz() * 3;
         assert_eq!(one.len(), per_iter);
         assert_eq!(two.len(), 2 * per_iter);
-        assert_eq!(one.iter().filter(|x| x.write).count(), 4);
+        assert_eq!(one.iter().filter(|x| x.is_write()).count(), 4);
+        // The hint is exact for PageRank.
+        assert_eq!(PagerankTrace::new(&a, 2).len_hint(), Some(two.len() as u64));
     }
 
     #[test]
     fn pagerank_iterations_ping_pong_buffers() {
         let a = path4();
         let t = pagerank_trace(&a, 2);
-        let writes: Vec<u64> = t.iter().filter(|x| x.write).map(|x| x.addr).collect();
+        let writes: Vec<u64> = t
+            .iter()
+            .filter(|x| x.is_write())
+            .map(|x| x.addr())
+            .collect();
         // First iteration's 4 writes target one buffer, second's another.
         assert_eq!(writes.len(), 8);
         assert!(writes[..4]
@@ -219,12 +255,21 @@ mod tests {
     }
 
     #[test]
+    fn replays_are_deterministic() {
+        let a = path4();
+        let source = BfsTrace::new(&a, 0);
+        assert_eq!(source.collect_trace(), source.collect_trace());
+        let pr = PagerankTrace::new(&a, 3);
+        assert_eq!(pr.collect_trace(), pr.collect_trace());
+    }
+
+    #[test]
     fn bfs_trace_discovers_every_vertex_once() {
         let a = path4();
         let t = bfs_trace(&a, 0);
         // Frontier writes = n (every vertex enters the frontier once on a
         // connected graph).
-        let layout_frontier_writes = t.iter().filter(|x| x.write).count();
+        let layout_frontier_writes = t.iter().filter(|x| x.is_write()).count();
         // level writes (3 discoveries) + frontier writes (4 including src).
         assert_eq!(layout_frontier_writes, 3 + 4);
     }
@@ -237,6 +282,6 @@ mod tests {
         .unwrap();
         let t = bfs_trace(&a, 0);
         // Only vertex 1 is discovered: 1 level write + 2 frontier writes.
-        assert_eq!(t.iter().filter(|x| x.write).count(), 3);
+        assert_eq!(t.iter().filter(|x| x.is_write()).count(), 3);
     }
 }

@@ -76,10 +76,7 @@ impl CacheHierarchy {
         // Dirty L1 victims are written back into L2.
         if let Some((victim_addr, dirty)) = l1_outcome.evicted {
             if dirty {
-                self.l2.access(Access {
-                    addr: victim_addr,
-                    write: true,
-                });
+                self.l2.access(Access::write(victim_addr));
             }
         }
         if l1_outcome.hit {
@@ -88,7 +85,7 @@ impl CacheHierarchy {
         // The L1 miss itself goes to L2 (write misses allocate in L1, so
         // the L2 sees them as reads only when L1 must fetch — with
         // no-fetch write allocation the L2 is not consulted for writes).
-        if access.write {
+        if access.is_write() {
             return ServicedBy::L2;
         }
         if self.l2.access(access) {
@@ -96,6 +93,13 @@ impl CacheHierarchy {
         } else {
             ServicedBy::Dram
         }
+    }
+
+    /// Streams every access of `source` through the stack.
+    pub fn consume<S: crate::source::TraceSource + ?Sized>(&mut self, source: &S) {
+        source.replay(&mut |acc| {
+            self.access(acc);
+        });
     }
 
     /// Flushes both levels (L1 dirty lines drain into L2 first) and
@@ -106,7 +110,7 @@ impl CacheHierarchy {
         // Drain L1: every dirty resident is written back into L2 before
         // the L2 itself is flushed.
         for addr in l1.dirty_lines() {
-            l2.access(Access { addr, write: true });
+            l2.access(Access::write(addr));
         }
         HierarchyStats {
             l1: l1.finish(),
@@ -120,7 +124,7 @@ mod tests {
     use super::*;
 
     fn read(addr: u64) -> Access {
-        Access { addr, write: false }
+        Access::read(addr)
     }
 
     fn small(capacity: u64) -> CacheConfig {
@@ -179,10 +183,7 @@ mod tests {
     fn dirty_l1_eviction_reaches_l2() {
         let mut h = CacheHierarchy::new(small(64), small(256));
         // Write line 0 (allocates dirty in L1, L2 untouched for writes).
-        h.access(Access {
-            addr: 0,
-            write: true,
-        });
+        h.access(Access::write(0));
         // Evict it from the 1-set x 2-way L1 by touching two more lines
         // that map to the same set (stride = sets * line = 32).
         h.access(read(32));

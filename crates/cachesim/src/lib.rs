@@ -55,10 +55,12 @@ pub mod graph_trace;
 pub mod hierarchy;
 pub mod layout;
 pub mod plru;
+pub mod source;
 pub mod telemetry;
 pub mod trace;
 
 pub use cache::{AccessOutcome, CacheStats, LruCache};
 pub use config::CacheConfig;
 pub use layout::ArrayLayout;
+pub use source::TraceSource;
 pub use trace::Access;

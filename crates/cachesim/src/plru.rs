@@ -112,14 +112,14 @@ impl PlruCache {
     /// Simulates one access; returns `true` on a hit.
     pub fn access(&mut self, access: Access) -> bool {
         self.stats.accesses += 1;
-        let (set, tag) = self.config.set_and_tag(access.addr);
+        let (set, tag) = self.config.set_and_tag(access.addr());
         let base = set * self.assoc;
         if let Some(way) =
             (0..self.assoc).find(|&w| self.ways[base + w].valid && self.ways[base + w].tag == tag)
         {
             let slot = &mut self.ways[base + way];
             slot.reuses += 1;
-            slot.dirty |= access.write;
+            slot.dirty |= access.is_write();
             self.stats.hits += 1;
             self.touch(set, way);
             return true;
@@ -127,7 +127,7 @@ impl PlruCache {
         if self.seen.insert(tag) {
             self.stats.compulsory_misses += 1;
         }
-        if access.write {
+        if access.is_write() {
             self.stats.write_alloc_misses += 1;
         } else {
             self.stats.fill_misses += 1;
@@ -150,12 +150,20 @@ impl PlruCache {
         };
         self.ways[base + way] = Way {
             tag,
-            dirty: access.write,
+            dirty: access.is_write(),
             reuses: 0,
             valid: true,
         };
         self.touch(set, way);
         false
+    }
+
+    /// Streams every access of `source` through the cache (mirror of
+    /// [`LruCache::consume`](crate::LruCache::consume)).
+    pub fn consume<S: crate::source::TraceSource + ?Sized>(&mut self, source: &S) {
+        source.replay(&mut |acc| {
+            self.access(acc);
+        });
     }
 
     /// Flushes and returns the statistics (mirror of
@@ -182,7 +190,7 @@ mod tests {
     use crate::LruCache;
 
     fn read(addr: u64) -> Access {
-        Access { addr, write: false }
+        Access::read(addr)
     }
 
     fn cfg(ways: u32) -> CacheConfig {
@@ -215,10 +223,7 @@ mod tests {
             state >> 33
         };
         let trace: Vec<Access> = (0..2000)
-            .map(|_| Access {
-                addr: (next() % 8) * 32,
-                write: next() % 5 == 0,
-            })
+            .map(|_| Access::new((next() % 8) * 32, next() % 5 == 0))
             .collect();
         let mut plru = PlruCache::new(cfg(2));
         let mut lru = LruCache::new(cfg(2));

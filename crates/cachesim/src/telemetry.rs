@@ -41,6 +41,23 @@ pub fn record_miss_classes(classes: &MissClasses) {
     obs::counter!("cachesim.miss.conflict", classes.conflict);
 }
 
+/// Publishes the peak per-trace buffer footprint of one simulation as
+/// the `cachesim.trace.peak_bytes` gauge.
+///
+/// Streaming LRU/PLRU consumers hold no per-access state (0 bytes); the
+/// two-pass Belady oracle reports its compact next-use array (≤ 8 bytes
+/// per access). The `trace_stream` microbench exports this through a
+/// registry sink to pin the bound.
+pub fn record_trace_peak_bytes(bytes: u64) {
+    if !obs::enabled() {
+        return;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        obs::gauge!("cachesim.trace.peak_bytes", bytes as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

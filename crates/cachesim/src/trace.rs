@@ -18,17 +18,69 @@
 //! round-robins a window of concurrent row streams to check conclusions
 //! against GPU-style warp interleaving.
 
+use std::fmt;
+
 use commorder_sparse::{traffic::Kernel, CsrMatrix, ELEM_BYTES};
 
 use crate::layout::ArrayLayout;
 
-/// One memory access of a kernel trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Access {
+/// Tag bit marking a store; the remaining 63 bits hold the byte address.
+const WRITE_BIT: u64 = 1 << 63;
+
+/// One memory access of a kernel trace, packed into 8 bytes.
+///
+/// Bit 63 is the read/write tag, bits 0..63 the byte address — traces at
+/// paper scale are billions of accesses, so the streaming consumers and
+/// the Belady next-use array depend on this staying one word. Addresses
+/// with bit 63 set are rejected (`debug_validate!` under
+/// `strict-checks`); all workspace layouts start at 0, so real operand
+/// spaces never come near the tag bit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access(u64);
+
+impl Access {
+    /// Packs an access; `write` marks a store.
+    #[must_use]
+    pub fn new(addr: u64, write: bool) -> Self {
+        commorder_sparse::debug_validate!(
+            addr & WRITE_BIT == 0,
+            "address {addr:#x} collides with the packed write-tag bit"
+        );
+        Access(addr | if write { WRITE_BIT } else { 0 })
+    }
+
+    /// A load of the element at byte address `addr`.
+    #[must_use]
+    pub fn read(addr: u64) -> Self {
+        Access::new(addr, false)
+    }
+
+    /// A store to the element at byte address `addr`.
+    #[must_use]
+    pub fn write(addr: u64) -> Self {
+        Access::new(addr, true)
+    }
+
     /// Byte address.
-    pub addr: u64,
+    #[must_use]
+    pub fn addr(self) -> u64 {
+        self.0 & !WRITE_BIT
+    }
+
     /// `true` for a store.
-    pub write: bool,
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        self.0 & WRITE_BIT != 0
+    }
+}
+
+impl fmt::Debug for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Access")
+            .field("addr", &self.addr())
+            .field("write", &self.is_write())
+            .finish()
+    }
 }
 
 /// How concurrent GPU execution is modelled when linearizing the trace.
@@ -47,8 +99,9 @@ pub enum ExecutionModel {
 /// Emits every access of `kernel` on matrix `a` to `sink`.
 ///
 /// The matrix is interpreted per the kernel's storage format (COO traces
-/// use row-major entry order, CSR order). Use [`collect_trace`] when the
-/// full trace is needed (e.g. Belady).
+/// use row-major entry order, CSR order). Consumers that need to replay
+/// the trace more than once (e.g. two-pass Belady) should wrap the same
+/// generation in a [`crate::source::KernelTrace`] instead of collecting.
 ///
 /// # Panics
 ///
@@ -65,9 +118,9 @@ pub fn for_each_access<F: FnMut(Access)>(
     let end = layout.end;
     let mut sink = |acc: Access| {
         commorder_sparse::debug_validate!(
-            acc.addr.is_multiple_of(ELEM_BYTES) && acc.addr + ELEM_BYTES <= end,
+            acc.addr().is_multiple_of(ELEM_BYTES) && acc.addr() + ELEM_BYTES <= end,
             "trace access {:#x} misaligned or beyond operand end {end:#x}",
-            acc.addr
+            acc.addr()
         );
         raw_sink(acc);
     };
@@ -111,12 +164,19 @@ pub fn for_each_access<F: FnMut(Access)>(
     }
 }
 
-/// Materializes the full trace (required by Belady's policy).
+/// Materializes the full trace — a thin [`TraceSource`]-backed test
+/// convenience.
+///
+/// Production consumers stream via [`crate::source::TraceSource::replay`]
+/// (the `xtask lint` rule XT0007 rejects `collect_trace` and full-trace
+/// `Vec<Access>` buffers outside tests and this documented shim); keep
+/// collection to unit tests and small fixtures.
+///
+/// [`TraceSource`]: crate::source::TraceSource
 #[must_use]
 pub fn collect_trace(a: &CsrMatrix, kernel: Kernel, model: ExecutionModel) -> Vec<Access> {
-    let mut v = Vec::new();
-    for_each_access(a, kernel, model, |acc| v.push(acc));
-    v
+    use crate::source::TraceSource;
+    crate::source::KernelTrace::new(a, kernel, model).collect_trace()
 }
 
 /// All accesses performed while processing CSR row `r` (SpMV or SpMM).
@@ -127,14 +187,14 @@ fn row_accesses<F: FnMut(Access)>(
     r: u32,
     sink: &mut F,
 ) {
-    sink(Access {
-        addr: ArrayLayout::elem(layout.row_offsets, u64::from(r)),
-        write: false,
-    });
-    sink(Access {
-        addr: ArrayLayout::elem(layout.row_offsets, u64::from(r) + 1),
-        write: false,
-    });
+    sink(Access::read(ArrayLayout::elem(
+        layout.row_offsets,
+        u64::from(r),
+    )));
+    sink(Access::read(ArrayLayout::elem(
+        layout.row_offsets,
+        u64::from(r) + 1,
+    )));
     let (cols, _) = a.row(r);
     let lo = a.row_offsets()[r as usize] as u64;
     for (j, &col) in cols.iter().enumerate() {
@@ -152,32 +212,22 @@ fn nz_accesses<F: FnMut(Access)>(
     col: u32,
     sink: &mut F,
 ) {
-    sink(Access {
-        addr: ArrayLayout::elem(layout.coords, i),
-        write: false,
-    });
-    sink(Access {
-        addr: ArrayLayout::elem(layout.values, i),
-        write: false,
-    });
+    sink(Access::read(ArrayLayout::elem(layout.coords, i)));
+    sink(Access::read(ArrayLayout::elem(layout.values, i)));
     match kernel {
         Kernel::SpmvCsr
         | Kernel::SpmvCoo
         | Kernel::SpmvCsrTiled { .. }
-        | Kernel::SpmvBlocked { .. } => sink(Access {
-            addr: ArrayLayout::elem(layout.x, u64::from(col)),
-            write: false,
-        }),
+        | Kernel::SpmvBlocked { .. } => {
+            sink(Access::read(ArrayLayout::elem(layout.x, u64::from(col))))
+        }
         Kernel::SpmmCsr { k } => {
             // Touch each cache line of the k-wide dense row of B.
             let start = u64::from(col) * u64::from(k);
             let step = u64::from(layout.line_bytes) / ELEM_BYTES;
             let mut j = 0u64;
             while j < u64::from(k) {
-                sink(Access {
-                    addr: ArrayLayout::elem(layout.b, start + j),
-                    write: false,
-                });
+                sink(Access::read(ArrayLayout::elem(layout.b, start + j)));
                 j += step;
             }
         }
@@ -190,19 +240,15 @@ fn row_epilogue<F: FnMut(Access)>(kernel: Kernel, layout: &ArrayLayout, r: u32, 
         Kernel::SpmvCsr
         | Kernel::SpmvCoo
         | Kernel::SpmvCsrTiled { .. }
-        | Kernel::SpmvBlocked { .. } => sink(Access {
-            addr: ArrayLayout::elem(layout.y, u64::from(r)),
-            write: true,
-        }),
+        | Kernel::SpmvBlocked { .. } => {
+            sink(Access::write(ArrayLayout::elem(layout.y, u64::from(r))))
+        }
         Kernel::SpmmCsr { k } => {
             let start = u64::from(r) * u64::from(k);
             let step = u64::from(layout.line_bytes) / ELEM_BYTES;
             let mut j = 0u64;
             while j < u64::from(k) {
-                sink(Access {
-                    addr: ArrayLayout::elem(layout.c, start + j),
-                    write: true,
-                });
+                sink(Access::write(ArrayLayout::elem(layout.c, start + j)));
                 j += step;
             }
         }
@@ -243,42 +289,27 @@ fn blocked_accesses<F: FnMut(Access)>(
     // Phase 1: CSC stream + bin scatter (bin writes are streaming within
     // each bin's segment).
     for c in 0..n {
-        sink(Access {
-            addr: ArrayLayout::elem(layout.row_offsets, u64::from(c)),
-            write: false,
-        });
-        sink(Access {
-            addr: ArrayLayout::elem(layout.row_offsets, u64::from(c) + 1),
-            write: false,
-        });
+        sink(Access::read(ArrayLayout::elem(
+            layout.row_offsets,
+            u64::from(c),
+        )));
+        sink(Access::read(ArrayLayout::elem(
+            layout.row_offsets,
+            u64::from(c) + 1,
+        )));
         let (rows, _) = csc.row(c); // column c of A
         if rows.is_empty() {
             continue;
         }
-        sink(Access {
-            addr: ArrayLayout::elem(layout.x, u64::from(c)),
-            write: false,
-        });
+        sink(Access::read(ArrayLayout::elem(layout.x, u64::from(c))));
         let lo = csc.row_offsets()[c as usize] as u64;
         for (j, &r) in rows.iter().enumerate() {
             let i = lo + j as u64;
-            sink(Access {
-                addr: ArrayLayout::elem(layout.coords, i),
-                write: false,
-            });
-            sink(Access {
-                addr: ArrayLayout::elem(layout.values, i),
-                write: false,
-            });
+            sink(Access::read(ArrayLayout::elem(layout.coords, i)));
+            sink(Access::read(ArrayLayout::elem(layout.values, i)));
             let b = (r / rows_per_bin) as usize;
-            sink(Access {
-                addr: ArrayLayout::elem(layout.bins, cursor[b]),
-                write: true,
-            });
-            sink(Access {
-                addr: ArrayLayout::elem(layout.bins, cursor[b] + 1),
-                write: true,
-            });
+            sink(Access::write(ArrayLayout::elem(layout.bins, cursor[b])));
+            sink(Access::write(ArrayLayout::elem(layout.bins, cursor[b] + 1)));
             cursor[b] += 2;
         }
     }
@@ -295,19 +326,10 @@ fn blocked_accesses<F: FnMut(Access)>(
     for (b, rows) in bin_rows.iter().enumerate() {
         let mut pos = bin_base[b];
         for &r in rows {
-            sink(Access {
-                addr: ArrayLayout::elem(layout.bins, pos),
-                write: false,
-            });
-            sink(Access {
-                addr: ArrayLayout::elem(layout.bins, pos + 1),
-                write: false,
-            });
+            sink(Access::read(ArrayLayout::elem(layout.bins, pos)));
+            sink(Access::read(ArrayLayout::elem(layout.bins, pos + 1)));
             pos += 2;
-            sink(Access {
-                addr: ArrayLayout::elem(layout.y, u64::from(r)),
-                write: true,
-            });
+            sink(Access::write(ArrayLayout::elem(layout.y, u64::from(r))));
         }
     }
 }
@@ -329,38 +351,26 @@ fn tiled_accesses<F: FnMut(Access)>(
         let tile_end = tile_start.saturating_add(tile_cols).min(a.n_cols());
         for r in 0..a.n_rows() {
             let off_base = tile_idx * (n + 1) + u64::from(r);
-            sink(Access {
-                addr: ArrayLayout::elem(layout.row_offsets, off_base),
-                write: false,
-            });
-            sink(Access {
-                addr: ArrayLayout::elem(layout.row_offsets, off_base + 1),
-                write: false,
-            });
+            sink(Access::read(ArrayLayout::elem(
+                layout.row_offsets,
+                off_base,
+            )));
+            sink(Access::read(ArrayLayout::elem(
+                layout.row_offsets,
+                off_base + 1,
+            )));
             let (cols, _) = a.row(r);
             let lo = cols.partition_point(|&c| c < tile_start);
             let hi = cols.partition_point(|&c| c < tile_end);
             let row_base = u64::from(a.row_offsets()[r as usize]);
             for (j, &col) in cols[lo..hi].iter().enumerate() {
                 let i = row_base + (lo + j) as u64;
-                sink(Access {
-                    addr: ArrayLayout::elem(layout.coords, i),
-                    write: false,
-                });
-                sink(Access {
-                    addr: ArrayLayout::elem(layout.values, i),
-                    write: false,
-                });
-                sink(Access {
-                    addr: ArrayLayout::elem(layout.x, u64::from(col)),
-                    write: false,
-                });
+                sink(Access::read(ArrayLayout::elem(layout.coords, i)));
+                sink(Access::read(ArrayLayout::elem(layout.values, i)));
+                sink(Access::read(ArrayLayout::elem(layout.x, u64::from(col))));
             }
             if hi > lo {
-                sink(Access {
-                    addr: ArrayLayout::elem(layout.y, u64::from(r)),
-                    write: true,
-                });
+                sink(Access::write(ArrayLayout::elem(layout.y, u64::from(r))));
             }
         }
         tile_start = tile_end;
@@ -371,29 +381,14 @@ fn tiled_accesses<F: FnMut(Access)>(
 /// All accesses for COO entry `i` (row-major order over the CSR's
 /// entries, which *is* row-major COO order).
 fn coo_entry_accesses<F: FnMut(Access)>(a: &CsrMatrix, layout: &ArrayLayout, i: u64, sink: &mut F) {
-    sink(Access {
-        addr: ArrayLayout::elem(layout.coo_rows, i),
-        write: false,
-    });
-    sink(Access {
-        addr: ArrayLayout::elem(layout.coords, i),
-        write: false,
-    });
-    sink(Access {
-        addr: ArrayLayout::elem(layout.values, i),
-        write: false,
-    });
+    sink(Access::read(ArrayLayout::elem(layout.coo_rows, i)));
+    sink(Access::read(ArrayLayout::elem(layout.coords, i)));
+    sink(Access::read(ArrayLayout::elem(layout.values, i)));
     let col = a.col_indices()[i as usize];
-    sink(Access {
-        addr: ArrayLayout::elem(layout.x, u64::from(col)),
-        write: false,
-    });
+    sink(Access::read(ArrayLayout::elem(layout.x, u64::from(col))));
     // Row owning entry i: accumulate into Y.
     let row = row_of_entry(a, i);
-    sink(Access {
-        addr: ArrayLayout::elem(layout.y, u64::from(row)),
-        write: true,
-    });
+    sink(Access::write(ArrayLayout::elem(layout.y, u64::from(row))));
 }
 
 /// The row that owns CSR entry index `i`: the unique `r` with
@@ -453,14 +448,14 @@ fn interleave<F: FnMut(Access)>(
             let s = slot.as_mut().expect("filled above");
             progressed = true;
             if !s.prologue_done {
-                sink(Access {
-                    addr: ArrayLayout::elem(layout.row_offsets, u64::from(s.row)),
-                    write: false,
-                });
-                sink(Access {
-                    addr: ArrayLayout::elem(layout.row_offsets, u64::from(s.row) + 1),
-                    write: false,
-                });
+                sink(Access::read(ArrayLayout::elem(
+                    layout.row_offsets,
+                    u64::from(s.row),
+                )));
+                sink(Access::read(ArrayLayout::elem(
+                    layout.row_offsets,
+                    u64::from(s.row) + 1,
+                )));
                 s.prologue_done = true;
             }
             if s.next_nz < s.end_nz {
@@ -523,7 +518,7 @@ mod tests {
         let t = collect_trace(&sample(), Kernel::SpmvCsr, ExecutionModel::Sequential);
         // Per row: 2 offset reads + 1 Y write; per nz: coords + values + X.
         assert_eq!(t.len(), 4 * 3 + 4 * 3);
-        assert_eq!(t.iter().filter(|a| a.write).count(), 4);
+        assert_eq!(t.iter().filter(|a| a.is_write()).count(), 4);
     }
 
     #[test]
@@ -531,7 +526,7 @@ mod tests {
         let t = collect_trace(&sample(), Kernel::SpmvCoo, ExecutionModel::Sequential);
         // Per nz: rows + coords + values + X + Y.
         assert_eq!(t.len(), 4 * 5);
-        assert_eq!(t.iter().filter(|a| a.write).count(), 4);
+        assert_eq!(t.iter().filter(|a| a.is_write()).count(), 4);
     }
 
     #[test]
@@ -544,7 +539,7 @@ mod tests {
         // k=16 floats = 64 bytes = 2 lines; per nz: 2 + B(2); per row: 2
         // offsets + C(2 writes).
         assert_eq!(t.len(), 4 * (2 + 2) + 4 * (2 + 2));
-        assert_eq!(t.iter().filter(|a| a.write).count(), 8);
+        assert_eq!(t.iter().filter(|a| a.is_write()).count(), 8);
     }
 
     #[test]
@@ -565,7 +560,7 @@ mod tests {
             ExecutionModel::Interleaved { streams: 3 },
         );
         let norm = |mut t: Vec<Access>| {
-            t.sort_by_key(|a| (a.addr, a.write));
+            t.sort_by_key(|a| (a.addr(), a.is_write()));
             t
         };
         assert_eq!(norm(seq), norm(inter));
@@ -600,8 +595,8 @@ mod tests {
         let t = collect_trace(&a, Kernel::SpmvCsr, ExecutionModel::Sequential);
         let x_reads: Vec<u64> = t
             .iter()
-            .filter(|acc| !acc.write && acc.addr >= layout.x && acc.addr < layout.y)
-            .map(|acc| (acc.addr - layout.x) / 4)
+            .filter(|acc| !acc.is_write() && acc.addr() >= layout.x && acc.addr() < layout.y)
+            .map(|acc| (acc.addr() - layout.x) / 4)
             .collect();
         assert_eq!(x_reads, vec![1, 0, 2, 1]);
     }
@@ -618,11 +613,11 @@ mod tests {
         // Every coords element appears exactly once across all tiles.
         let coord_reads = t
             .iter()
-            .filter(|acc| acc.addr >= layout.coords && acc.addr < layout.values)
+            .filter(|acc| acc.addr() >= layout.coords && acc.addr() < layout.values)
             .count();
         assert_eq!(coord_reads, a.nnz());
         // 2 tiles x 4 rows x 2 offset reads.
-        let offset_reads = t.iter().filter(|acc| acc.addr < layout.coords).count();
+        let offset_reads = t.iter().filter(|acc| acc.addr() < layout.coords).count();
         assert_eq!(offset_reads, 2 * 4 * 2);
     }
 
@@ -637,7 +632,7 @@ mod tests {
         let plain = collect_trace(&a, Kernel::SpmvCsr, ExecutionModel::Sequential);
         // The tiled kernel skips the Y store for rows with no entries in
         // the tile (row 3 is empty), otherwise the traces line up.
-        let count = |t: &[Access], write: bool| t.iter().filter(|a| a.write == write).count();
+        let count = |t: &[Access], write: bool| t.iter().filter(|a| a.is_write() == write).count();
         assert_eq!(count(&big, true), count(&plain, true) - 1);
         assert_eq!(big.len(), plain.len() - 1);
     }
@@ -652,7 +647,7 @@ mod tests {
         );
         // Rows 0 (col 1), 1 (cols 0,2), 2 (col 1): tile 0 (cols 0-1)
         // touches rows 0,1,2; tile 1 (cols 2-3) touches row 1 only.
-        assert_eq!(t.iter().filter(|acc| acc.write).count(), 4);
+        assert_eq!(t.iter().filter(|acc| acc.is_write()).count(), 4);
     }
 
     #[test]
@@ -688,7 +683,7 @@ mod blocked_tests {
         // column (3) + per nz: rows + values reads (8) + 2 bin writes (8).
         // Phase 2: per nz: 2 bin reads (8) + 1 Y write (4).
         assert_eq!(t.len(), 8 + 3 + 8 + 8 + 8 + 4);
-        assert_eq!(t.iter().filter(|a| a.write).count(), 8 + 4);
+        assert_eq!(t.iter().filter(|a| a.is_write()).count(), 8 + 4);
     }
 
     #[test]
@@ -705,15 +700,15 @@ mod blocked_tests {
             .collect();
         let mut writes: Vec<u64> = t
             .iter()
-            .filter(|acc| acc.write && acc.addr >= layout.bins)
-            .map(|acc| acc.addr)
+            .filter(|acc| acc.is_write() && acc.addr() >= layout.bins)
+            .map(|acc| acc.addr())
             .collect();
         writes.sort_unstable();
         assert_eq!(writes, expected, "each bin slot written exactly once");
         let mut reads: Vec<u64> = t
             .iter()
-            .filter(|acc| !acc.write && acc.addr >= layout.bins)
-            .map(|acc| acc.addr)
+            .filter(|acc| !acc.is_write() && acc.addr() >= layout.bins)
+            .map(|acc| acc.addr())
             .collect();
         reads.sort_unstable();
         assert_eq!(reads, expected, "each bin slot read back exactly once");

@@ -69,13 +69,7 @@ fn single_set_config(ways: u32) -> CacheConfig {
 }
 
 fn check(lines: &[u64], ways: u32) {
-    let trace: Vec<Access> = lines
-        .iter()
-        .map(|&l| Access {
-            addr: l * 32,
-            write: false,
-        })
-        .collect();
+    let trace: Vec<Access> = lines.iter().map(|&l| Access::read(l * 32)).collect();
     let simulated = simulate_belady(single_set_config(ways), &trace);
     let optimal = brute_force_min_misses(lines, ways as usize);
     assert_eq!(
@@ -132,10 +126,7 @@ fn simulator_never_beats_brute_force_even_with_writes() {
         let lines: Vec<u64> = (0..len).map(|_| next() % 4).collect();
         let trace: Vec<Access> = lines
             .iter()
-            .map(|&l| Access {
-                addr: l * 32,
-                write: next() % 3 == 0,
-            })
+            .map(|&l| Access::new(l * 32, next() % 3 == 0))
             .collect();
         let simulated = simulate_belady(single_set_config(2), &trace);
         let optimal = brute_force_min_misses(&lines, 2);

@@ -4,8 +4,9 @@
 //! Driven by the offline `commorder_check::propcheck` harness.
 
 use commorder_cachesim::belady::simulate_belady;
-use commorder_cachesim::trace::{collect_trace, Access, ExecutionModel};
-use commorder_cachesim::{CacheConfig, LruCache};
+use commorder_cachesim::source::{simulate_lru, KernelTrace};
+use commorder_cachesim::trace::{Access, ExecutionModel};
+use commorder_cachesim::{CacheConfig, LruCache, TraceSource};
 use commorder_check::propcheck::{arb_csr, run_cases, DEFAULT_CASES};
 use commorder_sparse::traffic::Kernel;
 use commorder_synth::rng::Rng;
@@ -14,10 +15,7 @@ use commorder_synth::rng::Rng;
 fn arb_slot_trace(rng: &mut Rng) -> Vec<Access> {
     let len = rng.gen_range(800) as usize;
     (0..len)
-        .map(|_| Access {
-            addr: rng.gen_range(4096) * 8,
-            write: rng.gen_bool(0.5),
-        })
+        .map(|_| Access::new(rng.gen_range(4096) * 8, rng.gen_bool(0.5)))
         .collect()
 }
 
@@ -91,7 +89,8 @@ fn compulsory_equals_distinct_lines() {
     run_cases("compulsory-distinct-lines", 2 * DEFAULT_CASES, |rng| {
         let trace = arb_slot_trace(rng);
         let s = run_lru(small_cache(), &trace);
-        let distinct: std::collections::HashSet<u64> = trace.iter().map(|a| a.addr / 32).collect();
+        let distinct: std::collections::HashSet<u64> =
+            trace.iter().map(|a| a.addr() / 32).collect();
         assert_eq!(s.compulsory_misses, distinct.len() as u64);
     });
 }
@@ -103,12 +102,12 @@ fn writebacks_bounded_by_written_lines() {
         let s = run_lru(small_cache(), &trace);
         let written: std::collections::HashSet<u64> = trace
             .iter()
-            .filter(|a| a.write)
-            .map(|a| a.addr / 32)
+            .filter(|a| a.is_write())
+            .map(|a| a.addr() / 32)
             .collect();
         // A line can be written back many times only if re-dirtied after
         // eviction; bound by writes, not written lines. Cheap sanity:
-        let writes = trace.iter().filter(|a| a.write).count() as u64;
+        let writes = trace.iter().filter(|a| a.is_write()).count() as u64;
         assert!(s.writebacks <= writes);
         if written.is_empty() {
             assert_eq!(s.writebacks, 0);
@@ -122,8 +121,9 @@ fn kernel_traces_read_every_csr_element() {
         // The SpMV-CSR trace must contain exactly nnz coords reads, nnz
         // values reads, nnz X reads and n_rows Y writes.
         let m = arb_csr(rng, 28, 5);
-        let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
-        let writes = trace.iter().filter(|a| a.write).count();
+        let trace =
+            KernelTrace::new(&m, Kernel::SpmvCsr, ExecutionModel::Sequential).collect_trace();
+        let writes = trace.iter().filter(|a| a.is_write()).count();
         assert_eq!(writes, m.n_rows() as usize);
         assert_eq!(trace.len(), m.n_rows() as usize * 3 + m.nnz() * 3);
     });
@@ -134,8 +134,8 @@ fn traffic_never_below_compulsory_reads() {
     run_cases("traffic-at-least-compulsory", DEFAULT_CASES, |rng| {
         let m = arb_csr(rng, 28, 5);
         let streams = 1 + rng.gen_u32(5);
-        let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Interleaved { streams });
-        let s = run_lru(small_cache(), &trace);
+        let source = KernelTrace::new(&m, Kernel::SpmvCsr, ExecutionModel::Interleaved { streams });
+        let s = simulate_lru(small_cache(), &source);
         // Fill misses cover at least every distinct read-first line.
         assert!(s.fill_misses + s.write_alloc_misses >= s.compulsory_misses);
     });

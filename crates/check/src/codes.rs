@@ -15,6 +15,7 @@
 //! | CHK07xx | Cache configuration                     |
 //! | CHK08xx | GPU specification                       |
 //! | CHK09xx | Telemetry JSONL streams                 |
+//! | CHK10xx | Streaming trace sources and next-use    |
 
 /// One row of the code table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +116,14 @@ pub const TELEM_NESTING: &str = "CHK0905";
 pub const TELEM_METRIC: &str = "CHK0906";
 /// Span `path`, `depth`, and `name` fields are mutually inconsistent.
 pub const TELEM_PATH: &str = "CHK0907";
+
+/// A replayed access disagrees with its collected counterpart.
+pub const STREAM_MISMATCH: &str = "CHK1001";
+/// Replayed stream length disagrees with the collected trace or with the
+/// source's `len_hint`.
+pub const STREAM_LENGTH: &str = "CHK1002";
+/// Belady next-use array is not monotone-consistent with its trace.
+pub const NEXT_USE: &str = "CHK1003";
 
 /// Every published code with its meaning, in code order.
 pub const CODE_TABLE: &[CodeInfo] = &[
@@ -273,6 +282,18 @@ pub const CODE_TABLE: &[CodeInfo] = &[
     CodeInfo {
         code: TELEM_PATH,
         title: "span path/depth/name inconsistent",
+    },
+    CodeInfo {
+        code: STREAM_MISMATCH,
+        title: "replayed access disagrees with collected trace",
+    },
+    CodeInfo {
+        code: STREAM_LENGTH,
+        title: "replayed stream length or len_hint mismatch",
+    },
+    CodeInfo {
+        code: NEXT_USE,
+        title: "next-use array inconsistent with its trace",
     },
 ];
 

@@ -233,10 +233,14 @@ fn check_trace_file(contents: &str) -> Vec<Diagnostic> {
                 None => out.push(parse_error(line_no, format!("bad @end value {v:?}"))),
             },
             [op @ ("R" | "W" | "r" | "w"), addr] => match parse_addr(addr) {
-                Some(addr) => trace.push(Access {
-                    addr,
-                    write: op.eq_ignore_ascii_case("w"),
-                }),
+                // Bit 63 is the packed read/write tag of `Access`; an
+                // address using it cannot be represented and would alias
+                // the write flag, so reject it at parse time.
+                Some(addr) if addr >= 1 << 63 => out.push(parse_error(
+                    line_no,
+                    format!("address {addr:#x} uses bit 63, reserved for the write tag"),
+                )),
+                Some(addr) => trace.push(Access::new(addr, op.eq_ignore_ascii_case("w"))),
                 None => out.push(parse_error(line_no, format!("bad address {addr:?}"))),
             },
             _ => out.push(parse_error(

@@ -42,6 +42,7 @@ pub mod ingest;
 pub mod matrix;
 pub mod perm;
 pub mod propcheck;
+pub mod stream;
 pub mod telemetry;
 pub mod trace;
 
@@ -51,5 +52,6 @@ pub use matrix::{
     check_coo, check_coo_parts, check_csc, check_csr, check_csr_parts, check_ell, check_sell,
 };
 pub use perm::{check_assignment, check_permutation, check_permutation_parts};
+pub use stream::{check_next_use, check_stream_equivalence};
 pub use telemetry::check_telemetry;
 pub use trace::{check_cache_config, check_gpu_spec, check_trace};

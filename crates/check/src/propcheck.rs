@@ -110,10 +110,7 @@ pub fn arb_perm(rng: &mut Rng, n: u32) -> Permutation {
 pub fn arb_trace(rng: &mut Rng, len: usize, end: u64) -> Vec<Access> {
     let elems = (end / ELEM_BYTES).max(1);
     (0..len)
-        .map(|_| Access {
-            addr: rng.gen_range(elems) * ELEM_BYTES,
-            write: rng.gen_bool(0.25),
-        })
+        .map(|_| Access::new(rng.gen_range(elems) * ELEM_BYTES, rng.gen_bool(0.25)))
         .collect()
 }
 

@@ -31,30 +31,30 @@ pub fn check_trace(trace: &[Access], end: Option<u64>, line_bytes: u32) -> Vec<D
     }
     let line = u64::from(line_bytes.max(1));
     for (i, a) in trace.iter().enumerate() {
-        if !a.addr.is_multiple_of(ELEM_BYTES) {
+        if !a.addr().is_multiple_of(ELEM_BYTES) {
             out.push(Diagnostic::error(
                 codes::TRACE_ALIGN,
                 Location::at("trace", i as u64),
-                format!("address {:#x} is not {ELEM_BYTES}-byte aligned", a.addr),
+                format!("address {:#x} is not {ELEM_BYTES}-byte aligned", a.addr()),
             ));
         }
-        if a.addr / line != (a.addr + ELEM_BYTES - 1) / line {
+        if a.addr() / line != (a.addr() + ELEM_BYTES - 1) / line {
             out.push(Diagnostic::error(
                 codes::TRACE_SECTOR,
                 Location::at("trace", i as u64),
                 format!(
                     "access at {:#x} straddles the {line}-byte sector boundary at {:#x}",
-                    a.addr,
-                    (a.addr / line + 1) * line
+                    a.addr(),
+                    (a.addr() / line + 1) * line
                 ),
             ));
         }
         if let Some(end) = end {
-            if a.addr + ELEM_BYTES > end {
+            if a.addr() + ELEM_BYTES > end {
                 out.push(Diagnostic::error(
                     codes::TRACE_BOUNDS,
                     Location::at("trace", i as u64),
-                    format!("address {:#x} is beyond the layout end {end:#x}", a.addr),
+                    format!("address {:#x} is beyond the layout end {end:#x}", a.addr()),
                 ));
             }
         }
@@ -191,7 +191,7 @@ mod tests {
     use super::*;
 
     fn acc(addr: u64) -> Access {
-        Access { addr, write: false }
+        Access::read(addr)
     }
 
     #[test]

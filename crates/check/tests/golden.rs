@@ -33,16 +33,7 @@ fn build_report() -> CheckReport {
         None,
     ));
     report.extend(check_permutation_parts("corrupt.perm", &[0, 2, 2], None));
-    let trace = [
-        Access {
-            addr: 6,
-            write: false,
-        },
-        Access {
-            addr: 100,
-            write: true,
-        },
-    ];
+    let trace = [Access::read(6), Access::write(100)];
     report.extend(check_trace(&trace, Some(64), 32));
     report
 }

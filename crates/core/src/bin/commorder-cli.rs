@@ -9,7 +9,7 @@
 //! commorder-cli advise   <in.mtx>
 //! commorder-cli check    <file> [--json]
 //! commorder-cli corpus [export <dir>]
-//! commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--json PATH|-] [--telemetry PATH]
+//! commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH]
 //! commorder-cli profile [--top N] [suite flags]
 //! ```
 //!
@@ -39,7 +39,7 @@ use commorder::synth::corpus;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir>]\n  commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--json PATH|-] [--telemetry PATH]\n  commorder-cli profile [--top N] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). profile runs the same\ngrid under the telemetry registry and prints the phase tree plus the\n--top hottest (matrix, technique) cells.",
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir>]\n  commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH]\n  commorder-cli profile [--top N] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). profile runs the same\ngrid under the telemetry registry and prints the phase tree plus the\n--top hottest (matrix, technique) cells.",
         TECHNIQUE_NAMES.join(" | ")
     );
     ExitCode::FAILURE
@@ -100,6 +100,21 @@ fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::err
         None => Engine::from_env(),
     };
 
+    let entries: Vec<_> = match &options.only {
+        Some(name) => {
+            let kept: Vec<_> = entries
+                .into_iter()
+                .filter(|e| e.name.contains(name.as_str()))
+                .collect();
+            if kept.is_empty() {
+                return Err(
+                    format!("--only {name:?} matches no {corpus_kind} corpus entry").into(),
+                );
+            }
+            kept
+        }
+        None => entries,
+    };
     let mut spec = ExperimentSpec::new(gpu).techniques(paper_suite(0xC0DE));
     for entry in entries.into_iter().take(limit) {
         eprintln!("[suite] gen {}", entry.name);

@@ -86,6 +86,10 @@ pub struct SuiteOptions {
     pub corpus: Option<String>,
     /// Truncate the corpus (`--max-matrices N`).
     pub max_matrices: Option<usize>,
+    /// Keep only corpus entries whose name contains this substring
+    /// (`--only NAME`). Applied before `--max-matrices`; CI uses it to
+    /// pin the streaming-memory tripwire to the largest synth matrix.
+    pub only: Option<String>,
     /// Write the deterministic report JSON here (`--json PATH`, `-` for
     /// stdout).
     pub json: Option<String>,
@@ -107,6 +111,7 @@ impl SuiteOptions {
             threads: None,
             corpus: None,
             max_matrices: None,
+            only: None,
             json: None,
             telemetry: None,
         };
@@ -141,6 +146,7 @@ impl SuiteOptions {
                         format!("--max-matrices expects a non-negative integer, got {v:?}")
                     })?);
                 }
+                "--only" => options.only = Some(value_of("--only")?),
                 "--json" => options.json = Some(value_of("--json")?),
                 "--telemetry" => options.telemetry = Some(value_of("--telemetry")?),
                 other => return Err(format!("unknown suite flag {other:?}")),
@@ -231,7 +237,20 @@ mod tests {
         assert_eq!(options.corpus.as_deref(), Some("mini"));
         assert_eq!(options.json.as_deref(), Some("-"));
         assert_eq!(options.max_matrices, None);
+        assert_eq!(options.only, None);
         assert_eq!(options.telemetry.as_deref(), Some("out.jsonl"));
+    }
+
+    #[test]
+    fn suite_only_filter_parses() {
+        let args: Vec<String> = ["--only", "soc-rmat-xl"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let options = SuiteOptions::parse(&args).unwrap();
+        assert_eq!(options.only.as_deref(), Some("soc-rmat-xl"));
+        let err = SuiteOptions::parse(&["--only".to_string()]).unwrap_err();
+        assert!(err.contains("--only"));
     }
 
     #[test]

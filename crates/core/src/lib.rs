@@ -63,7 +63,9 @@ pub use pipeline::{Evaluation, KernelRun, Pipeline, PipelineBuilder, Replacement
 /// One-stop imports for examples and experiment binaries.
 pub mod prelude {
     pub use crate::analysis::{arith_mean_ratio, geo_mean_ratio, InsularitySplit};
-    pub use crate::cachesim::{trace::ExecutionModel, CacheConfig, CacheStats, LruCache};
+    pub use crate::cachesim::{
+        trace::ExecutionModel, CacheConfig, CacheStats, LruCache, TraceSource,
+    };
     pub use crate::exec::{Engine, EngineStats, JobTiming};
     pub use crate::experiment::{ExperimentResult, ExperimentSpec, NamedMatrix, RunRecord};
     pub use crate::gpumodel::GpuSpec;

@@ -15,8 +15,9 @@
 //! include scheduler queue wait.
 
 use commorder_cachesim::belady::simulate_belady;
-use commorder_cachesim::trace::{self, ExecutionModel};
-use commorder_cachesim::{CacheStats, LruCache};
+use commorder_cachesim::source::KernelTrace;
+use commorder_cachesim::trace::ExecutionModel;
+use commorder_cachesim::{CacheStats, LruCache, TraceSource};
 use commorder_gpumodel::GpuSpec;
 use commorder_obs as obs;
 use commorder_reorder::Reordering;
@@ -261,41 +262,33 @@ impl Pipeline {
     }
 
     /// Simulates the configured kernel on `matrix` as-is (no reordering).
+    ///
+    /// Both policies consume the kernel trace as a replayable stream
+    /// ([`KernelTrace`]); no full `Vec<Access>` is ever materialized.
+    /// With telemetry enabled an extra counting replay is timed under
+    /// `pipeline.trace_gen` so trace generation and cache simulation
+    /// still profile as separate phases — the replay feeds the simulator
+    /// the identical access sequence either way, so `CacheStats` (and
+    /// therefore the deterministic JSON report) is unchanged by
+    /// telemetry (the workspace golden test enforces this).
     #[must_use]
     pub fn simulate(&self, matrix: &CsrMatrix) -> KernelRun {
-        let stats = match self.policy {
-            ReplacementPolicy::Lru if obs::enabled() => {
-                // Collect-then-replay so trace generation and cache
-                // simulation time as separate phases. The replay feeds
-                // the cache the identical access sequence the streaming
-                // path below produces, so `CacheStats` — and therefore
-                // the deterministic JSON report — is unchanged by
-                // telemetry (the workspace golden test enforces this).
-                let full = {
-                    let _span = obs::span!("pipeline.trace_gen");
-                    trace::collect_trace(matrix, self.kernel, self.model)
-                };
-                let _span = obs::span!("pipeline.simulate");
-                let mut cache = LruCache::new(self.gpu.l2);
-                for &a in &full {
-                    cache.access(a);
+        let source = KernelTrace::new(matrix, self.kernel, self.model);
+        if obs::enabled() {
+            let _span = obs::span!("pipeline.trace_gen");
+            let mut generated = 0u64;
+            source.replay(&mut |_| generated += 1);
+            std::hint::black_box(generated);
+        }
+        let stats = {
+            let _span = obs::span!("pipeline.simulate");
+            match self.policy {
+                ReplacementPolicy::Lru => {
+                    let mut cache = LruCache::new(self.gpu.l2);
+                    cache.consume(&source);
+                    cache.finish()
                 }
-                cache.finish()
-            }
-            ReplacementPolicy::Lru => {
-                let mut cache = LruCache::new(self.gpu.l2);
-                trace::for_each_access(matrix, self.kernel, self.model, |a| {
-                    cache.access(a);
-                });
-                cache.finish()
-            }
-            ReplacementPolicy::Belady => {
-                let full = {
-                    let _span = obs::span!("pipeline.trace_gen");
-                    trace::collect_trace(matrix, self.kernel, self.model)
-                };
-                let _span = obs::span!("pipeline.simulate");
-                simulate_belady(self.gpu.l2, &full)
+                ReplacementPolicy::Belady => simulate_belady(self.gpu.l2, &source),
             }
         };
         commorder_cachesim::telemetry::record_cache_stats(&stats);

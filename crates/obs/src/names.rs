@@ -99,6 +99,11 @@ pub const METRICS: &[MetricInfo] = &[
         help: "Three-C conflict misses (classify runs only)",
     },
     MetricInfo {
+        name: "cachesim.trace.peak_bytes",
+        kind: MetricKind::Gauge,
+        help: "peak per-trace buffer bytes of the last simulation (0 for streaming LRU)",
+    },
+    MetricInfo {
         name: "cachesim.write_alloc_misses",
         kind: MetricKind::Counter,
         help: "write misses allocated without fetch",

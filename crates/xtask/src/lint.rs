@@ -10,6 +10,7 @@
 //! | XT0004 | warning  | `panic!` in non-test library code |
 //! | XT0005 | error    | `todo!` / `unimplemented!` anywhere |
 //! | XT0006 | error    | `println!` / `eprintln!` in quiet library crates (route output through `commorder-obs` or return it) |
+//! | XT0007 | error    | `collect_trace(` / `Vec<Access>` outside tests and the documented shims (stream through `TraceSource` instead) |
 //! | XT0101 | error    | library `lib.rs` missing `#![forbid(unsafe_code)]` |
 //! | XT0102 | error    | library `lib.rs` missing `#![warn(missing_docs)]` |
 //! | XT0201 | error    | crate manifest missing the `[lints] workspace = true` opt-in |
@@ -220,6 +221,19 @@ const QUIET_CRATES: [&str; 7] = [
     "cachesim", "exec", "gpumodel", "obs", "reorder", "sparse", "synth",
 ];
 
+/// Files allowed to name `collect_trace` or hold a materialized access
+/// vector: the `TraceSource` trait that provides the test-convenience
+/// collector, the kernel-trace shim that documents it, and the
+/// check-side ingestion/property helpers whose buffers are bounded by
+/// caller input (a fixture file, a generated property case), never by a
+/// simulated kernel.
+const TRACE_BUFFER_ALLOWLIST: [&str; 4] = [
+    "crates/cachesim/src/source.rs",
+    "crates/cachesim/src/trace.rs",
+    "crates/check/src/ingest.rs",
+    "crates/check/src/propcheck.rs",
+];
+
 /// `true` when `relpath` is `crates/<quiet>/src/...`.
 fn in_quiet_crate(relpath: &Path) -> bool {
     let mut comps = relpath.components().map(|c| c.as_os_str());
@@ -240,6 +254,9 @@ fn check_source(file: &Path, root: &Path, findings: &mut Vec<Finding>) {
     let is_bin = relpath.components().any(|c| c.as_os_str() == "bin")
         || relpath.file_name().is_some_and(|f| f == "main.rs");
     let is_quiet = !is_bin && in_quiet_crate(&relpath);
+    let may_buffer_trace = TRACE_BUFFER_ALLOWLIST
+        .iter()
+        .any(|p| relpath == Path::new(p));
     // Depth tracking skips `#[cfg(test)]` items (the module or fn the
     // attribute applies to), brace-counted from the following `{`.
     let mut skip_depth: Option<i64> = None;
@@ -335,6 +352,15 @@ fn check_source(file: &Path, root: &Path, findings: &mut Vec<Finding>) {
                 &relpath,
                 line_no,
                 "quiet library crates must not print; emit through commorder-obs or return the text",
+            ));
+        }
+        if !may_buffer_trace && (line.contains("collect_trace(") || line.contains("Vec<Access>")) {
+            findings.push(finding(
+                "XT0007",
+                true,
+                &relpath,
+                line_no,
+                "non-test code must stream traces through TraceSource, never materialize them",
             ));
         }
         if is_pub_item(line) && !doc_ready {

@@ -7,17 +7,15 @@
 //! cargo run --release --example graph_analytics
 //! ```
 
-use commorder::cachesim::graph_trace::{bfs_trace, pagerank_trace};
+use commorder::cachesim::graph_trace::{BfsTrace, PagerankTrace};
 use commorder::prelude::*;
 use commorder::reorder::advisor::{Advisor, Budget};
 use commorder::sparse::graph::pagerank;
 use commorder::synth::generators::CommunityHub;
 
-fn simulate(gpu: &GpuSpec, trace: Vec<commorder::cachesim::Access>) -> (f64, f64) {
+fn simulate(gpu: &GpuSpec, source: &dyn TraceSource) -> (f64, f64) {
     let mut cache = LruCache::new(gpu.l2);
-    for a in trace {
-        cache.access(a);
-    }
+    cache.consume(source);
     let stats = cache.finish();
     (stats.dram_traffic_bytes() as f64 / 1e6, stats.hit_rate())
 }
@@ -53,15 +51,15 @@ fn main() -> Result<(), commorder::sparse::SparseError> {
             "after (MB, hit rate)".into(),
         ],
     );
-    let (mb_a, hr_a) = simulate(&gpu, pagerank_trace(&matrix, 3));
-    let (mb_b, hr_b) = simulate(&gpu, pagerank_trace(&reordered, 3));
+    let (mb_a, hr_a) = simulate(&gpu, &PagerankTrace::new(&matrix, 3));
+    let (mb_b, hr_b) = simulate(&gpu, &PagerankTrace::new(&reordered, 3));
     table.add_row(vec![
         "PageRank x3".into(),
         format!("{mb_a:.1} MB, {}", Table::percent(hr_a)),
         format!("{mb_b:.1} MB, {}", Table::percent(hr_b)),
     ]);
-    let (mb_a, hr_a) = simulate(&gpu, bfs_trace(&matrix, 0));
-    let (mb_b, hr_b) = simulate(&gpu, bfs_trace(&reordered, 0));
+    let (mb_a, hr_a) = simulate(&gpu, &BfsTrace::new(&matrix, 0));
+    let (mb_b, hr_b) = simulate(&gpu, &BfsTrace::new(&reordered, 0));
     table.add_row(vec![
         "BFS".into(),
         format!("{mb_a:.1} MB, {}", Table::percent(hr_a)),

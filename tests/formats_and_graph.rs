@@ -3,8 +3,8 @@
 //! traces are consistent with kernel semantics, and reordering helps the
 //! graph kernels just as it helps SpMV.
 
-use commorder::cachesim::format_trace::{ell_trace, sell_trace};
-use commorder::cachesim::graph_trace::{bfs_trace, pagerank_trace};
+use commorder::cachesim::format_trace::{EllTrace, SellTrace};
+use commorder::cachesim::graph_trace::{BfsTrace, PagerankTrace};
 use commorder::prelude::*;
 use commorder::sparse::graph::{bfs_levels, pagerank, UNREACHED};
 use commorder::sparse::{kernels, EllMatrix, SellMatrix};
@@ -81,18 +81,16 @@ fn format_traffic_ordering_matches_padding_ordering() {
     .generate(73)
     .expect("valid generator config");
     let gpu = GpuSpec::test_scale();
-    let run = |trace: Vec<commorder::cachesim::Access>| {
+    let run = |source: &dyn TraceSource| {
         let mut cache = LruCache::new(gpu.l2);
-        for a in trace {
-            cache.access(a);
-        }
+        cache.consume(source);
         cache.finish().dram_traffic_bytes()
     };
-    let ell = run(ell_trace(&EllMatrix::from_csr(&m).expect("fits")));
-    let sorted = run(sell_trace(
+    let ell = run(&EllTrace::new(&EllMatrix::from_csr(&m).expect("fits")));
+    let sorted = run(&SellTrace::new(
         &SellMatrix::from_csr(&m, 32, 512).expect("valid"),
     ));
-    let unsorted = run(sell_trace(
+    let unsorted = run(&SellTrace::new(
         &SellMatrix::from_csr(&m, 32, 32).expect("valid"),
     ));
     assert!(sorted <= unsorted, "sorted {sorted} vs unsorted {unsorted}");
@@ -139,9 +137,7 @@ fn reordering_cuts_pagerank_traffic() {
     let gpu = GpuSpec::test_scale();
     let run = |matrix: &CsrMatrix| {
         let mut cache = LruCache::new(gpu.l2);
-        for a in pagerank_trace(matrix, 2) {
-            cache.access(a);
-        }
+        cache.consume(&PagerankTrace::new(matrix, 2));
         cache.finish().dram_traffic_bytes()
     };
     let random = run(&m);
@@ -159,10 +155,10 @@ fn bfs_trace_writes_match_reachable_set() {
     let m = community_matrix();
     let levels = bfs_levels(&m, 0).expect("valid source");
     let reached = levels.iter().filter(|&&l| l != UNREACHED).count();
-    let t = bfs_trace(&m, 0);
+    let t = BfsTrace::new(&m, 0).collect_trace();
     // level writes (reached - 1 discoveries) + frontier writes (reached).
     assert_eq!(
-        t.iter().filter(|a| a.write).count(),
+        t.iter().filter(|a| a.is_write()).count(),
         (reached - 1) + reached
     );
 }

@@ -5,7 +5,8 @@
 //! Driven by the offline `commorder_check::propcheck` harness.
 
 use commorder::cachesim::belady::simulate_belady;
-use commorder::cachesim::trace::{collect_trace, ExecutionModel};
+use commorder::cachesim::source::KernelTrace;
+use commorder::cachesim::trace::ExecutionModel;
 use commorder::prelude::*;
 use commorder::reorder::quality;
 use commorder::sparse::{io, kernels, ops};
@@ -131,17 +132,15 @@ fn lru_dominated_by_belady_on_kernel_traces() {
             line_bytes: 32,
             associativity: 4,
         };
-        let trace = collect_trace(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
+        let source = KernelTrace::new(&m, Kernel::SpmvCsr, ExecutionModel::Sequential);
         let mut lru = LruCache::new(config);
-        for &acc in &trace {
-            lru.access(acc);
-        }
+        lru.consume(&source);
         let l = lru.finish();
-        let o = simulate_belady(config, &trace);
+        let o = simulate_belady(config, &source);
         assert!(o.misses() <= l.misses());
         assert!(l.compulsory_misses <= l.misses());
         assert_eq!(o.compulsory_misses, l.compulsory_misses);
-        assert_eq!(o.accesses, trace.len() as u64);
+        assert_eq!(o.accesses, l.accesses);
     });
 }
 
@@ -165,12 +164,10 @@ fn interleaved_and_sequential_have_same_footprint() {
         let streams = 1 + rng.gen_u32(7);
         let config = CacheConfig::test_scale();
         let count = |model| {
-            let trace = collect_trace(&m, Kernel::SpmvCsr, model);
             let mut cache = LruCache::new(config);
-            for &acc in &trace {
-                cache.access(acc);
-            }
-            (trace.len(), cache.finish().compulsory_misses)
+            cache.consume(&KernelTrace::new(&m, Kernel::SpmvCsr, model));
+            let s = cache.finish();
+            (s.accesses, s.compulsory_misses)
         };
         let (len_a, comp_a) = count(ExecutionModel::Sequential);
         let (len_b, comp_b) = count(ExecutionModel::Interleaved { streams });

@@ -11,12 +11,15 @@ use commorder::obs;
 use commorder::prelude::*;
 use commorder::synth::corpus;
 
-/// Three mini-corpus matrices x two techniques on the test-scale
-/// platform: small enough for a test, real enough to exercise the
-/// reorder, trace-gen, simulate, and model phases.
+/// Three mini-corpus matrices x two techniques x two replacement
+/// policies on the test-scale platform: small enough for a test, real
+/// enough to exercise the reorder, trace-gen, simulate, and model
+/// phases down both streaming simulator paths (LRU and two-pass
+/// Belady).
 fn mini_spec() -> ExperimentSpec {
     let mut spec = ExperimentSpec::new(GpuSpec::test_scale())
-        .techniques(vec![Box::new(Original), Box::new(Rabbit::new())]);
+        .techniques(vec![Box::new(Original), Box::new(Rabbit::new())])
+        .policies(vec![ReplacementPolicy::Lru, ReplacementPolicy::Belady]);
     for entry in corpus::mini().into_iter().take(3) {
         let matrix = entry.generate().expect("mini corpus generates");
         spec = spec.matrix_in_group(entry.name, entry.domain.label(), matrix);
@@ -27,7 +30,9 @@ fn mini_spec() -> ExperimentSpec {
 #[test]
 fn report_json_is_byte_identical_with_and_without_telemetry() {
     let _serial = obs::tests_serial();
-    let cells = 3 * 2;
+    // One job per matrix x technique; one cell per job x policy.
+    let jobs = 3 * 2;
+    let cells = jobs * 2;
 
     let baseline = mini_spec()
         .run(&Engine::new(1))
@@ -57,8 +62,12 @@ fn report_json_is_byte_identical_with_and_without_telemetry() {
         // Every grid cell reports its reorder and all three pipeline
         // phases (trace-gen is explicit when telemetry is on).
         let spans = |name: &str| stream.matches(&format!("\"name\":\"{name}\"")).count();
-        assert_eq!(spans("grid.job"), cells, "one job span per cell");
-        assert_eq!(spans("grid.reorder"), cells);
+        assert_eq!(
+            spans("grid.job"),
+            jobs,
+            "one job span per matrix x technique"
+        );
+        assert_eq!(spans("grid.reorder"), jobs);
         assert_eq!(spans("grid.cell"), cells);
         assert_eq!(spans("pipeline.trace_gen"), cells);
         assert_eq!(spans("pipeline.simulate"), cells);
