@@ -7,8 +7,15 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
-echo "== xtask lint (offline static analysis)"
+echo "== xtask lint (token-stream static analysis, zero findings)"
 cargo run -q -p xtask -- lint
+
+echo "== analyzer JSON report validates (CHK1101)"
+# The machine-readable findings report must itself satisfy the schema
+# the CHK1101 validator publishes — a drifted or truncated report would
+# otherwise gate nothing.
+cargo run -q -p xtask -- lint --json > /tmp/commorder-lint.json
+cargo run -q -p commorder --bin commorder-cli -- check /tmp/commorder-lint.json
 
 echo "== clippy (workspace deny-list)"
 cargo clippy --workspace --all-targets -q -- -D warnings

@@ -1,0 +1,206 @@
+//! The determinism lint (`XT0501`–`XT0504`).
+//!
+//! The workspace's headline guarantee is byte-identical reports, so
+//! any module whose output can reach a report renderer must avoid the
+//! classic nondeterminism sources. Seeds are modules defining
+//! `fn render_json` or a `Pipeline` type; the closure follows the
+//! module reachability graph forward (a seed's dependencies feed its
+//! output). Inside the closure the pass flags:
+//!
+//! * `XT0501` — `HashMap`/`HashSet` (iteration order varies per run);
+//! * `XT0502` — `Instant`/`SystemTime` (clock-derived values);
+//! * `XT0503` — `std::env` reads and `available_parallelism` (config
+//!   must be threaded explicitly, not sniffed from the environment);
+//! * `XT0504` — float accumulation-order hazards (`.sum::<f32/f64>()`,
+//!   `fold(0.0, …)`), a warning because order can be deliberate.
+//!
+//! Audited exceptions live in the allowlist file with a justification
+//! per entry.
+
+use std::collections::BTreeSet;
+
+use crate::codes;
+use crate::findings::{Finding, Severity};
+use crate::items::{code_indices, in_ranges};
+use crate::lexer::TokenKind;
+use crate::model::{CrateData, FileData, FileRole, ReachNode};
+
+/// Runs the determinism pass over the reachability graph.
+#[must_use]
+pub fn check(crates: &[CrateData], edges: &BTreeSet<(ReachNode, ReachNode)>) -> Vec<Finding> {
+    // Seed nodes: modules (or facades) defining a report renderer or
+    // the pipeline type.
+    let mut reachable: BTreeSet<ReachNode> = BTreeSet::new();
+    let mut frontier: Vec<ReachNode> = Vec::new();
+    for (ci, c) in crates.iter().enumerate() {
+        for f in &c.files {
+            if f.is_bin || !is_seed(f) {
+                continue;
+            }
+            let node: ReachNode = match &f.role {
+                FileRole::Facade => (ci, None),
+                FileRole::Module(m) => (ci, Some(m.clone())),
+                FileRole::Bin => continue,
+            };
+            if reachable.insert(node.clone()) {
+                frontier.push(node);
+            }
+        }
+    }
+    // Forward closure.
+    while let Some(node) = frontier.pop() {
+        for (src, dst) in edges {
+            if *src == node && reachable.insert(dst.clone()) {
+                frontier.push(dst.clone());
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (ci, c) in crates.iter().enumerate() {
+        for f in &c.files {
+            if f.is_bin {
+                continue;
+            }
+            let node: ReachNode = match &f.role {
+                FileRole::Facade => (ci, None),
+                FileRole::Module(m) => (ci, Some(m.clone())),
+                FileRole::Bin => continue,
+            };
+            if reachable.contains(&node) {
+                scan_hazards(f, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// `true` when the file defines `fn render_json` or a `Pipeline`
+/// type (`struct Pipeline` / `impl Pipeline`), outside tests.
+fn is_seed(f: &FileData) -> bool {
+    let code = code_indices(&f.tokens);
+    let text = |at: usize| {
+        code.get(at).map(|&i| {
+            let t = &f.tokens[i];
+            (t.kind, t.text(&f.src), t.start)
+        })
+    };
+    (0..code.len()).any(|i| {
+        let Some((kind, word, start)) = text(i) else {
+            return false;
+        };
+        if kind != TokenKind::Ident || in_ranges(start, &f.test_ranges) {
+            return false;
+        }
+        let next = text(i + 1).map(|(_, w, _)| w);
+        (word == "fn" && next == Some("render_json"))
+            || ((word == "struct" || word == "impl") && next == Some("Pipeline"))
+    })
+}
+
+/// Scans one reachable file for the four hazard patterns.
+fn scan_hazards(f: &FileData, out: &mut Vec<Finding>) {
+    let code = code_indices(&f.tokens);
+    let tok = |at: usize| code.get(at).map(|&i| &f.tokens[i]);
+    let word =
+        |at: usize| tok(at).and_then(|t| (t.kind == TokenKind::Ident).then(|| t.text(&f.src)));
+    let punct = |at: usize, c: char| {
+        tok(at).is_some_and(|t| t.kind == TokenKind::Punct && t.text(&f.src).starts_with(c))
+    };
+    let push = |out: &mut Vec<Finding>,
+                code: &'static str,
+                severity: Severity,
+                at: usize,
+                message: String| {
+        if let Some(t) = tok(at) {
+            out.push(Finding {
+                code,
+                severity,
+                file: f.rel.clone(),
+                line: t.line,
+                col_start: t.col,
+                col_end: t.col + u32::try_from(t.len()).unwrap_or(0),
+                message,
+            });
+        }
+    };
+
+    for i in 0..code.len() {
+        let Some(t) = tok(i) else {
+            continue;
+        };
+        if in_ranges(t.start, &f.test_ranges) {
+            continue;
+        }
+        let Some(w) = word(i) else {
+            continue;
+        };
+        match w {
+            "HashMap" | "HashSet" => push(
+                out,
+                codes::HASH_CONTAINER,
+                Severity::Error,
+                i,
+                format!(
+                    "`{w}` in a report-affecting module: iteration order is nondeterministic; use a BTree collection or sort before iterating"
+                ),
+            ),
+            "Instant" | "SystemTime" => push(
+                out,
+                codes::CLOCK_READ,
+                Severity::Error,
+                i,
+                format!(
+                    "`{w}` in a report-affecting module: clock-derived values must stay out of deterministic reports"
+                ),
+            ),
+            "env" if punct(i + 1, ':')
+                && punct(i + 2, ':')
+                && word(i + 3).is_some_and(|v| v.starts_with("var")) =>
+            {
+                push(
+                    out,
+                    codes::ENV_READ,
+                    Severity::Error,
+                    i,
+                    "environment read in a report-affecting module: thread configuration through explicit parameters".to_string(),
+                );
+            }
+            "available_parallelism" => push(
+                out,
+                codes::ENV_READ,
+                Severity::Error,
+                i,
+                "thread-count read in a report-affecting module: take the thread count as an explicit parameter".to_string(),
+            ),
+            "sum" if punct(i.wrapping_sub(1), '.')
+                && punct(i + 1, ':')
+                && punct(i + 2, ':')
+                && punct(i + 3, '<')
+                && word(i + 4).is_some_and(|v| v == "f32" || v == "f64") =>
+            {
+                push(
+                    out,
+                    codes::FLOAT_ACCUMULATION,
+                    Severity::Warning,
+                    i,
+                    "float sum in a report-affecting module: accumulation order changes the result; document the order or use a fixed reduction".to_string(),
+                );
+            }
+            "fold" if punct(i + 1, '(')
+                && tok(i + 2).is_some_and(|t| {
+                    t.kind == TokenKind::NumLit && t.text(&f.src).contains('.')
+                }) =>
+            {
+                push(
+                    out,
+                    codes::FLOAT_ACCUMULATION,
+                    Severity::Warning,
+                    i,
+                    "float fold in a report-affecting module: accumulation order changes the result; document the order or use a fixed reduction".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Findings and reports produced by the analysis passes.
+//!
+//! The JSON rendering is the contract checked by `commorder-check`'s
+//! `CHK1101` validator and compared byte-for-byte against the golden
+//! fixtures, so its field order, escaping, and layout are stable.
+
+use std::fmt::Write as _;
+
+/// How bad a finding is. Errors fail the lint gate; warnings do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; reported but does not fail the gate.
+    Warning,
+    /// Policy violation; fails the gate.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase JSON/text label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One analysis finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable `XT` code from [`crate::codes`].
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line. File-scoped findings use line 1.
+    pub line: u32,
+    /// 1-based byte column of the anchor token's first byte.
+    pub col_start: u32,
+    /// 1-based byte column one past the anchor token on its first
+    /// line; equals `col_start` for file-scoped findings.
+    pub col_end: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding scoped to a whole file rather than a token.
+    #[must_use]
+    pub fn file_scoped(
+        code: &'static str,
+        severity: Severity,
+        file: &str,
+        message: String,
+    ) -> Self {
+        Finding {
+            code,
+            severity,
+            file: file.to_string(),
+            line: 1,
+            col_start: 1,
+            col_end: 1,
+            message,
+        }
+    }
+}
+
+/// An ordered collection of findings with stable rendering.
+#[derive(Debug, Default, Clone)]
+pub struct AnalysisReport {
+    /// The findings, sorted by [`AnalysisReport::finish`].
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+
+    /// Sorts findings into the canonical report order:
+    /// (file, line, column, code, message).
+    pub fn finish(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (
+                a.file.as_str(),
+                a.line,
+                a.col_start,
+                a.code,
+                a.message.as_str(),
+            )
+                .cmp(&(
+                    b.file.as_str(),
+                    b.line,
+                    b.col_start,
+                    b.code,
+                    b.message.as_str(),
+                ))
+        });
+    }
+
+    /// Renders the human-readable report, one finding per line plus a
+    /// summary line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}[{}] {}:{}:{}-{}: {}",
+                f.severity.label(),
+                f.code,
+                f.file,
+                f.line,
+                f.col_start,
+                f.col_end,
+                f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "analyze: {} error(s), {} warning(s)",
+            self.errors(),
+            self.warnings()
+        );
+        out
+    }
+
+    /// Renders the machine-readable report: one finding per line so
+    /// golden diffs stay reviewable, stable field order, trailing
+    /// newline.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"errors\": {},", self.errors());
+        let _ = writeln!(out, "  \"warnings\": {},", self.warnings());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"code\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"col_start\":{},\"col_end\":{},\"message\":\"{}\"}}",
+                f.code,
+                f.severity.label(),
+                escape_json(&f.file),
+                f.line,
+                f.col_start,
+                f.col_end,
+                escape_json(&f.message)
+            );
+        }
+        if self.findings.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnalysisReport {
+        let mut report = AnalysisReport::default();
+        report.findings.push(Finding {
+            code: "XT0002",
+            severity: Severity::Error,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col_start: 5,
+            col_end: 11,
+            message: "unwrap() in non-test library code".to_string(),
+        });
+        report.findings.push(Finding::file_scoped(
+            "XT0202",
+            Severity::Error,
+            "Cargo.toml",
+            "workspace manifest must declare the [workspace.lints] deny-list".to_string(),
+        ));
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn finish_sorts_by_file_then_position() {
+        let report = sample();
+        assert_eq!(report.findings[0].file, "Cargo.toml");
+        assert_eq!(report.findings[1].file, "crates/x/src/lib.rs");
+        assert_eq!(report.errors(), 2);
+        assert_eq!(report.warnings(), 0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let empty = AnalysisReport::default();
+        assert_eq!(
+            empty.render_json(),
+            "{\n  \"errors\": 0,\n  \"warnings\": 0,\n  \"findings\": []\n}\n"
+        );
+        let json = sample().render_json();
+        assert!(json.contains("\"col_start\":5"));
+        assert!(json.contains("\"col_end\":11"));
+        assert!(json.ends_with("\n  ]\n}\n"));
+    }
+
+    #[test]
+    fn text_report_has_summary_line() {
+        let text = sample().render_text();
+        assert!(text.contains("error[XT0002] crates/x/src/lib.rs:3:5-11:"));
+        assert!(text.ends_with("analyze: 2 error(s), 0 warning(s)\n"));
+    }
+
+    #[test]
+    fn escape_json_handles_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared data model for the analysis passes.
+//!
+//! [`workspace`](crate::workspace) builds these values during
+//! discovery; the layering, determinism, and telemetry passes consume
+//! them. Keeping the types below every pass (instead of inside
+//! `workspace`) keeps the crate's own module graph acyclic — a
+//! property the layering pass checks on this very crate when the
+//! analyzer self-hosts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{PathRef, UsePath};
+use crate::lexer::Token;
+
+/// Where a file sits in its crate's module tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileRole {
+    /// `lib.rs` or `main.rs` at the crate root: re-export surface.
+    Facade,
+    /// Part of the named top-level module.
+    Module(String),
+    /// Under `src/bin/`: a standalone entry point.
+    Bin,
+}
+
+/// One lexed source file plus its derived structural facts.
+pub struct FileData {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Module-tree position.
+    pub role: FileRole,
+    /// `true` for entry points (`main.rs`, `src/bin/*`).
+    pub is_bin: bool,
+    /// `false` for facade files (`lib.rs`, `main.rs`, `mod.rs`): their
+    /// re-exports are surface, not dependencies, so they contribute no
+    /// outgoing edges to the module *cycle* graph (they still do in the
+    /// determinism reachability graph).
+    pub cycle_source: bool,
+    /// File contents.
+    pub src: String,
+    /// Token stream of `src`.
+    pub tokens: Vec<Token>,
+    /// `#[cfg(test)]` byte ranges.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// `macro_rules!` body byte ranges.
+    pub macro_ranges: Vec<(usize, usize)>,
+    /// `use` declarations outside test regions.
+    pub uses: Vec<UsePath>,
+    /// `a::b` path chains outside test regions and macro bodies.
+    pub refs: Vec<PathRef>,
+}
+
+/// One workspace crate (or the root package).
+pub struct CrateData {
+    /// Directory name under `crates/` (`"root"` for the root package);
+    /// the key into the layer table.
+    pub dir_name: String,
+    /// The library name other crates import (`commorder_sparse`).
+    pub lib_name: String,
+    /// Workspace-relative manifest path.
+    pub manifest_rel: String,
+    /// Top-level module names.
+    pub modules: BTreeSet<String>,
+    /// Facade re-exports: exported item name → top-level module.
+    pub reexports: BTreeMap<String, String>,
+    /// The crate's source files, sorted by path.
+    pub files: Vec<FileData>,
+}
+
+/// File/line/column a graph edge was first observed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeAnchor {
+    /// Workspace-relative path of the referencing file.
+    pub file: String,
+    /// 1-based line of the reference.
+    pub line: u32,
+    /// 1-based column of the reference.
+    pub col: u32,
+}
+
+/// A node of the determinism reachability graph: a crate plus either a
+/// top-level module or (`None`) its facade.
+pub type ReachNode = (usize, Option<String>);

@@ -1,0 +1,274 @@
+//! Static telemetry-name cross-check (`XT0601`–`XT0604`).
+//!
+//! PR 3's `CHK09xx` validators catch undeclared metric names in
+//! emitted JSONL streams — at run time, for the code paths a run
+//! happens to exercise. This pass shifts the same contract left: it
+//! extracts the string literal from every `span!`/`counter!`/`gauge!`/
+//! `observe!` call site in the tree and diffs the set against the
+//! registry in `names.rs`. Undeclared names, orphaned registry rows,
+//! kind mismatches, and non-literal name arguments are all findings.
+
+use std::collections::BTreeMap;
+
+use crate::codes;
+use crate::findings::{Finding, Severity};
+use crate::items::{code_indices, in_ranges};
+use crate::lexer::TokenKind;
+use crate::model::CrateData;
+
+/// A declared registry row: kind label plus declaration anchor.
+struct Declared {
+    kind: &'static str,
+    line: u32,
+    col: u32,
+    col_end: u32,
+    used: bool,
+}
+
+/// Runs the cross-check. `registry_rel` is the workspace-relative path
+/// of the registry source; when the workspace has no registry file the
+/// pass is silent (fixture workspaces opt in by shipping one).
+#[must_use]
+pub fn check(crates: &[CrateData], registry_rel: &str) -> Vec<Finding> {
+    let mut metrics: BTreeMap<String, Declared> = BTreeMap::new();
+    let mut spans: BTreeMap<String, Declared> = BTreeMap::new();
+    let mut found_registry = false;
+    for c in crates {
+        for f in &c.files {
+            if f.rel == registry_rel {
+                found_registry = true;
+                extract_registry(f, &mut metrics, &mut spans);
+            }
+        }
+    }
+    if !found_registry {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    for c in crates {
+        for f in &c.files {
+            scan_call_sites(f, registry_rel, &mut metrics, &mut spans, &mut out);
+        }
+    }
+
+    for (name, d) in metrics.iter().chain(spans.iter()) {
+        if !d.used {
+            out.push(Finding {
+                code: codes::TELEM_ORPHANED,
+                severity: Severity::Error,
+                file: registry_rel.to_string(),
+                line: d.line,
+                col_start: d.col,
+                col_end: d.col_end,
+                message: format!(
+                    "registry name \"{name}\" is never emitted by any call site; remove the row or instrument the code"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts `MetricInfo { name: "…", kind: MetricKind::X, … }` and
+/// `SpanInfo { name: "…", … }` rows from the registry file's tokens.
+fn extract_registry(
+    f: &crate::model::FileData,
+    metrics: &mut BTreeMap<String, Declared>,
+    spans: &mut BTreeMap<String, Declared>,
+) {
+    let code = code_indices(&f.tokens);
+    let tok = |at: usize| code.get(at).map(|&i| &f.tokens[i]);
+    let word =
+        |at: usize| tok(at).and_then(|t| (t.kind == TokenKind::Ident).then(|| t.text(&f.src)));
+    let mut i = 0;
+    while i < code.len() {
+        let Some(t) = tok(i) else {
+            break;
+        };
+        if in_ranges(t.start, &f.test_ranges) {
+            i += 1;
+            continue;
+        }
+        let ctor = word(i);
+        let is_metric = ctor == Some("MetricInfo");
+        let is_span = ctor == Some("SpanInfo");
+        if !(is_metric || is_span)
+            || !tok(i + 1).is_some_and(|t| t.kind == TokenKind::Punct && t.text(&f.src) == "{")
+        {
+            i += 1;
+            continue;
+        }
+        // Walk the initializer to its closing brace, collecting fields.
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        let mut name: Option<(String, u32, u32, u32)> = None;
+        let mut kind: Option<&str> = None;
+        while let Some(t) = tok(j) {
+            if t.kind == TokenKind::Punct {
+                match t.text(&f.src) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if word(j) == Some("name") {
+                if let Some(lit) = tok(j + 2).filter(|t| t.kind == TokenKind::StrLit) {
+                    name = Some((
+                        unquote(lit.text(&f.src)),
+                        lit.line,
+                        lit.col,
+                        lit.col + u32::try_from(lit.len()).unwrap_or(0),
+                    ));
+                }
+            }
+            // `kind : MetricKind : : Counter` — five tokens after `kind`.
+            if word(j) == Some("kind") && word(j + 2) == Some("MetricKind") {
+                kind = match word(j + 5) {
+                    Some("Counter") => Some("counter"),
+                    Some("Gauge") => Some("gauge"),
+                    Some("Histogram") => Some("histogram"),
+                    _ => None,
+                };
+            }
+            j += 1;
+        }
+        if let Some((n, line, col, col_end)) = name {
+            let declared = Declared {
+                kind: kind.unwrap_or("counter"),
+                line,
+                col,
+                col_end,
+                used: false,
+            };
+            if is_metric {
+                metrics.insert(n, declared);
+            } else {
+                spans.insert(
+                    n,
+                    Declared {
+                        kind: "span",
+                        ..declared
+                    },
+                );
+            }
+        }
+        i = j.max(i + 1);
+    }
+}
+
+/// The registry kind each telemetry macro requires.
+fn expected_kind(mac: &str) -> &'static str {
+    match mac {
+        "counter" => "counter",
+        "gauge" => "gauge",
+        "observe" => "histogram",
+        _ => "span",
+    }
+}
+
+/// Scans one file for telemetry macro call sites and checks each name.
+fn scan_call_sites(
+    f: &crate::model::FileData,
+    registry_rel: &str,
+    metrics: &mut BTreeMap<String, Declared>,
+    spans: &mut BTreeMap<String, Declared>,
+    out: &mut Vec<Finding>,
+) {
+    let code = code_indices(&f.tokens);
+    let tok = |at: usize| code.get(at).map(|&i| &f.tokens[i]);
+    let punct = |at: usize, c: char| {
+        tok(at).is_some_and(|t| t.kind == TokenKind::Punct && t.text(&f.src).starts_with(c))
+    };
+    for i in 0..code.len() {
+        let Some(t) = tok(i) else {
+            continue;
+        };
+        if t.kind != TokenKind::Ident
+            || in_ranges(t.start, &f.test_ranges)
+            || in_ranges(t.start, &f.macro_ranges)
+        {
+            continue;
+        }
+        let mac = t.text(&f.src);
+        if !matches!(mac, "span" | "counter" | "gauge" | "observe") {
+            continue;
+        }
+        if !(punct(i + 1, '!') && punct(i + 2, '(')) {
+            continue;
+        }
+        let Some(arg) = tok(i + 3) else {
+            continue;
+        };
+        if arg.kind != TokenKind::StrLit {
+            out.push(Finding {
+                code: codes::TELEM_NONLITERAL,
+                severity: Severity::Error,
+                file: f.rel.clone(),
+                line: arg.line,
+                col_start: arg.col,
+                col_end: arg.col + u32::try_from(arg.len()).unwrap_or(0),
+                message: format!(
+                    "{mac}! name must be a string literal so the registry cross-check can verify it"
+                ),
+            });
+            continue;
+        }
+        let name = unquote(arg.text(&f.src));
+        let table = if mac == "span" {
+            &mut *spans
+        } else {
+            &mut *metrics
+        };
+        match table.get_mut(&name) {
+            None => out.push(Finding {
+                code: codes::TELEM_UNDECLARED,
+                severity: Severity::Error,
+                file: f.rel.clone(),
+                line: arg.line,
+                col_start: arg.col,
+                col_end: arg.col + u32::try_from(arg.len()).unwrap_or(0),
+                message: format!("telemetry name \"{name}\" is not declared in {registry_rel}"),
+            }),
+            Some(d) => {
+                d.used = true;
+                let want = expected_kind(mac);
+                if d.kind != want {
+                    out.push(Finding {
+                        code: codes::TELEM_KIND,
+                        severity: Severity::Error,
+                        file: f.rel.clone(),
+                        line: arg.line,
+                        col_start: arg.col,
+                        col_end: arg.col + u32::try_from(arg.len()).unwrap_or(0),
+                        message: format!(
+                            "telemetry kind mismatch: \"{name}\" is declared as {} but {mac}! requires {want}",
+                            d.kind
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Strips the quotes (and any prefix/hashes) from a string literal's
+/// source text.
+fn unquote(text: &str) -> String {
+    let Some(open) = text.find('"') else {
+        return text.to_string();
+    };
+    let Some(close) = text.rfind('"') else {
+        return text.to_string();
+    };
+    if close > open {
+        text[open + 1..close].to_string()
+    } else {
+        text.to_string()
+    }
+}

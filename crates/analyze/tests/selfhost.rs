@@ -1,0 +1,41 @@
+//! Self-hosting test: the analyzer runs over its own workspace — all
+//! ten crates, including this one — and must report nothing.
+//!
+//! This is the same invocation `cargo run -p xtask -- lint` and CI
+//! perform; keeping it as a test means `cargo test` alone catches a
+//! regression that introduces a finding (or an allowlist entry that
+//! stopped matching anything).
+
+use std::path::PathBuf;
+
+use commorder_analyze::{analyze_workspace, AnalyzerConfig};
+
+#[test]
+fn workspace_analyzes_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report =
+        analyze_workspace(&root, &AnalyzerConfig::default()).expect("workspace must be readable");
+    assert!(
+        report.findings.is_empty(),
+        "self-host findings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn workspace_discovers_all_crates() {
+    // The layer table and the tree must agree: every directory under
+    // crates/ is declared, so XT0404 can only fire on genuinely new
+    // crates.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = AnalyzerConfig::default();
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(crates_dir).expect("crates/ must exist") {
+        let entry = entry.expect("readable dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        assert!(
+            config.layers.contains_key(&name),
+            "crate {name:?} is missing from AnalyzerConfig::default().layers"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! | CHK08xx | GPU specification                       |
 //! | CHK09xx | Telemetry JSONL streams                 |
 //! | CHK10xx | Streaming trace sources and next-use    |
+//! | CHK11xx | Analyzer (`XT`) findings reports        |
 
 /// One row of the code table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +125,12 @@ pub const STREAM_MISMATCH: &str = "CHK1001";
 pub const STREAM_LENGTH: &str = "CHK1002";
 /// Belady next-use array is not monotone-consistent with its trace.
 pub const NEXT_USE: &str = "CHK1003";
+
+/// Analyzer findings report (`xtask lint --json` /
+/// `commorder-cli analyze --source --json`) violates the published
+/// schema: malformed JSON framing, a bad field value, findings out of
+/// sorted order, or header counts that disagree with the finding list.
+pub const ANALYZE_SCHEMA: &str = "CHK1101";
 
 /// Every published code with its meaning, in code order.
 pub const CODE_TABLE: &[CodeInfo] = &[
@@ -294,6 +301,10 @@ pub const CODE_TABLE: &[CodeInfo] = &[
     CodeInfo {
         code: NEXT_USE,
         title: "next-use array inconsistent with its trace",
+    },
+    CodeInfo {
+        code: ANALYZE_SCHEMA,
+        title: "analyzer findings report violates the schema",
     },
 ];
 

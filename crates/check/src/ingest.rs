@@ -17,6 +17,9 @@
 //! * `.trace` — one access per line, `R <addr>` or `W <addr>` (decimal or
 //!   `0x` hex); optional directives `@line <bytes>` and `@end <bytes>`
 //!   set the sector size and the exclusive address bound,
+//! * `.json` — an analyzer findings report (`xtask lint --json`),
+//!   audited against the published schema by the `CHK1101` validator
+//!   in [`crate::analyze`],
 //! * `.jsonl` — a `commorder-obs` telemetry stream, audited by the
 //!   `CHK09xx` validators in [`crate::telemetry`].
 
@@ -36,7 +39,7 @@ fn parse_error(line_no: usize, message: String) -> Diagnostic {
 }
 
 /// Audits file `contents` according to the extension of `name`
-/// (`mtx`, `csr`, `perm`, `trace`, or `jsonl`); an unknown extension
+/// (`mtx`, `csr`, `perm`, `trace`, `json`, or `jsonl`); an unknown extension
 /// yields a single parse diagnostic.
 #[must_use]
 pub fn check_file_contents(name: &str, contents: &str) -> CheckReport {
@@ -47,11 +50,12 @@ pub fn check_file_contents(name: &str, contents: &str) -> CheckReport {
         "csr" => report.extend(check_csr_dump(contents)),
         "perm" => report.extend(check_perm_file(contents)),
         "trace" => report.extend(check_trace_file(contents)),
+        "json" => report.extend(crate::analyze::check_analyze_report(contents)),
         "jsonl" => report.extend(crate::telemetry::check_telemetry(contents)),
         other => report.extend(vec![parse_error(
             0,
             format!(
-                "unknown fixture extension {other:?} (expected mtx, csr, perm, trace, or jsonl)"
+                "unknown fixture extension {other:?} (expected mtx, csr, perm, trace, json, or jsonl)"
             ),
         )]),
     }

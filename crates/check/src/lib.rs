@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod codes;
 pub mod diag;
 pub mod ingest;
@@ -46,6 +47,7 @@ pub mod stream;
 pub mod telemetry;
 pub mod trace;
 
+pub use analyze::check_analyze_report;
 pub use diag::{CheckReport, Diagnostic, Location, Severity};
 pub use ingest::check_file_contents;
 pub use matrix::{

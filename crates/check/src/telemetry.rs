@@ -27,9 +27,12 @@ use crate::diag::{Diagnostic, Location};
 
 /// A value in a flat (non-nested) telemetry JSON object.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
+    /// A JSON string.
     Str(String),
+    /// A JSON number.
     Num(f64),
+    /// JSON `null`.
     Null,
 }
 
@@ -146,7 +149,7 @@ impl<'a> Cursor<'a> {
 
 /// Parses one line as a flat JSON object (string keys; string, number,
 /// or `null` values — the full value set `Event::to_jsonl` emits).
-fn parse_flat_object(line: &str) -> Result<Vec<(String, Json)>, String> {
+pub(crate) fn parse_flat_object(line: &str) -> Result<Vec<(String, Json)>, String> {
     let mut cur = Cursor::new(line);
     cur.skip_ws();
     cur.expect(b'{')?;

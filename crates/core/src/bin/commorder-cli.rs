@@ -3,19 +3,27 @@
 //!
 //! ```text
 //! commorder-cli analyze  <in.mtx>
+//! commorder-cli analyze  --source [ROOT] [--json]
 //! commorder-cli reorder  <in.mtx> <out.mtx> [technique]
 //! commorder-cli simulate <in.mtx> [technique] [kernel]
 //! commorder-cli spy      <in.mtx> [technique]
 //! commorder-cli advise   <in.mtx>
 //! commorder-cli check    <file> [--json]
 //! commorder-cli corpus [export <dir>]
-//! commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH]
+//! commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]
 //! commorder-cli profile [--top N] [suite flags]
 //! ```
 //!
 //! `check` audits a data file (`.mtx`, `.csr`, `.perm`, `.trace`,
 //! telemetry `.jsonl`) against the workspace invariants and reports
 //! stable `CHK` diagnostics; the process exits non-zero when any
+//! error-severity finding is present.
+//!
+//! `analyze --source` runs the `commorder-analyze` token-stream source
+//! analyzer (the `xtask lint` backend) over a workspace checkout —
+//! `ROOT` defaults to the current directory — and prints the findings
+//! as text or (`--json`) as the machine-readable report the `CHK1101`
+//! validator understands; the process exits non-zero when any
 //! error-severity finding is present.
 //!
 //! `suite --telemetry <path>` streams structured telemetry (span
@@ -39,7 +47,7 @@ use commorder::synth::corpus;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir>]\n  commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH]\n  commorder-cli profile [--top N] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). profile runs the same\ngrid under the telemetry registry and prints the phase tree plus the\n--top hottest (matrix, technique) cells.",
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli analyze  --source [ROOT] [--json]\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir>]\n  commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]\n  commorder-cli profile [--top N] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). profile runs the same\ngrid under the telemetry registry and prints the phase tree plus the\n--top hottest (matrix, technique) cells. suite --list prints the\nresolved grid (matrices, techniques, job count) without running it.",
         TECHNIQUE_NAMES.join(" | ")
     );
     ExitCode::FAILURE
@@ -131,8 +139,77 @@ fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::err
     Ok(spec.run(&engine)?)
 }
 
+/// `suite --list`: resolves the corpus grid exactly as a run would
+/// (corpus selection, `--only` filter, `--max-matrices` truncation,
+/// technique suite, thread count) and prints it without generating a
+/// single matrix.
+fn list_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
+    let corpus_kind = options.corpus.clone().unwrap_or_else(|| {
+        std::env::var("COMMORDER_CORPUS").unwrap_or_else(|_| "standard".to_string())
+    });
+    let entries = match corpus_kind.as_str() {
+        "mini" => corpus::mini(),
+        _ => corpus::standard(),
+    };
+    let entries: Vec<_> = match &options.only {
+        Some(name) => {
+            let kept: Vec<_> = entries
+                .into_iter()
+                .filter(|e| e.name.contains(name.as_str()))
+                .collect();
+            if kept.is_empty() {
+                return Err(
+                    format!("--only {name:?} matches no {corpus_kind} corpus entry").into(),
+                );
+            }
+            kept
+        }
+        None => entries,
+    };
+    let limit = options.max_matrices.unwrap_or(usize::MAX);
+    let entries: Vec<_> = entries.into_iter().take(limit).collect();
+    let techniques: Vec<String> = paper_suite(0xC0DE)
+        .iter()
+        .map(|t| t.name().to_string())
+        .collect();
+
+    let mut table = Table::new(
+        format!("Suite grid ({corpus_kind} corpus, resolved, not run)"),
+        vec![
+            "matrix".to_string(),
+            "domain".to_string(),
+            "publish order".to_string(),
+        ],
+    );
+    for e in &entries {
+        table.add_row(vec![
+            e.name.to_string(),
+            e.domain.label().to_string(),
+            format!("{:?}", e.publish),
+        ]);
+    }
+    println!("{table}");
+    println!("techniques: {}", techniques.join(" | "));
+    println!("kernel:     spmv-csr");
+    let threads = match options.threads {
+        Some(n) => n.to_string(),
+        None => "auto (available parallelism)".to_string(),
+    };
+    println!("threads:    {threads}");
+    println!(
+        "jobs:       {} ({} matrices x {} techniques)",
+        entries.len() * techniques.len(),
+        entries.len(),
+        techniques.len()
+    );
+    Ok(())
+}
+
 /// The full paper-suite grid run behind the `suite` subcommand.
 fn run_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
+    if options.list {
+        return list_suite(options);
+    }
     let jsonl = install_jsonl(options)?;
     let result = run_grid(options)?;
 
@@ -227,6 +304,42 @@ fn run_profile(options: &ProfileOptions) -> Result<(), Box<dyn std::error::Error
 fn load(path: &str) -> Result<CsrMatrix, Box<dyn std::error::Error>> {
     let coo = io::read_matrix_market(std::fs::File::open(path)?)?;
     Ok(CsrMatrix::try_from(coo)?)
+}
+
+/// `analyze --source [ROOT] [--json]`: the token-stream source
+/// analyzer over a workspace checkout. Exits non-zero on any
+/// error-severity finding, mirroring `cargo run -p xtask -- lint`.
+fn analyze_source(rest: &[String]) -> ExitCode {
+    let mut root = String::from(".");
+    let mut json = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with('-') => root = other.to_string(),
+            other => {
+                eprintln!("error: unknown analyze --source flag {other:?}");
+                return usage();
+            }
+        }
+    }
+    let config = commorder::srclint::AnalyzerConfig::default();
+    let report = match commorder::srclint::analyze_workspace(std::path::Path::new(&root), &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn analyze(path: &str) -> Result<(), Box<dyn std::error::Error>> {
@@ -365,6 +478,9 @@ fn list_corpus() {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
+        [cmd, flag, rest @ ..] if cmd == "analyze" && flag == "--source" => {
+            return analyze_source(rest)
+        }
         [cmd, input] if cmd == "analyze" => analyze(input),
         [cmd, input, output] if cmd == "reorder" => reorder(input, output, "rabbit++"),
         [cmd, input, output, technique] if cmd == "reorder" => reorder(input, output, technique),

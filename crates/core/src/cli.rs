@@ -97,6 +97,10 @@ pub struct SuiteOptions {
     /// (`--telemetry PATH`). The JSON report is byte-identical with or
     /// without this flag — telemetry is a sidecar stream.
     pub telemetry: Option<String>,
+    /// Print the resolved corpus grid (matrices after `--only` /
+    /// `--max-matrices`, techniques, kernel, job count) and exit
+    /// without generating or running anything (`--list`).
+    pub list: bool,
 }
 
 impl SuiteOptions {
@@ -114,6 +118,7 @@ impl SuiteOptions {
             only: None,
             json: None,
             telemetry: None,
+            list: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -149,6 +154,7 @@ impl SuiteOptions {
                 "--only" => options.only = Some(value_of("--only")?),
                 "--json" => options.json = Some(value_of("--json")?),
                 "--telemetry" => options.telemetry = Some(value_of("--telemetry")?),
+                "--list" => options.list = true,
                 other => return Err(format!("unknown suite flag {other:?}")),
             }
         }
@@ -239,6 +245,14 @@ mod tests {
         assert_eq!(options.max_matrices, None);
         assert_eq!(options.only, None);
         assert_eq!(options.telemetry.as_deref(), Some("out.jsonl"));
+        assert!(!options.list);
+    }
+
+    #[test]
+    fn suite_list_flag_parses() {
+        let options = SuiteOptions::parse(&["--list".to_string()]).unwrap();
+        assert!(options.list);
+        assert_eq!(options.threads, None);
     }
 
     #[test]

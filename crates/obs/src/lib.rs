@@ -45,7 +45,7 @@ pub mod sink;
 pub mod span;
 
 pub use event::Event;
-pub use names::{MetricInfo, MetricKind, METRICS};
+pub use names::{MetricInfo, MetricKind, SpanInfo, METRICS, SPANS};
 pub use registry::{Histogram, Registry, SpanStat};
 pub use sink::{JsonlSink, MemorySink, Sink};
 pub use span::{thread_ordinal, Span};

@@ -159,6 +159,90 @@ pub fn lookup(name: &str) -> Option<&'static MetricInfo> {
         .map(|i| &METRICS[i])
 }
 
+/// One span-registry row.
+///
+/// Spans are declared separately from metrics because they never
+/// aggregate: a span name keys timed scopes in the JSONL stream, so
+/// the only invariant is that every `span!` call site uses a declared
+/// name (enforced statically by `commorder-analyze` rule XT0601 and
+/// dynamically by the `CHK09xx` validators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanInfo {
+    /// The stable span name, e.g. `pipeline.simulate`.
+    pub name: &'static str,
+    /// One-line meaning.
+    pub help: &'static str,
+}
+
+/// Every declared span, in name order.
+pub const SPANS: &[SpanInfo] = &[
+    SpanInfo {
+        name: "community.detect",
+        help: "full community-detection run over one matrix",
+    },
+    SpanInfo {
+        name: "community.pass",
+        help: "one aggregation sweep inside community detection",
+    },
+    SpanInfo {
+        name: "exec.job",
+        help: "one job executed by the work-stealing engine",
+    },
+    SpanInfo {
+        name: "grid.cell",
+        help: "one experiment-grid cell (matrix x technique x config)",
+    },
+    SpanInfo {
+        name: "grid.job",
+        help: "one grid job from dispatch to result",
+    },
+    SpanInfo {
+        name: "grid.permute",
+        help: "applying a computed permutation inside a grid job",
+    },
+    SpanInfo {
+        name: "grid.reorder",
+        help: "computing a reordering inside a grid job",
+    },
+    SpanInfo {
+        name: "pipeline.model",
+        help: "analytic cost-model stage of the pipeline",
+    },
+    SpanInfo {
+        name: "pipeline.simulate",
+        help: "cache-simulation stage of the pipeline",
+    },
+    SpanInfo {
+        name: "pipeline.trace_gen",
+        help: "trace-generation stage of the pipeline",
+    },
+    SpanInfo {
+        name: "rabbit.order",
+        help: "hierarchy flattening inside rabbit ordering",
+    },
+    SpanInfo {
+        name: "reorder.rabbit",
+        help: "full rabbit-order run over one matrix",
+    },
+    SpanInfo {
+        name: "suite",
+        help: "one full suite invocation",
+    },
+    SpanInfo {
+        name: "suite.generate",
+        help: "corpus generation ahead of a suite run",
+    },
+];
+
+/// Looks up a span's registry row; `None` for undeclared names.
+#[must_use]
+pub fn lookup_span(name: &str) -> Option<&'static SpanInfo> {
+    SPANS
+        .binary_search_by(|info| info.name.cmp(name))
+        .ok()
+        .map(|i| &SPANS[i])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +262,32 @@ mod tests {
                 info.name
             );
         }
+    }
+
+    #[test]
+    fn span_table_is_sorted_unique_and_documented() {
+        for w in SPANS.windows(2) {
+            assert!(w[0].name < w[1].name, "{} !< {}", w[0].name, w[1].name);
+        }
+        for info in SPANS {
+            assert!(!info.help.is_empty(), "{}", info.name);
+            assert!(
+                info.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c)),
+                "{}",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_span_known_and_unknown() {
+        assert_eq!(
+            lookup_span("pipeline.simulate").map(|i| i.name),
+            Some("pipeline.simulate")
+        );
+        assert!(lookup_span("pipeline.simulated").is_none());
     }
 
     #[test]

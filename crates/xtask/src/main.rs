@@ -1,25 +1,28 @@
 //! Workspace automation tasks.
 //!
-//! `cargo run -p xtask -- lint` runs the offline source-lint pass over
-//! every crate: it needs no network, no rustc invocation, and no
+//! `cargo run -p xtask -- lint` runs the offline static-analysis pass
+//! over every crate: it needs no network, no rustc invocation, and no
 //! third-party dependencies, so it works in the most restricted CI
-//! sandbox. It complements (not replaces) `cargo clippy` with the
-//! workspace deny-list: clippy enforces expression-level lints, xtask
-//! enforces the *policy* invariants a lint pass can't express —
-//! crate-header pragmas, manifest opt-ins, and the panic-free-library
-//! rule with this workspace's documented-`expect` exception.
+//! sandbox. Since PR 5 the backend is `commorder-analyze`: a lossless
+//! token-stream lexer plus layering/determinism/telemetry-name passes,
+//! replacing the old line-regex scan. It complements (not replaces)
+//! `cargo clippy` with the workspace deny-list: clippy enforces
+//! expression-level lints, the analyzer enforces the *policy*
+//! invariants a lint pass can't express — crate-header pragmas,
+//! manifest opt-ins, the panic-free-library rule with its documented
+//! allowlist, the layering DAG, and report-path determinism.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-mod lint;
+use commorder_analyze::{analyze_workspace, AnalyzerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint::run(&workspace_root(), args.iter().any(|a| a == "--json")),
+        Some("lint") => lint(&workspace_root(), args.iter().any(|a| a == "--json")),
         _ => {
             eprintln!("usage: cargo run -p xtask -- lint [--json]");
             eprintln!();
@@ -27,6 +30,28 @@ fn main() -> ExitCode {
             eprintln!("  lint    offline static-analysis pass over all workspace crates");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Runs the analyzer over the workspace and prints the report; the
+/// process fails when any error-severity finding is present.
+fn lint(root: &Path, json: bool) -> ExitCode {
+    let report = match analyze_workspace(root, &AnalyzerConfig::default()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

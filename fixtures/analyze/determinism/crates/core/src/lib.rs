@@ -1,0 +1,8 @@
+//! Fixture: determinism hazards reachable from report code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clean;
+pub mod pipe;
+pub mod report;

@@ -1,0 +1,7 @@
+//! The `struct Pipeline` seed with one hazard of its own.
+
+/// Seed type: files defining `Pipeline` join the closure.
+pub struct Pipeline {
+    /// Wall-clock start.
+    pub started: std::time::Instant,
+}

@@ -1,0 +1,17 @@
+//! Report rendering with every seeded hazard class.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Seed: `fn render_json` marks this module report-affecting.
+pub fn render_json(values: &[f64], keys: &HashMap<u32, u32>, t0: Instant) -> String {
+    let threads = std::thread::available_parallelism();
+    let corpus = std::env::var("COMMORDER_CORPUS");
+    let total = values.iter().sum::<f64>();
+    let folded = values.iter().fold(0.25, |acc, v| acc + v);
+    format!(
+        "{} {threads:?} {corpus:?} {total} {folded} {:?}",
+        keys.len(),
+        t0.elapsed()
+    )
+}

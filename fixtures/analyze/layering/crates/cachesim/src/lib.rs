@@ -1,0 +1,6 @@
+//! Fixture: half of a same-layer crate cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;

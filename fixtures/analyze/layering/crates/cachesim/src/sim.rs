@@ -1,0 +1,9 @@
+//! Depends sideways on the exec crate.
+
+use commorder_exec::Engine;
+
+/// Holds the sideways dependency.
+pub struct Sim {
+    /// The engine.
+    pub engine: Engine,
+}

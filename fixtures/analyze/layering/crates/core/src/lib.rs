@@ -1,0 +1,7 @@
+//! Fixture top-layer crate: no dependencies of its own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The item the lower-layer crate reaches back up for.
+pub struct Experiment;

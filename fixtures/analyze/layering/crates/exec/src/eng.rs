@@ -1,0 +1,9 @@
+//! Depends back on the cachesim crate.
+
+use commorder_cachesim::sim::Sim;
+
+/// Completes the cachesim <-> exec cycle.
+pub struct Engine {
+    /// Back-reference.
+    pub sim: Option<Box<Sim>>,
+}

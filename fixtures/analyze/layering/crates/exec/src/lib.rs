@@ -1,0 +1,6 @@
+//! Fixture: the other half of the crate cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eng;

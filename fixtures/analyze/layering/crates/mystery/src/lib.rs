@@ -1,0 +1,7 @@
+//! Fixture crate absent from the declared layer table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Harmless.
+pub fn nothing() {}

@@ -1,0 +1,13 @@
+//! Module `a`: reaches up a layer and sideways into `b`.
+
+use commorder::Experiment;
+
+use crate::b::B;
+
+/// Completes the a -> b -> a module cycle.
+pub struct A {
+    /// The upward reference.
+    pub exp: Experiment,
+    /// The sideways reference.
+    pub b: B,
+}

@@ -1,0 +1,9 @@
+//! Module `b`: reaches back into `a`.
+
+use crate::a::A;
+
+/// Half of the module cycle.
+pub struct B {
+    /// Back-reference.
+    pub a: Option<Box<A>>,
+}

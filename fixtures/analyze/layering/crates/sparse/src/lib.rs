@@ -1,0 +1,7 @@
+//! Fixture bottom-layer crate with a back-edge and a module cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod a;
+pub mod b;

@@ -1,0 +1,4 @@
+//! Fixture: the crate-level pragmas are missing.
+
+/// Documented, so only the header findings anchor here.
+pub fn quiet() {}

@@ -1,0 +1,7 @@
+//! Fixture: seeded source-rule violations live in [`bad`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowed;
+pub mod bad;

@@ -1,0 +1,6 @@
+//! Fixture call sites for the telemetry-name cross-check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod run;

@@ -1,0 +1,11 @@
+//! Seeded macro call sites: declared, undeclared, mismatched kind,
+//! and a non-literal name.
+
+/// Exercises every telemetry-name rule.
+pub fn emit(name: &str) {
+    let _span = span!("fixture.run");
+    counter!("fixture.hits", 1);
+    counter!("fixture.missing", 1);
+    gauge!("fixture.hits", 2.0);
+    observe!(name, 3.0);
+}

@@ -1,0 +1,6 @@
+//! Fixture telemetry crate: the registry lives in [`names`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod names;

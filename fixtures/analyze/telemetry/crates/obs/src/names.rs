@@ -1,0 +1,41 @@
+//! Fixture registry: one used metric, one orphan, one span.
+
+/// How a metric aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic sum.
+    Counter,
+    /// Last write wins.
+    Gauge,
+}
+
+/// One metric row.
+pub struct MetricInfo {
+    /// Stable name.
+    pub name: &'static str,
+    /// Aggregation kind.
+    pub kind: MetricKind,
+}
+
+/// One span row.
+pub struct SpanInfo {
+    /// Stable name.
+    pub name: &'static str,
+}
+
+/// Declared metrics, in name order.
+pub const METRICS: &[MetricInfo] = &[
+    MetricInfo {
+        name: "fixture.hits",
+        kind: MetricKind::Counter,
+    },
+    MetricInfo {
+        name: "fixture.orphan",
+        kind: MetricKind::Gauge,
+    },
+];
+
+/// Declared spans, in name order.
+pub const SPANS: &[SpanInfo] = &[SpanInfo {
+    name: "fixture.run",
+}];
