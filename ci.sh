@@ -10,12 +10,33 @@ cargo fmt --all --check
 echo "== xtask lint (token-stream static analysis, zero findings)"
 cargo run -q -p xtask -- lint
 
-echo "== analyzer JSON report validates (CHK1101)"
+echo "== analyzer JSON report validates (CHK1101 + CHK1102)"
 # The machine-readable findings report must itself satisfy the schema
-# the CHK1101 validator publishes — a drifted or truncated report would
-# otherwise gate nothing.
+# the validators publish — CHK1101 covers the findings envelope,
+# CHK1102 the embedded call-graph section (stats arithmetic, edge
+# endpoints, acyclic SCC condensation). A drifted or truncated report
+# would otherwise gate nothing.
 cargo run -q -p xtask -- lint --json > /tmp/commorder-lint.json
 cargo run -q -p commorder --bin commorder-cli -- check /tmp/commorder-lint.json
+
+echo "== CLI-surfaced analyze report validates (analyze --source --json)"
+# Same validation through the public CLI surface: the report consumers
+# script against must stay in lockstep with the xtask one.
+cargo run -q -p commorder --bin commorder-cli -- analyze --source --json \
+  > /tmp/commorder-analyze-cli.json
+cargo run -q -p commorder --bin commorder-cli -- check /tmp/commorder-analyze-cli.json
+
+echo "== analyzer goldens are fresh (regenerate + git diff)"
+# The byte-frozen fixtures must match what the current analyzer emits;
+# an analyzer change that forgets to re-freeze its goldens fails here,
+# not on a future contributor's machine.
+COMMORDER_UPDATE_GOLDEN=1 cargo test -q -p commorder-analyze --test golden > /dev/null
+COMMORDER_UPDATE_GOLDEN=1 cargo test -q -p commorder-check --test golden > /dev/null
+git diff --exit-code -- fixtures/analyze/golden crates/check/tests/golden
+
+echo "== analyzer bench artifact (results/BENCH_analyze.json)"
+cargo run -q -p xtask -- bench-analyze
+test -s results/BENCH_analyze.json
 
 echo "== clippy (workspace deny-list)"
 cargo clippy --workspace --all-targets -q -- -D warnings

@@ -15,6 +15,8 @@
 //! | XT05xx | Determinism lint (report-affecting modules)       |
 //! | XT06xx | Static telemetry-name cross-check                 |
 //! | XT07xx | Allowlist hygiene                                 |
+//! | XT08xx | Hot-path allocation lint (call-graph reachable)   |
+//! | XT09xx | Concurrency-safety audit (engine crates)          |
 
 /// One row of the code table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +91,35 @@ pub const TELEM_KIND: &str = "XT0604";
 pub const ALLOWLIST_MALFORMED: &str = "XT0701";
 /// Allowlist entry suppressed nothing (stale exception).
 pub const ALLOWLIST_UNUSED: &str = "XT0702";
+
+/// Container construction (`Vec::new`, `with_capacity`, `Box::new`,
+/// `vec!`, …) inside a loop body of a function reachable from a
+/// hot-path seed.
+pub const HOT_ALLOC: &str = "XT0801";
+/// Iterator materialization (`.collect()`, `.to_vec()`) inside a loop
+/// body of a hot-path-reachable function.
+pub const HOT_COLLECT: &str = "XT0802";
+/// Duplication (`.clone()`, `.to_owned()`, `.to_string()`) inside a
+/// loop body of a hot-path-reachable function.
+pub const HOT_CLONE: &str = "XT0803";
+/// `format!` inside a loop body of a hot-path-reachable function.
+pub const HOT_FORMAT: &str = "XT0804";
+
+/// `unsafe` token in an engine crate without an adjacent `// SAFETY:`
+/// comment.
+pub const UNSAFE_NO_SAFETY_COMMENT: &str = "XT0901";
+/// Lock acquired while a let-bound guard from an earlier acquisition
+/// is still in scope (lexical lock-order hazard).
+pub const NESTED_LOCK: &str = "XT0902";
+/// `Ordering::Relaxed` in non-test engine-crate code (must be audited
+/// via the allowlist).
+pub const RELAXED_ORDERING: &str = "XT0903";
+/// `.unwrap()` / `.expect()` in a function reachable from a worker
+/// closure (a panicking worker breaks the engine contract).
+pub const WORKER_PANIC_CALL: &str = "XT0904";
+/// Slice/array indexing in a function reachable from a worker closure
+/// (out-of-bounds panics propagate into the engine).
+pub const WORKER_INDEXING: &str = "XT0905";
 
 /// Every published code with its meaning, in code order.
 pub const CODE_TABLE: &[CodeInfo] = &[
@@ -195,6 +226,42 @@ pub const CODE_TABLE: &[CodeInfo] = &[
     CodeInfo {
         code: ALLOWLIST_UNUSED,
         title: "allowlist entry suppressed nothing",
+    },
+    CodeInfo {
+        code: HOT_ALLOC,
+        title: "container construction in a hot-path loop",
+    },
+    CodeInfo {
+        code: HOT_COLLECT,
+        title: "iterator materialization in a hot-path loop",
+    },
+    CodeInfo {
+        code: HOT_CLONE,
+        title: "clone/to_owned/to_string in a hot-path loop",
+    },
+    CodeInfo {
+        code: HOT_FORMAT,
+        title: "format! in a hot-path loop",
+    },
+    CodeInfo {
+        code: UNSAFE_NO_SAFETY_COMMENT,
+        title: "unsafe without an adjacent SAFETY comment",
+    },
+    CodeInfo {
+        code: NESTED_LOCK,
+        title: "lock acquired while another guard is in scope",
+    },
+    CodeInfo {
+        code: RELAXED_ORDERING,
+        title: "unaudited Ordering::Relaxed in an engine crate",
+    },
+    CodeInfo {
+        code: WORKER_PANIC_CALL,
+        title: "unwrap/expect reachable from a worker closure",
+    },
+    CodeInfo {
+        code: WORKER_INDEXING,
+        title: "slice indexing reachable from a worker closure",
     },
 ];
 

@@ -6,6 +6,8 @@
 
 use std::fmt::Write as _;
 
+use crate::model::CallGraphReport;
+
 /// How bad a finding is. Errors fail the lint gate; warnings do not.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -72,6 +74,9 @@ impl Finding {
 pub struct AnalysisReport {
     /// The findings, sorted by [`AnalysisReport::finish`].
     pub findings: Vec<Finding>,
+    /// The call graph and seed/reachability sets; `None` renders as an
+    /// empty graph so the JSON schema never changes shape.
+    pub callgraph: Option<CallGraphReport>,
 }
 
 impl AnalysisReport {
@@ -165,12 +170,74 @@ impl AnalysisReport {
             );
         }
         if self.findings.is_empty() {
-            out.push_str("]\n}\n");
+            out.push_str("],\n");
         } else {
-            out.push_str("\n  ]\n}\n");
+            out.push_str("\n  ],\n");
         }
+        let empty = CallGraphReport::default();
+        render_callgraph(&mut out, self.callgraph.as_ref().unwrap_or(&empty));
+        out.push_str("}\n");
         out
     }
+}
+
+/// Renders the `"callgraph"` section: multi-line node and edge arrays
+/// (one entry per line, like findings), single-line seed/SCC/stat
+/// objects. Byte layout is frozen by the golden fixtures and checked
+/// by `CHK1102`.
+fn render_callgraph(out: &mut String, cg: &CallGraphReport) {
+    out.push_str("  \"callgraph\": {\n");
+    if cg.nodes.is_empty() {
+        out.push_str("    \"nodes\": [],\n");
+    } else {
+        out.push_str("    \"nodes\": [\n");
+        for (i, n) in cg.nodes.iter().enumerate() {
+            let sep = if i + 1 == cg.nodes.len() { "" } else { "," };
+            let _ = writeln!(out, "      \"{}\"{sep}", escape_json(n));
+        }
+        out.push_str("    ],\n");
+    }
+    if cg.edges.is_empty() {
+        out.push_str("    \"edges\": [],\n");
+    } else {
+        out.push_str("    \"edges\": [\n");
+        for (i, (a, b)) in cg.edges.iter().enumerate() {
+            let sep = if i + 1 == cg.edges.len() { "" } else { "," };
+            let _ = writeln!(out, "      [{a},{b}]{sep}");
+        }
+        out.push_str("    ],\n");
+    }
+    let list = |ids: &[u32]| {
+        let mut s = String::new();
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{id}");
+        }
+        s
+    };
+    let _ = writeln!(
+        out,
+        "    \"seeds\": {{\"determinism\":[{}],\"hotpath\":[{}],\"worker\":[{}]}},",
+        list(&cg.seeds_determinism),
+        list(&cg.seeds_hotpath),
+        list(&cg.seeds_worker)
+    );
+    let mut sccs = String::new();
+    for (i, comp) in cg.sccs.iter().enumerate() {
+        if i > 0 {
+            sccs.push(',');
+        }
+        let _ = write!(sccs, "[{}]", list(comp));
+    }
+    let _ = writeln!(out, "    \"sccs\": [{sccs}],");
+    let _ = writeln!(
+        out,
+        "    \"stats\": {{\"call_sites\":{},\"resolved\":{},\"external\":{},\"ambiguous\":{}}}",
+        cg.call_sites, cg.resolved, cg.external, cg.ambiguous
+    );
+    out.push_str("  }\n");
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -232,12 +299,51 @@ mod tests {
         let empty = AnalysisReport::default();
         assert_eq!(
             empty.render_json(),
-            "{\n  \"errors\": 0,\n  \"warnings\": 0,\n  \"findings\": []\n}\n"
+            concat!(
+                "{\n  \"errors\": 0,\n  \"warnings\": 0,\n  \"findings\": [],\n",
+                "  \"callgraph\": {\n",
+                "    \"nodes\": [],\n",
+                "    \"edges\": [],\n",
+                "    \"seeds\": {\"determinism\":[],\"hotpath\":[],\"worker\":[]},\n",
+                "    \"sccs\": [],\n",
+                "    \"stats\": {\"call_sites\":0,\"resolved\":0,\"external\":0,\"ambiguous\":0}\n",
+                "  }\n}\n"
+            )
         );
         let json = sample().render_json();
         assert!(json.contains("\"col_start\":5"));
         assert!(json.contains("\"col_end\":11"));
-        assert!(json.ends_with("\n  ]\n}\n"));
+        assert!(json.contains("\n  ],\n  \"callgraph\": {\n"));
+        assert!(json.ends_with("  }\n}\n"));
+    }
+
+    #[test]
+    fn populated_callgraph_renders_one_entry_per_line() {
+        let report = AnalysisReport {
+            callgraph: Some(CallGraphReport {
+                nodes: vec!["a.rs::f@1:1".to_string(), "a.rs::g@2:1".to_string()],
+                edges: vec![(0, 1), (1, 0)],
+                seeds_determinism: vec![0],
+                seeds_hotpath: vec![1],
+                seeds_worker: vec![0, 1],
+                sccs: vec![vec![0, 1]],
+                call_sites: 3,
+                resolved: 2,
+                external: 1,
+                ambiguous: 1,
+            }),
+            ..AnalysisReport::default()
+        };
+        let json = report.render_json();
+        assert!(json
+            .contains("    \"nodes\": [\n      \"a.rs::f@1:1\",\n      \"a.rs::g@2:1\"\n    ],\n"));
+        assert!(json.contains("    \"edges\": [\n      [0,1],\n      [1,0]\n    ],\n"));
+        assert!(json
+            .contains("    \"seeds\": {\"determinism\":[0],\"hotpath\":[1],\"worker\":[0,1]},\n"));
+        assert!(json.contains("    \"sccs\": [[0,1]],\n"));
+        assert!(json.contains(
+            "    \"stats\": {\"call_sites\":3,\"resolved\":2,\"external\":1,\"ambiguous\":1}\n"
+        ));
     }
 
     #[test]

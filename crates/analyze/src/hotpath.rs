@@ -1,0 +1,239 @@
+//! The hot-path allocation lint (`XT0801`–`XT0804`).
+//!
+//! The paper's economic argument only holds if preprocessing stays
+//! near-linear, so the loops of every function reachable from a
+//! hot-path seed (`replay`, `consume`, `simulate`, `simulate_belady`,
+//! `reorder` — see `AnalyzerConfig::hot_seed_fns`) must not allocate
+//! per iteration. Four shapes are flagged inside loop bodies:
+//!
+//! * `XT0801` — container construction: `Vec::new`,
+//!   `with_capacity`, `from`, `Box::new`, `vec!`, and friends;
+//! * `XT0802` — iterator materialization: `.collect()`, `.to_vec()`;
+//! * `XT0803` — duplication: `.clone()`, `.to_owned()`,
+//!   `.to_string()`;
+//! * `XT0804` — `format!`.
+//!
+//! Amortized growth (`push`, `extend`) is deliberately not flagged.
+//! Justified exceptions go through the same allowlist as every other
+//! code family.
+
+use crate::callgraph::CallGraph;
+use crate::codes;
+use crate::findings::{Finding, Severity};
+use crate::items::{code_indices, in_ranges};
+use crate::lexer::{Token, TokenKind};
+use crate::model::CrateData;
+
+/// Container types whose associated constructors allocate.
+const CONTAINERS: &[&str] = &[
+    "BTreeMap", "BTreeSet", "Box", "HashMap", "HashSet", "String", "Vec", "VecDeque",
+];
+
+/// Allocating associated-function names on [`CONTAINERS`].
+const CONSTRUCTORS: &[&str] = &["from", "new", "with_capacity"];
+
+fn is_punct(tok: &Token, src: &str, c: char) -> bool {
+    tok.kind == TokenKind::Punct && tok.text(src).len() == 1 && tok.text(src).starts_with(c)
+}
+
+fn ident_in(tok: &Token, src: &str, words: &[&str]) -> bool {
+    tok.kind == TokenKind::Ident && words.contains(&tok.text(src))
+}
+
+/// Byte ranges of `for`/`while`/`loop` bodies within `(start, end)`.
+/// Nested loop bodies produce overlapping ranges; membership is what
+/// matters, so overlap is harmless.
+#[must_use]
+pub fn loop_bodies(src: &str, tokens: &[Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let code: Vec<usize> = code_indices(tokens)
+        .into_iter()
+        .filter(|&i| tokens[i].start >= start && tokens[i].start < end)
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = &tokens[code[i]];
+        if !ident_in(t, src, &["for", "loop", "while"]) {
+            i += 1;
+            continue;
+        }
+        // The body is the next `{` at paren/bracket depth 0 (closure
+        // braces inside iterator arguments sit behind a paren).
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < code.len() {
+            let n = &tokens[code[j]];
+            if is_punct(n, src, '(') || is_punct(n, src, '[') {
+                depth += 1;
+            } else if is_punct(n, src, ')') || is_punct(n, src, ']') {
+                depth -= 1;
+            } else if depth == 0 {
+                if is_punct(n, src, '{') {
+                    open = Some(j);
+                    break;
+                }
+                if is_punct(n, src, ';') {
+                    break; // `for` in a doc example gone wrong; bail
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut brace = 0i64;
+        let mut k = open;
+        let mut body_end = end;
+        while k < code.len() {
+            let n = &tokens[code[k]];
+            if is_punct(n, src, '{') {
+                brace += 1;
+            } else if is_punct(n, src, '}') {
+                brace -= 1;
+                if brace == 0 {
+                    body_end = n.end;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        out.push((tokens[code[open]].start, body_end));
+        i = open + 1; // descend: nested loops get their own ranges
+    }
+    out
+}
+
+/// Runs the lint over every function reachable from a hot-path seed.
+#[must_use]
+pub fn check(crates: &[CrateData], graph: &CallGraph) -> Vec<Finding> {
+    let reached = graph.reachable(&graph.seeds_hotpath);
+    let mut findings = Vec::new();
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        let Some(seed) = reached[ni] else { continue };
+        let seed_name = &graph.nodes[seed].name;
+        let f = &crates[node.crate_idx].files[node.file_idx];
+        let src = &f.src;
+        let tokens = &f.tokens;
+        let loops = loop_bodies(src, tokens, node.body.0, node.body.1);
+        if loops.is_empty() {
+            continue;
+        }
+        let code = code_indices(tokens);
+        let push = |findings: &mut Vec<Finding>, code: &'static str, t: &Token, what: &str| {
+            findings.push(Finding {
+                code,
+                severity: Severity::Error,
+                file: f.rel.clone(),
+                line: t.line,
+                col_start: t.col,
+                col_end: t.col + u32::try_from(t.end - t.start).unwrap_or(0),
+                message: format!(
+                    "{what} in a loop of `{}`, reachable from hot-path seed `{seed_name}`",
+                    node.name
+                ),
+            });
+        };
+        for (ci, &idx) in code.iter().enumerate() {
+            let t = &tokens[idx];
+            if t.kind != TokenKind::Ident
+                || t.start < node.body.0
+                || t.start >= node.body.1
+                || !in_ranges(t.start, &loops)
+                || in_ranges(t.start, &f.test_ranges)
+                || in_ranges(t.start, &f.macro_ranges)
+                || graph.owner(node.crate_idx, node.file_idx, t.start) != Some(ni)
+            {
+                continue;
+            }
+            let prev = ci.checked_sub(1).map(|p| &tokens[code[p]]);
+            let next = code.get(ci + 1).map(|&k| &tokens[k]);
+            let next_bang = next.is_some_and(|n| is_punct(n, src, '!'));
+            let word = t.text(src);
+            if next_bang {
+                if word == "vec" {
+                    push(&mut findings, codes::HOT_ALLOC, t, "`vec!` construction");
+                } else if word == "format" {
+                    push(&mut findings, codes::HOT_FORMAT, t, "`format!`");
+                }
+                continue;
+            }
+            if CONTAINERS.contains(&word) && double_colon_then(src, tokens, &code, ci) {
+                let assoc = &tokens[code[ci + 3]];
+                if ident_in(assoc, src, CONSTRUCTORS) && call_opens(src, tokens, &code, ci + 4) {
+                    let what = format!("`{}::{}`", word, assoc.text(src));
+                    push(&mut findings, codes::HOT_ALLOC, t, &what);
+                }
+                continue;
+            }
+            let after_dot = prev.is_some_and(|p| is_punct(p, src, '.'));
+            if after_dot && call_opens(src, tokens, &code, ci + 1) {
+                match word {
+                    "collect" | "to_vec" => {
+                        let what = format!("`.{word}()`");
+                        push(&mut findings, codes::HOT_COLLECT, t, &what);
+                    }
+                    "clone" | "to_owned" | "to_string" => {
+                        let what = format!("`.{word}()`");
+                        push(&mut findings, codes::HOT_CLONE, t, &what);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// `true` when code index `ci` is followed by `::` and an identifier.
+fn double_colon_then(src: &str, tokens: &[Token], code: &[usize], ci: usize) -> bool {
+    let (Some(&a), Some(&b), Some(&c)) = (code.get(ci + 1), code.get(ci + 2), code.get(ci + 3))
+    else {
+        return false;
+    };
+    is_punct(&tokens[a], src, ':')
+        && is_punct(&tokens[b], src, ':')
+        && tokens[a].end == tokens[b].start
+        && tokens[c].kind == TokenKind::Ident
+}
+
+/// `true` when the code tokens at `at` open a call — `(` directly or
+/// `::<…>` then `(`.
+fn call_opens(src: &str, tokens: &[Token], code: &[usize], at: usize) -> bool {
+    let Some(&k) = code.get(at) else { return false };
+    if is_punct(&tokens[k], src, '(') {
+        return true;
+    }
+    // Turbofish: `::` `<` … `>` `(`.
+    let (Some(&a), Some(&b), Some(&c)) = (code.get(at), code.get(at + 1), code.get(at + 2)) else {
+        return false;
+    };
+    if !(is_punct(&tokens[a], src, ':')
+        && is_punct(&tokens[b], src, ':')
+        && tokens[a].end == tokens[b].start
+        && is_punct(&tokens[c], src, '<'))
+    {
+        return false;
+    }
+    let mut depth = 0i64;
+    let mut j = at + 2;
+    while j < code.len() {
+        let t = &tokens[code[j]];
+        if is_punct(t, src, '<') {
+            depth += 1;
+        } else if is_punct(t, src, '>') {
+            let arrow = j > 0 && is_punct(&tokens[code[j - 1]], src, '-');
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return code
+                        .get(j + 1)
+                        .is_some_and(|&k| is_punct(&tokens[k], src, '('));
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}

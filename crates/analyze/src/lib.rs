@@ -18,7 +18,14 @@
 //!    from `render_json`/`Pipeline` (`XT0501`–`XT0504`);
 //! 4. [`telemetry_names`] — `span!`/`counter!`/`gauge!`/`observe!`
 //!    string literals diffed against the `names.rs` registry
-//!    (`XT0601`–`XT0604`).
+//!    (`XT0601`–`XT0604`);
+//! 5. [`callgraph`] — a workspace-wide symbol table and
+//!    intra-workspace call graph with seeded reachability, feeding
+//! 6. [`hotpath`] — the hot-path allocation lint over loops of
+//!    functions reachable from the simulate/reorder/replay seeds
+//!    (`XT0801`–`XT0804`), and
+//! 7. [`concurrency`] — the concurrency-safety audit of the engine
+//!    crates plus worker-reachability rules (`XT0901`–`XT0905`).
 //!
 //! Audited exceptions live in an allowlist file (one justified
 //! `(code, file)` pair per line); allowlist hygiene is itself checked
@@ -30,9 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod codes;
+pub mod concurrency;
 pub mod determinism;
 pub mod findings;
+pub mod hotpath;
 pub mod items;
 pub mod layering;
 pub mod lexer;

@@ -81,3 +81,38 @@ pub struct EdgeAnchor {
 /// A node of the determinism reachability graph: a crate plus either a
 /// top-level module or (`None`) its facade.
 pub type ReachNode = (usize, Option<String>);
+
+/// The serializable slice of the call graph emitted in `analyze --json`
+/// and validated by `commorder-check`'s `CHK1102`.
+///
+/// Node strings are `<file>::<name>@<line>:<col>` where `<name>` is the
+/// bare function name, `Type::method`, or `parent::{closure}` for
+/// worker closures. Edges, seed sets, and SCC members are indices into
+/// `nodes`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CallGraphReport {
+    /// Display names of the graph nodes, in (file, line, col) order.
+    pub nodes: Vec<String>,
+    /// Deduplicated caller → callee index pairs, sorted ascending.
+    pub edges: Vec<(u32, u32)>,
+    /// Determinism seeds: `render_json` functions and `Pipeline`
+    /// methods.
+    pub seeds_determinism: Vec<u32>,
+    /// Hot-path seeds: replay/consume/simulate/reorder entry points.
+    pub seeds_hotpath: Vec<u32>,
+    /// Worker seeds: closures passed to `spawn` plus `Engine::map`.
+    pub seeds_worker: Vec<u32>,
+    /// Cyclic strongly connected components (each sorted, ≥ 2 members
+    /// or a self-recursive singleton), in first-member order.
+    pub sccs: Vec<Vec<u32>>,
+    /// Call sites observed in function bodies.
+    pub call_sites: u32,
+    /// Call sites with at least one workspace candidate (ambiguous
+    /// sites are a subset; `resolved + external == call_sites`).
+    pub resolved: u32,
+    /// Call sites naming no workspace function (std/core/externals).
+    pub external: u32,
+    /// Call sites matching several workspace candidates; edges go to
+    /// all of them (conservative over-approximation).
+    pub ambiguous: u32,
+}

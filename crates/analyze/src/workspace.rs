@@ -10,16 +10,19 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph;
 use crate::codes;
+use crate::concurrency;
 use crate::determinism;
 use crate::findings::{AnalysisReport, Finding, Severity};
+use crate::hotpath;
 use crate::items;
 use crate::layering;
 use crate::lexer;
 use crate::source_rules::{self, SourceContext};
 use crate::telemetry_names;
 
-pub use crate::model::{CrateData, EdgeAnchor, FileData, FileRole, ReachNode};
+pub use crate::model::{CallGraphReport, CrateData, EdgeAnchor, FileData, FileRole, ReachNode};
 
 /// Analyzer configuration: the declared layer table, quiet-crate set,
 /// and workspace-relative special paths.
@@ -33,6 +36,14 @@ pub struct AnalyzerConfig {
     pub allowlist_rel: String,
     /// Workspace-relative path of the telemetry-name registry.
     pub registry_rel: String,
+    /// Crates audited by the concurrency pass (`XT09xx`).
+    pub engine_crates: BTreeSet<String>,
+    /// Bare function names whose reachability closure is the hot path
+    /// for the allocation lint (`XT08xx`).
+    pub hot_seed_fns: BTreeSet<String>,
+    /// Display names (`Type::fn`) seeding the worker-reachability
+    /// rules alongside every `spawn` closure.
+    pub worker_seed_fns: BTreeSet<String>,
 }
 
 impl Default for AnalyzerConfig {
@@ -56,11 +67,21 @@ impl Default for AnalyzerConfig {
         let quiet = [
             "analyze", "cachesim", "exec", "gpumodel", "obs", "reorder", "sparse", "synth",
         ];
+        let hot_seeds = [
+            "consume",
+            "reorder",
+            "replay",
+            "simulate",
+            "simulate_belady",
+        ];
         AnalyzerConfig {
             layers: layers.iter().map(|&(n, l)| (n.to_string(), l)).collect(),
             quiet_crates: quiet.iter().map(|&n| n.to_string()).collect(),
             allowlist_rel: "analyze-allowlist.txt".to_string(),
             registry_rel: "crates/obs/src/names.rs".to_string(),
+            engine_crates: ["exec".to_string()].into_iter().collect(),
+            hot_seed_fns: hot_seeds.iter().map(|&n| n.to_string()).collect(),
+            worker_seed_fns: ["Engine::map".to_string()].into_iter().collect(),
         }
     }
 }
@@ -150,12 +171,38 @@ pub fn analyze_workspace(root: &Path, config: &AnalyzerConfig) -> Result<Analysi
     findings.extend(determinism::check(&crates, &reach_edges));
     findings.extend(telemetry_names::check(&crates, &config.registry_rel));
 
+    // Semantic layer: call graph, hot-path allocations, concurrency.
+    let graph = callgraph::build(&crates, &config.hot_seed_fns, &config.worker_seed_fns);
+    findings.extend(hotpath::check(&crates, &graph));
+    findings.extend(concurrency::check(&crates, &graph, &config.engine_crates));
+
     // Allowlist: suppress justified findings, then report hygiene.
     findings = apply_allowlist(root, &config.allowlist_rel, findings);
 
-    let mut report = AnalysisReport { findings };
+    let mut report = AnalysisReport {
+        findings,
+        callgraph: Some(graph.to_report(&crates)),
+    };
     report.finish();
     Ok(report)
+}
+
+/// Returns the allowlist text with the given 1-based lines removed —
+/// the mechanical fix for `XT0702` (entries that suppressed nothing).
+/// Line numbers come straight from the `XT0702` findings' `line`
+/// fields; unknown numbers are ignored.
+#[must_use]
+pub fn prune_allowlist(text: &str, stale_lines: &BTreeSet<u32>) -> String {
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.lines().enumerate() {
+        let line_no = u32::try_from(i + 1).unwrap_or(u32::MAX);
+        if stale_lines.contains(&line_no) {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
 }
 
 /// `true` when a manifest opts into `[lints] workspace = true`.

@@ -20,12 +20,19 @@ fn fixture_root(name: &str) -> PathBuf {
 }
 
 /// Runs the analyzer over the named fixture and compares against its
-/// golden, listing a readable diff context on mismatch.
+/// golden, listing a readable diff context on mismatch. Set
+/// `COMMORDER_UPDATE_GOLDEN=1` to rewrite the golden instead — the
+/// refreeze path used after a deliberate schema or wording change.
 fn assert_golden(name: &str) {
     let report = analyze_workspace(&fixture_root(name), &AnalyzerConfig::default())
         .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
     let got = report.render_json();
     let golden_path = fixture_root("golden").join(format!("{name}.json"));
+    if std::env::var_os("COMMORDER_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::write(&golden_path, &got)
+            .unwrap_or_else(|e| panic!("writing golden {}: {e}", golden_path.display()));
+        return;
+    }
     let want = std::fs::read_to_string(&golden_path)
         .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
     assert!(
@@ -55,11 +62,34 @@ fn telemetry_fixture_matches_golden() {
 }
 
 #[test]
+fn hotpath_fixture_matches_golden() {
+    assert_golden("hotpath");
+}
+
+#[test]
+fn concurrency_fixture_matches_golden() {
+    assert_golden("concurrency");
+}
+
+#[test]
+fn callgraph_fixture_matches_golden() {
+    assert_golden("callgraph");
+}
+
+#[test]
 fn every_code_is_reproduced_by_some_fixture() {
     use std::collections::BTreeSet;
 
     let mut seen: BTreeSet<String> = BTreeSet::new();
-    for name in ["source_rules", "layering", "determinism", "telemetry"] {
+    for name in [
+        "source_rules",
+        "layering",
+        "determinism",
+        "telemetry",
+        "hotpath",
+        "concurrency",
+        "callgraph",
+    ] {
         let report = analyze_workspace(&fixture_root(name), &AnalyzerConfig::default())
             .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
         seen.extend(report.findings.iter().map(|f| f.code.to_string()));

@@ -9,7 +9,7 @@
 //! same token stream — the lossless invariant every analysis pass
 //! builds on.
 
-use commorder_analyze::lexer::lex;
+use commorder_analyze::lexer::{lex, TokenKind};
 use commorder_check::propcheck::{run_cases, DEFAULT_CASES};
 use commorder_synth::rng::Rng;
 
@@ -48,6 +48,14 @@ const FRAGMENTS: &[&str] = &[
     "::<>",
     "#[cfg(test)]",
     "macro_rules! m { () => {} }",
+    "r#type",
+    "let r#fn = r#struct.r#await;",
+    "for i in 0..1 {}",
+    "0..=10",
+    "1.0e-3",
+    "x.0.1",
+    "Vec::<Vec::<u32>>::new()",
+    "xs.iter().collect::<Vec<Vec<u32>>>()",
 ];
 
 /// Separators that keep adjacent fragments from gluing into different
@@ -126,5 +134,158 @@ fn random_byte_soup_stays_lossless() {
         }
         let src = String::from_utf8_lossy(&bytes).into_owned();
         assert_lossless(&src);
+    });
+}
+
+/// Non-trivia `(kind, text)` pairs — the view the analysis passes see.
+fn code_tokens(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .iter()
+        .filter(|t| !t.kind.is_trivia())
+        .map(|t| (t.kind, t.text(src).to_owned()))
+        .collect()
+}
+
+/// Keywords that are legal after `r#` (every strict keyword except the
+/// path/underscore specials `crate`/`self`/`super`/`Self`).
+const RAW_KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "dyn", "else", "enum", "extern", "fn", "for", "if", "impl",
+    "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static", "struct",
+    "trait", "type", "unsafe", "use", "where", "while", "async", "await", "try", "union",
+];
+
+#[test]
+fn raw_identifiers_lex_as_single_idents() {
+    // `r#type` must be ONE Ident token (the analyzer treats it as a
+    // name, not an `r` ident glued to a `#` and a keyword), and it must
+    // survive inside binding and field positions.
+    run_cases("lexer-raw-ident", DEFAULT_CASES, |rng: &mut Rng| {
+        let kw = RAW_KEYWORDS[rng.gen_range(RAW_KEYWORDS.len() as u64) as usize];
+        let raw = format!("r#{kw}");
+        assert_eq!(
+            code_tokens(&raw),
+            vec![(TokenKind::Ident, raw.clone())],
+            "{raw} must be a single raw identifier"
+        );
+        let src = format!("let {raw} = other.{raw};");
+        assert_lossless(&src);
+        let idents: Vec<String> = code_tokens(&src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(
+            idents,
+            vec!["let".to_owned(), raw.clone(), "other".to_owned(), raw],
+            "raw identifiers must stay whole in binding and field position"
+        );
+    });
+}
+
+#[test]
+fn range_vs_float_disambiguation() {
+    // `0..1` is four tokens (int, dot, dot, int) — never `0.` `.1`
+    // floats — while `1.0e-3` is one float literal including the signed
+    // exponent. The range form feeds the loop-detection in the hot-path
+    // lint, so a mis-split here corrupts downstream spans.
+    run_cases("lexer-range-vs-float", DEFAULT_CASES, |rng: &mut Rng| {
+        let a = rng.gen_u32(1000);
+        let b = rng.gen_u32(1000);
+        let c = rng.gen_u32(30);
+
+        let range = format!("{a}..{b}");
+        assert_lossless(&range);
+        assert_eq!(
+            code_tokens(&range),
+            vec![
+                (TokenKind::NumLit, a.to_string()),
+                (TokenKind::Punct, ".".to_owned()),
+                (TokenKind::Punct, ".".to_owned()),
+                (TokenKind::NumLit, b.to_string()),
+            ],
+            "{range} must lex as int .. int"
+        );
+
+        let inclusive = format!("{a}..={b}");
+        let kinds: Vec<TokenKind> = code_tokens(&inclusive).iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::NumLit,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::NumLit,
+            ],
+            "{inclusive} must lex as int .. = int"
+        );
+
+        let float = format!("{a}.{b}e-{c}");
+        assert_lossless(&float);
+        assert_eq!(
+            code_tokens(&float),
+            vec![(TokenKind::NumLit, float.clone())],
+            "{float} must be a single float literal with its exponent"
+        );
+
+        // Tuple-index chains follow rustc's lexer: after the first dot
+        // the digits re-glue into ONE float literal (`x.0.1` is ident,
+        // dot, `0.1`) and the parser, not the lexer, re-splits it.
+        let tuple = format!("x.{a}.{b}");
+        assert_lossless(&tuple);
+        assert_eq!(
+            code_tokens(&tuple),
+            vec![
+                (TokenKind::Ident, "x".to_owned()),
+                (TokenKind::Punct, ".".to_owned()),
+                (TokenKind::NumLit, format!("{a}.{b}")),
+            ],
+            "{tuple} must lex as ident . float, matching rustc"
+        );
+    });
+}
+
+#[test]
+fn nested_turbofish_stays_balanced() {
+    // `>>` in `Vec::<Vec::<u32>>::new()` must arrive as two separate
+    // one-byte `>` puncts (the lexer never fuses shift operators), so
+    // the angle-depth tracking in the call-graph builder can match
+    // every `<` with a `>` at arbitrary nesting depth.
+    run_cases("lexer-turbofish", DEFAULT_CASES, |rng: &mut Rng| {
+        let depth = 1 + rng.gen_range(7) as usize;
+        let mut src = String::from("f::<");
+        for _ in 0..depth {
+            src.push_str("Vec<");
+        }
+        src.push_str("u32");
+        for _ in 0..depth {
+            src.push('>');
+        }
+        src.push_str(">(x)");
+        assert_lossless(&src);
+
+        let toks = code_tokens(&src);
+        let mut opens = 0usize;
+        let mut closes = 0usize;
+        for (kind, text) in &toks {
+            if *kind == TokenKind::Punct {
+                assert_eq!(text.len(), 1, "puncts are single bytes, got {text:?}");
+                match text.as_str() {
+                    "<" => opens += 1,
+                    ">" => closes += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(
+            opens,
+            depth + 1,
+            "one `<` per nesting level plus the turbofish"
+        );
+        assert_eq!(
+            closes,
+            depth + 1,
+            "every `<` must close with its own `>` punct"
+        );
     });
 }

@@ -49,27 +49,22 @@ pub fn check_analyze_report(contents: &str) -> Vec<Diagnostic> {
 
     let findings_open = lines.get(3).copied().unwrap_or("");
     let mut finding_rows: Vec<(usize, &str)> = Vec::new();
-    if findings_open.trim() == "\"findings\": []" {
-        if lines.get(4).map(|l| l.trim()) != Some("}") {
-            out.push(frame_error(
-                4,
-                "empty findings array must close with '}'".into(),
-            ));
-        }
+    let after_findings;
+    if findings_open.trim() == "\"findings\": []," {
+        after_findings = 4;
     } else if findings_open.trim() == "\"findings\": [" {
         let mut i = 4;
-        while i < lines.len() && lines[i].trim() != "]" {
+        while i < lines.len() && lines[i].trim() != "]," {
             finding_rows.push((i, lines[i]));
             i += 1;
         }
-        if lines.get(i).map(|l| l.trim()) != Some("]") {
+        if lines.get(i).map(|l| l.trim()) != Some("],") {
             out.push(frame_error(
                 i,
-                "findings array is not closed with ']'".into(),
+                "findings array is not closed with '],'".into(),
             ));
-        } else if lines.get(i + 1).map(|l| l.trim()) != Some("}") {
-            out.push(frame_error(i + 1, "report must close with '}'".into()));
         }
+        after_findings = i + 1;
     } else {
         out.push(frame_error(
             3,
@@ -79,6 +74,16 @@ pub fn check_analyze_report(contents: &str) -> Vec<Diagnostic> {
             ),
         ));
         return out;
+    }
+    // The callgraph section follows the findings; its violations are
+    // CHK1102, the closing frame stays CHK1101.
+    let after_callgraph =
+        crate::callgraph::check_callgraph_section(&lines, after_findings, &mut out);
+    if after_callgraph < lines.len() && lines.get(after_callgraph).map(|l| l.trim()) != Some("}") {
+        out.push(frame_error(
+            after_callgraph,
+            "report must close with '}'".into(),
+        ));
     }
 
     let mut tally_errors: u64 = 0;
@@ -278,22 +283,46 @@ fn check_finding(
 mod tests {
     use super::*;
 
-    const CLEAN: &str = "{\n  \"errors\": 0,\n  \"warnings\": 0,\n  \"findings\": []\n}\n";
+    /// The empty callgraph section every report now carries.
+    const SECTION: &str = concat!(
+        "  \"callgraph\": {\n",
+        "    \"nodes\": [],\n",
+        "    \"edges\": [],\n",
+        "    \"seeds\": {\"determinism\":[],\"hotpath\":[],\"worker\":[]},\n",
+        "    \"sccs\": [],\n",
+        "    \"stats\": {\"call_sites\":0,\"resolved\":0,\"external\":0,\"ambiguous\":0}\n",
+        "  }\n",
+    );
+
+    fn clean() -> String {
+        format!("{{\n  \"errors\": 0,\n  \"warnings\": 0,\n  \"findings\": [],\n{SECTION}}}\n")
+    }
 
     fn one_finding() -> String {
-        concat!(
-            "{\n  \"errors\": 1,\n  \"warnings\": 0,\n  \"findings\": [\n",
-            "    {\"code\":\"XT0002\",\"severity\":\"error\",\"file\":\"crates/a/src/lib.rs\",",
-            "\"line\":3,\"col_start\":5,\"col_end\":11,\"message\":\"unwrap() in library code\"}\n",
-            "  ]\n}\n"
+        format!(
+            concat!(
+                "{{\n  \"errors\": 1,\n  \"warnings\": 0,\n  \"findings\": [\n",
+                "    {{\"code\":\"XT0002\",\"severity\":\"error\",\"file\":\"crates/a/src/lib.rs\",",
+                "\"line\":3,\"col_start\":5,\"col_end\":11,\"message\":\"unwrap() in library code\"}}\n",
+                "  ],\n{SECTION}}}\n"
+            ),
+            SECTION = SECTION
         )
-        .to_string()
     }
 
     #[test]
     fn clean_reports_pass() {
-        assert!(check_analyze_report(CLEAN).is_empty());
+        assert!(check_analyze_report(&clean()).is_empty());
         assert!(check_analyze_report(&one_finding()).is_empty());
+    }
+
+    #[test]
+    fn missing_callgraph_section_is_flagged() {
+        let stream = clean().replace(SECTION, "");
+        let diags = check_analyze_report(&stream);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::CALLGRAPH_SCHEMA && d.message.contains("callgraph")));
     }
 
     #[test]

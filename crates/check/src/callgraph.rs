@@ -1,0 +1,547 @@
+//! Validator for the analyzer report's call-graph section (`CHK1102`).
+//!
+//! `commorder-analyze` emits a `"callgraph"` object after the findings
+//! array: node display strings, sorted edge pairs, three seed sets,
+//! the cyclic SCC components, and resolution statistics. CI pipes the
+//! self-host report through this validator, so a graph whose edges
+//! reference undeclared nodes, whose seed sets went silently empty,
+//! whose declared SCCs fail to cover a cycle, or whose site counters
+//! do not add up fails loudly instead of gating nothing.
+//!
+//! Like `CHK1101` the parser is line-oriented and lenient: every
+//! violation becomes a [`Diagnostic`] and validation continues where
+//! the frame allows.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::codes;
+use crate::diag::{Diagnostic, Location};
+
+/// Validates the `"callgraph"` section that starts at `lines[start]`
+/// (the `"callgraph": {` line). Emits `CHK1102` diagnostics into
+/// `out` and returns the index one past the section's closing brace —
+/// or `lines.len()` when the frame is too broken to locate it.
+#[must_use]
+pub fn check_callgraph_section(lines: &[&str], start: usize, out: &mut Vec<Diagnostic>) -> usize {
+    let err = |line: usize, message: String| {
+        Diagnostic::error(
+            codes::CALLGRAPH_SCHEMA,
+            Location::at("report line", line as u64 + 1),
+            message,
+        )
+    };
+    if lines.get(start).map(|l| l.trim()) != Some("\"callgraph\": {") {
+        out.push(err(
+            start,
+            format!(
+                "expected a '\"callgraph\": {{' section, found {:?}",
+                lines.get(start).copied().unwrap_or("").trim()
+            ),
+        ));
+        return lines.len();
+    }
+
+    let mut i = start + 1;
+    let node_count = check_nodes(lines, &mut i, out);
+    let edges = check_edges(lines, &mut i, node_count, out);
+    let seeds = check_seeds(lines, &mut i, node_count, out);
+    let sccs = check_sccs(lines, &mut i, node_count, out);
+    check_stats(lines, &mut i, out);
+    if node_count > 0 {
+        check_seed_presence(lines, i, &seeds, out);
+    }
+    check_condensation(lines, i, node_count, &edges, &sccs, out);
+
+    if lines.get(i).copied() != Some("  }") {
+        out.push(err(i, "call-graph section must close with '  }'".into()));
+        return lines.len();
+    }
+    i + 1
+}
+
+/// Shared `CHK1102` constructor.
+fn err(line: usize, message: String) -> Diagnostic {
+    Diagnostic::error(
+        codes::CALLGRAPH_SCHEMA,
+        Location::at("report line", line as u64 + 1),
+        message,
+    )
+}
+
+/// Validates the `"nodes"` array and returns the declared node count.
+fn check_nodes(lines: &[&str], i: &mut usize, out: &mut Vec<Diagnostic>) -> usize {
+    let open = lines.get(*i).copied().unwrap_or("").trim().to_string();
+    if open == "\"nodes\": []," {
+        *i += 1;
+        return 0;
+    }
+    if open != "\"nodes\": [" {
+        out.push(err(*i, format!("expected a nodes array, found {open:?}")));
+        return 0;
+    }
+    *i += 1;
+    let mut count = 0;
+    while *i < lines.len() && lines[*i].trim() != "]," {
+        let row = lines[*i].trim();
+        let entry = row.strip_suffix(',').unwrap_or(row);
+        match entry.strip_prefix('"').and_then(|e| e.strip_suffix('"')) {
+            Some(display) if node_display_ok(display) => {}
+            _ => out.push(err(
+                *i,
+                format!("node {entry:?} must look like \"file::name@line:col\""),
+            )),
+        }
+        count += 1;
+        *i += 1;
+    }
+    if lines.get(*i).map(|l| l.trim()) != Some("],") {
+        out.push(err(*i, "nodes array is not closed with '],'".into()));
+    } else {
+        *i += 1;
+    }
+    count
+}
+
+/// `true` when a node display string has the `file::name@line:col`
+/// shape with positive position numbers.
+fn node_display_ok(display: &str) -> bool {
+    let Some((path, pos)) = display.rsplit_once('@') else {
+        return false;
+    };
+    let Some((line, col)) = pos.split_once(':') else {
+        return false;
+    };
+    path.contains("::")
+        && line.parse::<u32>().is_ok_and(|n| n > 0)
+        && col.parse::<u32>().is_ok_and(|n| n > 0)
+}
+
+/// Validates the `"edges"` array: in-range endpoints, strictly
+/// ascending (sorted and deduplicated) pairs. Returns the parsed
+/// edges for the condensation check.
+fn check_edges(
+    lines: &[&str],
+    i: &mut usize,
+    node_count: usize,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<(u32, u32)> {
+    let open = lines.get(*i).copied().unwrap_or("").trim().to_string();
+    if open == "\"edges\": []," {
+        *i += 1;
+        return Vec::new();
+    }
+    let mut edges = Vec::new();
+    if open != "\"edges\": [" {
+        out.push(err(*i, format!("expected an edges array, found {open:?}")));
+        return edges;
+    }
+    *i += 1;
+    let mut prev: Option<(u32, u32)> = None;
+    while *i < lines.len() && lines[*i].trim() != "]," {
+        let row = lines[*i].trim();
+        let entry = row.strip_suffix(',').unwrap_or(row);
+        let pair = entry
+            .strip_prefix('[')
+            .and_then(|e| e.strip_suffix(']'))
+            .and_then(|body| {
+                let (a, b) = body.split_once(',')?;
+                Some((a.parse::<u32>().ok()?, b.parse::<u32>().ok()?))
+            });
+        match pair {
+            Some((a, b)) => {
+                for id in [a, b] {
+                    if id as usize >= node_count {
+                        out.push(err(
+                            *i,
+                            format!("edge references node {id} but only {node_count} are declared"),
+                        ));
+                    }
+                }
+                if prev.is_some_and(|p| p >= (a, b)) {
+                    out.push(err(
+                        *i,
+                        "edges must be strictly ascending (sorted, deduplicated)".into(),
+                    ));
+                }
+                prev = Some((a, b));
+                edges.push((a, b));
+            }
+            None => out.push(err(*i, format!("edge {entry:?} must be a [from,to] pair"))),
+        }
+        *i += 1;
+    }
+    if lines.get(*i).map(|l| l.trim()) != Some("],") {
+        out.push(err(*i, "edges array is not closed with '],'".into()));
+    } else {
+        *i += 1;
+    }
+    edges
+}
+
+/// Validates the single-line `"seeds"` object; returns the three id
+/// lists (determinism, hotpath, worker).
+fn check_seeds(
+    lines: &[&str],
+    i: &mut usize,
+    node_count: usize,
+    out: &mut Vec<Diagnostic>,
+) -> [Vec<u32>; 3] {
+    let line = lines.get(*i).copied().unwrap_or("").trim().to_string();
+    let Some(seeds) = parse_seeds(&line) else {
+        out.push(err(
+            *i,
+            format!("expected a one-line seeds object, found {line:?}"),
+        ));
+        return [Vec::new(), Vec::new(), Vec::new()];
+    };
+    for (name, ids) in ["determinism", "hotpath", "worker"].iter().zip(&seeds) {
+        check_id_list(*i, &format!("{name} seed"), ids, node_count, out);
+    }
+    *i += 1;
+    seeds
+}
+
+/// Parses `"seeds": {"determinism":[…],"hotpath":[…],"worker":[…]},`.
+fn parse_seeds(line: &str) -> Option<[Vec<u32>; 3]> {
+    let mut rest = line.strip_prefix("\"seeds\": {")?.strip_suffix("},")?;
+    let mut seeds = [Vec::new(), Vec::new(), Vec::new()];
+    for (slot, key) in seeds.iter_mut().zip(["determinism", "hotpath", "worker"]) {
+        rest = rest
+            .strip_prefix(&format!("\"{key}\":["))?
+            .trim_start_matches(',');
+        let end = rest.find(']')?;
+        *slot = parse_u32_list(&rest[..end])?;
+        rest = rest[end + 1..].trim_start_matches(',');
+    }
+    rest.is_empty().then_some(seeds)
+}
+
+/// Parses a `1,2,3` list; empty input is the empty list.
+fn parse_u32_list(body: &str) -> Option<Vec<u32>> {
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|n| n.parse::<u32>().ok()).collect()
+}
+
+/// Flags out-of-range or non-ascending ids in a seed or SCC list.
+fn check_id_list(
+    line: usize,
+    what: &str,
+    ids: &[u32],
+    node_count: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    for id in ids {
+        if *id as usize >= node_count {
+            out.push(err(
+                line,
+                format!("{what} references node {id} but only {node_count} are declared"),
+            ));
+        }
+    }
+    if ids.windows(2).any(|w| w[0] >= w[1]) {
+        out.push(err(line, format!("{what} ids must be strictly ascending")));
+    }
+}
+
+/// Validates the single-line `"sccs"` array: disjoint, in-range,
+/// ascending components. Returns them for the condensation check.
+fn check_sccs(
+    lines: &[&str],
+    i: &mut usize,
+    node_count: usize,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<Vec<u32>> {
+    let line = lines.get(*i).copied().unwrap_or("").trim().to_string();
+    let Some(sccs) = parse_sccs(&line) else {
+        out.push(err(
+            *i,
+            format!("expected a one-line sccs array, found {line:?}"),
+        ));
+        return Vec::new();
+    };
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for comp in &sccs {
+        if comp.is_empty() {
+            out.push(err(*i, "scc component must not be empty".into()));
+        }
+        check_id_list(*i, "scc component", comp, node_count, out);
+        for id in comp {
+            if !seen.insert(*id) {
+                out.push(err(
+                    *i,
+                    format!("node {id} appears in more than one scc component"),
+                ));
+            }
+        }
+    }
+    *i += 1;
+    sccs
+}
+
+/// Parses `"sccs": [[…],[…]],` (possibly `"sccs": [],`).
+fn parse_sccs(line: &str) -> Option<Vec<Vec<u32>>> {
+    let body = line.strip_prefix("\"sccs\": [")?.strip_suffix("],")?;
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    let mut rest = body;
+    loop {
+        rest = rest.strip_prefix('[')?;
+        let end = rest.find(']')?;
+        out.push(parse_u32_list(&rest[..end])?);
+        rest = &rest[end + 1..];
+        if rest.is_empty() {
+            return Some(out);
+        }
+        rest = rest.strip_prefix(',')?;
+    }
+}
+
+/// Validates the single-line `"stats"` object: every counter present
+/// and `resolved + external == call_sites`, `ambiguous <= resolved`.
+fn check_stats(lines: &[&str], i: &mut usize, out: &mut Vec<Diagnostic>) {
+    let line = lines.get(*i).copied().unwrap_or("").trim().to_string();
+    let Some([sites, resolved, external, ambiguous]) = parse_stats(&line) else {
+        out.push(err(
+            *i,
+            format!("expected a one-line stats object, found {line:?}"),
+        ));
+        return;
+    };
+    if resolved + external != sites {
+        out.push(err(
+            *i,
+            format!(
+                "stats do not add up: resolved {resolved} + external {external} != \
+                 call_sites {sites}"
+            ),
+        ));
+    }
+    if ambiguous > resolved {
+        out.push(err(
+            *i,
+            format!("ambiguous {ambiguous} exceeds resolved {resolved}"),
+        ));
+    }
+    *i += 1;
+}
+
+/// Parses `"stats": {"call_sites":N,"resolved":N,"external":N,"ambiguous":N}`.
+fn parse_stats(line: &str) -> Option<[u64; 4]> {
+    let mut rest = line.strip_prefix("\"stats\": {")?.strip_suffix('}')?;
+    let mut vals = [0u64; 4];
+    for (slot, key) in vals
+        .iter_mut()
+        .zip(["call_sites", "resolved", "external", "ambiguous"])
+    {
+        rest = rest
+            .trim_start_matches(',')
+            .strip_prefix(&format!("\"{key}\":"))?;
+        let end = rest.find(',').unwrap_or(rest.len());
+        *slot = rest[..end].parse::<u64>().ok()?;
+        rest = &rest[end..];
+    }
+    rest.is_empty().then_some(vals)
+}
+
+/// A non-empty graph with an empty seed set means the analyzer lost
+/// its entry points — the downstream passes would silently gate
+/// nothing, which is exactly what this validator exists to catch.
+fn check_seed_presence(
+    lines: &[&str],
+    close_line: usize,
+    seeds: &[Vec<u32>; 3],
+    out: &mut Vec<Diagnostic>,
+) {
+    let _ = lines;
+    for (name, ids) in ["determinism", "hotpath", "worker"].iter().zip(seeds) {
+        if ids.is_empty() {
+            out.push(err(
+                close_line,
+                format!("{name} seed set is empty: the analyzer found no entry points"),
+            ));
+        }
+    }
+}
+
+/// The SCC condensation must be a DAG: contracting each declared
+/// component to one super-node, Kahn's algorithm must consume every
+/// super-node. A leftover means the edges contain a cycle the
+/// declared components do not cover.
+fn check_condensation(
+    lines: &[&str],
+    close_line: usize,
+    node_count: usize,
+    edges: &[(u32, u32)],
+    sccs: &[Vec<u32>],
+    out: &mut Vec<Diagnostic>,
+) {
+    let _ = lines;
+    // Component id per node: declared components first, the rest are
+    // their own singletons.
+    let mut comp: Vec<usize> = (0..node_count).collect();
+    for (k, members) in sccs.iter().enumerate() {
+        for &m in members {
+            if (m as usize) < node_count {
+                comp[m as usize] = node_count + k;
+            }
+        }
+    }
+    let ids: BTreeSet<usize> = comp.iter().copied().collect();
+    let index: std::collections::BTreeMap<usize, usize> =
+        ids.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let n = index.len();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut indegree = vec![0usize; n];
+    for &(a, b) in edges {
+        let (Some(&ca), Some(&cb)) = (
+            comp.get(a as usize).and_then(|c| index.get(c)),
+            comp.get(b as usize).and_then(|c| index.get(c)),
+        ) else {
+            continue; // out-of-range edges were already flagged
+        };
+        if ca != cb && adj[ca].insert(cb) {
+            indegree[cb] += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut consumed = 0;
+    while let Some(u) = queue.pop_front() {
+        consumed += 1;
+        for &v in &adj[u] {
+            indegree[v] -= 1;
+            if indegree[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if consumed != n {
+        out.push(err(
+            close_line,
+            "edges contain a cycle the declared sccs do not cover \
+             (condensation is not a DAG)"
+                .into(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical empty section, exactly as the analyzer renders it.
+    pub(crate) const EMPTY: &str = concat!(
+        "  \"callgraph\": {\n",
+        "    \"nodes\": [],\n",
+        "    \"edges\": [],\n",
+        "    \"seeds\": {\"determinism\":[],\"hotpath\":[],\"worker\":[]},\n",
+        "    \"sccs\": [],\n",
+        "    \"stats\": {\"call_sites\":0,\"resolved\":0,\"external\":0,\"ambiguous\":0}\n",
+        "  }",
+    );
+
+    /// A populated, internally consistent section.
+    fn populated() -> String {
+        concat!(
+            "  \"callgraph\": {\n",
+            "    \"nodes\": [\n",
+            "      \"crates/a/src/lib.rs::render_json@3:8\",\n",
+            "      \"crates/a/src/lib.rs::replay@9:8\",\n",
+            "      \"crates/a/src/lib.rs::Engine::map::{closure}@20:15\"\n",
+            "    ],\n",
+            "    \"edges\": [\n",
+            "      [0,1],\n",
+            "      [1,2]\n",
+            "    ],\n",
+            "    \"seeds\": {\"determinism\":[0],\"hotpath\":[1],\"worker\":[2]},\n",
+            "    \"sccs\": [],\n",
+            "    \"stats\": {\"call_sites\":3,\"resolved\":2,\"external\":1,\"ambiguous\":1}\n",
+            "  }",
+        )
+        .to_string()
+    }
+
+    fn run(section: &str) -> Vec<Diagnostic> {
+        let lines: Vec<&str> = section.lines().collect();
+        let mut out = Vec::new();
+        let next = check_callgraph_section(&lines, 0, &mut out);
+        assert!(next == lines.len() || lines[next - 1] == "  }");
+        out
+    }
+
+    #[test]
+    fn empty_and_populated_sections_pass() {
+        assert!(run(EMPTY).is_empty());
+        assert!(run(&populated()).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_edge_is_flagged() {
+        let bad = populated().replace("[1,2]", "[1,9]");
+        let diags = run(&bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("references node 9")));
+    }
+
+    #[test]
+    fn unsorted_edges_are_flagged() {
+        let bad = populated().replace("[0,1],\n      [1,2]", "[1,2],\n      [0,1]");
+        let diags = run(&bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("strictly ascending")));
+    }
+
+    #[test]
+    fn empty_seed_set_on_nonempty_graph_is_flagged() {
+        let bad = populated().replace("\"worker\":[2]", "\"worker\":[]");
+        let diags = run(&bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("worker seed set is empty")));
+    }
+
+    #[test]
+    fn uncovered_cycle_fails_the_condensation_check() {
+        // 1→2 plus 2→1 forms a cycle, but sccs stays empty.
+        let bad = populated()
+            .replace("[1,2]\n", "[1,2],\n      [2,1]\n")
+            .replace("\"call_sites\":3", "\"call_sites\":4")
+            .replace("\"resolved\":2", "\"resolved\":3");
+        let diags = run(&bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("condensation is not a DAG")));
+        // Declaring the component fixes it.
+        let good = bad.replace("\"sccs\": []", "\"sccs\": [[1,2]]");
+        assert!(run(&good).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_stats_are_flagged() {
+        let bad = populated().replace("\"external\":1", "\"external\":5");
+        let diags = run(&bad);
+        assert!(diags.iter().any(|d| d.message.contains("do not add up")));
+        let bad = populated().replace("\"ambiguous\":1", "\"ambiguous\":7");
+        let diags = run(&bad);
+        assert!(diags.iter().any(|d| d.message.contains("exceeds resolved")));
+    }
+
+    #[test]
+    fn overlapping_sccs_and_bad_nodes_are_flagged() {
+        let bad = populated().replace("\"sccs\": []", "\"sccs\": [[0,1],[1,2]]");
+        let diags = run(&bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("more than one scc component")));
+        let bad = populated().replace("crates/a/src/lib.rs::replay@9:8", "nonsense");
+        let diags = run(&bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("file::name@line:col")));
+    }
+}

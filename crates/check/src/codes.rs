@@ -131,6 +131,12 @@ pub const NEXT_USE: &str = "CHK1003";
 /// schema: malformed JSON framing, a bad field value, findings out of
 /// sorted order, or header counts that disagree with the finding list.
 pub const ANALYZE_SCHEMA: &str = "CHK1101";
+/// Analyzer call-graph section violates its contract: malformed
+/// framing, an edge or seed referencing an undeclared node, unsorted
+/// or duplicated edges, an empty seed set, overlapping SCC
+/// components, a cycle the declared SCCs do not cover, or resolution
+/// stats that do not add up.
+pub const CALLGRAPH_SCHEMA: &str = "CHK1102";
 
 /// Every published code with its meaning, in code order.
 pub const CODE_TABLE: &[CodeInfo] = &[
@@ -305,6 +311,10 @@ pub const CODE_TABLE: &[CodeInfo] = &[
     CodeInfo {
         code: ANALYZE_SCHEMA,
         title: "analyzer findings report violates the schema",
+    },
+    CodeInfo {
+        code: CALLGRAPH_SCHEMA,
+        title: "analyzer call-graph section violates its contract",
     },
 ];
 

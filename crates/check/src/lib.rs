@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod callgraph;
 pub mod codes;
 pub mod diag;
 pub mod ingest;

@@ -2,6 +2,7 @@
 //! result ordering and per-job timing.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
@@ -31,6 +32,17 @@ pub struct JobOutput<R> {
     pub timing: JobTiming,
 }
 
+/// One job whose function panicked. The panic is caught at the job
+/// boundary so the rest of the batch still completes; the payload is
+/// rendered to a string so the record stays `Send` and comparable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Submission index of the failed job.
+    pub index: usize,
+    /// Rendered panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
 /// Aggregate counters for one batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineStats {
@@ -46,6 +58,9 @@ pub struct EngineStats {
     pub per_worker_jobs: Vec<u64>,
     /// Sum of per-job execution seconds (serial-equivalent work).
     pub busy_seconds: f64,
+    /// Jobs whose function panicked, in submission order; empty on a
+    /// fully successful batch.
+    pub failed: Vec<JobFailure>,
 }
 
 impl EngineStats {
@@ -179,9 +194,37 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// If `f` panics on any job, the panic is propagated after the
-    /// remaining workers finish their current jobs.
+    /// If `f` panics on any job, the panic is re-raised here after the
+    /// whole batch drains (workers never die mid-batch — the panic is
+    /// contained at the job boundary and carried out as a
+    /// [`JobFailure`]).
     pub fn run_with_stats<T, R, F>(&self, items: Vec<T>, f: F) -> (Vec<JobOutput<R>>, EngineStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let (results, stats) = self.try_run_with_stats(items, f);
+        let outputs = results
+            .into_iter()
+            .map(|r| match r {
+                Ok(out) => out,
+                Err(fail) => panic!("job {} panicked: {}", fail.index, fail.message),
+            })
+            .collect();
+        (outputs, stats)
+    }
+
+    /// Like [`Engine::run_with_stats`] but panics in `f` are contained
+    /// at the job boundary: each slot of the returned vector is
+    /// `Ok(output)` or `Err(failure)` in submission order, the rest of
+    /// the batch always completes, and the failures are also listed in
+    /// [`EngineStats::failed`].
+    pub fn try_run_with_stats<T, R, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+    ) -> (Vec<Result<JobOutput<R>, JobFailure>>, EngineStats)
     where
         T: Send,
         R: Send,
@@ -205,7 +248,7 @@ impl Engine {
 
         let steal_count = AtomicU64::new(0);
         let per_worker: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
-        let (sender, receiver) = mpsc::channel::<(usize, JobOutput<R>)>();
+        let (sender, receiver) = mpsc::channel::<(usize, Result<JobOutput<R>, JobFailure>)>();
 
         std::thread::scope(|scope| {
             for worker in 0..threads {
@@ -248,9 +291,13 @@ impl Engine {
                     }
                     per_worker[worker].fetch_add(1, Ordering::Relaxed);
                     let started = Instant::now();
-                    let value = {
-                        let _span = obs::span!("exec.job", "job={}", job.index);
-                        f(job.index, job.item)
+                    // Contain job panics at this boundary: a panicking
+                    // job must not kill its worker (the queues would
+                    // strand) or poison the batch for its siblings.
+                    let index = job.index;
+                    let result = {
+                        let _span = obs::span!("exec.job", "job={}", index);
+                        catch_unwind(AssertUnwindSafe(|| f(index, job.item)))
                     };
                     let timing = JobTiming {
                         queue_seconds: started.duration_since(submitted).as_secs_f64(),
@@ -265,23 +312,40 @@ impl Engine {
                         }
                         obs::observe!("exec.queue_wait_seconds", timing.queue_seconds);
                     }
+                    let outcome = match result {
+                        Ok(value) => Ok(JobOutput { value, timing }),
+                        Err(payload) => Err(JobFailure {
+                            index,
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    };
                     // The receiver outlives the scope; a send can only
                     // fail if the main thread is already unwinding.
-                    let _ = sender.send((job.index, JobOutput { value, timing }));
+                    let _ = sender.send((index, outcome));
                 });
             }
         });
         drop(sender);
 
-        let mut slots: Vec<Option<JobOutput<R>>> = (0..n_jobs).map(|_| None).collect();
-        for (index, output) in receiver {
-            slots[index] = Some(output);
+        let mut slots: Vec<Option<Result<JobOutput<R>, JobFailure>>> =
+            (0..n_jobs).map(|_| None).collect();
+        for (index, outcome) in receiver {
+            slots[index] = Some(outcome);
         }
-        let outputs: Vec<JobOutput<R>> = slots
+        let results: Vec<Result<JobOutput<R>, JobFailure>> = slots
             .into_iter()
             .map(|slot| slot.expect("every submitted job reports exactly once"))
             .collect();
-        let busy_seconds = outputs.iter().map(|o| o.timing.exec_seconds).sum();
+        let busy_seconds = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|o| o.timing.exec_seconds)
+            .sum();
+        let failed: Vec<JobFailure> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .cloned()
+            .collect();
         let stats = EngineStats {
             threads,
             jobs: n_jobs,
@@ -292,9 +356,22 @@ impl Engine {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             busy_seconds,
+            failed,
         };
         obs::gauge!("exec.utilization", stats.utilization());
-        (outputs, stats)
+        (results, stats)
+    }
+}
+
+/// Renders a caught panic payload: `&str` and `String` payloads pass
+/// through verbatim, anything else gets a fixed placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -420,6 +497,7 @@ mod tests {
             wall_seconds: 0.0,
             per_worker_jobs: Vec::new(),
             busy_seconds: 0.0,
+            failed: Vec::new(),
         };
         assert_eq!(stats.utilization(), 0.0);
         let degenerate = EngineStats {
@@ -429,6 +507,7 @@ mod tests {
             wall_seconds: 0.0,
             per_worker_jobs: vec![1, 0, 0, 0],
             busy_seconds: 0.5,
+            failed: Vec::new(),
         };
         assert_eq!(degenerate.utilization(), 0.0);
         assert!(degenerate.utilization().is_finite());
@@ -457,6 +536,59 @@ mod tests {
             registry.gauge("exec.utilization"),
             Some(stats.utilization())
         );
+    }
+
+    #[test]
+    fn panicking_job_is_contained() {
+        let engine = Engine::new(2);
+        let (results, stats) = engine.try_run_with_stats((0..8u32).collect(), |_, x| {
+            assert!(x != 3, "job three exploded");
+            x * 2
+        });
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let fail = r.as_ref().expect_err("job 3 panicked");
+                assert_eq!(fail.index, 3);
+                assert!(fail.message.contains("job three exploded"));
+            } else {
+                let out = r.as_ref().expect("other jobs complete");
+                assert_eq!(out.value, i as u32 * 2);
+            }
+        }
+        // The failure is surfaced in the stats and every job — failed
+        // or not — is accounted for.
+        assert_eq!(stats.jobs, 8);
+        assert_eq!(stats.failed.len(), 1);
+        assert_eq!(stats.failed[0].index, 3);
+        assert_eq!(stats.per_worker_jobs.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn run_with_stats_reraises_after_the_batch_drains() {
+        let engine = Engine::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.run((0..4u32).collect(), |_, x| {
+                assert!(x != 1, "boom");
+                x
+            })
+        }));
+        let payload = caught.expect_err("the contained panic is re-raised");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("job 1 panicked"), "got {message:?}");
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_rendered() {
+        let engine = Engine::new(1);
+        let (results, stats) =
+            engine.try_run_with_stats(vec![0u32], |_, _| -> u32 { std::panic::panic_any(42i32) });
+        let fail = results[0].as_ref().expect_err("job panicked");
+        assert_eq!(fail.message, "non-string panic payload");
+        assert_eq!(stats.failed.len(), 1);
     }
 
     #[test]

@@ -45,4 +45,4 @@
 
 mod engine;
 
-pub use engine::{Engine, EngineStats, JobOutput, JobTiming};
+pub use engine::{Engine, EngineStats, JobFailure, JobOutput, JobTiming};

@@ -11,31 +11,65 @@
 //! invariants a lint pass can't express — crate-header pragmas,
 //! manifest opt-ins, the panic-free-library rule with its documented
 //! allowlist, the layering DAG, and report-path determinism.
+//!
+//! `cargo run -p xtask -- lint --fix-allowlist` mechanically removes
+//! allowlist entries the analyzer reports as unused (`XT0702`) before
+//! printing the report, so the allowlist never accretes dead rows.
+//!
+//! `cargo run -p xtask -- bench-analyze` measures the analyzer itself
+//! (lexer throughput and self-host wall time) and writes the result to
+//! `results/BENCH_analyze.json` for the CI artifact trail.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeSet;
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use commorder_analyze::{analyze_workspace, AnalyzerConfig};
+use commorder_analyze::workspace::prune_allowlist;
+use commorder_analyze::{analyze_workspace, codes, lex, AnalyzerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(&workspace_root(), args.iter().any(|a| a == "--json")),
+        Some("lint") => lint(
+            &workspace_root(),
+            args.iter().any(|a| a == "--json"),
+            args.iter().any(|a| a == "--fix-allowlist"),
+        ),
+        Some("bench-analyze") => bench_analyze(&workspace_root()),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--json]");
+            eprintln!("usage: cargo run -p xtask -- <task>");
             eprintln!();
             eprintln!("tasks:");
-            eprintln!("  lint    offline static-analysis pass over all workspace crates");
+            eprintln!("  lint [--json] [--fix-allowlist]");
+            eprintln!("          offline static-analysis pass over all workspace crates;");
+            eprintln!("          --fix-allowlist prunes XT0702-unused allowlist entries first");
+            eprintln!("  bench-analyze");
+            eprintln!("          measure lexer throughput + analyzer self-host wall time");
+            eprintln!("          and write results/BENCH_analyze.json");
             ExitCode::FAILURE
         }
     }
 }
 
 /// Runs the analyzer over the workspace and prints the report; the
-/// process fails when any error-severity finding is present.
-fn lint(root: &Path, json: bool) -> ExitCode {
+/// process fails when any error-severity finding is present. With
+/// `fix_allowlist`, stale (`XT0702`) allowlist entries are pruned from
+/// the allowlist file before the reported run.
+fn lint(root: &Path, json: bool, fix_allowlist: bool) -> ExitCode {
+    if fix_allowlist {
+        match prune_stale_allowlist_entries(root) {
+            Ok(0) => eprintln!("xtask lint: allowlist has no unused entries"),
+            Ok(n) => eprintln!("xtask lint: pruned {n} unused allowlist entr{}", plural(n)),
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let report = match analyze_workspace(root, &AnalyzerConfig::default()) {
         Ok(report) => report,
         Err(e) => {
@@ -53,6 +87,139 @@ fn lint(root: &Path, json: bool) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Runs the analyzer once to locate `XT0702` findings, then rewrites
+/// the allowlist file with those lines removed. Returns the number of
+/// pruned entries.
+fn prune_stale_allowlist_entries(root: &Path) -> Result<usize, String> {
+    let config = AnalyzerConfig::default();
+    let report = analyze_workspace(root, &config)?;
+    let stale: BTreeSet<u32> = report
+        .findings
+        .iter()
+        .filter(|f| f.code == codes::ALLOWLIST_UNUSED && f.file == config.allowlist_rel)
+        .map(|f| f.line)
+        .collect();
+    if stale.is_empty() {
+        return Ok(0);
+    }
+    let path = root.join(&config.allowlist_rel);
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    fs::write(&path, prune_allowlist(&text, &stale))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(stale.len())
+}
+
+/// "y"/"ies" suffix for the prune message.
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}
+
+/// Benchmarks the analyzer over the live workspace: raw lexer
+/// throughput (tokens/s over every `crates/**/*.rs` file) and the wall
+/// time of a full self-host `analyze_workspace` run. Writes
+/// `results/BENCH_analyze.json`.
+fn bench_analyze(root: &Path) -> ExitCode {
+    let mut sources = Vec::new();
+    if let Err(e) = collect_rs_files(&root.join("crates"), &mut sources) {
+        eprintln!("xtask bench-analyze: {e}");
+        return ExitCode::FAILURE;
+    }
+    sources.sort();
+
+    let mut bytes: u64 = 0;
+    let mut tokens: u64 = 0;
+    let lex_start = Instant::now();
+    for path in &sources {
+        let src = match fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("xtask bench-analyze: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        bytes += src.len() as u64;
+        tokens += lex(&src).len() as u64;
+    }
+    let lex_seconds = lex_start.elapsed().as_secs_f64();
+
+    let selfhost_start = Instant::now();
+    let report = match analyze_workspace(root, &AnalyzerConfig::default()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask bench-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let selfhost_seconds = selfhost_start.elapsed().as_secs_f64();
+    let tokens_per_second = if lex_seconds > 0.0 {
+        tokens as f64 / lex_seconds
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench-analyze.v1\",\n  \"files\": {},\n  \"bytes\": {},\n  \
+         \"tokens\": {},\n  \"lex_seconds\": {:.6},\n  \"tokens_per_second\": {:.0},\n  \
+         \"selfhost_seconds\": {:.6},\n  \"findings\": {}\n}}\n",
+        sources.len(),
+        bytes,
+        tokens,
+        lex_seconds,
+        tokens_per_second,
+        selfhost_seconds,
+        report.findings.len(),
+    );
+    let out_dir = root.join("results");
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!(
+            "xtask bench-analyze: cannot create {}: {e}",
+            out_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let out_path = out_dir.join("BENCH_analyze.json");
+    if let Err(e) = fs::write(&out_path, &json) {
+        eprintln!(
+            "xtask bench-analyze: cannot write {}: {e}",
+            out_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "xtask bench-analyze: {} files, {} tokens, {:.0} tokens/s lex, {:.3}s self-host -> {}",
+        sources.len(),
+        tokens,
+        tokens_per_second,
+        selfhost_seconds,
+        out_path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Recursively collects every `.rs` file under `dir`, skipping
+/// `target/` build directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
 }
 
 /// The workspace root: two levels above this crate's manifest.

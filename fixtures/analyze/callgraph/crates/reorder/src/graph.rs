@@ -1,0 +1,88 @@
+//! Shapes the graph builder must classify correctly.
+
+/// First community weigher.
+pub struct Alpha;
+
+/// Second community weigher.
+pub struct Beta;
+
+impl Alpha {
+    /// Same method name as `Beta::weigh`; a *typed* receiver pins
+    /// this impl alone.
+    pub fn weigh(&self, n: usize) -> usize {
+        n + 1
+    }
+}
+
+impl Beta {
+    /// Same method name as `Alpha::weigh`; only untyped receivers
+    /// reach it through the CHA fallback.
+    pub fn weigh(&self, n: usize) -> usize {
+        n + 2
+    }
+}
+
+/// Dispatch trait over the weighers.
+pub trait Weigher {
+    /// Scales a weight.
+    fn scale(&self, n: usize) -> usize;
+}
+
+impl Weigher for Alpha {
+    fn scale(&self, n: usize) -> usize {
+        n * 2
+    }
+}
+
+impl Weigher for Beta {
+    fn scale(&self, n: usize) -> usize {
+        n * 3
+    }
+}
+
+/// Untypeable producer: calls through its return value resolve by
+/// name only (CHA), so `pick().weigh(…)` links both impls.
+fn pick() -> Alpha {
+    Alpha
+}
+
+/// Hot-path seed (`reorder` is in the default seed set); no loops, so
+/// the allocation lint stays silent.
+pub fn reorder(xs: &[usize]) -> usize {
+    let alpha = Alpha;
+    // Typed local receiver: resolves to `Alpha::weigh` alone.
+    let w = alpha.weigh(xs.len());
+    // Chain-tail receiver: ambiguous, edges to both `weigh` impls.
+    let v = pick().weigh(w);
+    apply(&Alpha, v) + ping(v) + total(xs)
+}
+
+/// `dyn`-trait parameter: `w.scale(…)` dispatches CHA-style to every
+/// `Weigher` implementor.
+fn apply(w: &dyn Weigher, n: usize) -> usize {
+    w.scale(n)
+}
+
+/// Mutually recursive with `pong`: one cyclic SCC of two nodes.
+pub fn ping(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        pong(n - 1)
+    }
+}
+
+/// Mutually recursive with `ping`.
+pub fn pong(n: usize) -> usize {
+    if n == 0 {
+        1
+    } else {
+        ping(n - 1)
+    }
+}
+
+/// Only external calls here: `iter`, `copied`, and `sum` resolve to
+/// nothing in the workspace and are counted, never guessed.
+fn total(xs: &[usize]) -> usize {
+    xs.iter().copied().sum::<usize>()
+}

@@ -1,0 +1,7 @@
+//! Fixture: call-graph resolution — a recursion SCC, ambiguous method
+//! dispatch, and external calls, seeded by a `reorder` function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;

@@ -1,0 +1,7 @@
+//! Fixture: concurrency-safety audit — every `XT09xx` hazard in one
+//! small engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;

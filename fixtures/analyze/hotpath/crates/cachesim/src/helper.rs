@@ -1,0 +1,22 @@
+//! One call-graph edge below the seed, plus an unreachable control.
+
+/// Reached from `replay` through `crate::helper::step`, so its loops
+/// are hot too.
+pub fn step(t: u32) -> usize {
+    let mut n = 0;
+    for i in 0..t {
+        let owned = i.to_string();
+        n += owned.len();
+    }
+    n
+}
+
+/// Never called from a seed: the same shapes must stay silent here.
+pub fn cold(rows: &[u32]) -> String {
+    let mut out = String::new();
+    for &r in rows {
+        let piece = format!("{r},");
+        out.push_str(&piece);
+    }
+    out
+}

@@ -1,0 +1,8 @@
+//! Fixture: hot-path allocation lint — loop allocations reachable
+//! from a `replay` seed, with an unreachable control function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod helper;
+pub mod replay;

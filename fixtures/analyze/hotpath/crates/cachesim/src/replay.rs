@@ -1,0 +1,16 @@
+//! The `replay` seed: every flagged allocation shape in one loop.
+
+/// Seed: its bare name is in the default hot-path seed set.
+pub fn replay(trace: &[u32]) -> usize {
+    let mut total = 0;
+    for &t in trace {
+        let scratch = vec![t; 4];
+        let label = format!("acc-{t}");
+        let mut line = String::with_capacity(8);
+        let doubled = trace.iter().map(|x| x * 2).collect::<Vec<u32>>();
+        line.push('x');
+        total += scratch.len() + label.len() + line.len() + doubled.len();
+        total += crate::helper::step(t);
+    }
+    total
+}
