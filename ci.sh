@@ -57,6 +57,28 @@ echo "== telemetry stream validates (CHK09xx)"
 cargo run --release -q -p commorder --bin commorder-cli -- \
   check /tmp/commorder-suite-smoke.jsonl
 
+echo "== reorder bench artifact (results/BENCH_reorder.json)"
+# Engine-parallel reordering throughput on the streamed mega tier:
+# RABBIT / RABBIT++ / BOBA at 1, 2 and 8 threads over
+# mega-kmer-chain-4m (4.2M rows). The run itself fails if the
+# permutation fingerprint drifts across thread counts, so this gate
+# doubles as the thread-count-invariance check at full scale. Release
+# profile: community detection over 8.8M edges is not a debug-build
+# workload.
+cargo run --release -q -p xtask -- bench-reorder
+test -s results/BENCH_reorder.json
+
+echo "== streamed-generation tripwire (mega tier, ulimit -v 256 MiB)"
+# The mega tier must be emitted straight into CSR — a reintroduced
+# intermediate edge list for mega-soc-rmat-1m (8.2M undirected edges,
+# ~130 MiB as (u32, u32) pairs before dedup) blows the same 256 MiB
+# address-space ceiling the trace tripwire uses. Streamed generation
+# peaks well under it.
+(
+  ulimit -v 262144
+  MALLOC_ARENA_MAX=2 ./target/release/commorder-cli corpus stats mega-soc-rmat-1m
+)
+
 echo "== streaming-memory tripwire (ulimit -v 256 MiB)"
 # Regression tripwire for reintroduced full-trace materialization: the
 # largest synth corpus matrix (soc-rmat-xl, ~6.2M accesses per SpMV

@@ -55,7 +55,7 @@ impl Default for AnalyzerConfig {
             ("sparse", 0),
             ("cachesim", 1),
             ("exec", 1),
-            ("reorder", 1),
+            ("reorder", 2),
             ("synth", 1),
             ("gpumodel", 2),
             ("check", 3),

@@ -39,7 +39,7 @@ fn main() {
             let rabbit = Rabbit {
                 detection: DetectionConfig {
                     resolution: gamma,
-                    max_passes: 16,
+                    ..DetectionConfig::default()
                 },
             };
             let r = rabbit.run(&case.matrix).expect("square corpus matrix");

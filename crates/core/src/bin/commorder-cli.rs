@@ -9,8 +9,8 @@
 //! commorder-cli spy      <in.mtx> [technique]
 //! commorder-cli advise   <in.mtx>
 //! commorder-cli check    <file> [--json]
-//! commorder-cli corpus [export <dir>]
-//! commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]
+//! commorder-cli corpus [export <dir> | stats <name>]
+//! commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]
 //! commorder-cli profile [--top N] [suite flags]
 //! ```
 //!
@@ -47,7 +47,7 @@ use commorder::synth::corpus;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli analyze  --source [ROOT] [--json]\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir>]\n  commorder-cli suite [--threads N] [--corpus mini|standard] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]\n  commorder-cli profile [--top N] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). profile runs the same\ngrid under the telemetry registry and prints the phase tree plus the\n--top hottest (matrix, technique) cells. suite --list prints the\nresolved grid (matrices, techniques, job count) without running it.",
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli analyze  --source [ROOT] [--json]\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir> | stats <name>]\n  commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]\n  commorder-cli profile [--top N] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). --techniques replaces\nthe paper suite with a comma-separated registry list (e.g.\nrabbit++,boba,rcm++); --corpus mega selects the streamed million-row\ntier. profile runs the same grid under the telemetry registry and prints\nthe phase tree plus the --top hottest (matrix, technique) cells. suite\n--list prints the resolved grid without running it. corpus stats\ngenerates one entry (any tier) and prints its shape — CI runs it under\nulimit -v as the streamed-generation memory tripwire.",
         TECHNIQUE_NAMES.join(" | ")
     );
     ExitCode::FAILURE
@@ -89,19 +89,36 @@ fn finish_jsonl(
     Ok(())
 }
 
-/// Generates the corpus and runs the paper-suite grid — the shared core
-/// of the `suite` and `profile` subcommands. Emits `suite` /
-/// `suite.generate` spans around the main-thread phases; per-job spans
-/// come from the engine and pipeline instrumentation.
-fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::error::Error>> {
-    let _root = obs::span!("suite");
+/// Resolves the corpus tier: the `--corpus` flag, then the
+/// `COMMORDER_CORPUS` environment variable, then `standard`.
+fn resolve_corpus(options: &SuiteOptions) -> (String, Vec<corpus::CorpusEntry>, GpuSpec) {
     let corpus_kind = options.corpus.clone().unwrap_or_else(|| {
         std::env::var("COMMORDER_CORPUS").unwrap_or_else(|_| "standard".to_string())
     });
     let (entries, gpu) = match corpus_kind.as_str() {
         "mini" => (corpus::mini(), GpuSpec::test_scale()),
+        "mega" => (corpus::mega(), GpuSpec::a6000_scaled()),
         _ => (corpus::standard(), GpuSpec::a6000_scaled()),
     };
+    (corpus_kind, entries, gpu)
+}
+
+/// Resolves `--techniques` (registry list) or falls back to the paper
+/// suite.
+fn resolve_techniques(options: &SuiteOptions) -> Result<Vec<Box<dyn Reordering>>, String> {
+    match &options.techniques {
+        Some(list) => commorder::reorder::parse_technique_list(list, 0xC0DE),
+        None => Ok(paper_suite(0xC0DE)),
+    }
+}
+
+/// Generates the corpus and runs the suite grid — the shared core
+/// of the `suite` and `profile` subcommands. Emits `suite` /
+/// `suite.generate` spans around the main-thread phases; per-job spans
+/// come from the engine and pipeline instrumentation.
+fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::error::Error>> {
+    let _root = obs::span!("suite");
+    let (corpus_kind, entries, gpu) = resolve_corpus(options);
     let limit = options.max_matrices.unwrap_or(usize::MAX);
     let engine = match options.threads {
         Some(n) => Engine::new(n),
@@ -123,7 +140,7 @@ fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::err
         }
         None => entries,
     };
-    let mut spec = ExperimentSpec::new(gpu).techniques(paper_suite(0xC0DE));
+    let mut spec = ExperimentSpec::new(gpu).techniques(resolve_techniques(options)?);
     for entry in entries.into_iter().take(limit) {
         eprintln!("[suite] gen {}", entry.name);
         let _span = obs::span!("suite.generate", "{}", entry.name);
@@ -144,13 +161,7 @@ fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::err
 /// technique suite, thread count) and prints it without generating a
 /// single matrix.
 fn list_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
-    let corpus_kind = options.corpus.clone().unwrap_or_else(|| {
-        std::env::var("COMMORDER_CORPUS").unwrap_or_else(|_| "standard".to_string())
-    });
-    let entries = match corpus_kind.as_str() {
-        "mini" => corpus::mini(),
-        _ => corpus::standard(),
-    };
+    let (corpus_kind, entries, _) = resolve_corpus(options);
     let entries: Vec<_> = match &options.only {
         Some(name) => {
             let kept: Vec<_> = entries
@@ -168,7 +179,7 @@ fn list_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> 
     };
     let limit = options.max_matrices.unwrap_or(usize::MAX);
     let entries: Vec<_> = entries.into_iter().take(limit).collect();
-    let techniques: Vec<String> = paper_suite(0xC0DE)
+    let techniques: Vec<String> = resolve_techniques(options)?
         .iter()
         .map(|t| t.name().to_string())
         .collect();
@@ -460,6 +471,31 @@ fn advise(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `corpus stats <name>`: generates one entry (searched across the
+/// standard, mega and mini tiers) and prints its shape. Mega entries
+/// stream straight into CSR, so CI runs this under `ulimit -v` to prove
+/// million-row generation never materializes an edge list.
+fn corpus_stats(name: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let entry = corpus::standard()
+        .into_iter()
+        .chain(corpus::mega())
+        .chain(corpus::mini())
+        .find(|e| e.name == name)
+        .ok_or_else(|| format!("no corpus entry named {name:?} in any tier"))?;
+    let started = std::time::Instant::now();
+    let m = entry.generate()?;
+    println!(
+        "{}: {} x {}, {} non-zeros ({}, generated in {:.2} s)",
+        entry.name,
+        m.n_rows(),
+        m.n_cols(),
+        m.nnz(),
+        entry.domain.label(),
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
 fn list_corpus() {
     let mut table = Table::new(
         "standard evaluation corpus",
@@ -520,6 +556,7 @@ fn main() -> ExitCode {
                 return usage();
             }
         },
+        [cmd, sub, name] if cmd == "corpus" && sub == "stats" => corpus_stats(name),
         [cmd, sub, dir] if cmd == "corpus" && sub == "export" => {
             let entries = corpus::standard();
             corpus::export_to_directory(&entries, std::path::Path::new(dir))

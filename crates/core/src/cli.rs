@@ -2,51 +2,21 @@
 //! and the analyze/reorder/simulate entry points, kept in the library so
 //! they are unit-testable.
 
-use commorder_reorder::{
-    Bisection, Dbg, DegSort, Gorder, HubGroup, HubSort, LabelPropagation, Original, Rabbit,
-    RabbitPlusPlus, RandomOrder, Rcm, Reordering, SlashBurn,
-};
+use commorder_reorder::{technique_by_name, Reordering};
 use commorder_sparse::traffic::Kernel;
 
-/// Names accepted by [`parse_technique`], for help text.
-pub const TECHNIQUE_NAMES: &[&str] = &[
-    "original",
-    "random",
-    "degsort",
-    "dbg",
-    "hubsort",
-    "hubgroup",
-    "rcm",
-    "gorder",
-    "rabbit",
-    "rabbit++",
-    "slashburn",
-    "bisection",
-    "labelprop",
-];
+/// Names accepted by [`parse_technique`], for help text. Re-exported
+/// from the technique registry so CLI help always matches what resolves.
+pub use commorder_reorder::TECHNIQUE_NAMES;
 
-/// Resolves a (case-insensitive) technique name to an instance.
+/// Resolves a (case-insensitive) technique name to an instance, via the
+/// technique registry with the CLI's fixed `0xC0DE` seed.
 ///
-/// Returns `None` for unknown names. `"rabbitpp"` is accepted as an
-/// alias for `"rabbit++"`.
+/// Returns `None` for unknown names. `"rabbitpp"`, `"rcmpp"` and
+/// `"rabbitflat"` are accepted as aliases.
 #[must_use]
 pub fn parse_technique(name: &str) -> Option<Box<dyn Reordering>> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "original" => Box::new(Original),
-        "random" => Box::new(RandomOrder::new(0xC0DE)),
-        "degsort" => Box::new(DegSort),
-        "dbg" => Box::new(Dbg::default()),
-        "hubsort" => Box::new(HubSort),
-        "hubgroup" => Box::new(HubGroup),
-        "rcm" => Box::new(Rcm),
-        "gorder" => Box::new(Gorder::default()),
-        "rabbit" => Box::new(Rabbit::new()),
-        "rabbit++" | "rabbitpp" => Box::new(RabbitPlusPlus::new()),
-        "slashburn" => Box::new(SlashBurn::default()),
-        "bisection" => Box::new(Bisection::default()),
-        "labelprop" => Box::new(LabelPropagation::default()),
-        _ => return None,
-    })
+    technique_by_name(name, 0xC0DE)
 }
 
 /// Resolves a kernel name (`spmv-csr`, `spmv-coo`, `spmm-4`, `spmm-256`,
@@ -81,9 +51,13 @@ pub fn parse_kernel(name: &str) -> Option<Kernel> {
 pub struct SuiteOptions {
     /// Worker threads (`--threads N`); `None` = available parallelism.
     pub threads: Option<usize>,
-    /// Corpus name (`--corpus mini|standard`); `None` = honour the
+    /// Corpus name (`--corpus mini|standard|mega`); `None` = honour the
     /// `COMMORDER_CORPUS` environment variable, defaulting to `standard`.
     pub corpus: Option<String>,
+    /// Comma-separated technique list (`--techniques rabbit++,boba`);
+    /// `None` = the paper suite. Resolved through the technique
+    /// registry, so every registered name and alias is accepted.
+    pub techniques: Option<String>,
     /// Truncate the corpus (`--max-matrices N`).
     pub max_matrices: Option<usize>,
     /// Keep only corpus entries whose name contains this substring
@@ -114,6 +88,7 @@ impl SuiteOptions {
         let mut options = SuiteOptions {
             threads: None,
             corpus: None,
+            techniques: None,
             max_matrices: None,
             only: None,
             json: None,
@@ -140,10 +115,17 @@ impl SuiteOptions {
                 }
                 "--corpus" => {
                     let v = value_of("--corpus")?;
-                    if v != "mini" && v != "standard" {
-                        return Err(format!("--corpus expects mini|standard, got {v:?}"));
+                    if v != "mini" && v != "standard" && v != "mega" {
+                        return Err(format!("--corpus expects mini|standard|mega, got {v:?}"));
                     }
                     options.corpus = Some(v);
+                }
+                "--techniques" => {
+                    let v = value_of("--techniques")?;
+                    // Validate eagerly so a typo fails at parse time, not
+                    // after corpus generation.
+                    commorder_reorder::parse_technique_list(&v, 0xC0DE)?;
+                    options.techniques = Some(v);
                 }
                 "--max-matrices" => {
                     let v = value_of("--max-matrices")?;

@@ -43,7 +43,7 @@ use commorder_cachesim::trace::ExecutionModel;
 use commorder_exec::{Engine, EngineStats};
 use commorder_gpumodel::GpuSpec;
 use commorder_obs as obs;
-use commorder_reorder::Reordering;
+use commorder_reorder::{ReorderContext, Reordering};
 use commorder_sparse::traffic::Kernel;
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
 
@@ -78,6 +78,8 @@ pub struct ExperimentSpec {
     pub models: Vec<ExecutionModel>,
     /// Replacement policies.
     pub policies: Vec<ReplacementPolicy>,
+    /// Seed handed to techniques through [`ReorderContext`].
+    pub reorder_seed: u64,
 }
 
 impl ExperimentSpec {
@@ -92,7 +94,16 @@ impl ExperimentSpec {
             kernels: vec![Kernel::SpmvCsr],
             models: vec![ExecutionModel::Sequential],
             policies: vec![ReplacementPolicy::Lru],
+            reorder_seed: 0xC0DE,
         }
+    }
+
+    /// Replaces the seed handed to techniques through [`ReorderContext`]
+    /// (default `0xC0DE`).
+    #[must_use]
+    pub fn reorder_seed(mut self, seed: u64) -> Self {
+        self.reorder_seed = seed;
+        self
     }
 
     /// Adds a matrix under `name` (empty group label).
@@ -258,7 +269,10 @@ impl ExperimentSpec {
                 let started = Instant::now();
                 let permutation = {
                     let _span = obs::span!("grid.reorder", "{}", technique.name());
-                    technique.reorder(matrix)?
+                    // Techniques with parallel phases fan out on the same
+                    // engine; the permutation is thread-count-invariant.
+                    technique
+                        .reorder_with(matrix, &ReorderContext::new(engine, self.reorder_seed))?
                 };
                 let reorder_seconds = started.elapsed().as_secs_f64();
                 let reordered = {

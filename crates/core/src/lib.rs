@@ -77,8 +77,9 @@ pub mod prelude {
         Evaluation, KernelRun, Pipeline, PipelineBuilder, ReplacementPolicy,
     };
     pub use crate::reorder::{
-        paper_suite, Dbg, DegSort, Gorder, HubGroup, HubPolicy, HubSort, Original, Rabbit,
-        RabbitPlusPlus, RabbitPlusPlusConfig, RandomOrder, Rcm, Reordering,
+        paper_suite, parse_technique_list, technique_by_name, Boba, Dbg, DegSort, Gorder, HubGroup,
+        HubPolicy, HubSort, Original, Rabbit, RabbitPlusPlus, RabbitPlusPlusConfig, RandomOrder,
+        Rcm, RcmPlusPlus, ReorderContext, Reordering,
     };
     pub use crate::report::Table;
     pub use crate::sparse::{traffic::Kernel, CooMatrix, CsrMatrix, Permutation};

@@ -20,7 +20,7 @@ use commorder_cachesim::trace::ExecutionModel;
 use commorder_cachesim::{CacheStats, LruCache, TraceSource};
 use commorder_gpumodel::GpuSpec;
 use commorder_obs as obs;
-use commorder_reorder::Reordering;
+use commorder_reorder::{ReorderContext, Reordering};
 use commorder_sparse::traffic::Kernel;
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
 
@@ -328,7 +328,23 @@ impl Pipeline {
         matrix: &CsrMatrix,
         technique: &dyn Reordering,
     ) -> Result<Evaluation, SparseError> {
-        let permutation = technique.reorder(matrix)?;
+        self.evaluate_with(matrix, technique, &ReorderContext::serial(0xC0DE))
+    }
+
+    /// [`Pipeline::evaluate`] with an execution context: techniques with
+    /// parallel phases fan out on `cx.engine()`. The evaluation is
+    /// byte-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reordering/permutation errors (non-square input).
+    pub fn evaluate_with(
+        &self,
+        matrix: &CsrMatrix,
+        technique: &dyn Reordering,
+        cx: &ReorderContext<'_>,
+    ) -> Result<Evaluation, SparseError> {
+        let permutation = technique.reorder_with(matrix, cx)?;
         commorder_sparse::debug_validate!(
             permutation.len() == matrix.n_rows() as usize,
             "{}: permutation length {} does not match n = {}",

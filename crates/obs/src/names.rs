@@ -148,6 +148,11 @@ pub const METRICS: &[MetricInfo] = &[
         kind: MetricKind::Counter,
         help: "aggregation sweeps performed during community detection",
     },
+    MetricInfo {
+        name: "reorder.community.shards",
+        kind: MetricKind::Counter,
+        help: "detection shards (islands or label-prop groups) aggregated",
+    },
 ];
 
 /// Looks up a metric's registry row; `None` for undeclared names.
@@ -181,8 +186,16 @@ pub const SPANS: &[SpanInfo] = &[
         help: "full community-detection run over one matrix",
     },
     SpanInfo {
+        name: "community.islands",
+        help: "sharding the graph ahead of parallel community detection",
+    },
+    SpanInfo {
         name: "community.pass",
         help: "one aggregation sweep inside community detection",
+    },
+    SpanInfo {
+        name: "community.shard",
+        help: "aggregation over one detection shard",
     },
     SpanInfo {
         name: "exec.job",
@@ -219,6 +232,10 @@ pub const SPANS: &[SpanInfo] = &[
     SpanInfo {
         name: "rabbit.order",
         help: "hierarchy flattening inside rabbit ordering",
+    },
+    SpanInfo {
+        name: "reorder.boba",
+        help: "full boba first-touch reordering over one matrix",
     },
     SpanInfo {
         name: "reorder.rabbit",

@@ -13,7 +13,17 @@
 use commorder_sparse::{stats, CsrMatrix, SparseError};
 
 use crate::quality;
-use crate::{Rabbit, RabbitPlusPlus, Rcm, Reordering};
+use crate::{technique_by_name, Rabbit, Reordering};
+
+/// Advisor recommendations come from the name-keyed registry — the same
+/// constructions `suite --techniques` resolves — so the advisor can
+/// never recommend a technique the CLI cannot spell. The seed only
+/// affects seeded techniques (random, rabbit-flat), which the advisor
+/// never picks.
+fn registered(name: &str) -> Box<dyn Reordering> {
+    technique_by_name(name, 0xC0DE)
+        .unwrap_or_else(|| unreachable!("advisor recommendations are registered: {name}"))
+}
 
 /// How much pre-processing time the caller can afford.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,7 +114,7 @@ impl Advisor {
         // ordered it; RCM tightens the band at trivial cost.
         if signals_base.normalized_index_distance < self.diagonal_threshold {
             return Ok(Recommendation {
-                technique: Box::new(Rcm),
+                technique: registered("rcm"),
                 rationale: format!(
                     "already near-diagonal (normalized index distance {:.4} < {:.4}); \
                      bandwidth reduction preserves and tightens the existing structure",
@@ -119,7 +129,7 @@ impl Advisor {
             // value (Fig. 9: amortizes ~7x faster than GORDER); skip the
             // extra RABBIT++ pass.
             return Ok(Recommendation {
-                technique: Box::new(Rabbit::new()),
+                technique: registered("rabbit"),
                 rationale: "tight pre-processing budget: RABBIT amortizes fastest \
                             among the broadly effective techniques (Fig. 9)"
                     .to_string(),
@@ -136,7 +146,7 @@ impl Advisor {
         };
         if insularity >= self.insularity_threshold {
             Ok(Recommendation {
-                technique: Box::new(Rabbit::new()),
+                technique: registered("rabbit"),
                 rationale: format!(
                     "insularity {insularity:.3} >= {:.2}: RABBIT is already within \
                      ~26% of ideal (Fig. 3); the ++ modifications change <1%",
@@ -146,7 +156,7 @@ impl Advisor {
             })
         } else {
             Ok(Recommendation {
-                technique: Box::new(RabbitPlusPlus::new()),
+                technique: registered("rabbit++"),
                 rationale: format!(
                     "insularity {insularity:.3} < {:.2} with skew {:.1}%: the \
                      insular/hub grouping of RABBIT++ recovers up to 1.6x here (Fig. 7)",

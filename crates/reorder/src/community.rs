@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use commorder_exec::Engine;
 use commorder_obs as obs;
 use commorder_sparse::{ops, CsrMatrix, SparseError};
 
@@ -81,16 +82,46 @@ impl Dendrogram {
     pub fn dfs_order(&self) -> Vec<u32> {
         let mut order = Vec::with_capacity(self.parent.len());
         for &root in &self.roots {
-            let mut stack = vec![root];
-            while let Some(v) = stack.pop() {
-                order.push(v);
-                // Push children reversed so the earliest merge is visited
-                // first (closest community member, deepest hierarchy).
-                stack.extend(self.children[v as usize].iter().rev().copied());
-            }
+            self.dfs_into(root, &mut order);
         }
         debug_assert_eq!(order.len(), self.parent.len());
         order
+    }
+
+    /// [`Dendrogram::dfs_order`] with the per-root traversals fanned out
+    /// over `engine`. Each root's subtree is independent, so chunking
+    /// roots and concatenating the chunk orders in root order reproduces
+    /// the serial traversal byte-for-byte at any thread count.
+    #[must_use]
+    pub fn dfs_order_with(&self, engine: &Engine) -> Vec<u32> {
+        if engine.threads() <= 1 || self.roots.len() <= 1 {
+            return self.dfs_order();
+        }
+        let chunks = root_chunks(self.roots.len(), engine.threads());
+        let segments: Vec<Vec<u32>> = engine.map(&chunks, |_, &(start, end)| {
+            let mut order = Vec::new();
+            for &root in &self.roots[start..end] {
+                self.dfs_into(root, &mut order);
+            }
+            order
+        });
+        let mut order = Vec::with_capacity(self.parent.len());
+        for segment in segments {
+            order.extend_from_slice(&segment);
+        }
+        debug_assert_eq!(order.len(), self.parent.len());
+        order
+    }
+
+    /// Appends the DFS of `root`'s subtree to `order`.
+    fn dfs_into(&self, root: u32, order: &mut Vec<u32>) {
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            // Push children reversed so the earliest merge is visited
+            // first (closest community member, deepest hierarchy).
+            stack.extend(self.children[v as usize].iter().rev().copied());
+        }
     }
 
     /// Depth of every vertex in the merge forest (roots are depth 0) —
@@ -129,6 +160,31 @@ impl Dendrogram {
     }
 }
 
+/// How [`detect_with`] splits the graph into independently aggregated
+/// shards before modularity aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Shard by connected component. Merges never cross a component
+    /// boundary and the only global coupling in the gain formula is the
+    /// constant `total_m`, so per-component aggregation reproduces the
+    /// global sweep **byte-for-byte** — this is the default, and the
+    /// serial output is unchanged from pre-sharding releases.
+    #[default]
+    Connectivity,
+    /// Pre-shard with synchronous (Jacobi) label propagation, then
+    /// aggregate each label class independently, ignoring cross-shard
+    /// edges as merge candidates (they still count toward vertex
+    /// strength and `total_m`). The output differs from the global
+    /// sweep but is deterministic and thread-count-invariant — this is
+    /// the policy that parallelizes single-component graphs (social
+    /// networks) at the mega corpus tier.
+    LabelProp {
+        /// Maximum propagation rounds (each round is one synchronous
+        /// update of every vertex; the loop exits early on fixpoint).
+        rounds: u32,
+    },
+}
+
 /// Configuration for [`detect`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionConfig {
@@ -139,6 +195,8 @@ pub struct DetectionConfig {
     /// RABBIT incremental pass; further sweeps merge surviving
     /// aggregates Louvain-style until quiescent).
     pub max_passes: u32,
+    /// How the graph is split into independently aggregated shards.
+    pub shard: ShardPolicy,
 }
 
 impl Default for DetectionConfig {
@@ -146,6 +204,7 @@ impl Default for DetectionConfig {
         DetectionConfig {
             resolution: 1.0,
             max_passes: 16,
+            shard: ShardPolicy::Connectivity,
         }
     }
 }
@@ -159,6 +218,27 @@ impl Default for DetectionConfig {
 ///
 /// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
 pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, SparseError> {
+    detect_with(a, config, &Engine::serial())
+}
+
+/// [`detect`] with shard aggregation fanned out over `engine`.
+///
+/// The graph is split into shards per [`DetectionConfig::shard`]; each
+/// shard is aggregated independently (one [`Engine::map`] job per shard
+/// when the engine is parallel and more than one shard exists) and the
+/// per-shard merge logs are replayed into one dendrogram. The result is
+/// a pure function of `(a, config)` — never of the thread count: shard
+/// jobs share only immutable state, and the merge replay consumes shard
+/// outcomes in deterministic shard order.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
+pub fn detect_with(
+    a: &CsrMatrix,
+    config: DetectionConfig,
+    engine: &Engine,
+) -> Result<Dendrogram, SparseError> {
     let _span = obs::span!("community.detect");
     let sym = ops::remove_self_loops(&ops::symmetrize(a)?);
     let n = sym.n_rows() as usize;
@@ -172,10 +252,11 @@ pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, Spar
         });
     }
 
-    // Aggregate state. `strength[v]` is the summed weight of edges
-    // incident to aggregate v; `total_m` the summed weight of all edges
-    // (each undirected edge once).
-    let mut strength: Vec<f64> = (0..sym.n_rows())
+    // `strength[v]` is the summed weight of edges incident to v (all of
+    // them — cross-shard edges included); `total_m` the summed weight of
+    // all edges (each undirected edge once). Both are global under every
+    // shard policy, which is what keeps Connectivity sharding exact.
+    let strength: Vec<f64> = (0..sym.n_rows())
         .map(|v| {
             let (_, vals) = sym.row(v);
             vals.iter().map(|&w| f64::from(w)).sum::<f64>()
@@ -191,19 +272,173 @@ pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, Spar
         });
     }
 
-    // Lazily-consolidated adjacency per live aggregate.
-    let mut adj: Vec<HashMap<u32, f64>> = (0..sym.n_rows())
-        .map(|v| {
+    let shards = {
+        let _shard_span = obs::span!("community.islands");
+        shard_members(&sym, config.shard, engine)?
+    };
+    obs::counter!("reorder.community.shards", shards.len() as u64);
+
+    let outcomes: Vec<Vec<(u32, u32)>> = if engine.threads() > 1 && shards.len() > 1 {
+        engine.map(&shards, |_, members| {
+            let _agg_span = obs::span!("community.shard");
+            aggregate_shard(&sym, members, &strength, total_m, &config)
+        })
+    } else {
+        shards
+            .iter()
+            .map(|members| aggregate_shard(&sym, members, &strength, total_m, &config))
+            .collect()
+    };
+
+    // Replay the merge logs. Merges are shard-local, so replaying each
+    // shard's chronological log reproduces exactly the parent links and
+    // `children` push order of an interleaved global sweep.
+    for merges in &outcomes {
+        for &(v, u) in merges {
+            parent[v as usize] = u;
+            children[u as usize].push(v);
+        }
+    }
+
+    let mut roots: Vec<u32> = (0..n as u32)
+        .filter(|&v| parent[v as usize] == NONE)
+        .collect();
+    roots.sort_unstable();
+    Ok(Dendrogram {
+        parent,
+        children,
+        roots,
+    })
+}
+
+/// Splits the vertex set into shards per `policy` and returns the member
+/// lists, each ascending, in deterministic first-occurrence order.
+fn shard_members(
+    sym: &CsrMatrix,
+    policy: ShardPolicy,
+    engine: &Engine,
+) -> Result<Vec<Vec<u32>>, SparseError> {
+    let n = sym.n_rows();
+    let labels: Vec<u32> = match policy {
+        ShardPolicy::Connectivity => ops::connected_components(sym)?.0,
+        ShardPolicy::LabelProp { rounds } => labelprop_labels(sym, rounds, engine),
+    };
+    let mut shard_of_label = vec![NONE; n as usize];
+    let mut shards: Vec<Vec<u32>> = Vec::new();
+    for v in 0..n {
+        let label = labels[v as usize] as usize;
+        if shard_of_label[label] == NONE {
+            shard_of_label[label] = shards.len() as u32;
+            shards.push(Vec::new());
+        }
+        shards[shard_of_label[label] as usize].push(v);
+    }
+    Ok(shards)
+}
+
+/// Synchronous (Jacobi) label propagation: every vertex simultaneously
+/// adopts the most frequent label among its neighbours (ties to the
+/// smallest label), for up to `rounds` rounds or until fixpoint. Each
+/// round is a pure function of the previous label vector, computed in
+/// fixed vertex-range chunks, so the result is identical at any thread
+/// count.
+fn labelprop_labels(sym: &CsrMatrix, rounds: u32, engine: &Engine) -> Vec<u32> {
+    let n = sym.n_rows() as usize;
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return labels;
+    }
+    let chunks = vertex_chunks(n, engine.threads());
+    for _ in 0..rounds {
+        let sweep = |&(start, end): &(u32, u32)| -> Vec<u32> {
+            let mut out = Vec::with_capacity((end - start) as usize);
+            let mut freq: Vec<u32> = Vec::new();
+            for v in start..end {
+                let (cols, _) = sym.row(v);
+                if cols.is_empty() {
+                    out.push(labels[v as usize]);
+                    continue;
+                }
+                freq.clear();
+                freq.extend(cols.iter().map(|&c| labels[c as usize]));
+                freq.sort_unstable();
+                let mut best = freq[0];
+                let mut best_len = 0usize;
+                let mut i = 0usize;
+                while i < freq.len() {
+                    let run = freq[i..].iter().take_while(|&&x| x == freq[i]).count();
+                    if run > best_len {
+                        best_len = run;
+                        best = freq[i];
+                    }
+                    i += run;
+                }
+                out.push(best);
+            }
+            out
+        };
+        let segments: Vec<Vec<u32>> = if engine.threads() > 1 && chunks.len() > 1 {
+            engine.map(&chunks, |_, range| sweep(range))
+        } else {
+            chunks.iter().map(sweep).collect()
+        };
+        let mut next = Vec::with_capacity(n);
+        for segment in segments {
+            next.extend_from_slice(&segment);
+        }
+        if next == labels {
+            break;
+        }
+        labels = next;
+    }
+    labels
+}
+
+/// Modularity aggregation restricted to one shard: the serial RABBIT
+/// sweep (increasing-strength visit order, best-positive-gain merge,
+/// smallest-ID tie-break, Louvain-style re-sweeps until quiescent) run
+/// over `members` only. Cross-shard neighbours are not merge candidates;
+/// under [`ShardPolicy::Connectivity`] none exist, which makes this
+/// bitwise-equal to the historical global sweep. Returns the merge log
+/// `(child, parent)` in chronological order.
+fn aggregate_shard(
+    sym: &CsrMatrix,
+    members: &[u32],
+    global_strength: &[f64],
+    total_m: f64,
+    config: &DetectionConfig,
+) -> Vec<(u32, u32)> {
+    let k = members.len();
+    let mut merges: Vec<(u32, u32)> = Vec::new();
+    if k <= 1 {
+        return merges;
+    }
+    // Local (dense 0..k) mirror of the shard. `members` is ascending, so
+    // local index order is global vertex-ID order restricted to the
+    // shard — the tie-break stays faithful.
+    let local_of: HashMap<u32, u32> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let mut strength: Vec<f64> = members
+        .iter()
+        .map(|&v| global_strength[v as usize])
+        .collect();
+    // Lazily-consolidated adjacency per live aggregate (local indices).
+    let mut adj: Vec<HashMap<u32, f64>> = members
+        .iter()
+        .map(|&v| {
             let (cols, vals) = sym.row(v);
             cols.iter()
                 .zip(vals)
-                .map(|(&c, &w)| (c, f64::from(w)))
+                .filter_map(|(&c, &w)| local_of.get(&c).map(|&l| (l, f64::from(w))))
                 .collect()
         })
         .collect();
 
     // Union-find "top" pointers: maps any vertex to its live aggregate.
-    let mut top: Vec<u32> = (0..n as u32).collect();
+    let mut top: Vec<u32> = (0..k as u32).collect();
     fn find(top: &mut [u32], v: u32) -> u32 {
         let mut root = v;
         while top[root as usize] != root {
@@ -219,7 +454,7 @@ pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, Spar
         root
     }
 
-    let mut alive: Vec<u32> = (0..n as u32).collect();
+    let mut alive: Vec<u32> = (0..k as u32).collect();
     let two_m_sq = 2.0 * total_m * total_m;
     for pass in 0..config.max_passes {
         let _pass_span = obs::span!("community.pass", "pass={pass}");
@@ -274,8 +509,7 @@ pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, Spar
                     adj[u as usize].remove(&v);
                     strength[u as usize] += strength[v as usize];
                     top[v as usize] = u;
-                    parent[v as usize] = u;
-                    children[u as usize].push(v);
+                    merges.push((members[v as usize], members[u as usize]));
                     merged_any = true;
                     pass_merges += 1;
                 }
@@ -289,16 +523,29 @@ pub fn detect(a: &CsrMatrix, config: DetectionConfig) -> Result<Dendrogram, Spar
             break;
         }
     }
+    merges
+}
 
-    let mut roots: Vec<u32> = (0..n as u32)
-        .filter(|&v| parent[v as usize] == NONE)
-        .collect();
-    roots.sort_unstable();
-    Ok(Dendrogram {
-        parent,
-        children,
-        roots,
-    })
+/// Splits `0..n` vertices into contiguous ranges, oversubscribed 8× the
+/// thread count so work-stealing can smooth uneven ranges.
+fn vertex_chunks(n: usize, threads: usize) -> Vec<(u32, u32)> {
+    let target = (threads.max(1) * 8).min(n.max(1));
+    let chunk = n.div_ceil(target).max(1);
+    (0..n)
+        .step_by(chunk)
+        .map(|start| (start as u32, (start + chunk).min(n) as u32))
+        .collect()
+}
+
+/// Splits `n_roots` dendrogram roots into contiguous index ranges (same
+/// oversubscription rationale as [`vertex_chunks`]).
+fn root_chunks(n_roots: usize, threads: usize) -> Vec<(usize, usize)> {
+    let target = (threads.max(1) * 8).min(n_roots.max(1));
+    let chunk = n_roots.div_ceil(target).max(1);
+    (0..n_roots)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(n_roots)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -418,7 +665,7 @@ mod tests {
             &g,
             DetectionConfig {
                 resolution: 0.5,
-                max_passes: 16,
+                ..DetectionConfig::default()
             },
         )
         .unwrap();
@@ -426,7 +673,7 @@ mod tests {
             &g,
             DetectionConfig {
                 resolution: 4.0,
-                max_passes: 16,
+                ..DetectionConfig::default()
             },
         )
         .unwrap();

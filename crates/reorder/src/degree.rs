@@ -9,7 +9,7 @@ use commorder_sparse::{CsrMatrix, Permutation, SparseError};
 
 use crate::Reordering;
 
-fn require_square(a: &CsrMatrix) -> Result<(), SparseError> {
+pub(crate) fn require_square(a: &CsrMatrix) -> Result<(), SparseError> {
     if a.is_square() {
         Ok(())
     } else {

@@ -39,12 +39,15 @@
 #![warn(missing_docs)]
 
 mod bisect;
+mod boba;
+mod context;
 mod degree;
 mod gorder;
 mod labelprop;
 mod rabbit;
 mod rabbitpp;
 mod rcm;
+mod registry;
 mod slashburn;
 
 pub mod advisor;
@@ -53,12 +56,15 @@ pub mod locality;
 pub mod quality;
 
 pub use bisect::Bisection;
+pub use boba::Boba;
+pub use context::ReorderContext;
 pub use degree::{Dbg, DegSort, HubGroup, HubSort, Original, RandomOrder};
 pub use gorder::Gorder;
 pub use labelprop::LabelPropagation;
 pub use rabbit::{FlatCommunity, Rabbit, RabbitResult};
 pub use rabbitpp::{HubPolicy, RabbitPlusPlus, RabbitPlusPlusConfig};
-pub use rcm::Rcm;
+pub use rcm::{Rcm, RcmPlusPlus};
+pub use registry::{parse_technique_list, technique_by_name, TECHNIQUE_NAMES};
 pub use slashburn::SlashBurn;
 
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
@@ -81,21 +87,44 @@ pub trait Reordering: Send + Sync {
     /// Returns [`SparseError::DimensionMismatch`] if `a` is not square;
     /// implementations may surface further sparse-layer errors.
     fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError>;
+
+    /// Computes the permutation for `a` with an execution context.
+    ///
+    /// Techniques with parallel phases (RABBIT, RABBIT++, BOBA) fan work
+    /// out on `cx.engine()`; the result must be byte-identical to
+    /// [`Reordering::reorder`] at any thread count. The default
+    /// implementation ignores the context and delegates to the serial
+    /// path, so purely sequential techniques need not opt in.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reordering::reorder`].
+    fn reorder_with(
+        &self,
+        a: &CsrMatrix,
+        cx: &ReorderContext<'_>,
+    ) -> Result<Permutation, SparseError> {
+        let _ = cx;
+        self.reorder(a)
+    }
 }
 
 /// The six orderings of Fig. 2, in the paper's presentation order,
 /// followed by RABBIT++ (Fig. 7 onward). `seed` feeds the RANDOM ordering.
+///
+/// A thin view over the technique [registry](technique_by_name): each
+/// member is the registry's binding for that name.
 #[must_use]
 pub fn paper_suite(seed: u64) -> Vec<Box<dyn Reordering>> {
-    vec![
-        Box::new(RandomOrder::new(seed)),
-        Box::new(Original),
-        Box::new(DegSort),
-        Box::new(Dbg::default()),
-        Box::new(Gorder::default()),
-        Box::new(Rabbit::new()),
-        Box::new(RabbitPlusPlus::default()),
+    [
+        "random", "original", "degsort", "dbg", "gorder", "rabbit", "rabbit++",
     ]
+    .iter()
+    .map(|name| {
+        technique_by_name(name, seed)
+            .unwrap_or_else(|| unreachable!("paper suite names are registered"))
+    })
+    .collect()
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! proxy), **insular nodes** (the basis of RABBIT++'s first modification)
 //! and community-size summaries.
 
+use commorder_exec::Engine;
 use commorder_sparse::{CsrMatrix, SparseError};
 
 fn validate(a: &CsrMatrix, assignment: &[u32]) -> Result<(), SparseError> {
@@ -51,12 +52,57 @@ pub fn insularity(a: &CsrMatrix, assignment: &[u32]) -> Result<f64, SparseError>
 /// Returns [`SparseError::DimensionMismatch`] on a non-square matrix or a
 /// wrong-length assignment.
 pub fn insular_nodes(a: &CsrMatrix, assignment: &[u32]) -> Result<Vec<bool>, SparseError> {
+    insular_nodes_with(a, assignment, &Engine::serial())
+}
+
+/// [`insular_nodes`] fanned out on `engine`: each job scans a row range
+/// and reports the vertices its cross-community entries clear (both
+/// endpoints), and the sparse clear-lists are applied to one mask.
+/// Clearing is commutative and idempotent, so the result is
+/// byte-identical to the serial scan at any thread count.
+///
+/// # Errors
+///
+/// See [`insular_nodes`].
+pub fn insular_nodes_with(
+    a: &CsrMatrix,
+    assignment: &[u32],
+    engine: &Engine,
+) -> Result<Vec<bool>, SparseError> {
     validate(a, assignment)?;
-    let mut mask = vec![true; a.n_rows() as usize];
-    for (r, c, _) in a.iter() {
-        if assignment[r as usize] != assignment[c as usize] {
-            mask[r as usize] = false;
-            mask[c as usize] = false;
+    let n = a.n_rows() as usize;
+    let mut mask = vec![true; n];
+    if engine.threads() <= 1 || n < 2 {
+        for (r, c, _) in a.iter() {
+            if assignment[r as usize] != assignment[c as usize] {
+                mask[r as usize] = false;
+                mask[c as usize] = false;
+            }
+        }
+        return Ok(mask);
+    }
+    let target = (engine.threads() * 4).min(n);
+    let chunk = n.div_ceil(target).max(1);
+    let ranges: Vec<(u32, u32)> = (0..n)
+        .step_by(chunk)
+        .map(|start| (start as u32, ((start + chunk).min(n)) as u32))
+        .collect();
+    let cleared_lists = engine.map(&ranges, |_, &(start, end)| {
+        let mut cleared = Vec::new();
+        for r in start..end {
+            let (cols, _) = a.row(r);
+            for &c in cols {
+                if assignment[r as usize] != assignment[c as usize] {
+                    cleared.push(r);
+                    cleared.push(c);
+                }
+            }
+        }
+        cleared
+    });
+    for cleared in cleared_lists {
+        for v in cleared {
+            mask[v as usize] = false;
         }
     }
     Ok(mask)

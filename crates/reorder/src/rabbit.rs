@@ -7,11 +7,12 @@
 //! hierarchy onto the cache hierarchy: innermost communities to the
 //! closest cache, outer levels to larger caches (§V-A).
 
+use commorder_exec::Engine;
 use commorder_obs as obs;
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
 
 use crate::community::{self, Dendrogram, DetectionConfig};
-use crate::Reordering;
+use crate::{ReorderContext, Reordering};
 
 /// The RABBIT reordering technique.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -47,11 +48,23 @@ impl Rabbit {
     ///
     /// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
     pub fn run(&self, a: &CsrMatrix) -> Result<RabbitResult, SparseError> {
+        self.run_with(a, &Engine::serial())
+    }
+
+    /// [`Rabbit::run`] with both phases fanned out on `engine`:
+    /// community detection shards by island and the dendrogram DFS walks
+    /// root chunks in parallel. Byte-identical to the serial run at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
+    pub fn run_with(&self, a: &CsrMatrix, engine: &Engine) -> Result<RabbitResult, SparseError> {
         let _span = obs::span!("reorder.rabbit");
-        let dendrogram = community::detect(a, self.detection)?;
+        let dendrogram = community::detect_with(a, self.detection, engine)?;
         let (permutation, assignment) = {
             let _order_span = obs::span!("rabbit.order");
-            let order = dendrogram.dfs_order();
+            let order = dendrogram.dfs_order_with(engine);
             (Permutation::from_order(&order)?, dendrogram.assignment())
         };
         Ok(RabbitResult {
@@ -69,6 +82,14 @@ impl Reordering for Rabbit {
 
     fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError> {
         Ok(self.run(a)?.permutation)
+    }
+
+    fn reorder_with(
+        &self,
+        a: &CsrMatrix,
+        cx: &ReorderContext<'_>,
+    ) -> Result<Permutation, SparseError> {
+        Ok(self.run_with(a, cx.engine())?.permutation)
     }
 }
 
@@ -99,13 +120,9 @@ impl FlatCommunity {
     }
 }
 
-impl Reordering for FlatCommunity {
-    fn name(&self) -> &str {
-        "RABBIT-FLAT"
-    }
-
-    fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError> {
-        let result = self.rabbit.run(a)?;
+impl FlatCommunity {
+    /// Shuffles members within each community run of `result`'s order.
+    fn shuffled_order(&self, result: &RabbitResult) -> Result<Permutation, SparseError> {
         let mut order = result.dendrogram.dfs_order();
         // SplitMix64-driven Fisher–Yates within each community run.
         let mut state = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -131,6 +148,24 @@ impl Reordering for FlatCommunity {
             start = end;
         }
         Permutation::from_order(&order)
+    }
+}
+
+impl Reordering for FlatCommunity {
+    fn name(&self) -> &str {
+        "RABBIT-FLAT"
+    }
+
+    fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError> {
+        self.shuffled_order(&self.rabbit.run(a)?)
+    }
+
+    fn reorder_with(
+        &self,
+        a: &CsrMatrix,
+        cx: &ReorderContext<'_>,
+    ) -> Result<Permutation, SparseError> {
+        self.shuffled_order(&self.rabbit.run_with(a, cx.engine())?)
     }
 }
 

@@ -19,12 +19,13 @@
 //! [`RabbitPlusPlusConfig`]; the default is the paper's RABBIT++
 //! (insular grouping **and** hub grouping).
 
+use commorder_exec::Engine;
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
 
 use crate::degree::hub_mask;
 use crate::quality;
 use crate::rabbit::{Rabbit, RabbitResult};
-use crate::Reordering;
+use crate::{ReorderContext, Reordering};
 
 /// How hub nodes are laid out (the second modification of Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,8 +143,23 @@ impl RabbitPlusPlus {
     ///
     /// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
     pub fn run(&self, a: &CsrMatrix) -> Result<RabbitPlusPlusResult, SparseError> {
-        let rabbit = self.config.rabbit.run(a)?;
-        let insular = quality::insular_nodes(a, &rabbit.assignment)?;
+        self.run_with(a, &Engine::serial())
+    }
+
+    /// [`RabbitPlusPlus::run`] with the RABBIT phases and the insular
+    /// scan fanned out on `engine`; byte-identical to the serial run at
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `a` is not square.
+    pub fn run_with(
+        &self,
+        a: &CsrMatrix,
+        engine: &Engine,
+    ) -> Result<RabbitPlusPlusResult, SparseError> {
+        let rabbit = self.config.rabbit.run_with(a, engine)?;
+        let insular = quality::insular_nodes_with(a, &rabbit.assignment, engine)?;
         let hubs = hub_mask(a);
         let n = a.n_rows();
 
@@ -201,6 +217,14 @@ impl Reordering for RabbitPlusPlus {
 
     fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError> {
         Ok(self.run(a)?.permutation)
+    }
+
+    fn reorder_with(
+        &self,
+        a: &CsrMatrix,
+        cx: &ReorderContext<'_>,
+    ) -> Result<Permutation, SparseError> {
+        Ok(self.run_with(a, cx.engine())?.permutation)
     }
 }
 

@@ -1,10 +1,17 @@
-//! Reverse Cuthill–McKee ordering.
+//! Reverse Cuthill–McKee ordering, plus the RCM++ bi-criteria variant.
 //!
 //! RCM is the classic bandwidth/profile-minimizing ordering the paper
 //! cites among RABBIT's outperformed baselines (\[23\], Karantasis et al.).
 //! Included as a reference point for the analysis extensions: BFS levels
 //! from a pseudo-peripheral start vertex, neighbours visited in increasing
 //! degree order, final order reversed.
+//!
+//! [`RcmPlusPlus`] swaps the George–Liu starting-node heuristic for the
+//! bi-criteria node finder of RCM++ (Hou et al., arXiv 2409.04171):
+//! instead of chasing BFS height alone, each round profiles a small set
+//! of last-level candidates and keeps the one with the lexicographically
+//! best *(height max, width min)* level structure — a narrow, deep BFS
+//! tree is what actually minimizes the reordered bandwidth.
 
 use std::collections::VecDeque;
 
@@ -15,6 +22,54 @@ use crate::Reordering;
 /// Reverse Cuthill–McKee reordering.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Rcm;
+
+/// Level structure of one BFS: its height (eccentricity), maximum level
+/// width, and the minimum-degree vertices of the last level (the next
+/// round's candidates).
+struct BfsProfile {
+    height: u32,
+    width: u32,
+    last_level: Vec<u32>,
+}
+
+/// BFS from `start` over unvisited vertices, recording the level
+/// structure.
+fn bfs_profile(sym: &CsrMatrix, start: u32, visited: &[bool]) -> BfsProfile {
+    let n = sym.n_rows() as usize;
+    let mut dist = vec![u32::MAX; n];
+    dist[start as usize] = 0;
+    let mut queue = VecDeque::from([start]);
+    let mut last_level: Vec<u32> = vec![start];
+    let mut height = 0u32;
+    let mut width = 1u32;
+    let mut level_count = 0u32;
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d > height {
+            height = d;
+            width = width.max(level_count);
+            level_count = 0;
+            last_level.clear();
+        }
+        level_count += 1;
+        if d == height {
+            last_level.push(v);
+        }
+        let (cols, _) = sym.row(v);
+        for &c in cols {
+            if dist[c as usize] == u32::MAX && !visited[c as usize] {
+                dist[c as usize] = d + 1;
+                queue.push_back(c);
+            }
+        }
+    }
+    width = width.max(level_count);
+    BfsProfile {
+        height,
+        width,
+        last_level,
+    }
+}
 
 impl Rcm {
     /// Finds a pseudo-peripheral vertex of `start`'s component: repeat BFS
@@ -37,35 +92,56 @@ impl Rcm {
     /// BFS from `start` over unvisited vertices; returns the farthest
     /// minimum-degree vertex in the last level and the eccentricity.
     fn bfs_farthest(sym: &CsrMatrix, start: u32, visited: &[bool]) -> (u32, u32) {
-        let n = sym.n_rows() as usize;
-        let mut dist = vec![u32::MAX; n];
-        dist[start as usize] = 0;
+        let profile = bfs_profile(sym, start, visited);
+        let far = profile
+            .last_level
+            .into_iter()
+            .min_by_key(|&v| sym.row_degree(v))
+            .unwrap_or(start);
+        (far, profile.height)
+    }
+}
+
+/// The shared Cuthill–McKee body: BFS each component from
+/// `pick_start(component seed)`, neighbours in increasing degree order,
+/// final order reversed.
+fn rcm_order(
+    a: &CsrMatrix,
+    pick_start: impl Fn(&CsrMatrix, u32, &[bool]) -> u32,
+) -> Result<Permutation, SparseError> {
+    let sym = ops::symmetrize(a)?;
+    let n = sym.n_rows();
+    let degrees: Vec<u32> = (0..n).map(|v| sym.row_degree(v)).collect();
+    let mut visited = vec![false; n as usize];
+    let mut order: Vec<u32> = Vec::with_capacity(n as usize);
+    let mut scratch: Vec<u32> = Vec::new();
+    // Iterate components in order of their minimum-degree member.
+    let mut by_degree: Vec<u32> = (0..n).collect();
+    by_degree.sort_by_key(|&v| degrees[v as usize]);
+    for &seed in &by_degree {
+        if visited[seed as usize] {
+            continue;
+        }
+        let start = pick_start(&sym, seed, &visited);
+        visited[start as usize] = true;
         let mut queue = VecDeque::from([start]);
-        let mut last_level: Vec<u32> = vec![start];
-        let mut ecc = 0;
+        order.push(start);
         while let Some(v) = queue.pop_front() {
-            let d = dist[v as usize];
-            if d > ecc {
-                ecc = d;
-                last_level.clear();
-            }
-            if d == ecc {
-                last_level.push(v);
-            }
             let (cols, _) = sym.row(v);
-            for &c in cols {
-                if dist[c as usize] == u32::MAX && !visited[c as usize] {
-                    dist[c as usize] = d + 1;
+            scratch.clear();
+            scratch.extend(cols.iter().copied().filter(|&c| !visited[c as usize]));
+            scratch.sort_by_key(|&c| degrees[c as usize]);
+            for &c in &scratch {
+                if !visited[c as usize] {
+                    visited[c as usize] = true;
+                    order.push(c);
                     queue.push_back(c);
                 }
             }
         }
-        let far = last_level
-            .into_iter()
-            .min_by_key(|&v| sym.row_degree(v))
-            .unwrap_or(start);
-        (far, ecc)
     }
+    order.reverse();
+    Permutation::from_order(&order)
 }
 
 impl Reordering for Rcm {
@@ -74,39 +150,84 @@ impl Reordering for Rcm {
     }
 
     fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError> {
-        let sym = ops::symmetrize(a)?;
-        let n = sym.n_rows();
-        let degrees: Vec<u32> = (0..n).map(|v| sym.row_degree(v)).collect();
-        let mut visited = vec![false; n as usize];
-        let mut order: Vec<u32> = Vec::with_capacity(n as usize);
-        let mut scratch: Vec<u32> = Vec::new();
-        // Iterate components in order of their minimum-degree member.
-        let mut by_degree: Vec<u32> = (0..n).collect();
-        by_degree.sort_by_key(|&v| degrees[v as usize]);
-        for &seed in &by_degree {
-            if visited[seed as usize] {
-                continue;
-            }
-            let start = Self::pseudo_peripheral(&sym, seed, &visited);
-            visited[start as usize] = true;
-            let mut queue = VecDeque::from([start]);
-            order.push(start);
-            while let Some(v) = queue.pop_front() {
-                let (cols, _) = sym.row(v);
-                scratch.clear();
-                scratch.extend(cols.iter().copied().filter(|&c| !visited[c as usize]));
-                scratch.sort_by_key(|&c| degrees[c as usize]);
-                for &c in &scratch {
-                    if !visited[c as usize] {
-                        visited[c as usize] = true;
-                        order.push(c);
-                        queue.push_back(c);
-                    }
+        rcm_order(a, Rcm::pseudo_peripheral)
+    }
+}
+
+/// RCM with the bi-criteria starting-node finder of RCM++ (Hou et al.,
+/// arXiv 2409.04171).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RcmPlusPlus {
+    /// Last-level candidates profiled per refinement round (the paper's
+    /// bounded candidate set; each costs one BFS).
+    pub candidates: u32,
+    /// Refinement rounds before settling on a start vertex.
+    pub rounds: u32,
+}
+
+impl Default for RcmPlusPlus {
+    fn default() -> Self {
+        RcmPlusPlus {
+            candidates: 8,
+            rounds: 4,
+        }
+    }
+}
+
+impl RcmPlusPlus {
+    /// Bi-criteria starting-node finder: from `seed`'s level structure,
+    /// repeatedly profile up to `candidates` minimum-degree last-level
+    /// vertices and move to the one with the lexicographically best
+    /// *(height desc, width asc, id asc)* BFS profile, stopping when no
+    /// candidate improves on the incumbent.
+    fn bi_criteria_start(&self, sym: &CsrMatrix, seed: u32, visited: &[bool]) -> u32 {
+        let mut current = seed;
+        let profile = bfs_profile(sym, current, visited);
+        let mut best_key = (profile.height, profile.width);
+        let mut frontier = profile.last_level;
+        for _ in 0..self.rounds {
+            frontier.sort_by_key(|&v| (sym.row_degree(v), v));
+            frontier.truncate(self.candidates as usize);
+            let mut improved: Option<(u32, (u32, u32), Vec<u32>)> = None;
+            for &cand in &frontier {
+                if cand == current {
+                    continue;
+                }
+                let p = bfs_profile(sym, cand, visited);
+                let key = (p.height, p.width);
+                // Better: strictly taller, or equally tall and narrower.
+                let beats_incumbent =
+                    key.0 > best_key.0 || (key.0 == best_key.0 && key.1 < best_key.1);
+                let beats_round = improved.as_ref().is_none_or(|(bc, bk, _)| {
+                    key.0 > bk.0
+                        || (key.0 == bk.0 && (key.1 < bk.1 || (key.1 == bk.1 && cand < *bc)))
+                });
+                if beats_incumbent && beats_round {
+                    improved = Some((cand, key, p.last_level));
                 }
             }
+            match improved {
+                Some((cand, key, last_level)) => {
+                    current = cand;
+                    best_key = key;
+                    frontier = last_level;
+                }
+                None => break,
+            }
         }
-        order.reverse();
-        Permutation::from_order(&order)
+        current
+    }
+}
+
+impl Reordering for RcmPlusPlus {
+    fn name(&self) -> &str {
+        "RCM++"
+    }
+
+    fn reorder(&self, a: &CsrMatrix) -> Result<Permutation, SparseError> {
+        rcm_order(a, |sym, seed, visited| {
+            self.bi_criteria_start(sym, seed, visited)
+        })
     }
 }
 

@@ -1,0 +1,127 @@
+//! Name-keyed technique registry.
+//!
+//! Every user-facing surface that turns a string into a technique — the
+//! CLI's `--techniques` flag, the advisor, [`crate::paper_suite`] — goes
+//! through this one table, so a technique registered here is immediately
+//! reachable everywhere. Names are case-insensitive; `seed` feeds the
+//! seeded techniques (RANDOM, RABBIT-FLAT).
+
+use crate::{
+    Bisection, Boba, Dbg, DegSort, FlatCommunity, Gorder, HubGroup, HubSort, LabelPropagation,
+    Original, Rabbit, RabbitPlusPlus, RandomOrder, Rcm, RcmPlusPlus, Reordering, SlashBurn,
+};
+
+/// Canonical (lowercase) names accepted by [`technique_by_name`], for
+/// help text and exhaustive iteration. Aliases (`rabbitpp`, `rcmpp`,
+/// `rabbitflat`) are accepted on parse but not listed.
+pub const TECHNIQUE_NAMES: &[&str] = &[
+    "original",
+    "random",
+    "degsort",
+    "dbg",
+    "hubsort",
+    "hubgroup",
+    "rcm",
+    "rcm++",
+    "gorder",
+    "rabbit",
+    "rabbit++",
+    "rabbit-flat",
+    "boba",
+    "slashburn",
+    "bisection",
+    "labelprop",
+];
+
+/// Resolves a (case-insensitive) technique name to an instance with
+/// default configuration. Returns `None` for unknown names.
+#[must_use]
+pub fn technique_by_name(name: &str, seed: u64) -> Option<Box<dyn Reordering>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "original" => Box::new(Original),
+        "random" => Box::new(RandomOrder::new(seed)),
+        "degsort" => Box::new(DegSort),
+        "dbg" => Box::new(Dbg::default()),
+        "hubsort" => Box::new(HubSort),
+        "hubgroup" => Box::new(HubGroup),
+        "rcm" => Box::new(Rcm),
+        "rcm++" | "rcmpp" => Box::new(RcmPlusPlus::default()),
+        "gorder" => Box::new(Gorder::default()),
+        "rabbit" => Box::new(Rabbit::new()),
+        "rabbit++" | "rabbitpp" => Box::new(RabbitPlusPlus::new()),
+        "rabbit-flat" | "rabbitflat" => Box::new(FlatCommunity::new(seed)),
+        "boba" => Box::new(Boba),
+        "slashburn" => Box::new(SlashBurn::default()),
+        "bisection" => Box::new(Bisection::default()),
+        "labelprop" => Box::new(LabelPropagation::default()),
+        _ => return None,
+    })
+}
+
+/// Parses a comma-separated technique list (e.g. `"rabbit++,boba,rcm"`)
+/// into instances, preserving order and skipping empty items.
+///
+/// # Errors
+///
+/// Returns the first unknown name, with the accepted names appended.
+pub fn parse_technique_list(list: &str, seed: u64) -> Result<Vec<Box<dyn Reordering>>, String> {
+    let mut techniques = Vec::new();
+    for item in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match technique_by_name(item, seed) {
+            Some(t) => techniques.push(t),
+            None => {
+                return Err(format!(
+                    "unknown technique '{item}' (expected one of: {})",
+                    TECHNIQUE_NAMES.join(", ")
+                ))
+            }
+        }
+    }
+    Ok(techniques)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_resolves() {
+        for name in TECHNIQUE_NAMES {
+            let t = technique_by_name(name, 7).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert!(!t.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_with_aliases() {
+        assert_eq!(technique_by_name("RABBIT", 0).unwrap().name(), "RABBIT");
+        assert_eq!(technique_by_name("rabbitpp", 0).unwrap().name(), "RABBIT++");
+        assert_eq!(technique_by_name("rcmpp", 0).unwrap().name(), "RCM++");
+        assert_eq!(technique_by_name("BOBA", 0).unwrap().name(), "BOBA");
+        assert!(technique_by_name("metis", 0).is_none());
+    }
+
+    #[test]
+    fn list_parsing_preserves_order_and_reports_unknowns() {
+        let ts = parse_technique_list("rabbit++, boba ,rcm++", 3).unwrap();
+        let names: Vec<_> = ts.iter().map(|t| t.name().to_string()).collect();
+        assert_eq!(names, vec!["RABBIT++", "BOBA", "RCM++"]);
+        let err = match parse_technique_list("rabbit,metis", 3) {
+            Err(e) => e,
+            Ok(_) => panic!("metis must be rejected"),
+        };
+        assert!(err.contains("metis"), "{err}");
+        assert!(err.contains("rabbit++"), "{err}");
+    }
+
+    #[test]
+    fn seed_threads_into_seeded_techniques() {
+        use commorder_synth::generators::PlantedPartition;
+        let g = PlantedPartition::uniform(128, 4, 6.0, 0.1)
+            .generate(5)
+            .unwrap();
+        let a = technique_by_name("random", 1).unwrap().reorder(&g).unwrap();
+        let b = technique_by_name("random", 2).unwrap().reorder(&g).unwrap();
+        assert_ne!(a, b, "different seeds must give different random orders");
+    }
+}

@@ -5,11 +5,12 @@
 //! Driven by the offline `commorder_check::propcheck` harness.
 
 use commorder_check::propcheck::{arb_graph, run_cases, DEFAULT_CASES};
+use commorder_exec::Engine;
 use commorder_reorder::{
     community::{detect, DetectionConfig},
-    quality, Bisection, Dbg, DegSort, FlatCommunity, Gorder, HubGroup, HubPolicy, HubSort,
+    quality, Bisection, Boba, Dbg, DegSort, FlatCommunity, Gorder, HubGroup, HubPolicy, HubSort,
     LabelPropagation, Original, Rabbit, RabbitPlusPlus, RabbitPlusPlusConfig, RandomOrder, Rcm,
-    Reordering, SlashBurn,
+    RcmPlusPlus, ReorderContext, Reordering, SlashBurn,
 };
 use commorder_sparse::ops;
 
@@ -29,6 +30,8 @@ fn all_techniques() -> Vec<Box<dyn Reordering>> {
         Box::new(Bisection::default()),
         Box::new(LabelPropagation::default()),
         Box::new(FlatCommunity::new(11)),
+        Box::new(Boba),
+        Box::new(RcmPlusPlus::default()),
     ]
 }
 
@@ -42,6 +45,30 @@ fn every_technique_is_total_and_bijective() {
             let r = g.permute_symmetric(&p).expect("valid perm");
             assert_eq!(r.nnz(), g.nnz(), "{}", technique.name());
             assert!(r.is_symmetric(), "{}", technique.name());
+        }
+    });
+}
+
+#[test]
+fn reorder_with_matches_serial_reorder_at_any_thread_count() {
+    // The context API's determinism contract: for every registered
+    // technique — whether it overrides `reorder_with` with parallel
+    // phases or inherits the serial default — the permutation is a pure
+    // function of the matrix, never of the engine width.
+    run_cases("techniques-thread-invariant", DEFAULT_CASES, |rng| {
+        let g = arb_graph(rng, 26, 4);
+        let threads = 1 + rng.gen_u32(8) as usize;
+        let engine = Engine::new(threads);
+        let cx = ReorderContext::new(&engine, 0xC0DE);
+        for technique in all_techniques() {
+            let serial = technique.reorder(&g).expect("square");
+            let parallel = technique.reorder_with(&g, &cx).expect("square");
+            assert_eq!(
+                serial,
+                parallel,
+                "{} diverged at {threads} threads",
+                technique.name()
+            );
         }
     });
 }

@@ -28,6 +28,7 @@ use crate::generators::{
     PlantedPartition, Rmat, WattsStrogatz,
 };
 use crate::rng::Rng;
+use crate::stream::{stream_undirected_csr, StreamedCommunity, StreamedKmerChain, StreamedRmat};
 
 /// The application domain a corpus entry stands in for (paper §III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -119,6 +120,12 @@ pub enum GeneratorSpec {
     HubAndSpoke(HubAndSpoke),
     /// Near-degree-2 chain graph.
     KmerChain(KmerChain),
+    /// Streamed R-MAT (mega tier; never materializes the edge list).
+    StreamedRmat(StreamedRmat),
+    /// Streamed planted-community graph (mega tier).
+    StreamedCommunity(StreamedCommunity),
+    /// Streamed k-mer chain graph (mega tier).
+    StreamedKmerChain(StreamedKmerChain),
 }
 
 impl GeneratorSpec {
@@ -140,6 +147,9 @@ impl GeneratorSpec {
             GeneratorSpec::Banded(g) => g.generate(seed),
             GeneratorSpec::HubAndSpoke(g) => g.generate(seed),
             GeneratorSpec::KmerChain(g) => g.generate(seed),
+            GeneratorSpec::StreamedRmat(g) => stream_undirected_csr(g, seed),
+            GeneratorSpec::StreamedCommunity(g) => stream_undirected_csr(g, seed),
+            GeneratorSpec::StreamedKmerChain(g) => stream_undirected_csr(g, seed),
         }
     }
 }
@@ -912,6 +922,60 @@ pub fn mini() -> Vec<CorpusEntry> {
     ]
 }
 
+/// Returns the mega corpus tier: 1M–4M-row entries generated through
+/// the streamed builder ([`crate::stream`]), never materializing an
+/// edge list. These approach the paper's real corpus scale (§III tops
+/// out at 226M rows) far closer than the 131k-row `standard()` ceiling
+/// and are the substrate for the parallel-reordering scaling study.
+///
+/// All entries publish `AsGenerated`: scrambling happens inside the
+/// stream (via a seed-keyed relabel table) because a publish-time
+/// permutation would materialize a second full CSR.
+#[must_use]
+pub fn mega() -> Vec<CorpusEntry> {
+    use GeneratorSpec as S;
+    use PublishOrder::AsGenerated;
+    vec![
+        CorpusEntry {
+            name: "mega-soc-rmat-1m",
+            domain: Domain::Social,
+            spec: S::StreamedRmat(StreamedRmat::graph500(20, 8.0)),
+            seed: 701,
+            publish: AsGenerated,
+        },
+        CorpusEntry {
+            name: "mega-web-comm-2m",
+            domain: Domain::Web,
+            spec: S::StreamedCommunity(StreamedCommunity {
+                n: 1 << 21,
+                communities: 8192,
+                intra_degree: 6.0,
+                mixing: 0.05,
+            }),
+            seed: 702,
+            publish: AsGenerated,
+        },
+        CorpusEntry {
+            name: "mega-kmer-chain-4m",
+            domain: Domain::Kmer,
+            // A few long contigs among many short fragments, like real
+            // assembly graphs: 128 chains of 4096 plus ~57k chains of
+            // 64. The mix is also what sharded detection exploits —
+            // short islands quiesce early while the serial sweep walks
+            // all 4M vertices until the 4096-chains converge.
+            spec: S::StreamedKmerChain(StreamedKmerChain {
+                n: 1 << 22,
+                chain_len: 4096,
+                short_len: 64,
+                long_vertices: 1 << 19,
+                branch_p: 0.05,
+            }),
+            seed: 703,
+            publish: AsGenerated,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -972,6 +1036,9 @@ mod tests {
                 GeneratorSpec::Banded(g) => g.n,
                 GeneratorSpec::HubAndSpoke(g) => g.n,
                 GeneratorSpec::KmerChain(g) => g.n,
+                GeneratorSpec::StreamedRmat(g) => 1 << g.scale,
+                GeneratorSpec::StreamedCommunity(g) => g.n,
+                GeneratorSpec::StreamedKmerChain(g) => g.n,
             };
             assert!(
                 n >= 32_768,
@@ -979,6 +1046,26 @@ mod tests {
                 entry.name
             );
         }
+    }
+
+    #[test]
+    fn mega_tier_is_streamed_and_million_row() {
+        // Generation itself is covered by the release-mode bench and the
+        // CI tripwire; the unit suite only pins the tier's shape.
+        let tier = mega();
+        assert!(!tier.is_empty());
+        for entry in &tier {
+            let n = match &entry.spec {
+                GeneratorSpec::StreamedRmat(g) => 1u32 << g.scale,
+                GeneratorSpec::StreamedCommunity(g) => g.n,
+                GeneratorSpec::StreamedKmerChain(g) => g.n,
+                other => panic!("{}: mega entries must stream, got {other:?}", entry.name),
+            };
+            assert!(n >= 1 << 20, "{}: n = {n} below 1M", entry.name);
+            assert_eq!(entry.publish, PublishOrder::AsGenerated, "{}", entry.name);
+        }
+        let names: HashSet<_> = tier.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), tier.len());
     }
 
     #[test]

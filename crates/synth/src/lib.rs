@@ -31,5 +31,6 @@
 pub mod corpus;
 pub mod generators;
 pub mod rng;
+pub mod stream;
 
 pub use corpus::{CorpusEntry, Domain, GeneratorSpec, PublishOrder};

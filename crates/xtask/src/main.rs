@@ -19,6 +19,12 @@
 //! `cargo run -p xtask -- bench-analyze` measures the analyzer itself
 //! (lexer throughput and self-host wall time) and writes the result to
 //! `results/BENCH_analyze.json` for the CI artifact trail.
+//!
+//! `cargo run -p xtask -- bench-reorder` generates a streamed mega-tier
+//! matrix, reorders it with the engine-parallel techniques at 1/2/8
+//! threads, verifies the permutations are byte-identical across thread
+//! counts, and writes throughput (Medges/s), wall times and peak RSS to
+//! `results/BENCH_reorder.json`.
 
 #![forbid(unsafe_code)]
 
@@ -40,6 +46,7 @@ fn main() -> ExitCode {
             args.iter().any(|a| a == "--fix-allowlist"),
         ),
         Some("bench-analyze") => bench_analyze(&workspace_root()),
+        Some("bench-reorder") => bench_reorder(&workspace_root(), args.get(1).map(String::as_str)),
         _ => {
             eprintln!("usage: cargo run -p xtask -- <task>");
             eprintln!();
@@ -50,6 +57,10 @@ fn main() -> ExitCode {
             eprintln!("  bench-analyze");
             eprintln!("          measure lexer throughput + analyzer self-host wall time");
             eprintln!("          and write results/BENCH_analyze.json");
+            eprintln!("  bench-reorder [entry]");
+            eprintln!("          reorder a streamed mega-tier matrix (default");
+            eprintln!("          mega-kmer-chain-4m) at 1/2/8 threads, check the permutations");
+            eprintln!("          are thread-count-invariant, write results/BENCH_reorder.json");
             ExitCode::FAILURE
         }
     }
@@ -201,6 +212,197 @@ fn bench_analyze(root: &Path) -> ExitCode {
         out_path.display()
     );
     ExitCode::SUCCESS
+}
+
+/// Benchmarks the engine-parallel reorderers on a streamed mega-tier
+/// corpus entry: each technique runs at 1/2/8 threads, the permutations
+/// must be byte-identical across thread counts, and the result
+/// (Medges/s, wall seconds, peak RSS, speedup) goes to
+/// `results/BENCH_reorder.json`.
+fn bench_reorder(root: &Path, entry_name: Option<&str>) -> ExitCode {
+    use commorder_exec::Engine;
+    use commorder_reorder::{Boba, Rabbit, RabbitPlusPlus, ReorderContext, Reordering};
+    use commorder_synth::corpus;
+
+    let entry_name = entry_name.unwrap_or("mega-kmer-chain-4m");
+    let Some(entry) = corpus::mega()
+        .into_iter()
+        .chain(corpus::standard())
+        .find(|e| e.name == entry_name)
+    else {
+        eprintln!("xtask bench-reorder: no corpus entry named {entry_name:?}");
+        return ExitCode::FAILURE;
+    };
+
+    let gen_start = Instant::now();
+    let matrix = match entry.generate() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("xtask bench-reorder: generating {entry_name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gen_seconds = gen_start.elapsed().as_secs_f64();
+    eprintln!(
+        "xtask bench-reorder: {entry_name} = {} rows, {} nnz ({gen_seconds:.2}s to stream)",
+        matrix.n_rows(),
+        matrix.nnz()
+    );
+
+    let techniques: Vec<(&str, Box<dyn Reordering>)> = vec![
+        ("RABBIT", Box::new(Rabbit::new())),
+        ("RABBIT++", Box::new(RabbitPlusPlus::new())),
+        ("BOBA", Box::new(Boba)),
+    ];
+    let thread_counts = [1usize, 2, 8];
+    let nnz = matrix.nnz() as f64;
+
+    // Untimed warmup: fault the matrix and allocator pools in once so
+    // the first timed run is not charged for first-touch page faults.
+    let warmup = Engine::new(1);
+    if let Err(e) = Rabbit::new().reorder_with(&matrix, &ReorderContext::new(&warmup, 0xC0DE)) {
+        eprintln!("xtask bench-reorder: warmup: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut technique_blocks = Vec::with_capacity(techniques.len());
+    for (name, technique) in &techniques {
+        let mut reference_hash: Option<u64> = None;
+        let mut seconds_per_run = Vec::with_capacity(thread_counts.len());
+        let mut rows = Vec::with_capacity(thread_counts.len());
+        for &threads in &thread_counts {
+            let engine = Engine::new(threads);
+            let cx = ReorderContext::new(&engine, 0xC0DE);
+            // Best-of-3: repetitions absorb scheduler noise, which on a
+            // loaded host can otherwise exceed the sharding speedup.
+            let mut seconds = f64::INFINITY;
+            let mut hwm_kb = 0u64;
+            let mut last = None;
+            for _ in 0..3 {
+                reset_peak_rss();
+                let start = Instant::now();
+                let permutation = match technique.reorder_with(&matrix, &cx) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("xtask bench-reorder: {name} at {threads} threads: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                seconds = seconds.min(start.elapsed().as_secs_f64());
+                hwm_kb = hwm_kb.max(peak_rss_kb());
+                last = Some(permutation);
+            }
+            let permutation = match last {
+                Some(p) => p,
+                None => unreachable!("loop runs at least once"),
+            };
+            let hash = fnv1a_u32s(permutation.as_slice());
+            match reference_hash {
+                None => reference_hash = Some(hash),
+                Some(reference) if reference != hash => {
+                    eprintln!(
+                        "xtask bench-reorder: {name} permutation drifted at {threads} threads \
+                         ({reference:016x} -> {hash:016x})"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(_) => {}
+            }
+            let medges_per_s = if seconds > 0.0 {
+                nnz / seconds / 1e6
+            } else {
+                0.0
+            };
+            eprintln!(
+                "xtask bench-reorder: {name:<9} {threads} thread(s): {seconds:.3}s \
+                 ({medges_per_s:.1} Medges/s, hwm {hwm_kb} kB)"
+            );
+            rows.push(format!(
+                "      {{\"threads\": {threads}, \"seconds\": {seconds:.6}, \
+                 \"medges_per_second\": {medges_per_s:.3}, \"peak_rss_kb\": {hwm_kb}}}"
+            ));
+            seconds_per_run.push(seconds);
+        }
+        // Speedup of the widest run over serial — the scaling headline.
+        let speedup = match (seconds_per_run.first(), seconds_per_run.last()) {
+            (Some(&serial), Some(&widest)) if widest > 0.0 => serial / widest,
+            _ => 0.0,
+        };
+        technique_blocks.push((name, reference_hash.unwrap_or(0), speedup, rows));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench-reorder.v1\",\n");
+    json.push_str(&format!("  \"entry\": \"{entry_name}\",\n"));
+    json.push_str(&format!("  \"rows\": {},\n", matrix.n_rows()));
+    json.push_str(&format!("  \"nnz\": {},\n", matrix.nnz()));
+    json.push_str(&format!("  \"generate_seconds\": {gen_seconds:.6},\n"));
+    json.push_str("  \"techniques\": [\n");
+    for (i, (name, hash, speedup, rows)) in technique_blocks.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"permutation_fnv1a\": \"{hash:016x}\", \
+             \"speedup_widest_vs_serial\": {speedup:.3}, \"runs\": [\n"
+        ));
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n    ]}");
+        json.push_str(if i + 1 < technique_blocks.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_dir = root.join("results");
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!(
+            "xtask bench-reorder: cannot create {}: {e}",
+            out_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let out_path = out_dir.join("BENCH_reorder.json");
+    if let Err(e) = fs::write(&out_path, &json) {
+        eprintln!(
+            "xtask bench-reorder: cannot write {}: {e}",
+            out_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("xtask bench-reorder: wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}
+
+/// FNV-1a over a `u32` slice in little-endian byte order — a stable
+/// fingerprint for cross-thread-count permutation identity.
+fn fnv1a_u32s(values: &[u32]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &v in values {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
+/// Resets the kernel's peak-RSS watermark for this process (Linux
+/// `/proc/self/clear_refs`); silently a no-op where unsupported.
+fn reset_peak_rss() {
+    let _ = fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Reads the peak RSS (`VmHWM`, in kB) of this process; 0 where
+/// `/proc` is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// Recursively collects every `.rs` file under `dir`, skipping
