@@ -34,10 +34,6 @@ COMMORDER_UPDATE_GOLDEN=1 cargo test -q -p commorder-analyze --test golden > /de
 COMMORDER_UPDATE_GOLDEN=1 cargo test -q -p commorder-check --test golden > /dev/null
 git diff --exit-code -- fixtures/analyze/golden crates/check/tests/golden
 
-echo "== analyzer bench artifact (results/BENCH_analyze.json)"
-cargo run -q -p xtask -- bench-analyze
-test -s results/BENCH_analyze.json
-
 echo "== clippy (workspace deny-list)"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
@@ -57,16 +53,56 @@ echo "== telemetry stream validates (CHK09xx)"
 cargo run --release -q -p commorder --bin commorder-cli -- \
   check /tmp/commorder-suite-smoke.jsonl
 
-echo "== reorder bench artifact (results/BENCH_reorder.json)"
-# Engine-parallel reordering throughput on the streamed mega tier:
-# RABBIT / RABBIT++ / BOBA at 1, 2 and 8 threads over
-# mega-kmer-chain-4m (4.2M rows). The run itself fails if the
-# permutation fingerprint drifts across thread counts, so this gate
-# doubles as the thread-count-invariance check at full scale. Release
-# profile: community detection over 8.8M edges is not a debug-build
-# workload.
-cargo run --release -q -p xtask -- bench-reorder
-test -s results/BENCH_reorder.json
+echo "== unified bench harness (xtask bench --quick) + CHK12xx validation"
+# One driver, three schema-versioned artifacts at the repo root:
+# BENCH_analyze.json (lexer throughput + self-host analysis),
+# BENCH_pipeline.json (trace-gen and LRU/PLRU/Belady simulated
+# accesses/s, suite wall time, peak RSS) and BENCH_reorder.json
+# (engine-parallel RABBIT / RABBIT++ / BOBA throughput; the run fails
+# if the permutation fingerprint drifts across thread counts). --quick
+# shrinks the inputs to CI scale; every artifact must pass the
+# CHK1201/CHK1202 schema validators before it can gate anything.
+cargo run --release -q -p xtask -- bench --quick
+for b in BENCH_analyze.json BENCH_pipeline.json BENCH_reorder.json; do
+  test -s "$b"
+  cargo run --release -q -p commorder --bin commorder-cli -- check "$b"
+done
+
+echo "== regression gate (self-compare passes, injected regression fails)"
+# The gate must accept the run it just produced and reject a doctored
+# baseline: bump the baseline's lexer throughput to 9e9 tokens/s and
+# the fresh run is a >30% regression against it, so --compare must
+# exit nonzero. A gate that cannot fail gates nothing.
+rm -rf /tmp/commorder-bench-baseline
+mkdir -p /tmp/commorder-bench-baseline
+cp BENCH_analyze.json BENCH_pipeline.json BENCH_reorder.json \
+  /tmp/commorder-bench-baseline/
+cargo run --release -q -p xtask -- bench --no-run \
+  --compare /tmp/commorder-bench-baseline
+sed -i -E 's/("analyze\.lex_tokens_per_second","value":)[0-9.eE+-]+/\19e9/' \
+  /tmp/commorder-bench-baseline/BENCH_analyze.json
+if cargo run --release -q -p xtask -- bench --no-run \
+  --compare /tmp/commorder-bench-baseline; then
+  echo "regression gate accepted an injected 9e9 baseline" >&2
+  exit 1
+fi
+
+echo "== profile --flame determinism (byte-identical at 1 vs 4 threads)"
+# The folded flamegraph is count-based (spans entered, not wall time),
+# so the export must be byte-identical regardless of engine width.
+COMMORDER_CORPUS=mini ./target/release/commorder-cli \
+  profile --threads 1 --corpus mini --max-matrices 2 \
+  --flame /tmp/commorder-flame-t1.folded > /dev/null
+COMMORDER_CORPUS=mini ./target/release/commorder-cli \
+  profile --threads 4 --corpus mini --max-matrices 2 \
+  --flame /tmp/commorder-flame-t4.folded > /dev/null
+cmp /tmp/commorder-flame-t1.folded /tmp/commorder-flame-t4.folded
+
+echo "== obs-alloc counting allocator (feature-gated build + tests)"
+# The allocation-tracking global allocator is off by default; this
+# keeps the feature-gated unsafe module compiling and its span-path
+# attribution tests green.
+cargo test -q -p commorder-obs --features obs-alloc
 
 echo "== streamed-generation tripwire (mega tier, ulimit -v 256 MiB)"
 # The mega tier must be emitted straight into CSR — a reintroduced

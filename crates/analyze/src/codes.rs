@@ -86,6 +86,9 @@ pub const TELEM_ORPHANED: &str = "XT0602";
 pub const TELEM_NONLITERAL: &str = "XT0603";
 /// Telemetry macro kind disagrees with the declared metric kind.
 pub const TELEM_KIND: &str = "XT0604";
+/// Histogram registry row declares no measurement unit, so its
+/// percentile exports would be meaningless numbers.
+pub const TELEM_UNITLESS: &str = "XT0605";
 
 /// Allowlist entry is malformed or missing its justification.
 pub const ALLOWLIST_MALFORMED: &str = "XT0701";
@@ -218,6 +221,10 @@ pub const CODE_TABLE: &[CodeInfo] = &[
     CodeInfo {
         code: TELEM_KIND,
         title: "telemetry macro kind disagrees with the registry",
+    },
+    CodeInfo {
+        code: TELEM_UNITLESS,
+        title: "histogram registry row declares no unit",
     },
     CodeInfo {
         code: ALLOWLIST_MALFORMED,

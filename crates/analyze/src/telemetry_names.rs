@@ -1,4 +1,4 @@
-//! Static telemetry-name cross-check (`XT0601`–`XT0604`).
+//! Static telemetry-name cross-check (`XT0601`–`XT0605`).
 //!
 //! PR 3's `CHK09xx` validators catch undeclared metric names in
 //! emitted JSONL streams — at run time, for the code paths a run
@@ -7,6 +7,9 @@
 //! `observe!` call site in the tree and diffs the set against the
 //! registry in `names.rs`. Undeclared names, orphaned registry rows,
 //! kind mismatches, and non-literal name arguments are all findings.
+//! Histogram rows additionally must declare a non-empty `unit`
+//! (`XT0605`): `profile` exports their percentiles, and a percentile
+//! without a unit is an unreadable number.
 
 use std::collections::BTreeMap;
 
@@ -33,19 +36,18 @@ pub fn check(crates: &[CrateData], registry_rel: &str) -> Vec<Finding> {
     let mut metrics: BTreeMap<String, Declared> = BTreeMap::new();
     let mut spans: BTreeMap<String, Declared> = BTreeMap::new();
     let mut found_registry = false;
+    let mut out = Vec::new();
     for c in crates {
         for f in &c.files {
             if f.rel == registry_rel {
                 found_registry = true;
-                extract_registry(f, &mut metrics, &mut spans);
+                extract_registry(f, &mut metrics, &mut spans, &mut out);
             }
         }
     }
     if !found_registry {
         return Vec::new();
     }
-
-    let mut out = Vec::new();
     for c in crates {
         for f in &c.files {
             scan_call_sites(f, registry_rel, &mut metrics, &mut spans, &mut out);
@@ -71,11 +73,13 @@ pub fn check(crates: &[CrateData], registry_rel: &str) -> Vec<Finding> {
 }
 
 /// Extracts `MetricInfo { name: "…", kind: MetricKind::X, … }` and
-/// `SpanInfo { name: "…", … }` rows from the registry file's tokens.
+/// `SpanInfo { name: "…", … }` rows from the registry file's tokens,
+/// flagging histogram rows that declare no unit (`XT0605`).
 fn extract_registry(
     f: &crate::model::FileData,
     metrics: &mut BTreeMap<String, Declared>,
     spans: &mut BTreeMap<String, Declared>,
+    out: &mut Vec<Finding>,
 ) {
     let code = code_indices(&f.tokens);
     let tok = |at: usize| code.get(at).map(|&i| &f.tokens[i]);
@@ -104,6 +108,7 @@ fn extract_registry(
         let mut j = i + 1;
         let mut name: Option<(String, u32, u32, u32)> = None;
         let mut kind: Option<&str> = None;
+        let mut unit: Option<String> = None;
         while let Some(t) = tok(j) {
             if t.kind == TokenKind::Punct {
                 match t.text(&f.src) {
@@ -136,7 +141,28 @@ fn extract_registry(
                     _ => None,
                 };
             }
+            if word(j) == Some("unit") {
+                if let Some(lit) = tok(j + 2).filter(|t| t.kind == TokenKind::StrLit) {
+                    unit = Some(unquote(lit.text(&f.src)));
+                }
+            }
             j += 1;
+        }
+        if kind == Some("histogram") && unit.as_deref().is_none_or(str::is_empty) {
+            if let Some((n, line, col, col_end)) = &name {
+                out.push(Finding {
+                    code: codes::TELEM_UNITLESS,
+                    severity: Severity::Error,
+                    file: f.rel.clone(),
+                    line: *line,
+                    col_start: *col,
+                    col_end: *col_end,
+                    message: format!(
+                        "histogram \"{n}\" declares no unit; percentile exports need one \
+                         (e.g. unit: \"seconds\")"
+                    ),
+                });
+            }
         }
         if let Some((n, line, col, col_end)) = name {
             let declared = Declared {

@@ -17,6 +17,7 @@
 //! | CHK09xx | Telemetry JSONL streams                 |
 //! | CHK10xx | Streaming trace sources and next-use    |
 //! | CHK11xx | Analyzer (`XT`) findings reports        |
+//! | CHK12xx | Bench artifacts and profile invariants  |
 
 /// One row of the code table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +138,20 @@ pub const ANALYZE_SCHEMA: &str = "CHK1101";
 /// components, a cycle the declared SCCs do not cover, or resolution
 /// stats that do not add up.
 pub const CALLGRAPH_SCHEMA: &str = "CHK1102";
+
+/// Bench artifact (`xtask bench`) violates the published
+/// `commorder-bench.v2` framing: bad header lines, a malformed machine
+/// object or fingerprint row, or an empty metric list.
+pub const BENCH_SCHEMA: &str = "CHK1201";
+/// Bench metric row is invalid: wrong key sequence, unsorted or
+/// duplicated names, a non-finite value, or an empty unit.
+pub const BENCH_METRIC: &str = "CHK1202";
+/// Exclusive self-time invariant violated: the summed inclusive time of
+/// a span path's direct children exceeds the path's own inclusive time.
+pub const SELF_TIME: &str = "CHK1203";
+/// Histogram shape invariant violated: bucket counts disagree with the
+/// total, quantiles are non-monotone, or min/max are inconsistent.
+pub const HIST_SHAPE: &str = "CHK1204";
 
 /// Every published code with its meaning, in code order.
 pub const CODE_TABLE: &[CodeInfo] = &[
@@ -315,6 +330,22 @@ pub const CODE_TABLE: &[CodeInfo] = &[
     CodeInfo {
         code: CALLGRAPH_SCHEMA,
         title: "analyzer call-graph section violates its contract",
+    },
+    CodeInfo {
+        code: BENCH_SCHEMA,
+        title: "bench artifact violates the commorder-bench schema",
+    },
+    CodeInfo {
+        code: BENCH_METRIC,
+        title: "bench metric row is invalid",
+    },
+    CodeInfo {
+        code: SELF_TIME,
+        title: "children's inclusive time exceeds their parent's",
+    },
+    CodeInfo {
+        code: HIST_SHAPE,
+        title: "histogram shape invariant violated",
     },
 ];
 

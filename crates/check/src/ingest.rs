@@ -19,7 +19,9 @@
 //!   set the sector size and the exclusive address bound,
 //! * `.json` — an analyzer findings report (`xtask lint --json`),
 //!   audited against the published schema by the `CHK1101` validator
-//!   in [`crate::analyze`],
+//!   in [`crate::analyze`]; files declaring the `commorder-bench`
+//!   schema route to the `CHK12xx` bench-artifact validator in
+//!   [`crate::bench`] instead,
 //! * `.jsonl` — a `commorder-obs` telemetry stream, audited by the
 //!   `CHK09xx` validators in [`crate::telemetry`].
 
@@ -50,6 +52,9 @@ pub fn check_file_contents(name: &str, contents: &str) -> CheckReport {
         "csr" => report.extend(check_csr_dump(contents)),
         "perm" => report.extend(check_perm_file(contents)),
         "trace" => report.extend(check_trace_file(contents)),
+        "json" if contents.contains("\"commorder-bench") => {
+            report.extend(crate::bench::check_bench_artifact(contents));
+        }
         "json" => report.extend(crate::analyze::check_analyze_report(contents)),
         "jsonl" => report.extend(crate::telemetry::check_telemetry(contents)),
         other => report.extend(vec![parse_error(
@@ -332,6 +337,18 @@ mod tests {
     fn trace_file_end_directive_bounds_accesses() {
         let r = check_file_contents("oob.trace", "@end 64\nR 0x40\n");
         assert_eq!(r.codes(), vec![codes::TRACE_BOUNDS]);
+    }
+
+    #[test]
+    fn bench_artifacts_route_to_the_bench_validator() {
+        let truncated = "{\n  \"schema\": \"commorder-bench.v2\",\n";
+        let r = check_file_contents("BENCH_pipeline.json", truncated);
+        assert!(!r.is_clean());
+        assert!(
+            r.codes().iter().all(|c| c.starts_with("CHK12")),
+            "{}",
+            r.render_text()
+        );
     }
 
     #[test]

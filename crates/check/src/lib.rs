@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod bench;
 pub mod callgraph;
 pub mod codes;
 pub mod diag;
@@ -49,6 +50,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use analyze::check_analyze_report;
+pub use bench::{check_bench_artifact, check_histogram_shape};
 pub use diag::{CheckReport, Diagnostic, Location, Severity};
 pub use ingest::check_file_contents;
 pub use matrix::{
@@ -56,5 +58,5 @@ pub use matrix::{
 };
 pub use perm::{check_assignment, check_permutation, check_permutation_parts};
 pub use stream::{check_next_use, check_stream_equivalence};
-pub use telemetry::check_telemetry;
+pub use telemetry::{check_self_time, check_telemetry};
 pub use trace::{check_cache_config, check_gpu_spec, check_trace};

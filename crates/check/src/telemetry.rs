@@ -2,7 +2,7 @@
 //!
 //! The stream format is defined by `commorder_obs::Event::to_jsonl`: one
 //! flat JSON object per line carrying a `"type"` discriminator (`meta`,
-//! `span`, `counter`, `gauge`, `observe`). Like the other ingest paths,
+//! `span`, `counter`, `gauge`, `observe`, `alloc`). Like the other ingest paths,
 //! the parser here is deliberately lenient — a corrupted line becomes a
 //! diagnostic and validation continues — so a truncated or hand-edited
 //! stream yields the full finding list.
@@ -19,6 +19,7 @@
 //! at end of stream are reported as truncation warnings.
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use commorder_obs::{names, MetricKind};
 
@@ -32,6 +33,8 @@ pub(crate) enum Json {
     Str(String),
     /// A JSON number.
     Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
     /// JSON `null`.
     Null,
 }
@@ -140,6 +143,18 @@ impl<'a> Cursor<'a> {
                 }
                 Ok(Json::Null)
             }
+            Some(b't') => {
+                for want in b"true" {
+                    self.expect(*want)?;
+                }
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') => {
+                for want in b"false" {
+                    self.expect(*want)?;
+                }
+                Ok(Json::Bool(false))
+            }
             Some(b'-' | b'0'..=b'9') => Ok(Json::Num(self.parse_number()?)),
             Some(b'{' | b'[') => Err("nested values are not part of the event format".to_string()),
             other => Err(format!("expected a value, found {other:?}")),
@@ -148,7 +163,8 @@ impl<'a> Cursor<'a> {
 }
 
 /// Parses one line as a flat JSON object (string keys; string, number,
-/// or `null` values — the full value set `Event::to_jsonl` emits).
+/// boolean, or `null` values — the full value set `Event::to_jsonl` and
+/// the bench artifacts emit).
 pub(crate) fn parse_flat_object(line: &str) -> Result<Vec<(String, Json)>, String> {
     let mut cur = Cursor::new(line);
     cur.skip_ws();
@@ -387,6 +403,9 @@ pub fn check_telemetry(contents: &str) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let mut threads: BTreeMap<u64, ThreadState> = BTreeMap::new();
     let mut saw_meta = false;
+    // Per-path inclusive-duration aggregates feeding the CHK1203
+    // self-time invariant at end of stream.
+    let mut path_totals: BTreeMap<String, u64> = BTreeMap::new();
     for (i, raw) in contents.lines().enumerate() {
         let line_no = (i + 1) as u64;
         let line = raw.trim();
@@ -463,6 +482,8 @@ pub fn check_telemetry(contents: &str) -> Vec<Diagnostic> {
                 if !consistent {
                     continue;
                 }
+                let total = path_totals.entry(path.clone()).or_insert(0);
+                *total = total.saturating_add(dur);
                 let rec = SpanRec {
                     line: line_no,
                     depth,
@@ -504,12 +525,17 @@ pub fn check_telemetry(contents: &str) -> Vec<Diagnostic> {
                     check_metric(&name, expected, line_no, &mut out);
                 }
             }
+            "alloc" => {
+                let _path = ev.req_str("path");
+                let _count = ev.req_u64("count");
+                let _bytes = ev.req_u64("bytes");
+            }
             other => out.push(Diagnostic::error(
                 codes::TELEM_TYPE,
                 Location::at("telemetry", line_no),
                 format!(
                     "unknown event type {other:?} (expected meta, span, counter, \
-                     gauge, or observe)"
+                     gauge, observe, or alloc)"
                 ),
             )),
         }
@@ -533,6 +559,52 @@ pub fn check_telemetry(contents: &str) -> Vec<Diagnostic> {
             Location::whole("telemetry"),
             "stream carries no meta event (was the sink installed via obs::install?)".to_string(),
         ));
+    }
+    // With all spans aggregated per path, the exclusive-self-time
+    // invariant must hold: a path's direct children cannot account for
+    // more inclusive time than the path itself.
+    let aggregates: Vec<(String, u64)> = path_totals.into_iter().collect();
+    out.extend(check_self_time("telemetry", &aggregates));
+    out
+}
+
+/// Audits the exclusive-self-time invariant over per-path inclusive
+/// span aggregates `(path, total_ns)` (`CHK1203`).
+///
+/// For every path present as a parent, the summed inclusive time of
+/// its *direct* children (one `/`-segment deeper) must not exceed the
+/// parent's own inclusive time: child intervals nest inside parent
+/// instances on the same thread, and sibling intervals are disjoint.
+/// Paths whose parent is absent from the aggregate (e.g. a truncated
+/// capture) are skipped rather than guessed at. Duplicate paths in the
+/// input are summed.
+#[must_use]
+pub fn check_self_time(object: &str, spans: &[(String, u64)]) -> Vec<Diagnostic> {
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for (path, ns) in spans {
+        let t = totals.entry(path.as_str()).or_insert(0);
+        *t = t.saturating_add(*ns);
+    }
+    let mut out = Vec::new();
+    for (&parent, &parent_ns) in &totals {
+        let prefix = format!("{parent}/");
+        // Descendant paths are contiguous from the prefix onward in a
+        // lexicographic map; direct children add exactly one segment.
+        let children_ns = totals
+            .range::<str, _>((Bound::Included(prefix.as_str()), Bound::Unbounded))
+            .take_while(|(p, _)| p.starts_with(prefix.as_str()))
+            .filter(|(p, _)| !p[prefix.len()..].contains('/'))
+            .fold(0u64, |acc, (_, ns)| acc.saturating_add(*ns));
+        if children_ns > parent_ns {
+            out.push(Diagnostic::error(
+                codes::SELF_TIME,
+                Location::whole(object),
+                format!(
+                    "span path {parent:?}: direct children account for {children_ns} ns, \
+                     more than the parent's inclusive {parent_ns} ns"
+                ),
+            ));
+        }
     }
     out
 }
@@ -724,5 +796,52 @@ mod tests {
              \"start_ns\":0,\"dur_ns\":10}\n",
         );
         assert!(r.diagnostics.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn self_time_invariant_holds_for_valid_aggregates() {
+        let spans = vec![
+            ("run".to_string(), 100u64),
+            ("run/a".to_string(), 30),
+            ("run/a/deep".to_string(), 25),
+            ("run/b".to_string(), 20),
+        ];
+        assert!(check_self_time("t", &spans).is_empty());
+    }
+
+    #[test]
+    fn self_time_violation_is_chk1203() {
+        let spans = vec![
+            ("run".to_string(), 100u64),
+            ("run/a".to_string(), 70),
+            ("run/b".to_string(), 60),
+        ];
+        let diags = check_self_time("t", &spans);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::SELF_TIME);
+        assert!(diags[0].message.contains("130 ns"));
+    }
+
+    #[test]
+    fn self_time_ignores_lookalike_siblings_and_orphans() {
+        // "run.x" sorts between "run" and "run/" but is no child; an
+        // orphan chain without its parent is skipped, not guessed at.
+        let spans = vec![
+            ("run".to_string(), 10u64),
+            ("run.x".to_string(), 500),
+            ("gone/child".to_string(), 400),
+        ];
+        assert!(check_self_time("t", &spans).is_empty());
+    }
+
+    #[test]
+    fn self_time_sums_duplicate_paths() {
+        let spans = vec![
+            ("run".to_string(), 50u64),
+            ("run/a".to_string(), 40),
+            ("run/a".to_string(), 40),
+        ];
+        let diags = check_self_time("t", &spans);
+        assert_eq!(diags.len(), 1, "duplicates sum to 80 > 50");
     }
 }

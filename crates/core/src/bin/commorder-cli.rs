@@ -11,7 +11,7 @@
 //! commorder-cli check    <file> [--json]
 //! commorder-cli corpus [export <dir> | stats <name>]
 //! commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]
-//! commorder-cli profile [--top N] [suite flags]
+//! commorder-cli profile [--top N] [--flame PATH] [suite flags]
 //! ```
 //!
 //! `check` audits a data file (`.mtx`, `.csr`, `.perm`, `.trace`,
@@ -30,7 +30,11 @@
 //! timings, counters) as JSON Lines while the grid runs; the
 //! deterministic JSON report is byte-identical with or without it.
 //! `profile` runs the same grid under the aggregating registry and
-//! prints the phase tree plus the hottest (matrix, technique) cells.
+//! prints the phase tree plus the hottest (matrix, technique) cells;
+//! `--flame PATH` additionally writes the deterministic collapsed-stack
+//! (folded) flamegraph export. Building with `--features obs-alloc`
+//! installs the counting global allocator, attributing allocation
+//! count and bytes to the active span path in telemetry and profiles.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,9 +49,15 @@ use commorder::reorder::quality::{self, CommunityStats};
 use commorder::sparse::{io, ops, stats};
 use commorder::synth::corpus;
 
+// With `obs-alloc` on, every allocation in this binary is counted and
+// attributed to the active span path (see `commorder-obs::alloc`).
+#[cfg(feature = "obs-alloc")]
+#[global_allocator]
+static COUNTING_ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli analyze  --source [ROOT] [--json]\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir> | stats <name>]\n  commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]\n  commorder-cli profile [--top N] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). --techniques replaces\nthe paper suite with a comma-separated registry list (e.g.\nrabbit++,boba,rcm++); --corpus mega selects the streamed million-row\ntier. profile runs the same grid under the telemetry registry and prints\nthe phase tree plus the --top hottest (matrix, technique) cells. suite\n--list prints the resolved grid without running it. corpus stats\ngenerates one entry (any tier) and prints its shape — CI runs it under\nulimit -v as the streamed-generation memory tripwire.",
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli analyze  --source [ROOT] [--json]\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir> | stats <name>]\n  commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]\n  commorder-cli profile [--top N] [--flame PATH] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). --techniques replaces\nthe paper suite with a comma-separated registry list (e.g.\nrabbit++,boba,rcm++); --corpus mega selects the streamed million-row\ntier. profile runs the same grid under the telemetry registry and prints\nthe phase tree plus the --top hottest (matrix, technique) cells;\n--flame writes the deterministic collapsed-stack (folded) flamegraph. suite\n--list prints the resolved grid without running it. corpus stats\ngenerates one entry (any tier) and prints its shape — CI runs it under\nulimit -v as the streamed-generation memory tripwire.",
         TECHNIQUE_NAMES.join(" | ")
     );
     ExitCode::FAILURE
@@ -283,6 +293,10 @@ fn run_profile(options: &ProfileOptions) -> Result<(), Box<dyn std::error::Error
     finish_jsonl(jsonl, options.grid.telemetry.as_ref(), "profile")?;
 
     print!("{}", registry.render_tree());
+    if let Some(path) = &options.flame {
+        std::fs::write(path, registry.render_folded())?;
+        eprintln!("[profile] folded flamegraph -> {path}");
+    }
     let hottest = registry.hottest("grid.cell", options.top);
     if !hottest.is_empty() {
         println!(

@@ -154,16 +154,21 @@ pub struct ProfileOptions {
     pub grid: SuiteOptions,
     /// How many hottest cells to report (`--top N`, default 5).
     pub top: usize,
+    /// Where to write the collapsed-stack (folded) flamegraph export
+    /// (`--flame PATH`); deterministic, so goldenable across runs.
+    pub flame: Option<String>,
 }
 
 impl ProfileOptions {
-    /// Parses `profile` flags: `--top N` plus every `suite` flag.
+    /// Parses `profile` flags: `--top N` and `--flame PATH` plus every
+    /// `suite` flag.
     ///
     /// # Errors
     ///
     /// Returns a human-readable message naming the offending flag.
     pub fn parse(args: &[String]) -> Result<ProfileOptions, String> {
         let mut top = 5usize;
+        let mut flame = None;
         let mut grid_args = Vec::with_capacity(args.len());
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -177,13 +182,18 @@ impl ProfileOptions {
                 if top == 0 {
                     return Err("--top must be at least 1".to_string());
                 }
+            } else if flag == "--flame" {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--flame requires a path".to_string())?;
+                flame = Some(v.clone());
             } else {
                 grid_args.push(flag.clone());
             }
         }
         let grid =
             SuiteOptions::parse(&grid_args).map_err(|e| e.replace("suite flag", "profile flag"))?;
-        Ok(ProfileOptions { grid, top })
+        Ok(ProfileOptions { grid, top, flame })
     }
 }
 
@@ -251,22 +261,35 @@ mod tests {
 
     #[test]
     fn profile_options_extract_top_and_delegate() {
-        let args: Vec<String> = ["--top", "3", "--corpus", "mini", "--threads", "2"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        let args: Vec<String> = [
+            "--top",
+            "3",
+            "--flame",
+            "out.folded",
+            "--corpus",
+            "mini",
+            "--threads",
+            "2",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
         let options = ProfileOptions::parse(&args).unwrap();
         assert_eq!(options.top, 3);
+        assert_eq!(options.flame.as_deref(), Some("out.folded"));
         assert_eq!(options.grid.corpus.as_deref(), Some("mini"));
         assert_eq!(options.grid.threads, Some(2));
-        // Default top.
-        assert_eq!(ProfileOptions::parse(&[]).unwrap().top, 5);
+        // Defaults.
+        let defaults = ProfileOptions::parse(&[]).unwrap();
+        assert_eq!(defaults.top, 5);
+        assert_eq!(defaults.flame, None);
         let bad = |args: &[&str]| {
             ProfileOptions::parse(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
                 .unwrap_err()
         };
         assert!(bad(&["--top"]).contains("--top"));
         assert!(bad(&["--top", "0"]).contains("at least 1"));
+        assert!(bad(&["--flame"]).contains("--flame"));
         assert!(bad(&["--frobnicate"]).contains("profile flag"));
     }
 

@@ -1,0 +1,120 @@
+//! The `obs-alloc` counting global allocator.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and bumps thread-local
+//! allocation totals on every `alloc`/`alloc_zeroed`/`realloc` call.
+//! Span guards snapshot the totals at enter and attribute the delta to
+//! their span path at drop as an [`crate::Event::Alloc`], giving
+//! per-phase allocation counts/bytes with no sampling and no symbol
+//! machinery.
+//!
+//! The hooks must be safe to run *anywhere* — including inside the
+//! allocator calls the telemetry machinery itself makes — so they
+//! allocate nothing, never panic, use `LocalKey::try_with` (the
+//! allocator can run during thread-local teardown), and only wrapping
+//! arithmetic on plain `Cell<u64>` counters. `Cell<u64>` has no `Drop`
+//! and is const-initialized, so touching the thread-locals registers no
+//! destructor and triggers no lazy allocation.
+//!
+//! Install in a **binary** root:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: commorder_obs::alloc::CountingAlloc =
+//!     commorder_obs::alloc::CountingAlloc;
+//! ```
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The calling thread's cumulative `(allocation count, bytes)` totals
+/// since thread start. Monotonically non-decreasing (modulo `u64` wrap);
+/// consumers difference two snapshots with wrapping subtraction.
+///
+/// Returns `(0, 0)` while the thread's locals are unavailable (thread
+/// teardown) — a conservative zero delta, never an error.
+#[must_use]
+pub fn thread_totals() -> (u64, u64) {
+    let count = ALLOC_COUNT.try_with(Cell::get).unwrap_or(0);
+    let bytes = ALLOC_BYTES.try_with(Cell::get).unwrap_or(0);
+    (count, bytes)
+}
+
+/// Records one allocation of `bytes` bytes on the calling thread.
+fn note(bytes: usize) {
+    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = ALLOC_BYTES.try_with(|b| b.set(b.get().wrapping_add(bytes as u64)));
+}
+
+/// A [`System`]-backed global allocator that counts allocations per
+/// thread. Placement and freeing behaviour are exactly [`System`]'s —
+/// only the bookkeeping is added, so it is safe to use in production
+/// profiles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards verbatim to `System`, which satisfies
+// the `GlobalAlloc` contract; the added bookkeeping touches only
+// thread-local counters and cannot allocate, deallocate, panic, or
+// otherwise interfere with the forwarded call.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract for
+        // `layout`; forwarded unchanged.
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        // SAFETY: caller upholds `GlobalAlloc::alloc_zeroed`'s contract.
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by this allocator, which always
+        // forwards to `System` with the same `layout`.
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // `new_size` is what the caller will own after the call; count
+        // it like a fresh allocation of the new block.
+        note(new_size);
+        // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract for
+        // `ptr`/`layout`/`new_size`; forwarded unchanged.
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_accumulates_on_this_thread() {
+        let (count_before, bytes_before) = thread_totals();
+        note(128);
+        note(64);
+        let (count_after, bytes_after) = thread_totals();
+        assert_eq!(count_after.wrapping_sub(count_before), 2);
+        assert_eq!(bytes_after.wrapping_sub(bytes_before), 192);
+    }
+
+    #[test]
+    fn totals_are_thread_local() {
+        // Only explicit note() calls move the counters in this test
+        // binary (no global allocator is installed here), so another
+        // thread's notes must not be visible on this one.
+        let before = thread_totals();
+        std::thread::spawn(|| note(5_000_000))
+            .join()
+            .expect("thread joins");
+        assert_eq!(thread_totals(), before);
+    }
+}

@@ -60,6 +60,17 @@ pub enum Event {
         /// Observed value (seconds for `*_seconds` metrics).
         value: f64,
     },
+    /// Heap-allocation totals attributed to one completed span (emitted
+    /// only when the `obs-alloc` counting allocator is installed).
+    Alloc {
+        /// `/`-joined span path the allocations occurred under.
+        path: String,
+        /// Allocation calls (alloc + realloc) during the span, on the
+        /// span's own thread.
+        count: u64,
+        /// Bytes requested by those calls.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -107,6 +118,10 @@ impl Event {
                 "{{\"type\":\"observe\",\"name\":{},\"value\":{}}}",
                 json_string(name),
                 json_f64(*value)
+            ),
+            Event::Alloc { path, count, bytes } => format!(
+                "{{\"type\":\"alloc\",\"path\":{},\"count\":{count},\"bytes\":{bytes}}}",
+                json_string(path)
             ),
         }
     }
@@ -211,6 +226,15 @@ mod tests {
         assert_eq!(
             Event::Meta { version: 1 }.to_jsonl(),
             "{\"type\":\"meta\",\"version\":1}"
+        );
+        assert_eq!(
+            Event::Alloc {
+                path: "exec.job/grid.cell".to_string(),
+                count: 12,
+                bytes: 4096,
+            }
+            .to_jsonl(),
+            "{\"type\":\"alloc\",\"path\":\"exec.job/grid.cell\",\"count\":12,\"bytes\":4096}"
         );
     }
 

@@ -35,9 +35,15 @@
 //! assert_eq!(registry.span("demo.work").map(|s| s.count), Some(1));
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` exists in exactly one place: the `obs-alloc` counting
+// global allocator must implement `GlobalAlloc`. With the feature off
+// the crate still forbids unsafe code outright.
+#![cfg_attr(not(feature = "obs-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "obs-alloc", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "obs-alloc")]
+pub mod alloc;
 pub mod event;
 pub mod names;
 pub mod registry;
@@ -46,7 +52,7 @@ pub mod span;
 
 pub use event::Event;
 pub use names::{MetricInfo, MetricKind, SpanInfo, METRICS, SPANS};
-pub use registry::{Histogram, Registry, SpanStat};
+pub use registry::{AllocStat, Histogram, Registry, SpanStat};
 pub use sink::{JsonlSink, MemorySink, Sink};
 pub use span::{thread_ordinal, Span};
 

@@ -37,6 +37,11 @@ pub struct MetricInfo {
     pub name: &'static str,
     /// How the metric aggregates.
     pub kind: MetricKind,
+    /// Measurement unit of the recorded value (e.g. `seconds`, `bytes`).
+    /// Mandatory for histograms — percentile exports are meaningless
+    /// without one (enforced statically by `commorder-analyze` rule
+    /// XT0605).
+    pub unit: &'static str,
     /// One-line meaning.
     pub help: &'static str,
 }
@@ -46,111 +51,133 @@ pub const METRICS: &[MetricInfo] = &[
     MetricInfo {
         name: "cachesim.accesses",
         kind: MetricKind::Counter,
+        unit: "accesses",
         help: "cache accesses simulated",
     },
     MetricInfo {
         name: "cachesim.compulsory_misses",
         kind: MetricKind::Counter,
+        unit: "misses",
         help: "first-touch (compulsory) misses",
     },
     MetricInfo {
         name: "cachesim.dead_lines",
         kind: MetricKind::Counter,
+        unit: "lines",
         help: "lines evicted or flushed without a single reuse",
     },
     MetricInfo {
         name: "cachesim.dram_bytes",
         kind: MetricKind::Counter,
+        unit: "bytes",
         help: "simulated DRAM traffic in bytes (fills + write-backs)",
     },
     MetricInfo {
         name: "cachesim.evictions",
         kind: MetricKind::Counter,
+        unit: "lines",
         help: "lines evicted to make room",
     },
     MetricInfo {
         name: "cachesim.fill_misses",
         kind: MetricKind::Counter,
+        unit: "misses",
         help: "read misses that fetched a line from DRAM",
     },
     MetricInfo {
         name: "cachesim.fills",
         kind: MetricKind::Counter,
+        unit: "lines",
         help: "lines filled or allocated",
     },
     MetricInfo {
         name: "cachesim.hits",
         kind: MetricKind::Counter,
+        unit: "accesses",
         help: "cache hits",
     },
     MetricInfo {
         name: "cachesim.miss.capacity",
         kind: MetricKind::Counter,
+        unit: "misses",
         help: "Three-C capacity misses (classify runs only)",
     },
     MetricInfo {
         name: "cachesim.miss.compulsory",
         kind: MetricKind::Counter,
+        unit: "misses",
         help: "Three-C compulsory misses (classify runs only)",
     },
     MetricInfo {
         name: "cachesim.miss.conflict",
         kind: MetricKind::Counter,
+        unit: "misses",
         help: "Three-C conflict misses (classify runs only)",
     },
     MetricInfo {
         name: "cachesim.trace.peak_bytes",
         kind: MetricKind::Gauge,
+        unit: "bytes",
         help: "peak per-trace buffer bytes of the last simulation (0 for streaming LRU)",
     },
     MetricInfo {
         name: "cachesim.write_alloc_misses",
         kind: MetricKind::Counter,
+        unit: "misses",
         help: "write misses allocated without fetch",
     },
     MetricInfo {
         name: "cachesim.writebacks",
         kind: MetricKind::Counter,
+        unit: "lines",
         help: "dirty lines written back to DRAM",
     },
     MetricInfo {
         name: "exec.jobs",
         kind: MetricKind::Counter,
+        unit: "jobs",
         help: "jobs executed by the engine",
     },
     MetricInfo {
         name: "exec.queue_wait_seconds",
         kind: MetricKind::Histogram,
+        unit: "seconds",
         help: "per-job seconds between batch submission and job start",
     },
     MetricInfo {
         name: "exec.steals",
         kind: MetricKind::Counter,
+        unit: "jobs",
         help: "jobs stolen from a sibling worker's queue",
     },
     MetricInfo {
         name: "exec.utilization",
         kind: MetricKind::Gauge,
+        unit: "ratio",
         help: "busy_seconds / (threads * wall_seconds) of the last batch",
     },
     MetricInfo {
         name: "grid.cells",
         kind: MetricKind::Counter,
+        unit: "cells",
         help: "experiment grid cells simulated",
     },
     MetricInfo {
         name: "reorder.community.merges",
         kind: MetricKind::Counter,
+        unit: "merges",
         help: "aggregate merges performed during community detection",
     },
     MetricInfo {
         name: "reorder.community.passes",
         kind: MetricKind::Counter,
+        unit: "sweeps",
         help: "aggregation sweeps performed during community detection",
     },
     MetricInfo {
         name: "reorder.community.shards",
         kind: MetricKind::Counter,
+        unit: "shards",
         help: "detection shards (islands or label-prop groups) aggregated",
     },
 ];
@@ -271,6 +298,11 @@ mod tests {
         }
         for info in METRICS {
             assert!(!info.help.is_empty(), "{}", info.name);
+            assert!(
+                !info.unit.is_empty(),
+                "{} must declare a measurement unit",
+                info.name
+            );
             assert!(
                 info.name
                     .chars()

@@ -49,6 +49,10 @@ struct OpenSpan {
     depth: u64,
     detail: Option<String>,
     started: Instant,
+    /// Thread-local (alloc count, bytes) totals when the span opened;
+    /// the drop handler attributes the delta to this span's path.
+    #[cfg(feature = "obs-alloc")]
+    allocs_at_open: (u64, u64),
 }
 
 impl Span {
@@ -91,6 +95,8 @@ impl Span {
             depth,
             detail,
             started: Instant::now(),
+            #[cfg(feature = "obs-alloc")]
+            allocs_at_open: crate::alloc::thread_totals(),
         }))
     }
 }
@@ -110,6 +116,22 @@ impl Drop for Span {
                 stack.pop();
             }
         });
+        #[cfg(feature = "obs-alloc")]
+        {
+            // Attribute the allocation delta since enter to this span's
+            // path. The delta includes descendants (it is "inclusive"
+            // like span time); zero-allocation spans emit nothing.
+            let (count_now, bytes_now) = crate::alloc::thread_totals();
+            let count = count_now.wrapping_sub(open.allocs_at_open.0);
+            let bytes = bytes_now.wrapping_sub(open.allocs_at_open.1);
+            if count > 0 {
+                emit(&Event::Alloc {
+                    path: open.path.clone(),
+                    count,
+                    bytes,
+                });
+            }
+        }
         emit(&Event::Span {
             thread: thread_ordinal(),
             depth: open.depth,

@@ -1,0 +1,57 @@
+//! End-to-end `obs-alloc` validation: installs [`CountingAlloc`] as
+//! this test binary's real global allocator and checks that heap
+//! activity inside a span is attributed to the span's path.
+//!
+//! Runs only under `--features obs-alloc` (the whole file compiles away
+//! otherwise, so the default workspace test pass is unaffected).
+#![cfg(feature = "obs-alloc")]
+
+use std::sync::Arc;
+
+use commorder_obs as obs;
+use obs::alloc::CountingAlloc;
+use obs::Registry;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn allocations_are_attributed_to_span_paths() {
+    let _serial = obs::tests_serial();
+    let registry = Arc::new(Registry::new());
+    let _guard = obs::install(registry.clone());
+    {
+        let _outer = obs::span!("suite");
+        // One unambiguous allocation: 10_000 * 8 bytes, exact-size
+        // collect.
+        let v: Vec<u64> = (0..10_000).collect();
+        assert_eq!(v.len(), 10_000);
+        {
+            let _inner = obs::span!("suite.generate");
+            let w: Vec<u64> = (0..2_000).collect();
+            assert_eq!(w.len(), 2_000);
+        }
+    }
+    let outer = registry.alloc("suite").expect("outer span allocated");
+    assert!(outer.count >= 2, "count = {}", outer.count);
+    // Outer attribution is inclusive of the nested span's allocations.
+    assert!(outer.bytes >= 12_000 * 8, "bytes = {}", outer.bytes);
+    let inner = registry
+        .alloc("suite/suite.generate")
+        .expect("inner span allocated");
+    assert!(inner.bytes >= 2_000 * 8 && inner.bytes <= outer.bytes);
+    // The alloc section shows up in the rendered profile.
+    assert!(registry
+        .render_tree()
+        .contains("allocations (by span path)"));
+}
+
+#[test]
+fn spanless_allocations_emit_nothing() {
+    let _serial = obs::tests_serial();
+    let registry = Arc::new(Registry::new());
+    let _guard = obs::install(registry.clone());
+    let v: Vec<u64> = (0..4_096).collect();
+    assert_eq!(v.len(), 4_096);
+    assert!(registry.allocs().is_empty());
+}

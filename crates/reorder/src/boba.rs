@@ -34,9 +34,11 @@ impl Boba {
     fn first_touch_order(a: &CsrMatrix, engine: &Engine) -> Vec<u32> {
         let n = a.n_rows() as usize;
         let cols = a.col_indices();
-        // Per-chunk local first-touch sequences, in stream order.
-        let touches: Vec<Vec<u32>> = if engine.threads() > 1 && cols.len() > n {
-            let chunks = stream_chunks(cols.len(), engine.threads());
+        // Per-chunk local first-touch sequences, in stream order. The
+        // chunk count depends on the stream length alone, keeping the
+        // nested span layout identical at every thread count.
+        let chunks = crate::par::fixed_chunks(cols.len(), STREAM_PER_CHUNK);
+        let touches: Vec<Vec<u32>> = if chunks.len() > 1 {
             engine.map(&chunks, |_, &(start, end)| {
                 let mut seen = vec![false; n];
                 let mut local = Vec::new();
@@ -81,16 +83,10 @@ impl Boba {
     }
 }
 
-/// Splits the column-stream index range into contiguous chunks,
-/// oversubscribed 4× the thread count.
-fn stream_chunks(len: usize, threads: usize) -> Vec<(usize, usize)> {
-    let target = (threads.max(1) * 4).min(len.max(1));
-    let chunk = len.div_ceil(target).max(1);
-    (0..len)
-        .step_by(chunk)
-        .map(|start| (start, (start + chunk).min(len)))
-        .collect()
-}
+/// Minimum column-stream entries per first-touch chunk: a per-chunk
+/// `seen` bitmap costs `n` bytes, so chunks must be large enough to
+/// amortize it.
+const STREAM_PER_CHUNK: usize = 65_536;
 
 impl Reordering for Boba {
     fn name(&self) -> &str {

@@ -94,10 +94,10 @@ impl Dendrogram {
     /// the serial traversal byte-for-byte at any thread count.
     #[must_use]
     pub fn dfs_order_with(&self, engine: &Engine) -> Vec<u32> {
-        if engine.threads() <= 1 || self.roots.len() <= 1 {
+        let chunks = crate::par::fixed_chunks(self.roots.len(), ROOTS_PER_CHUNK);
+        if chunks.len() <= 1 {
             return self.dfs_order();
         }
-        let chunks = root_chunks(self.roots.len(), engine.threads());
         let segments: Vec<Vec<u32>> = engine.map(&chunks, |_, &(start, end)| {
             let mut order = Vec::new();
             for &root in &self.roots[start..end] {
@@ -278,7 +278,10 @@ pub fn detect_with(
     };
     obs::counter!("reorder.community.shards", shards.len() as u64);
 
-    let outcomes: Vec<Vec<(u32, u32)>> = if engine.threads() > 1 && shards.len() > 1 {
+    // Branch on the shard count alone (it is a pure function of the
+    // matrix under both policies), so the span layout — and therefore a
+    // folded-flamegraph export — is identical at every thread count.
+    let outcomes: Vec<Vec<(u32, u32)>> = if shards.len() > 1 {
         engine.map(&shards, |_, members| {
             let _agg_span = obs::span!("community.shard");
             aggregate_shard(&sym, members, &strength, total_m, &config)
@@ -348,7 +351,7 @@ fn labelprop_labels(sym: &CsrMatrix, rounds: u32, engine: &Engine) -> Vec<u32> {
     if n == 0 {
         return labels;
     }
-    let chunks = vertex_chunks(n, engine.threads());
+    let chunks = crate::par::fixed_chunks_u32(n, VERTICES_PER_CHUNK);
     for _ in 0..rounds {
         let sweep = |&(start, end): &(u32, u32)| -> Vec<u32> {
             let mut out = Vec::with_capacity((end - start) as usize);
@@ -377,7 +380,7 @@ fn labelprop_labels(sym: &CsrMatrix, rounds: u32, engine: &Engine) -> Vec<u32> {
             }
             out
         };
-        let segments: Vec<Vec<u32>> = if engine.threads() > 1 && chunks.len() > 1 {
+        let segments: Vec<Vec<u32>> = if chunks.len() > 1 {
             engine.map(&chunks, |_, range| sweep(range))
         } else {
             chunks.iter().map(sweep).collect()
@@ -526,27 +529,12 @@ fn aggregate_shard(
     merges
 }
 
-/// Splits `0..n` vertices into contiguous ranges, oversubscribed 8× the
-/// thread count so work-stealing can smooth uneven ranges.
-fn vertex_chunks(n: usize, threads: usize) -> Vec<(u32, u32)> {
-    let target = (threads.max(1) * 8).min(n.max(1));
-    let chunk = n.div_ceil(target).max(1);
-    (0..n)
-        .step_by(chunk)
-        .map(|start| (start as u32, (start + chunk).min(n) as u32))
-        .collect()
-}
+/// Minimum vertices per label-propagation sweep chunk: below this the
+/// sweep is cheaper than a dispatch, and the single chunk stays inline.
+const VERTICES_PER_CHUNK: usize = 4096;
 
-/// Splits `n_roots` dendrogram roots into contiguous index ranges (same
-/// oversubscription rationale as [`vertex_chunks`]).
-fn root_chunks(n_roots: usize, threads: usize) -> Vec<(usize, usize)> {
-    let target = (threads.max(1) * 8).min(n_roots.max(1));
-    let chunk = n_roots.div_ceil(target).max(1);
-    (0..n_roots)
-        .step_by(chunk)
-        .map(|start| (start, (start + chunk).min(n_roots)))
-        .collect()
-}
+/// Minimum dendrogram roots per DFS-flattening chunk.
+const ROOTS_PER_CHUNK: usize = 1024;
 
 #[cfg(test)]
 mod tests {

@@ -44,6 +44,7 @@ mod context;
 mod degree;
 mod gorder;
 mod labelprop;
+mod par;
 mod rabbit;
 mod rabbitpp;
 mod rcm;

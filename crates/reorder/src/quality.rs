@@ -6,6 +6,9 @@
 use commorder_exec::Engine;
 use commorder_sparse::{CsrMatrix, SparseError};
 
+/// Minimum rows per insular-scan chunk; below this the serial scan wins.
+const ROWS_PER_CHUNK: usize = 4096;
+
 fn validate(a: &CsrMatrix, assignment: &[u32]) -> Result<(), SparseError> {
     if !a.is_square() {
         return Err(SparseError::DimensionMismatch {
@@ -72,7 +75,10 @@ pub fn insular_nodes_with(
     validate(a, assignment)?;
     let n = a.n_rows() as usize;
     let mut mask = vec![true; n];
-    if engine.threads() <= 1 || n < 2 {
+    // Range count depends on the row count alone so the nested span
+    // layout is identical at every thread count.
+    let ranges = crate::par::fixed_chunks_u32(n, ROWS_PER_CHUNK);
+    if ranges.len() <= 1 {
         for (r, c, _) in a.iter() {
             if assignment[r as usize] != assignment[c as usize] {
                 mask[r as usize] = false;
@@ -81,12 +87,6 @@ pub fn insular_nodes_with(
         }
         return Ok(mask);
     }
-    let target = (engine.threads() * 4).min(n);
-    let chunk = n.div_ceil(target).max(1);
-    let ranges: Vec<(u32, u32)> = (0..n)
-        .step_by(chunk)
-        .map(|start| (start as u32, ((start + chunk).min(n)) as u32))
-        .collect();
     let cleared_lists = engine.map(&ranges, |_, &(start, end)| {
         let mut cleared = Vec::new();
         for r in start..end {

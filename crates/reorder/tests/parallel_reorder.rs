@@ -37,7 +37,7 @@ fn techniques() -> Vec<Box<dyn Reordering>> {
 }
 
 /// FNV-1a over the permutation's new-id array, little-endian — the same
-/// fingerprint `xtask bench-reorder` publishes in BENCH_reorder.json.
+/// fingerprint `xtask bench` publishes in BENCH_reorder.json.
 fn fnv1a(ids: &[u32]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for id in ids {

@@ -16,15 +16,19 @@
 //! allowlist entries the analyzer reports as unused (`XT0702`) before
 //! printing the report, so the allowlist never accretes dead rows.
 //!
-//! `cargo run -p xtask -- bench-analyze` measures the analyzer itself
-//! (lexer throughput and self-host wall time) and writes the result to
-//! `results/BENCH_analyze.json` for the CI artifact trail.
-//!
-//! `cargo run -p xtask -- bench-reorder` generates a streamed mega-tier
-//! matrix, reorders it with the engine-parallel techniques at 1/2/8
-//! threads, verifies the permutations are byte-identical across thread
-//! counts, and writes throughput (Medges/s), wall times and peak RSS to
-//! `results/BENCH_reorder.json`.
+//! `cargo run -p xtask -- bench` is the unified bench driver
+//! (subsuming the retired `bench-analyze`/`bench-reorder` tasks): it
+//! measures the analyzer (lexer throughput, self-host wall time), the
+//! engine-parallel reorderers (Medges/s at several thread counts, peak
+//! RSS, permutation fingerprints), and the full simulation pipeline
+//! (trace-generation and LRU/PLRU/Belady simulated accesses/s,
+//! end-to-end suite wall time), writing one schema-versioned
+//! `BENCH_<name>.json` artifact per bench at the repository root
+//! (schema `commorder-bench.v2`, validated by `commorder-cli check`).
+//! `--compare OLD_DIR` re-reads baseline artifacts (v2, or the
+//! retired v1 formats for one release) and fails the process when a
+//! metric drifts beyond the tolerance band or a result fingerprint
+//! changes at all.
 
 #![forbid(unsafe_code)]
 
@@ -36,6 +40,7 @@ use std::time::Instant;
 
 use commorder_analyze::workspace::prune_allowlist;
 use commorder_analyze::{analyze_workspace, codes, lex, AnalyzerConfig};
+use xtask::bench::{self, BenchReport};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,8 +50,7 @@ fn main() -> ExitCode {
             args.iter().any(|a| a == "--json"),
             args.iter().any(|a| a == "--fix-allowlist"),
         ),
-        Some("bench-analyze") => bench_analyze(&workspace_root()),
-        Some("bench-reorder") => bench_reorder(&workspace_root(), args.get(1).map(String::as_str)),
+        Some("bench") => run_bench_task(&workspace_root(), &args[1..]),
         _ => {
             eprintln!("usage: cargo run -p xtask -- <task>");
             eprintln!();
@@ -54,13 +58,13 @@ fn main() -> ExitCode {
             eprintln!("  lint [--json] [--fix-allowlist]");
             eprintln!("          offline static-analysis pass over all workspace crates;");
             eprintln!("          --fix-allowlist prunes XT0702-unused allowlist entries first");
-            eprintln!("  bench-analyze");
-            eprintln!("          measure lexer throughput + analyzer self-host wall time");
-            eprintln!("          and write results/BENCH_analyze.json");
-            eprintln!("  bench-reorder [entry]");
-            eprintln!("          reorder a streamed mega-tier matrix (default");
-            eprintln!("          mega-kmer-chain-4m) at 1/2/8 threads, check the permutations");
-            eprintln!("          are thread-count-invariant, write results/BENCH_reorder.json");
+            eprintln!("  bench [--quick] [--no-run] [--compare OLD_DIR] [--tolerance F]");
+            eprintln!("          unified bench driver: analyzer, reorder, and pipeline benches");
+            eprintln!("          write BENCH_analyze/BENCH_reorder/BENCH_pipeline.json at the");
+            eprintln!("          repo root (schema commorder-bench.v2). --quick uses smaller");
+            eprintln!("          inputs for CI; --no-run skips measurement and only compares;");
+            eprintln!("          --compare gates against baseline artifacts in OLD_DIR with a");
+            eprintln!("          relative tolerance band (default 0.30)");
             ExitCode::FAILURE
         }
     }
@@ -132,42 +136,171 @@ fn plural(n: usize) -> &'static str {
     }
 }
 
-/// Benchmarks the analyzer over the live workspace: raw lexer
-/// throughput (tokens/s over every `crates/**/*.rs` file) and the wall
-/// time of a full self-host `analyze_workspace` run. Writes
-/// `results/BENCH_analyze.json`.
-fn bench_analyze(root: &Path) -> ExitCode {
-    let mut sources = Vec::new();
-    if let Err(e) = collect_rs_files(&root.join("crates"), &mut sources) {
-        eprintln!("xtask bench-analyze: {e}");
+/// The three benches the unified driver runs, in execution order. The
+/// cheap analyzer bench goes first so a broken workspace fails fast.
+const BENCH_NAMES: [&str; 3] = ["analyze", "pipeline", "reorder"];
+
+/// The `bench` task: run the benches (unless `--no-run`), write one
+/// v2 artifact per bench at the repo root, then optionally gate
+/// against a baseline directory.
+fn run_bench_task(root: &Path, args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut no_run = false;
+    let mut compare_dir: Option<PathBuf> = None;
+    let mut tolerance = 0.30f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--no-run" => no_run = true,
+            "--compare" => match args.get(i + 1) {
+                Some(dir) => {
+                    compare_dir = Some(PathBuf::from(dir));
+                    i += 1;
+                }
+                None => {
+                    eprintln!("xtask bench: --compare needs a baseline directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match args.get(i + 1).and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t.is_finite() && t >= 0.0 => {
+                    tolerance = t;
+                    i += 1;
+                }
+                _ => {
+                    eprintln!("xtask bench: --tolerance needs a non-negative number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask bench: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if !no_run {
+        for (name, result) in [
+            ("analyze", run_bench_analyze(root)),
+            ("pipeline", run_bench_pipeline(quick)),
+            ("reorder", run_bench_reorder(quick)),
+        ] {
+            let report = match result {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("xtask bench: {name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let path = root.join(format!("BENCH_{name}.json"));
+            if let Err(e) = fs::write(&path, report.render_json()) {
+                eprintln!("xtask bench: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("xtask bench: wrote {}", path.display());
+        }
+    }
+
+    match compare_dir {
+        Some(dir) => compare_gate(root, &dir, tolerance),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// Gates the repo-root artifacts against baselines in `old_dir`
+/// (either at its top level or under a legacy `results/` subdirectory)
+/// and fails on any regression. Comparing nothing at all also fails —
+/// a gate that silently gates nothing is worse than no gate.
+fn compare_gate(root: &Path, old_dir: &Path, tolerance: f64) -> ExitCode {
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for name in BENCH_NAMES {
+        let file = format!("BENCH_{name}.json");
+        let Some(old_path) = [old_dir.join(&file), old_dir.join("results").join(&file)]
+            .into_iter()
+            .find(|p| p.is_file())
+        else {
+            eprintln!(
+                "xtask bench: no baseline for {name} in {}; skipped",
+                old_dir.display()
+            );
+            continue;
+        };
+        let new_path = root.join(&file);
+        let pair = fs::read_to_string(&old_path)
+            .and_then(|old| fs::read_to_string(&new_path).map(|new| (old, new)));
+        let (old_text, new_text) = match pair {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("xtask bench: REGRESSION {name}: cannot read artifact pair: {e}");
+                regressions += 1;
+                continue;
+            }
+        };
+        let reports = BenchReport::parse(&old_text)
+            .map_err(|e| format!("baseline {}: {e}", old_path.display()))
+            .and_then(|old| {
+                BenchReport::parse(&new_text)
+                    .map_err(|e| format!("new {}: {e}", new_path.display()))
+                    .map(|new| (old, new))
+            });
+        let (old, new) = match reports {
+            Ok(reports) => reports,
+            Err(e) => {
+                eprintln!("xtask bench: REGRESSION {name}: {e}");
+                regressions += 1;
+                continue;
+            }
+        };
+        let outcome = bench::compare(&old, &new, tolerance);
+        for w in &outcome.warnings {
+            eprintln!("xtask bench: warning: {w}");
+        }
+        for r in &outcome.regressions {
+            eprintln!("xtask bench: REGRESSION: {r}");
+        }
+        regressions += outcome.regressions.len();
+        compared += 1;
+    }
+    if compared == 0 {
+        eprintln!(
+            "xtask bench: no baseline artifacts found in {} — nothing was gated",
+            old_dir.display()
+        );
         return ExitCode::FAILURE;
     }
+    if regressions > 0 {
+        eprintln!("xtask bench: {regressions} regression(s) against the baseline");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask bench: no regressions ({compared} bench(es) compared)");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Benchmarks the analyzer over the live workspace: raw lexer
+/// throughput (tokens/s over every `crates/**/*.rs` file) and the wall
+/// time of a full self-host `analyze_workspace` run.
+fn run_bench_analyze(root: &Path) -> Result<BenchReport, String> {
+    let mut sources = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut sources)?;
     sources.sort();
 
     let mut bytes: u64 = 0;
     let mut tokens: u64 = 0;
     let lex_start = Instant::now();
     for path in &sources {
-        let src = match fs::read_to_string(path) {
-            Ok(src) => src,
-            Err(e) => {
-                eprintln!("xtask bench-analyze: cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         bytes += src.len() as u64;
         tokens += lex(&src).len() as u64;
     }
     let lex_seconds = lex_start.elapsed().as_secs_f64();
 
     let selfhost_start = Instant::now();
-    let report = match analyze_workspace(root, &AnalyzerConfig::default()) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("xtask bench-analyze: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    analyze_workspace(root, &AnalyzerConfig::default())?;
     let selfhost_seconds = selfhost_start.elapsed().as_secs_f64();
     let tokens_per_second = if lex_seconds > 0.0 {
         tokens as f64 / lex_seconds
@@ -175,119 +308,94 @@ fn bench_analyze(root: &Path) -> ExitCode {
         0.0
     };
 
-    let json = format!(
-        "{{\n  \"schema\": \"bench-analyze.v1\",\n  \"files\": {},\n  \"bytes\": {},\n  \
-         \"tokens\": {},\n  \"lex_seconds\": {:.6},\n  \"tokens_per_second\": {:.0},\n  \
-         \"selfhost_seconds\": {:.6},\n  \"findings\": {}\n}}\n",
-        sources.len(),
-        bytes,
-        tokens,
-        lex_seconds,
-        tokens_per_second,
-        selfhost_seconds,
-        report.findings.len(),
-    );
-    let out_dir = root.join("results");
-    if let Err(e) = fs::create_dir_all(&out_dir) {
-        eprintln!(
-            "xtask bench-analyze: cannot create {}: {e}",
-            out_dir.display()
-        );
-        return ExitCode::FAILURE;
-    }
-    let out_path = out_dir.join("BENCH_analyze.json");
-    if let Err(e) = fs::write(&out_path, &json) {
-        eprintln!(
-            "xtask bench-analyze: cannot write {}: {e}",
-            out_path.display()
-        );
-        return ExitCode::FAILURE;
-    }
     eprintln!(
-        "xtask bench-analyze: {} files, {} tokens, {:.0} tokens/s lex, {:.3}s self-host -> {}",
+        "xtask bench: analyze: {} files ({bytes} bytes), {tokens} tokens, \
+         {tokens_per_second:.0} tokens/s lex, {selfhost_seconds:.3}s self-host",
         sources.len(),
-        tokens,
-        tokens_per_second,
-        selfhost_seconds,
-        out_path.display()
     );
-    ExitCode::SUCCESS
+    let mut report = BenchReport::new("analyze");
+    report.metric(
+        "analyze.lex_tokens_per_second",
+        tokens_per_second,
+        "tokens/s",
+        true,
+    );
+    report.metric(
+        "analyze.selfhost_seconds",
+        selfhost_seconds,
+        "seconds",
+        false,
+    );
+    Ok(report)
 }
 
-/// Benchmarks the engine-parallel reorderers on a streamed mega-tier
-/// corpus entry: each technique runs at 1/2/8 threads, the permutations
-/// must be byte-identical across thread counts, and the result
-/// (Medges/s, wall seconds, peak RSS, speedup) goes to
-/// `results/BENCH_reorder.json`.
-fn bench_reorder(root: &Path, entry_name: Option<&str>) -> ExitCode {
+/// Benchmarks the engine-parallel reorderers on a streamed corpus
+/// entry (`--quick`: a standard-tier social graph at 1/2 threads;
+/// full: the mega-tier k-mer chain at 1/2/8 threads). Permutations
+/// must be byte-identical across thread counts; their FNV-1a hashes
+/// become the report's result fingerprints.
+fn run_bench_reorder(quick: bool) -> Result<BenchReport, String> {
     use commorder_exec::Engine;
     use commorder_reorder::{Boba, Rabbit, RabbitPlusPlus, ReorderContext, Reordering};
     use commorder_synth::corpus;
 
-    let entry_name = entry_name.unwrap_or("mega-kmer-chain-4m");
-    let Some(entry) = corpus::mega()
+    let entry_name = if quick {
+        "soc-rmat-131k"
+    } else {
+        "mega-kmer-chain-4m"
+    };
+    let entry = corpus::mega()
         .into_iter()
         .chain(corpus::standard())
         .find(|e| e.name == entry_name)
-    else {
-        eprintln!("xtask bench-reorder: no corpus entry named {entry_name:?}");
-        return ExitCode::FAILURE;
-    };
+        .ok_or_else(|| format!("no corpus entry named {entry_name:?}"))?;
 
     let gen_start = Instant::now();
-    let matrix = match entry.generate() {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("xtask bench-reorder: generating {entry_name}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let matrix = entry
+        .generate()
+        .map_err(|e| format!("generating {entry_name}: {e}"))?;
     let gen_seconds = gen_start.elapsed().as_secs_f64();
     eprintln!(
-        "xtask bench-reorder: {entry_name} = {} rows, {} nnz ({gen_seconds:.2}s to stream)",
+        "xtask bench: reorder: {entry_name} = {} rows, {} nnz ({gen_seconds:.2}s to stream)",
         matrix.n_rows(),
         matrix.nnz()
     );
 
     let techniques: Vec<(&str, Box<dyn Reordering>)> = vec![
-        ("RABBIT", Box::new(Rabbit::new())),
-        ("RABBIT++", Box::new(RabbitPlusPlus::new())),
-        ("BOBA", Box::new(Boba)),
+        ("rabbit", Box::new(Rabbit::new())),
+        ("rabbit++", Box::new(RabbitPlusPlus::new())),
+        ("boba", Box::new(Boba)),
     ];
-    let thread_counts = [1usize, 2, 8];
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 8] };
+    let repetitions = if quick { 2 } else { 3 };
     let nnz = matrix.nnz() as f64;
 
     // Untimed warmup: fault the matrix and allocator pools in once so
     // the first timed run is not charged for first-touch page faults.
     let warmup = Engine::new(1);
-    if let Err(e) = Rabbit::new().reorder_with(&matrix, &ReorderContext::new(&warmup, 0xC0DE)) {
-        eprintln!("xtask bench-reorder: warmup: {e}");
-        return ExitCode::FAILURE;
-    }
+    Rabbit::new()
+        .reorder_with(&matrix, &ReorderContext::new(&warmup, 0xC0DE))
+        .map_err(|e| format!("warmup: {e}"))?;
 
-    let mut technique_blocks = Vec::with_capacity(techniques.len());
+    let mut report = BenchReport::new("reorder");
+    report.metric("reorder.generate_seconds", gen_seconds, "seconds", false);
     for (name, technique) in &techniques {
         let mut reference_hash: Option<u64> = None;
         let mut seconds_per_run = Vec::with_capacity(thread_counts.len());
-        let mut rows = Vec::with_capacity(thread_counts.len());
-        for &threads in &thread_counts {
+        for &threads in thread_counts {
             let engine = Engine::new(threads);
             let cx = ReorderContext::new(&engine, 0xC0DE);
-            // Best-of-3: repetitions absorb scheduler noise, which on a
+            // Best-of-N: repetitions absorb scheduler noise, which on a
             // loaded host can otherwise exceed the sharding speedup.
             let mut seconds = f64::INFINITY;
             let mut hwm_kb = 0u64;
             let mut last = None;
-            for _ in 0..3 {
+            for _ in 0..repetitions {
                 reset_peak_rss();
                 let start = Instant::now();
-                let permutation = match technique.reorder_with(&matrix, &cx) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        eprintln!("xtask bench-reorder: {name} at {threads} threads: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
+                let permutation = technique
+                    .reorder_with(&matrix, &cx)
+                    .map_err(|e| format!("{name} at {threads} threads: {e}"))?;
                 seconds = seconds.min(start.elapsed().as_secs_f64());
                 hwm_kb = hwm_kb.max(peak_rss_kb());
                 last = Some(permutation);
@@ -296,15 +404,14 @@ fn bench_reorder(root: &Path, entry_name: Option<&str>) -> ExitCode {
                 Some(p) => p,
                 None => unreachable!("loop runs at least once"),
             };
-            let hash = fnv1a_u32s(permutation.as_slice());
+            let hash = bench::fnv1a_u32s(permutation.as_slice());
             match reference_hash {
                 None => reference_hash = Some(hash),
                 Some(reference) if reference != hash => {
-                    eprintln!(
-                        "xtask bench-reorder: {name} permutation drifted at {threads} threads \
+                    return Err(format!(
+                        "{name} permutation drifted at {threads} threads \
                          ({reference:016x} -> {hash:016x})"
-                    );
-                    return ExitCode::FAILURE;
+                    ));
                 }
                 Some(_) => {}
             }
@@ -314,13 +421,21 @@ fn bench_reorder(root: &Path, entry_name: Option<&str>) -> ExitCode {
                 0.0
             };
             eprintln!(
-                "xtask bench-reorder: {name:<9} {threads} thread(s): {seconds:.3}s \
+                "xtask bench: reorder: {name:<9} {threads} thread(s): {seconds:.3}s \
                  ({medges_per_s:.1} Medges/s, hwm {hwm_kb} kB)"
             );
-            rows.push(format!(
-                "      {{\"threads\": {threads}, \"seconds\": {seconds:.6}, \
-                 \"medges_per_second\": {medges_per_s:.3}, \"peak_rss_kb\": {hwm_kb}}}"
-            ));
+            report.metric(
+                &format!("reorder.{name}.t{threads}.medges_per_second"),
+                medges_per_s,
+                "Medges/s",
+                true,
+            );
+            report.metric(
+                &format!("reorder.{name}.t{threads}.peak_rss_kb"),
+                hwm_kb as f64,
+                "kB",
+                false,
+            );
             seconds_per_run.push(seconds);
         }
         // Speedup of the widest run over serial — the scaling headline.
@@ -328,62 +443,168 @@ fn bench_reorder(root: &Path, entry_name: Option<&str>) -> ExitCode {
             (Some(&serial), Some(&widest)) if widest > 0.0 => serial / widest,
             _ => 0.0,
         };
-        technique_blocks.push((name, reference_hash.unwrap_or(0), speedup, rows));
-    }
-
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench-reorder.v1\",\n");
-    json.push_str(&format!("  \"entry\": \"{entry_name}\",\n"));
-    json.push_str(&format!("  \"rows\": {},\n", matrix.n_rows()));
-    json.push_str(&format!("  \"nnz\": {},\n", matrix.nnz()));
-    json.push_str(&format!("  \"generate_seconds\": {gen_seconds:.6},\n"));
-    json.push_str("  \"techniques\": [\n");
-    for (i, (name, hash, speedup, rows)) in technique_blocks.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"permutation_fnv1a\": \"{hash:016x}\", \
-             \"speedup_widest_vs_serial\": {speedup:.3}, \"runs\": [\n"
-        ));
-        json.push_str(&rows.join(",\n"));
-        json.push_str("\n    ]}");
-        json.push_str(if i + 1 < technique_blocks.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
-    }
-    json.push_str("  ]\n}\n");
-
-    let out_dir = root.join("results");
-    if let Err(e) = fs::create_dir_all(&out_dir) {
-        eprintln!(
-            "xtask bench-reorder: cannot create {}: {e}",
-            out_dir.display()
+        report.metric(
+            &format!("reorder.{name}.speedup_widest_vs_serial"),
+            speedup,
+            "ratio",
+            true,
         );
-        return ExitCode::FAILURE;
+        report.fingerprint(&format!("permutation.{name}"), reference_hash.unwrap_or(0));
     }
-    let out_path = out_dir.join("BENCH_reorder.json");
-    if let Err(e) = fs::write(&out_path, &json) {
-        eprintln!(
-            "xtask bench-reorder: cannot write {}: {e}",
-            out_path.display()
-        );
-        return ExitCode::FAILURE;
-    }
-    eprintln!("xtask bench-reorder: wrote {}", out_path.display());
-    ExitCode::SUCCESS
+    Ok(report)
 }
 
-/// FNV-1a over a `u32` slice in little-endian byte order — a stable
-/// fingerprint for cross-thread-count permutation identity.
-fn fnv1a_u32s(values: &[u32]) -> u64 {
-    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
-    for &v in values {
-        for byte in v.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+/// FNV-1a over the full counter vector of a cache simulation — any
+/// behavioural drift in the simulator or its input trace changes it.
+fn stats_fingerprint(s: &commorder::cachesim::CacheStats) -> u64 {
+    bench::fnv1a_u64s(&[
+        s.accesses,
+        s.hits,
+        s.fill_misses,
+        s.write_alloc_misses,
+        s.compulsory_misses,
+        s.evictions,
+        s.dead_lines,
+        s.writebacks,
+        s.fills,
+        u64::from(s.line_bytes),
+    ])
+}
+
+/// Benchmarks the simulation pipeline end to end: trace-generation
+/// throughput, LRU/PLRU/Belady simulated accesses/s (each
+/// fingerprinted by its counter vector), the wall time of a small
+/// experiment suite, and the peak RSS of the whole bench.
+fn run_bench_pipeline(quick: bool) -> Result<BenchReport, String> {
+    use commorder::cachesim::belady::simulate_belady;
+    use commorder::cachesim::plru::PlruCache;
+    use commorder::cachesim::source::{simulate_lru, KernelTrace};
+    use commorder::cachesim::trace::ExecutionModel;
+    use commorder::cachesim::{CacheConfig, TraceSource};
+    use commorder::gpumodel::GpuSpec;
+    use commorder::ExperimentSpec;
+    use commorder_exec::Engine;
+    use commorder_reorder::paper_suite;
+    use commorder_sparse::traffic::Kernel;
+    use commorder_synth::corpus;
+
+    reset_peak_rss();
+    let entry_name = if quick { "mini-rmat" } else { "soc-rmat-xl" };
+    let entry = corpus::mini()
+        .into_iter()
+        .chain(corpus::standard())
+        .find(|e| e.name == entry_name)
+        .ok_or_else(|| format!("no corpus entry named {entry_name:?}"))?;
+    let matrix = entry
+        .generate()
+        .map_err(|e| format!("generating {entry_name}: {e}"))?;
+    let config = if quick {
+        CacheConfig::test_scale()
+    } else {
+        CacheConfig::a6000_scaled()
+    };
+    let source = KernelTrace::new(&matrix, Kernel::SpmvCsr, ExecutionModel::Sequential);
+
+    let mut report = BenchReport::new("pipeline");
+    let per_second = |n: u64, seconds: f64| {
+        if seconds > 0.0 {
+            n as f64 / seconds
+        } else {
+            0.0
         }
+    };
+
+    let start = Instant::now();
+    let mut accesses: u64 = 0;
+    source.replay(&mut |_| accesses += 1);
+    let gen_aps = per_second(accesses, start.elapsed().as_secs_f64());
+    report.metric(
+        "pipeline.trace_gen_accesses_per_second",
+        gen_aps,
+        "accesses/s",
+        true,
+    );
+
+    let start = Instant::now();
+    let lru = simulate_lru(config, &source);
+    let lru_aps = per_second(lru.accesses, start.elapsed().as_secs_f64());
+    report.metric(
+        "pipeline.lru_accesses_per_second",
+        lru_aps,
+        "accesses/s",
+        true,
+    );
+    report.fingerprint("cache.lru", stats_fingerprint(&lru));
+
+    let start = Instant::now();
+    let mut plru_cache = PlruCache::new(config);
+    plru_cache.consume(&source);
+    let plru = plru_cache.finish();
+    let plru_aps = per_second(plru.accesses, start.elapsed().as_secs_f64());
+    report.metric(
+        "pipeline.plru_accesses_per_second",
+        plru_aps,
+        "accesses/s",
+        true,
+    );
+    report.fingerprint("cache.plru", stats_fingerprint(&plru));
+
+    let start = Instant::now();
+    let belady = simulate_belady(config, &source);
+    let belady_aps = per_second(belady.accesses, start.elapsed().as_secs_f64());
+    report.metric(
+        "pipeline.belady_accesses_per_second",
+        belady_aps,
+        "accesses/s",
+        true,
+    );
+    report.fingerprint("cache.belady", stats_fingerprint(&belady));
+    eprintln!(
+        "xtask bench: pipeline: {entry_name} trace = {accesses} accesses; \
+         {gen_aps:.0} gen/s, {lru_aps:.0} LRU/s, {plru_aps:.0} PLRU/s, {belady_aps:.0} Belady/s"
+    );
+
+    // A small end-to-end suite: mini matrices through the full paper
+    // technique set. Its rendered report is deterministic across thread
+    // counts and machines, so its hash doubles as a result fingerprint.
+    let gpu = if quick {
+        GpuSpec::test_scale()
+    } else {
+        GpuSpec::a6000_scaled()
+    };
+    let mut spec = ExperimentSpec::new(gpu).techniques(paper_suite(0xC0DE));
+    let suite_matrices = if quick { 2 } else { 4 };
+    for entry in corpus::mini().into_iter().take(suite_matrices) {
+        let m = entry
+            .generate()
+            .map_err(|e| format!("generating {}: {e}", entry.name))?;
+        spec = spec.matrix(entry.name, m);
     }
-    hash
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let engine = Engine::new(threads);
+    let start = Instant::now();
+    let result = spec.run(&engine).map_err(|e| format!("suite run: {e}"))?;
+    let suite_seconds = start.elapsed().as_secs_f64();
+    report.metric(
+        "pipeline.suite_wall_seconds",
+        suite_seconds,
+        "seconds",
+        false,
+    );
+    report.fingerprint(
+        "suite.report",
+        bench::fnv1a_bytes(result.render_json().as_bytes()),
+    );
+    let hwm_kb = peak_rss_kb();
+    report.metric("pipeline.peak_rss_kb", hwm_kb as f64, "kB", false);
+    eprintln!(
+        "xtask bench: pipeline: suite of {suite_matrices} mini matrices in {suite_seconds:.2}s \
+         at {threads} thread(s), hwm {hwm_kb} kB"
+    );
+    Ok(report)
 }
 
 /// Resets the kernel's peak-RSS watermark for this process (Linux

@@ -1,5 +1,5 @@
 //! Seeded macro call sites: declared, undeclared, mismatched kind,
-//! and a non-literal name.
+//! a non-literal name, and a unitless histogram.
 
 /// Exercises every telemetry-name rule.
 pub fn emit(name: &str) {
@@ -8,4 +8,5 @@ pub fn emit(name: &str) {
     counter!("fixture.missing", 1);
     gauge!("fixture.hits", 2.0);
     observe!(name, 3.0);
+    observe!("fixture.lat", 4.0);
 }

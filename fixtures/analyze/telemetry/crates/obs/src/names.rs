@@ -7,6 +7,8 @@ pub enum MetricKind {
     Counter,
     /// Last write wins.
     Gauge,
+    /// Distribution of observations.
+    Histogram,
 }
 
 /// One metric row.
@@ -28,6 +30,10 @@ pub const METRICS: &[MetricInfo] = &[
     MetricInfo {
         name: "fixture.hits",
         kind: MetricKind::Counter,
+    },
+    MetricInfo {
+        name: "fixture.lat",
+        kind: MetricKind::Histogram,
     },
     MetricInfo {
         name: "fixture.orphan",
