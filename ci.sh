@@ -57,7 +57,8 @@ echo "== unified bench harness (xtask bench --quick) + CHK12xx validation"
 # One driver, three schema-versioned artifacts at the repo root:
 # BENCH_analyze.json (lexer throughput + self-host analysis),
 # BENCH_pipeline.json (trace-gen and LRU/PLRU/Belady simulated
-# accesses/s, suite wall time, peak RSS) and BENCH_reorder.json
+# accesses/s, SpGEMM throughput + accumulator peaks, suite wall time,
+# peak RSS) and BENCH_reorder.json
 # (engine-parallel RABBIT / RABBIT++ / BOBA throughput; the run fails
 # if the permutation fingerprint drifts across thread counts). --quick
 # shrinks the inputs to CI scale; every artifact must pass the
@@ -67,6 +68,13 @@ for b in BENCH_analyze.json BENCH_pipeline.json BENCH_reorder.json; do
   test -s "$b"
   cargo run --release -q -p commorder --bin commorder-cli -- check "$b"
 done
+
+echo "== SpGEMM metrics present in the pipeline bench artifact"
+# The workload-layer SpGEMM leg must land its throughput and
+# accumulator-peak rows in BENCH_pipeline.json; a silently dropped leg
+# would pass the schema validators (they check rows, not coverage).
+grep -q '"pipeline.spgemm_lru_accesses_per_second"' BENCH_pipeline.json
+grep -q '"pipeline.spgemm_cluster_acc_peak_elements"' BENCH_pipeline.json
 
 echo "== regression gate (self-compare passes, injected regression fails)"
 # The gate must accept the run it just produced and reject a doctored
@@ -131,6 +139,21 @@ echo "== streaming-memory tripwire (ulimit -v 256 MiB)"
     --json /tmp/commorder-tripwire.json
 )
 test -s /tmp/commorder-tripwire.json
+
+echo "== SpGEMM streaming tripwire (ulimit -v 256 MiB)"
+# Gustavson SpGEMM must stream row by row: the opt-block-512 self-
+# multiply replays ~40M accesses per kernel, and materializing that
+# trace (or the ~10M-entry result) would blow the same 256 MiB ceiling.
+# Cluster-wise runs through RABBIT community detection inside the
+# pipeline, so this also pins the detect-assign-replay path.
+(
+  ulimit -v 262144
+  MALLOC_ARENA_MAX=2 ./target/release/commorder-cli \
+    suite --threads 2 --corpus standard --only opt-block-512 \
+    --kernels spgemm,spgemm-cluster --techniques rabbit++ \
+    --json /tmp/commorder-spgemm-tripwire.json
+)
+test -s /tmp/commorder-spgemm-tripwire.json
 
 echo "== strict-checks feature"
 cargo test -q -p commorder-sparse -p commorder-cachesim -p commorder \

@@ -32,6 +32,10 @@ fn main() {
         ),
         ("extended_suite", "all 14 orderings + locality scorecard"),
         ("format_study", "CSR vs ELL vs SELL-C-sigma x reordering"),
+        (
+            "spgemm_study",
+            "cluster-wise SpGEMM win vs insularity (A x A)",
+        ),
         ("energy_study", "energy accounting per ordering"),
         ("graph_study", "PageRank + BFS under reordering"),
         (

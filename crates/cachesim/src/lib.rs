@@ -56,6 +56,7 @@ pub mod hierarchy;
 pub mod layout;
 pub mod plru;
 pub mod source;
+pub mod spgemm;
 pub mod telemetry;
 pub mod trace;
 
@@ -63,4 +64,5 @@ pub use cache::{AccessOutcome, CacheStats, LruCache};
 pub use config::CacheConfig;
 pub use layout::ArrayLayout;
 pub use source::TraceSource;
+pub use spgemm::SpGemmTrace;
 pub use trace::Access;

@@ -112,6 +112,21 @@ pub fn for_each_access<F: FnMut(Access)>(
     model: ExecutionModel,
     mut raw_sink: F,
 ) {
+    if kernel.is_spgemm() {
+        // Two-operand kernels trace the self-multiply (`B = A`, the
+        // corpus default) via the dedicated Gustavson generator. Both
+        // execution models replay the row schedule — as with the
+        // tiled/blocked kernels, the accumulator carries a per-row
+        // serialization the interleaved proxy cannot break. A
+        // non-square matrix cannot self-multiply and yields an empty
+        // trace here; `Pipeline` validates shapes before tracing, and
+        // explicit `(A, B)` pairs go through `SpGemmTrace::new`.
+        use crate::source::TraceSource;
+        if let Ok(trace) = crate::spgemm::SpGemmTrace::self_multiply(a, kernel) {
+            trace.replay(&mut raw_sink);
+        }
+        return;
+    }
     let layout = ArrayLayout::new(a, kernel, 32);
     // Under `strict-checks` every emitted access is audited against the
     // operand address space: element-aligned and below `layout.end`.
@@ -231,6 +246,9 @@ fn nz_accesses<F: FnMut(Access)>(
                 j += step;
             }
         }
+        Kernel::SpGemmGustavson | Kernel::SpGemmClusterWise => {
+            unreachable!("SpGEMM traces come from crate::spgemm, not the dense-operand row walk")
+        }
     }
 }
 
@@ -251,6 +269,9 @@ fn row_epilogue<F: FnMut(Access)>(kernel: Kernel, layout: &ArrayLayout, r: u32, 
                 sink(Access::write(ArrayLayout::elem(layout.c, start + j)));
                 j += step;
             }
+        }
+        Kernel::SpGemmGustavson | Kernel::SpGemmClusterWise => {
+            unreachable!("SpGEMM traces come from crate::spgemm, not the dense-operand row walk")
         }
     }
 }

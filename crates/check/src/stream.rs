@@ -263,4 +263,41 @@ mod tests {
             assert!(check_stream_equivalence(&trace[..], &collected).is_empty());
         });
     }
+
+    #[test]
+    fn spgemm_sources_stream_faithfully_on_random_operands() {
+        use crate::propcheck::arb_csr;
+        use commorder_cachesim::SpGemmTrace;
+        use commorder_sparse::traffic::Kernel;
+        run_cases("spgemm-stream-faithful", DEFAULT_CASES, |rng: &mut Rng| {
+            let a = arb_csr(rng, 24, 3);
+            let source = SpGemmTrace::new(&a, &a, Kernel::SpGemmGustavson, None)
+                .expect("square self-multiply always constructs");
+            let collected = source.collect_trace();
+            let d = check_stream_equivalence(&source, &collected);
+            assert!(d.is_empty(), "{d:?}");
+        });
+    }
+
+    #[test]
+    fn cluster_wise_spgemm_streams_faithfully_under_random_assignments() {
+        use crate::propcheck::arb_csr;
+        use commorder_cachesim::SpGemmTrace;
+        use commorder_sparse::traffic::Kernel;
+        run_cases("spgemm-cluster-stream-faithful", DEFAULT_CASES, |rng| {
+            let a = arb_csr(rng, 24, 3);
+            let n_comms = 1 + rng.gen_u32(4);
+            let assignment: Vec<u32> = (0..a.n_rows()).map(|_| rng.gen_u32(n_comms)).collect();
+            let plain = SpGemmTrace::new(&a, &a, Kernel::SpGemmGustavson, None)
+                .expect("square self-multiply always constructs");
+            let clustered = SpGemmTrace::new(&a, &a, Kernel::SpGemmClusterWise, Some(&assignment))
+                .expect("matching assignment length always constructs");
+            let collected = clustered.collect_trace();
+            let d = check_stream_equivalence(&clustered, &collected);
+            assert!(d.is_empty(), "{d:?}");
+            // The row schedule changes; the access count does not.
+            assert_eq!(plain.len_hint(), clustered.len_hint());
+            assert_eq!(plain.len_hint(), Some(collected.len() as u64));
+        });
+    }
 }

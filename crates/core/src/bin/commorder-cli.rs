@@ -10,7 +10,7 @@
 //! commorder-cli advise   <in.mtx>
 //! commorder-cli check    <file> [--json]
 //! commorder-cli corpus [export <dir> | stats <name>]
-//! commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]
+//! commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--kernels LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]
 //! commorder-cli profile [--top N] [--flame PATH] [suite flags]
 //! ```
 //!
@@ -40,7 +40,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use commorder::cli::{
-    parse_kernel, parse_technique, ProfileOptions, SuiteOptions, TECHNIQUE_NAMES,
+    parse_kernel, parse_technique, ProfileOptions, SuiteOptions, KERNEL_NAMES, TECHNIQUE_NAMES,
 };
 use commorder::obs;
 use commorder::prelude::*;
@@ -57,8 +57,9 @@ static COUNTING_ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli analyze  --source [ROOT] [--json]\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir> | stats <name>]\n  commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]\n  commorder-cli profile [--top N] [--flame PATH] [suite flags]\n\ntechniques: {}\nkernels: spmv-csr | spmv-coo | spmm-<k> | spmv-tiled-<w>\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). --techniques replaces\nthe paper suite with a comma-separated registry list (e.g.\nrabbit++,boba,rcm++); --corpus mega selects the streamed million-row\ntier. profile runs the same grid under the telemetry registry and prints\nthe phase tree plus the --top hottest (matrix, technique) cells;\n--flame writes the deterministic collapsed-stack (folded) flamegraph. suite\n--list prints the resolved grid without running it. corpus stats\ngenerates one entry (any tier) and prints its shape — CI runs it under\nulimit -v as the streamed-generation memory tripwire.",
-        TECHNIQUE_NAMES.join(" | ")
+        "usage:\n  commorder-cli analyze  <in.mtx>\n  commorder-cli analyze  --source [ROOT] [--json]\n  commorder-cli reorder  <in.mtx> <out.mtx> [technique]\n  commorder-cli simulate <in.mtx> [technique] [kernel]\n  commorder-cli spy      <in.mtx> [technique]\n  commorder-cli advise   <in.mtx>\n  commorder-cli check    <file> [--json]   (.mtx | .csr | .perm | .trace | .jsonl)\n  commorder-cli corpus [export <dir> | stats <name>]\n  commorder-cli suite [--threads N] [--corpus mini|standard|mega] [--techniques LIST] [--kernels LIST] [--max-matrices N] [--only NAME] [--json PATH|-] [--telemetry PATH] [--list]\n  commorder-cli profile [--top N] [--flame PATH] [suite flags]\n\ntechniques: {}\nkernels: {}\n\nsuite runs the full paper grid (corpus x 7 orderings x SpMV-CSR) on the\nwork-stealing engine; --threads defaults to the machine's parallelism and\nthe JSON report is byte-identical for any thread count (--telemetry adds\na sidecar JSONL event stream without changing it). --techniques replaces\nthe paper suite with a comma-separated registry list (e.g.\nrabbit++,boba,rcm++); --kernels replaces the SpMV-CSR kernel axis (e.g.\nspgemm,spgemm-cluster — spgemm-cluster executes the rows of each RABBIT\ncommunity as a block); --corpus mega selects the streamed million-row\ntier. profile runs the same grid under the telemetry registry and prints\nthe phase tree plus the --top hottest (matrix, technique) cells;\n--flame writes the deterministic collapsed-stack (folded) flamegraph. suite\n--list prints the resolved grid without running it. corpus stats\ngenerates one entry (any tier) and prints its shape — CI runs it under\nulimit -v as the streamed-generation memory tripwire.",
+        TECHNIQUE_NAMES.join(" | "),
+        KERNEL_NAMES.join(" | ")
     );
     ExitCode::FAILURE
 }
@@ -122,6 +123,15 @@ fn resolve_techniques(options: &SuiteOptions) -> Result<Vec<Box<dyn Reordering>>
     }
 }
 
+/// Resolves `--kernels` (registry list) or falls back to the paper
+/// suite's SpMV-CSR kernel axis.
+fn resolve_kernels(options: &SuiteOptions) -> Result<Vec<Kernel>, String> {
+    match &options.kernels {
+        Some(list) => commorder::sparse::traffic::parse_kernel_list(list),
+        None => Ok(vec![Kernel::SpmvCsr]),
+    }
+}
+
 /// Generates the corpus and runs the suite grid — the shared core
 /// of the `suite` and `profile` subcommands. Emits `suite` /
 /// `suite.generate` spans around the main-thread phases; per-job spans
@@ -150,7 +160,9 @@ fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::err
         }
         None => entries,
     };
-    let mut spec = ExperimentSpec::new(gpu).techniques(resolve_techniques(options)?);
+    let mut spec = ExperimentSpec::new(gpu)
+        .techniques(resolve_techniques(options)?)
+        .kernels(resolve_kernels(options)?);
     for entry in entries.into_iter().take(limit) {
         eprintln!("[suite] gen {}", entry.name);
         let _span = obs::span!("suite.generate", "{}", entry.name);
@@ -158,9 +170,10 @@ fn run_grid(options: &SuiteOptions) -> Result<ExperimentResult, Box<dyn std::err
         spec = spec.matrix_in_group(entry.name, entry.domain.label(), matrix);
     }
     eprintln!(
-        "[suite] {} matrices x {} techniques on {} threads",
+        "[suite] {} matrices x {} techniques x {} kernels on {} threads",
         spec.matrices.len(),
         spec.techniques.len(),
+        spec.kernels.len(),
         engine.threads()
     );
     Ok(spec.run(&engine)?)
@@ -210,18 +223,23 @@ fn list_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> 
         ]);
     }
     println!("{table}");
+    let kernels: Vec<String> = resolve_kernels(options)?
+        .iter()
+        .map(Kernel::cli_name)
+        .collect();
     println!("techniques: {}", techniques.join(" | "));
-    println!("kernel:     spmv-csr");
+    println!("kernels:    {}", kernels.join(" | "));
     let threads = match options.threads {
         Some(n) => n.to_string(),
         None => "auto (available parallelism)".to_string(),
     };
     println!("threads:    {threads}");
     println!(
-        "jobs:       {} ({} matrices x {} techniques)",
-        entries.len() * techniques.len(),
+        "jobs:       {} ({} matrices x {} techniques x {} kernels)",
+        entries.len() * techniques.len() * kernels.len(),
         entries.len(),
-        techniques.len()
+        techniques.len(),
+        kernels.len()
     );
     Ok(())
 }
@@ -236,8 +254,13 @@ fn run_suite(options: &SuiteOptions) -> Result<(), Box<dyn std::error::Error>> {
 
     let mut headers = vec!["matrix".to_string(), "domain".to_string()];
     headers.extend(result.techniques.iter().cloned());
+    let kernel_label = resolve_kernels(options)?
+        .iter()
+        .map(Kernel::name)
+        .collect::<Vec<String>>()
+        .join("+");
     let mut table = Table::new(
-        "Paper suite: SpMV DRAM traffic normalized to compulsory",
+        format!("Paper suite: {kernel_label} DRAM traffic normalized to compulsory"),
         headers,
     );
     for (mi, (name, group)) in result.matrices.iter().enumerate() {

@@ -9,6 +9,10 @@ use commorder_sparse::traffic::Kernel;
 /// from the technique registry so CLI help always matches what resolves.
 pub use commorder_reorder::TECHNIQUE_NAMES;
 
+/// Names accepted by [`parse_kernel`], for help text. Re-exported from
+/// the kernel registry so CLI help always matches what resolves.
+pub use commorder_sparse::traffic::KERNEL_NAMES;
+
 /// Resolves a (case-insensitive) technique name to an instance, via the
 /// technique registry with the CLI's fixed `0xC0DE` seed.
 ///
@@ -19,30 +23,13 @@ pub fn parse_technique(name: &str) -> Option<Box<dyn Reordering>> {
     technique_by_name(name, 0xC0DE)
 }
 
-/// Resolves a kernel name (`spmv-csr`, `spmv-coo`, `spmm-4`, `spmm-256`,
-/// `spmv-tiled-<w>`); returns `None` for unknown names.
+/// Resolves a kernel name (`spmv-csr`, `spgemm`, `spgemm-cluster`,
+/// `spmm-<k>`, `spmv-tiled-<w>`, `spmv-blocked-<b>`) through the kernel
+/// registry ([`commorder_sparse::traffic::kernel_by_name`]); returns
+/// `None` for unknown names.
 #[must_use]
 pub fn parse_kernel(name: &str) -> Option<Kernel> {
-    let lower = name.to_ascii_lowercase();
-    match lower.as_str() {
-        "spmv" | "spmv-csr" => Some(Kernel::SpmvCsr),
-        "spmv-coo" => Some(Kernel::SpmvCoo),
-        _ => {
-            if let Some(k) = lower.strip_prefix("spmm-") {
-                k.parse::<u32>()
-                    .ok()
-                    .filter(|&k| k > 0)
-                    .map(|k| Kernel::SpmmCsr { k })
-            } else if let Some(w) = lower.strip_prefix("spmv-tiled-") {
-                w.parse::<u32>()
-                    .ok()
-                    .filter(|&w| w > 0)
-                    .map(|tile_cols| Kernel::SpmvCsrTiled { tile_cols })
-            } else {
-                None
-            }
-        }
-    }
+    commorder_sparse::traffic::kernel_by_name(name)
 }
 
 /// Options of the `commorder-cli suite` subcommand (the full paper-suite
@@ -58,6 +45,10 @@ pub struct SuiteOptions {
     /// `None` = the paper suite. Resolved through the technique
     /// registry, so every registered name and alias is accepted.
     pub techniques: Option<String>,
+    /// Comma-separated kernel list (`--kernels spgemm,spgemm-cluster`);
+    /// `None` = SpMV-CSR only. Resolved through the kernel registry, so
+    /// every registered spelling and alias is accepted.
+    pub kernels: Option<String>,
     /// Truncate the corpus (`--max-matrices N`).
     pub max_matrices: Option<usize>,
     /// Keep only corpus entries whose name contains this substring
@@ -89,6 +80,7 @@ impl SuiteOptions {
             threads: None,
             corpus: None,
             techniques: None,
+            kernels: None,
             max_matrices: None,
             only: None,
             json: None,
@@ -126,6 +118,11 @@ impl SuiteOptions {
                     // after corpus generation.
                     commorder_reorder::parse_technique_list(&v, 0xC0DE)?;
                     options.techniques = Some(v);
+                }
+                "--kernels" => {
+                    let v = value_of("--kernels")?;
+                    commorder_sparse::traffic::parse_kernel_list(&v)?;
+                    options.kernels = Some(v);
                 }
                 "--max-matrices" => {
                     let v = value_of("--max-matrices")?;
@@ -316,7 +313,25 @@ mod tests {
             parse_kernel("spmv-tiled-4096"),
             Some(Kernel::SpmvCsrTiled { tile_cols: 4096 })
         );
+        assert_eq!(parse_kernel("spgemm"), Some(Kernel::SpGemmGustavson));
+        assert_eq!(
+            parse_kernel("spgemm-cluster"),
+            Some(Kernel::SpGemmClusterWise)
+        );
         assert_eq!(parse_kernel("spmm-0"), None);
         assert_eq!(parse_kernel("gemm"), None);
+    }
+
+    #[test]
+    fn suite_kernels_flag_parses_and_validates_eagerly() {
+        let args: Vec<String> = ["--kernels", "spgemm,spgemm-cluster"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let options = SuiteOptions::parse(&args).unwrap();
+        assert_eq!(options.kernels.as_deref(), Some("spgemm,spgemm-cluster"));
+        let bad = SuiteOptions::parse(&["--kernels".into(), "gemm".into()]).unwrap_err();
+        assert!(bad.contains("unknown kernel"), "{bad}");
+        assert!(bad.contains("spgemm-cluster"), "error lists spellings");
     }
 }

@@ -689,6 +689,26 @@ mod tests {
     }
 
     #[test]
+    fn spgemm_kernels_thread_through_the_grid() {
+        let spec =
+            two_by_two_spec().kernels(vec![Kernel::SpGemmGustavson, Kernel::SpGemmClusterWise]);
+        assert_eq!(spec.grid_len(), 8);
+        let result = spec.run(&Engine::serial()).unwrap();
+        assert_eq!(result.records.len(), 8);
+        let json = result.render_json();
+        assert!(json.contains("\"SpGEMM\""), "kernel axis rendered");
+        assert!(json.contains("\"SpGEMM-CW\""), "cluster-wise rendered");
+        // The grid re-runs identically under a parallel engine (the
+        // cluster-wise community detection is a serial pass per job).
+        let parallel = two_by_two_spec()
+            .kernels(vec![Kernel::SpGemmGustavson, Kernel::SpGemmClusterWise])
+            .run(&Engine::new(4))
+            .unwrap()
+            .render_json();
+        assert_eq!(json, parallel);
+    }
+
+    #[test]
     fn json_helpers() {
         assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
         assert_eq!(json_f64(1.5), "1.5");

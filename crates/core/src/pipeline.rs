@@ -16,11 +16,12 @@
 
 use commorder_cachesim::belady::simulate_belady;
 use commorder_cachesim::source::KernelTrace;
+use commorder_cachesim::spgemm::SpGemmTrace;
 use commorder_cachesim::trace::ExecutionModel;
 use commorder_cachesim::{CacheStats, LruCache, TraceSource};
 use commorder_gpumodel::GpuSpec;
 use commorder_obs as obs;
-use commorder_reorder::{ReorderContext, Reordering};
+use commorder_reorder::{Rabbit, ReorderContext, Reordering};
 use commorder_sparse::traffic::Kernel;
 use commorder_sparse::{CsrMatrix, Permutation, SparseError};
 
@@ -90,6 +91,49 @@ pub struct Pipeline {
     model: ExecutionModel,
     policy: ReplacementPolicy,
 }
+
+/// One degenerate-kernel-parameter rule: the parameter extracted by
+/// `value` must be positive when present.
+struct ParamRule {
+    /// `InvalidConfig::what` field name (e.g. `kernel.k`).
+    field: &'static str,
+    /// Human requirement, shared by every violation's error text.
+    requirement: &'static str,
+    /// Extracts the checked parameter (`None` when the kernel does not
+    /// carry it).
+    value: fn(Kernel) -> Option<u32>,
+}
+
+/// Every parameterized kernel's positivity requirement in one table —
+/// the single validation path for all kernel variants. Parameterless
+/// kernels (SpMV-CSR/COO and both SpGEMM variants) return `None` from
+/// every extractor and pass through.
+const KERNEL_PARAM_RULES: &[ParamRule] = &[
+    ParamRule {
+        field: "kernel.k",
+        requirement: "SpMM needs at least one dense column",
+        value: |kernel| match kernel {
+            Kernel::SpmmCsr { k } => Some(k),
+            _ => None,
+        },
+    },
+    ParamRule {
+        field: "kernel.tile_cols",
+        requirement: "tile width must be positive",
+        value: |kernel| match kernel {
+            Kernel::SpmvCsrTiled { tile_cols } => Some(tile_cols),
+            _ => None,
+        },
+    },
+    ParamRule {
+        field: "kernel.bins",
+        requirement: "blocking needs at least one bin",
+        value: |kernel| match kernel {
+            Kernel::SpmvBlocked { bins } => Some(bins),
+            _ => None,
+        },
+    },
+];
 
 /// Validating builder for [`Pipeline`]. Obtained from
 /// [`Pipeline::builder`].
@@ -184,17 +228,11 @@ impl PipelineBuilder {
                 "peak bandwidth must be positive".into(),
             );
         }
-        match self.kernel {
-            Kernel::SpmmCsr { k: 0 } => {
-                return invalid("kernel.k", "SpMM needs at least one dense column".into())
-            }
-            Kernel::SpmvCsrTiled { tile_cols: 0 } => {
-                return invalid("kernel.tile_cols", "tile width must be positive".into())
-            }
-            Kernel::SpmvBlocked { bins: 0 } => {
-                return invalid("kernel.bins", "blocking needs at least one bin".into())
-            }
-            _ => {}
+        if let Some(rule) = KERNEL_PARAM_RULES
+            .iter()
+            .find(|rule| (rule.value)(self.kernel) == Some(0))
+        {
+            return invalid(rule.field, format!("{} (got 0)", rule.requirement));
         }
         if let ExecutionModel::Interleaved { streams: 0 } = self.model {
             return invalid(
@@ -264,16 +302,105 @@ impl Pipeline {
     /// Simulates the configured kernel on `matrix` as-is (no reordering).
     ///
     /// Both policies consume the kernel trace as a replayable stream
-    /// ([`KernelTrace`]); no full `Vec<Access>` is ever materialized.
-    /// With telemetry enabled an extra counting replay is timed under
-    /// `pipeline.trace_gen` so trace generation and cache simulation
-    /// still profile as separate phases — the replay feeds the simulator
-    /// the identical access sequence either way, so `CacheStats` (and
-    /// therefore the deterministic JSON report) is unchanged by
-    /// telemetry (the workspace golden test enforces this).
+    /// ([`KernelTrace`] / [`SpGemmTrace`]); no full `Vec<Access>` is ever
+    /// materialized. With telemetry enabled an extra counting replay is
+    /// timed under `pipeline.trace_gen` so trace generation and cache
+    /// simulation still profile as separate phases — the replay feeds
+    /// the simulator the identical access sequence either way, so
+    /// `CacheStats` (and therefore the deterministic JSON report) is
+    /// unchanged by telemetry (the workspace golden test enforces this).
+    ///
+    /// The SpGEMM kernels simulate the corpus-default self-multiply
+    /// `A·A`; [`Kernel::SpGemmClusterWise`] detects the RABBIT community
+    /// assignment of `matrix` (a serial, thread-count-independent pass)
+    /// and executes the rows of each community as a block. Use
+    /// [`Pipeline::simulate_pair`] for an explicit `(A, B)` pair.
     #[must_use]
     pub fn simulate(&self, matrix: &CsrMatrix) -> KernelRun {
+        if self.kernel.is_spgemm() {
+            return self.simulate_self_multiply(matrix);
+        }
         let source = KernelTrace::new(matrix, self.kernel, self.model);
+        let stats = self.consume_source(&source);
+        let _span = obs::span!("pipeline.model");
+        self.run_from_stats(matrix, stats)
+    }
+
+    /// The SpGEMM arm of [`Pipeline::simulate`]: self-multiply with the
+    /// community assignment resolved on the fly for cluster-wise
+    /// execution.
+    fn simulate_self_multiply(&self, matrix: &CsrMatrix) -> KernelRun {
+        let _span = obs::span!("pipeline.spgemm");
+        let assignment = if self.kernel == Kernel::SpGemmClusterWise && matrix.is_square() {
+            Rabbit::new().run(matrix).ok().map(|r| r.assignment)
+        } else {
+            None
+        };
+        match SpGemmTrace::new(matrix, matrix, self.kernel, assignment.as_deref()) {
+            Ok(source) => {
+                obs::gauge!("pipeline.spgemm_acc_peak", source.accumulator_peak() as f64);
+                let stats = self.consume_source(&source);
+                let _span = obs::span!("pipeline.model");
+                self.run_from_stats(matrix, stats)
+            }
+            Err(_) => {
+                // A non-square matrix cannot self-multiply: the trace is
+                // empty (matching `for_each_access`) and the metrics
+                // fall back to the shape-only compulsory bound.
+                // Explicit pairs go through `simulate_pair`, which
+                // surfaces the error instead.
+                self.run_from_stats(matrix, LruCache::new(self.gpu.l2).finish())
+            }
+        }
+    }
+
+    /// Simulates the configured SpGEMM kernel on an explicit operand
+    /// pair `C = A·B`. For [`Kernel::SpGemmClusterWise`] with a square
+    /// `A`, the row clustering is the RABBIT community assignment of
+    /// `A`; rectangular left operands execute in natural row order.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::DimensionMismatch`] when the configured kernel is
+    /// not an SpGEMM kernel or `a.n_cols() != b.n_rows()`; propagates
+    /// community-detection errors.
+    pub fn simulate_pair(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<KernelRun, SparseError> {
+        let assignment = if self.kernel == Kernel::SpGemmClusterWise && a.is_square() {
+            Some(Rabbit::new().run(a)?.assignment)
+        } else {
+            None
+        };
+        self.simulate_pair_clustered(a, b, assignment.as_deref())
+    }
+
+    /// [`Pipeline::simulate_pair`] with a caller-provided row clustering
+    /// (e.g. a community assignment already computed by a reordering
+    /// pass), bypassing the built-in RABBIT detection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::simulate_pair`], plus
+    /// [`SparseError::DimensionMismatch`] when the assignment length is
+    /// not `a.n_rows()`.
+    pub fn simulate_pair_clustered(
+        &self,
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        assignment: Option<&[u32]>,
+    ) -> Result<KernelRun, SparseError> {
+        let _span = obs::span!("pipeline.spgemm");
+        let source = SpGemmTrace::new(a, b, self.kernel, assignment)?;
+        obs::gauge!("pipeline.spgemm_acc_peak", source.accumulator_peak() as f64);
+        let compulsory_bytes = self.kernel.compulsory_bytes_pair(a, b)?;
+        let stats = self.consume_source(&source);
+        let _span = obs::span!("pipeline.model");
+        Ok(self.run_from_compulsory(compulsory_bytes, stats))
+    }
+
+    /// Streams `source` through the configured replacement policy (with
+    /// the telemetry phases of [`Pipeline::simulate`]) and returns the
+    /// cache counters.
+    fn consume_source<S: TraceSource>(&self, source: &S) -> CacheStats {
         if obs::enabled() {
             let _span = obs::span!("pipeline.trace_gen");
             let mut generated = 0u64;
@@ -285,35 +412,46 @@ impl Pipeline {
             match self.policy {
                 ReplacementPolicy::Lru => {
                     let mut cache = LruCache::new(self.gpu.l2);
-                    cache.consume(&source);
+                    cache.consume(source);
                     cache.finish()
                 }
-                ReplacementPolicy::Belady => simulate_belady(self.gpu.l2, &source),
+                ReplacementPolicy::Belady => simulate_belady(self.gpu.l2, source),
             }
         };
         commorder_cachesim::telemetry::record_cache_stats(&stats);
-        let _span = obs::span!("pipeline.model");
-        self.run_from_stats(matrix, stats)
+        stats
     }
 
-    /// Wraps raw cache counters into traffic/time metrics for `matrix`.
+    /// Wraps raw cache counters into traffic/time metrics for `matrix`
+    /// (for SpGEMM kernels, the exact self-multiply compulsory figure).
     #[must_use]
     pub fn run_from_stats(&self, matrix: &CsrMatrix, stats: CacheStats) -> KernelRun {
-        let n = u64::from(matrix.n_rows());
-        let nnz = matrix.nnz() as u64;
-        let dram_bytes = stats.dram_traffic_bytes();
-        let compulsory_bytes = self.kernel.compulsory_bytes(n, nnz);
+        let compulsory_bytes = self.kernel.compulsory_bytes_for(matrix);
         commorder_sparse::debug_validate!(
-            n == 0 || compulsory_bytes > 0,
-            "compulsory traffic must be positive for a non-empty matrix (n = {n}, nnz = {nnz})"
+            matrix.n_rows() == 0 || compulsory_bytes > 0,
+            "compulsory traffic must be positive for a non-empty matrix (n = {}, nnz = {})",
+            matrix.n_rows(),
+            matrix.nnz()
         );
+        self.run_from_compulsory(compulsory_bytes, stats)
+    }
+
+    /// Traffic/time metrics from a precomputed compulsory-traffic figure
+    /// (the workload-agnostic core shared by the one- and two-operand
+    /// paths).
+    fn run_from_compulsory(&self, compulsory_bytes: u64, stats: CacheStats) -> KernelRun {
+        let dram_bytes = stats.dram_traffic_bytes();
         KernelRun {
             stats,
             dram_bytes,
             compulsory_bytes,
             traffic_ratio: dram_bytes as f64 / compulsory_bytes as f64,
-            time_seconds: self.gpu.estimate_time(self.kernel, n, nnz, dram_bytes),
-            time_ratio: self.gpu.normalized_time(self.kernel, n, nnz, dram_bytes),
+            time_seconds: self
+                .gpu
+                .estimate_time_from_compulsory(compulsory_bytes, dram_bytes),
+            time_ratio: self
+                .gpu
+                .normalized_time_from_compulsory(compulsory_bytes, dram_bytes),
         }
     }
 
@@ -504,5 +642,86 @@ mod tests {
     fn policy_names() {
         assert_eq!(ReplacementPolicy::Lru.name(), "lru");
         assert_eq!(ReplacementPolicy::Belady.name(), "belady");
+    }
+
+    fn spgemm_pipeline(kernel: Kernel) -> Pipeline {
+        Pipeline::builder(GpuSpec::test_scale())
+            .kernel(kernel)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn spgemm_simulation_runs_and_is_deterministic() {
+        let m = strong_community_matrix();
+        let p = spgemm_pipeline(Kernel::SpGemmGustavson);
+        let run = p.simulate(&m);
+        assert_eq!(
+            run.compulsory_bytes,
+            Kernel::SpGemmGustavson.compulsory_bytes_for(&m)
+        );
+        assert!(run.dram_bytes > 0);
+        assert!(run.time_ratio > 0.0);
+        assert_eq!(p.simulate(&m), run, "repeat simulation must be identical");
+    }
+
+    #[test]
+    fn cluster_wise_spgemm_shares_the_access_multiset() {
+        // Cluster-wise execution permutes whole row blocks; the work
+        // (and hence the trace length and compulsory traffic) is
+        // unchanged — only the reuse structure moves.
+        let m = strong_community_matrix();
+        let gus = spgemm_pipeline(Kernel::SpGemmGustavson).simulate(&m);
+        let cw = spgemm_pipeline(Kernel::SpGemmClusterWise).simulate(&m);
+        assert_eq!(gus.compulsory_bytes, cw.compulsory_bytes);
+        assert_eq!(gus.stats.accesses, cw.stats.accesses);
+        assert_eq!(gus.stats.compulsory_misses, cw.stats.compulsory_misses);
+    }
+
+    #[test]
+    fn spgemm_evaluates_through_reordering_techniques() {
+        let m = strong_community_matrix();
+        let p = spgemm_pipeline(Kernel::SpGemmClusterWise);
+        let eval = p.evaluate(&m, &Rabbit::new()).unwrap();
+        assert_eq!(eval.technique, "RABBIT");
+        assert!(eval.run.dram_bytes > 0);
+    }
+
+    #[test]
+    fn simulate_pair_rejects_bad_configurations() {
+        let m = strong_community_matrix();
+        let rect = CsrMatrix::new(1, 2, vec![0, 1], vec![1], vec![1.0]).unwrap();
+        let p = spgemm_pipeline(Kernel::SpGemmGustavson);
+        assert!(p.simulate_pair(&m, &rect).is_err(), "shape mismatch");
+        assert!(
+            Pipeline::new(GpuSpec::test_scale())
+                .simulate_pair(&m, &m)
+                .is_err(),
+            "pair simulation requires an SpGEMM kernel"
+        );
+        let pair = p.simulate_pair(&m, &m).unwrap();
+        assert_eq!(pair, p.simulate(&m), "explicit self-pair matches simulate");
+    }
+
+    #[test]
+    fn spgemm_kernels_pass_the_param_table() {
+        for kernel in [Kernel::SpGemmGustavson, Kernel::SpGemmClusterWise] {
+            let p = Pipeline::builder(GpuSpec::test_scale())
+                .kernel(kernel)
+                .build()
+                .unwrap();
+            assert_eq!(p.kernel(), kernel);
+        }
+    }
+
+    #[test]
+    fn param_table_errors_name_the_field() {
+        let err = Pipeline::builder(GpuSpec::test_scale())
+            .kernel(Kernel::SpmvBlocked { bins: 0 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SparseError::InvalidConfig { ref what, .. } if what == "kernel.bins")
+        );
     }
 }

@@ -119,7 +119,20 @@ impl GpuSpec {
     /// measured bandwidth (§IV-B).
     #[must_use]
     pub fn ideal_time(&self, kernel: Kernel, n: u64, nnz: u64) -> f64 {
-        kernel.compulsory_bytes(n, nnz) as f64 / self.measured_bandwidth
+        self.ideal_time_from_compulsory(kernel.compulsory_bytes(n, nnz))
+    }
+
+    /// Ideal run time from a precomputed compulsory-traffic figure —
+    /// the workload-agnostic core of [`GpuSpec::ideal_time`]. Two-operand
+    /// kernels (SpGEMM) land here: their compulsory traffic depends on
+    /// the operand pair ([`Kernel::compulsory_bytes_pair`]), not on
+    /// `(n, nnz)` alone.
+    ///
+    /// [`Kernel::compulsory_bytes_pair`]:
+    /// commorder_sparse::traffic::Kernel::compulsory_bytes_pair
+    #[must_use]
+    pub fn ideal_time_from_compulsory(&self, compulsory_bytes: u64) -> f64 {
+        compulsory_bytes as f64 / self.measured_bandwidth
     }
 
     /// Estimated run time in seconds given simulated DRAM traffic.
@@ -131,8 +144,15 @@ impl GpuSpec {
     /// passed through without penalty.
     #[must_use]
     pub fn estimate_time(&self, kernel: Kernel, n: u64, nnz: u64, dram_bytes: u64) -> f64 {
-        let ideal = self.ideal_time(kernel, n, nnz);
-        let t_norm = dram_bytes as f64 / kernel.compulsory_bytes(n, nnz) as f64;
+        self.estimate_time_from_compulsory(kernel.compulsory_bytes(n, nnz), dram_bytes)
+    }
+
+    /// [`GpuSpec::estimate_time`] from a precomputed compulsory-traffic
+    /// figure (see [`GpuSpec::ideal_time_from_compulsory`]).
+    #[must_use]
+    pub fn estimate_time_from_compulsory(&self, compulsory_bytes: u64, dram_bytes: u64) -> f64 {
+        let ideal = self.ideal_time_from_compulsory(compulsory_bytes);
+        let t_norm = dram_bytes as f64 / compulsory_bytes as f64;
         if t_norm <= 1.0 {
             return ideal * t_norm;
         }
@@ -142,7 +162,15 @@ impl GpuSpec {
     /// Run time normalized to ideal (the y-axis of Fig. 3, Tables II/IV).
     #[must_use]
     pub fn normalized_time(&self, kernel: Kernel, n: u64, nnz: u64, dram_bytes: u64) -> f64 {
-        self.estimate_time(kernel, n, nnz, dram_bytes) / self.ideal_time(kernel, n, nnz)
+        self.normalized_time_from_compulsory(kernel.compulsory_bytes(n, nnz), dram_bytes)
+    }
+
+    /// [`GpuSpec::normalized_time`] from a precomputed compulsory-traffic
+    /// figure (see [`GpuSpec::ideal_time_from_compulsory`]).
+    #[must_use]
+    pub fn normalized_time_from_compulsory(&self, compulsory_bytes: u64, dram_bytes: u64) -> f64 {
+        self.estimate_time_from_compulsory(compulsory_bytes, dram_bytes)
+            / self.ideal_time_from_compulsory(compulsory_bytes)
     }
 
     /// Kernel iterations needed to amortize a reordering's pre-processing
@@ -275,6 +303,27 @@ mod tests {
         assert_eq!(
             g.amortization_iterations(Kernel::SpmvCsr, N, NNZ, 1.0, c, 2 * c),
             None
+        );
+    }
+
+    #[test]
+    fn from_compulsory_variants_match_the_kernel_forms() {
+        // The SpGEMM entry points are pure delegation targets: feeding
+        // them a kernel's own compulsory figure reproduces the original
+        // methods bit-for-bit (goldens depend on this).
+        let g = GpuSpec::a6000();
+        let c = Kernel::SpmvCsr.compulsory_bytes(N, NNZ);
+        assert_eq!(
+            g.ideal_time(Kernel::SpmvCsr, N, NNZ),
+            g.ideal_time_from_compulsory(c)
+        );
+        assert_eq!(
+            g.estimate_time(Kernel::SpmvCsr, N, NNZ, 3 * c),
+            g.estimate_time_from_compulsory(c, 3 * c)
+        );
+        assert_eq!(
+            g.normalized_time(Kernel::SpmvCsr, N, NNZ, 3 * c),
+            g.normalized_time_from_compulsory(c, 3 * c)
         );
     }
 

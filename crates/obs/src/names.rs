@@ -163,6 +163,12 @@ pub const METRICS: &[MetricInfo] = &[
         help: "experiment grid cells simulated",
     },
     MetricInfo {
+        name: "pipeline.spgemm_acc_peak",
+        kind: MetricKind::Gauge,
+        unit: "elements",
+        help: "peak SpGEMM accumulator footprint (distinct result columns) of the last simulated execution block",
+    },
+    MetricInfo {
         name: "reorder.community.merges",
         kind: MetricKind::Counter,
         unit: "merges",
@@ -251,6 +257,10 @@ pub const SPANS: &[SpanInfo] = &[
     SpanInfo {
         name: "pipeline.simulate",
         help: "cache-simulation stage of the pipeline",
+    },
+    SpanInfo {
+        name: "pipeline.spgemm",
+        help: "SpGEMM two-operand simulation (trace + cache + model)",
     },
     SpanInfo {
         name: "pipeline.trace_gen",

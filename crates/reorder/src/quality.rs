@@ -206,6 +206,109 @@ impl CommunityStats {
     }
 }
 
+/// Accumulator footprint of a Gustavson SpGEMM self-multiply `A x A`
+/// under a community assignment: how many distinct result columns the
+/// dense accumulator must hold per row, and per community when the rows
+/// of each community execute as one block (cluster-wise execution).
+///
+/// A small `peak_cluster / peak_row` ratio is the structural signal that
+/// cluster-wise execution keeps the accumulator cache-resident: the
+/// block's rows share their result columns instead of multiplying them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumulatorStats {
+    /// Largest per-row distinct-result-column count.
+    pub peak_row: u64,
+    /// Mean per-row distinct-result-column count.
+    pub mean_row: f64,
+    /// Largest per-community union of result columns.
+    pub peak_cluster: u64,
+    /// Mean per-community union size over populated communities.
+    pub mean_cluster: f64,
+}
+
+/// Computes [`AccumulatorStats`] for the self-multiply `A x A` by two
+/// stamp-array scans (per row, then per community block); no result is
+/// materialized, so the cost is `O(flops)` time and `O(n)` space.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] on a non-square matrix or a
+/// wrong-length assignment.
+pub fn accumulator_working_set(
+    a: &CsrMatrix,
+    assignment: &[u32],
+) -> Result<AccumulatorStats, SparseError> {
+    validate(a, assignment)?;
+    let n = a.n_rows();
+    let mut stamp = vec![0u32; a.n_cols() as usize];
+    let distinct_result_cols =
+        |rows: &mut dyn Iterator<Item = u32>, epoch: u32, stamp: &mut [u32]| -> u64 {
+            let mut distinct = 0u64;
+            for r in rows {
+                let (mids, _) = a.row(r);
+                for &k in mids {
+                    let (cols, _) = a.row(k);
+                    for &j in cols {
+                        if stamp[j as usize] != epoch {
+                            stamp[j as usize] = epoch;
+                            distinct += 1;
+                        }
+                    }
+                }
+            }
+            distinct
+        };
+
+    let mut peak_row = 0u64;
+    let mut total_row = 0u64;
+    for r in 0..n {
+        let d = distinct_result_cols(&mut std::iter::once(r), r + 1, &mut stamp);
+        peak_row = peak_row.max(d);
+        total_row += d;
+    }
+
+    // Community pass: rows grouped by assignment, one epoch per
+    // populated community. A fresh stamp epoch space avoids collisions
+    // with the per-row pass.
+    stamp.fill(0);
+    let n_comms = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_comms];
+    for (r, &c) in assignment.iter().enumerate() {
+        members[c as usize].push(r as u32);
+    }
+    let mut peak_cluster = 0u64;
+    let mut total_cluster = 0u64;
+    let mut populated = 0u64;
+    for (c, rows) in members.iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        populated += 1;
+        let d = distinct_result_cols(&mut rows.iter().copied(), c as u32 + 1, &mut stamp);
+        peak_cluster = peak_cluster.max(d);
+        total_cluster += d;
+    }
+
+    Ok(AccumulatorStats {
+        peak_row,
+        mean_row: if n == 0 {
+            0.0
+        } else {
+            total_row as f64 / f64::from(n)
+        },
+        peak_cluster,
+        mean_cluster: if populated == 0 {
+            0.0
+        } else {
+            total_cluster as f64 / populated as f64
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +556,50 @@ mod agreement_tests {
     fn length_mismatch_errors() {
         assert!(adjusted_rand_index(&[0, 1], &[0]).is_err());
         assert!(normalized_mutual_information(&[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn accumulator_working_set_matches_hand_count() {
+        // rows: 0 -> {1}, 1 -> {0, 2}, 2 -> {1}, 3 -> {}.
+        // A x A result columns: row 0 -> {0, 2}; row 1 -> {1};
+        // row 2 -> {0, 2}; row 3 -> {}.
+        let m = commorder_sparse::CsrMatrix::new(
+            4,
+            4,
+            vec![0, 1, 3, 4, 4],
+            vec![1, 0, 2, 1],
+            vec![1.0; 4],
+        )
+        .unwrap();
+        let s = accumulator_working_set(&m, &[1, 0, 1, 0]).unwrap();
+        assert_eq!(s.peak_row, 2);
+        assert!((s.mean_row - 5.0 / 4.0).abs() < 1e-12, "{}", s.mean_row);
+        // community 0 = rows {1, 3} -> {1}; community 1 = rows {0, 2}
+        // -> {0, 2}.
+        assert_eq!(s.peak_cluster, 2);
+        assert!(
+            (s.mean_cluster - 3.0 / 2.0).abs() < 1e-12,
+            "{}",
+            s.mean_cluster
+        );
+        // One blob unions every row: {0, 1, 2}.
+        let blob = accumulator_working_set(&m, &[0; 4]).unwrap();
+        assert_eq!(blob.peak_cluster, 3);
+        // Singleton communities degenerate to the per-row footprint.
+        let singles = accumulator_working_set(&m, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(singles.peak_cluster, singles.peak_row);
+        assert!((singles.mean_cluster - singles.mean_row).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_working_set_validates_inputs() {
+        let m = commorder_sparse::CsrMatrix::new(1, 2, vec![0, 1], vec![1], vec![1.0]).unwrap();
+        assert!(accumulator_working_set(&m, &[0]).is_err());
+        let sq = commorder_sparse::CsrMatrix::empty(3);
+        assert!(accumulator_working_set(&sq, &[0, 1]).is_err());
+        let s = accumulator_working_set(&sq, &[0, 1, 2]).unwrap();
+        assert_eq!(s.peak_row, 0);
+        assert_eq!(s.peak_cluster, 0);
     }
 
     #[test]

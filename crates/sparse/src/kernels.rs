@@ -229,6 +229,120 @@ pub fn spmv_blocked(a: &CsrMatrix, x: &[f32], bins: u32) -> Result<Vec<f32>, Spa
     Ok(y)
 }
 
+/// Data-dependent cost profile of `C = A · B`, from one symbolic
+/// Gustavson pass ([`spgemm_profile`]). These are the quantities the
+/// SpGEMM trace generator and the compulsory-traffic accounting need:
+/// the true multiply-add count, the output size, and the peak dense
+/// accumulator occupancy per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpGemmProfile {
+    /// Multiply-add pairs (`Σ_r Σ_{k ∈ A_r} nnz(B_k)`); FLOPs are twice
+    /// this.
+    pub flops: u64,
+    /// Stored entries of the result `C`.
+    pub result_nnz: u64,
+    /// Largest number of distinct result columns any single row
+    /// produces — the per-row dense-accumulator peak.
+    pub peak_row_nnz: u32,
+}
+
+/// Symbolic row-by-row Gustavson pass over `C = A · B`: counts
+/// multiply-add pairs, result non-zeros, and the peak per-row
+/// accumulator occupancy without materializing `C`. Runs in
+/// `O(flops)` time with one `n_cols(B)`-length stamp array — the same
+/// footprint the streaming trace generator models.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.n_cols() != b.n_rows()`.
+pub fn spgemm_profile(a: &CsrMatrix, b: &CsrMatrix) -> Result<SpGemmProfile, SparseError> {
+    if a.n_cols() != b.n_rows() {
+        return Err(SparseError::DimensionMismatch {
+            expected: format!("b.n_rows() == a.n_cols() == {}", a.n_cols()),
+            found: format!("b.n_rows() == {}", b.n_rows()),
+        });
+    }
+    // Stamp array: stamp[j] == r+1 iff column j was already produced by
+    // the current row r. One allocation, reused across all rows.
+    let mut stamp = vec![0u32; b.n_cols() as usize];
+    let mut flops = 0u64;
+    let mut result_nnz = 0u64;
+    let mut peak_row_nnz = 0u32;
+    for r in 0..a.n_rows() {
+        let (a_cols, _) = a.row(r);
+        let mut row_nnz = 0u32;
+        for &k in a_cols {
+            let (b_cols, _) = b.row(k);
+            flops += b_cols.len() as u64;
+            for &j in b_cols {
+                if stamp[j as usize] != r + 1 {
+                    stamp[j as usize] = r + 1;
+                    row_nnz += 1;
+                }
+            }
+        }
+        result_nnz += u64::from(row_nnz);
+        peak_row_nnz = peak_row_nnz.max(row_nnz);
+    }
+    Ok(SpGemmProfile {
+        flops,
+        result_nnz,
+        peak_row_nnz,
+    })
+}
+
+/// Sparse × sparse multiply `C = A · B`, row-by-row Gustavson with a
+/// dense accumulator (the reference numeric kernel behind the
+/// [`crate::traffic::Kernel::SpGemmGustavson`] trace model). Each
+/// output row is extracted in sorted column order, so the result is a
+/// valid CSR matrix and is independent of `B`'s row traversal order up
+/// to floating-point associativity.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.n_cols() != b.n_rows()`
+/// or the result's non-zero count overflows the CSR `u32` offset space.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, SparseError> {
+    let profile = spgemm_profile(a, b)?;
+    if profile.result_nnz > u64::from(u32::MAX) {
+        return Err(SparseError::DimensionMismatch {
+            expected: "nnz(C) <= u32::MAX".to_string(),
+            found: format!("nnz(C) == {}", profile.result_nnz),
+        });
+    }
+    let n_out = b.n_cols() as usize;
+    let mut acc = vec![0f32; n_out];
+    let mut stamp = vec![0u32; n_out];
+    let mut row_cols: Vec<u32> = Vec::new();
+    let mut offsets = Vec::with_capacity(a.n_rows() as usize + 1);
+    offsets.push(0u32);
+    let mut out_cols = Vec::with_capacity(profile.result_nnz as usize);
+    let mut out_vals = Vec::with_capacity(profile.result_nnz as usize);
+    for r in 0..a.n_rows() {
+        let (a_cols, a_vals) = a.row(r);
+        row_cols.clear();
+        for (&k, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k);
+            for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                if stamp[j as usize] != r + 1 {
+                    stamp[j as usize] = r + 1;
+                    acc[j as usize] = av * bv;
+                    row_cols.push(j);
+                } else {
+                    acc[j as usize] += av * bv;
+                }
+            }
+        }
+        row_cols.sort_unstable();
+        for &j in &row_cols {
+            out_cols.push(j);
+            out_vals.push(acc[j as usize]);
+        }
+        offsets.push(out_cols.len() as u32);
+    }
+    CsrMatrix::new(a.n_rows(), b.n_cols(), offsets, out_cols, out_vals)
+}
+
 /// Dense reference multiply used to validate the sparse kernels in tests:
 /// interprets `a` as dense and computes `y = A * x` the naive way.
 #[must_use]
@@ -370,5 +484,79 @@ mod tests {
         assert!(spmv_blocked(&a, &[1.0; 2], 4).is_err());
         let rect = CsrMatrix::new(1, 2, vec![0, 1], vec![1], vec![1.0]).unwrap();
         assert!(spmv_blocked(&rect, &[1.0; 2], 4).is_err());
+    }
+
+    /// `C = A · B` entry-by-entry against the dense triple loop.
+    fn dense_reference_spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Vec<f32> {
+        let (n, m, p) = (
+            a.n_rows() as usize,
+            a.n_cols() as usize,
+            b.n_cols() as usize,
+        );
+        let mut da = vec![0f32; n * m];
+        for (r, c, v) in a.iter() {
+            da[r as usize * m + c as usize] += v;
+        }
+        let mut db = vec![0f32; m * p];
+        for (r, c, v) in b.iter() {
+            db[r as usize * p + c as usize] += v;
+        }
+        let mut dc = vec![0f32; n * p];
+        for i in 0..n {
+            for k in 0..m {
+                for j in 0..p {
+                    dc[i * p + j] += da[i * m + k] * db[k * p + j];
+                }
+            }
+        }
+        dc
+    }
+
+    #[test]
+    fn spgemm_matches_dense_reference() {
+        let a = sample();
+        let c = spgemm(&a, &a).unwrap();
+        let dense = dense_reference_spgemm(&a, &a);
+        let p = a.n_cols() as usize;
+        let mut got = vec![0f32; dense.len()];
+        for (r, j, v) in c.iter() {
+            got[r as usize * p + j as usize] = v;
+        }
+        for (g, w) in got.iter().zip(&dense) {
+            assert!((g - w).abs() <= 1e-5 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn spgemm_profile_matches_materialized_result() {
+        let a = sample();
+        let profile = spgemm_profile(&a, &a).unwrap();
+        let c = spgemm(&a, &a).unwrap();
+        assert_eq!(profile.result_nnz, c.nnz() as u64);
+        let peak = (0..c.n_rows()).map(|r| c.row(r).0.len()).max().unwrap();
+        assert_eq!(profile.peak_row_nnz as usize, peak);
+        // flops = Σ over A entries of nnz(B row): rows of `sample` hold
+        // {0,2}, {1}, {0,2} entries with B-row sizes 2,1,2 -> 2+2+1+2+2.
+        assert_eq!(profile.flops, 9);
+    }
+
+    #[test]
+    fn spgemm_rejects_shape_mismatch() {
+        let a = CsrMatrix::new(1, 2, vec![0, 1], vec![1], vec![1.0]).unwrap();
+        let b = CsrMatrix::new(3, 1, vec![0, 0, 1, 1], vec![0], vec![1.0]).unwrap();
+        assert!(spgemm(&a, &b).is_err());
+        assert!(spgemm_profile(&a, &b).is_err());
+    }
+
+    #[test]
+    fn spgemm_handles_rectangular_operands() {
+        // 2x3 times 3x2.
+        let a = CsrMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = CsrMatrix::new(3, 2, vec![0, 1, 2, 3], vec![1, 0, 0], vec![4.0, 5.0, 6.0]).unwrap();
+        let c = spgemm(&a, &b).unwrap();
+        assert_eq!((c.n_rows(), c.n_cols()), (2, 2));
+        // Row 0: 1*B[0] + 2*B[2] = (12, 4); row 1: 3*B[1] = (15, 0).
+        let entries: Vec<_> = c.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 12.0), (0, 1, 4.0), (1, 0, 15.0)]);
     }
 }

@@ -11,7 +11,7 @@
 //! computed here; every run time is normalized to
 //! `compulsory_bytes / measured_bandwidth` (see `commorder-gpumodel`).
 
-use crate::{CsrMatrix, ELEM_BYTES};
+use crate::{CsrMatrix, SparseError, ELEM_BYTES};
 
 /// The sparse kernels evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +48,19 @@ pub enum Kernel {
         /// Number of destination-row bins.
         bins: u32,
     },
+    /// Sparse × sparse multiply `C = A · B`, row-by-row Gustavson over
+    /// CSR × CSR with a dense accumulator (the cluster-wise SpGEMM
+    /// paper's baseline, arXiv 2507.21253). Rows execute in natural
+    /// order. The second operand and the cluster assignment are
+    /// workload *data*, carried by the trace source and pipeline — the
+    /// kernel identity stays `Copy`/`Hash` so it can label grid cells.
+    SpGemmGustavson,
+    /// Cluster-wise Gustavson SpGEMM: rows of one detected community
+    /// execute as a block (communities ascending, rows ascending
+    /// within each), shrinking the accumulator working set when the
+    /// community structure is strong. Without an assignment this
+    /// degenerates to [`Kernel::SpGemmGustavson`].
+    SpGemmClusterWise,
 }
 
 impl Kernel {
@@ -72,7 +85,33 @@ impl Kernel {
             Kernel::SpmmCsr { k } => format!("SpMM-CSR-{k}"),
             Kernel::SpmvCsrTiled { tile_cols } => format!("SpMV-CSR-T{tile_cols}"),
             Kernel::SpmvBlocked { bins } => format!("SpMV-PB{bins}"),
+            Kernel::SpGemmGustavson => "SpGEMM".to_string(),
+            Kernel::SpGemmClusterWise => "SpGEMM-CW".to_string(),
         }
+    }
+
+    /// The lowercase CLI spelling of this kernel — the exact inverse of
+    /// [`kernel_by_name`], round-trip tested over every variant. Report
+    /// JSON keeps the paper-style [`Kernel::name`]; this form is what
+    /// `suite --kernels` accepts.
+    #[must_use]
+    pub fn cli_name(&self) -> String {
+        match self {
+            Kernel::SpmvCsr => "spmv-csr".to_string(),
+            Kernel::SpmvCoo => "spmv-coo".to_string(),
+            Kernel::SpmmCsr { k } => format!("spmm-{k}"),
+            Kernel::SpmvCsrTiled { tile_cols } => format!("spmv-tiled-{tile_cols}"),
+            Kernel::SpmvBlocked { bins } => format!("spmv-blocked-{bins}"),
+            Kernel::SpGemmGustavson => "spgemm".to_string(),
+            Kernel::SpGemmClusterWise => "spgemm-cluster".to_string(),
+        }
+    }
+
+    /// `true` for the sparse × sparse kernels, whose second operand is
+    /// another sparse matrix rather than a dense vector/block.
+    #[must_use]
+    pub fn is_spgemm(&self) -> bool {
+        matches!(self, Kernel::SpGemmGustavson | Kernel::SpGemmClusterWise)
     }
 
     /// Compulsory DRAM traffic in bytes for an `n x n` matrix with `nnz`
@@ -91,6 +130,11 @@ impl Kernel {
     ///   plus streaming `X` (`n`) and writes `2·nnz` bin elements;
     ///   phase 2 reads the `2·nnz` bin elements back and writes `Y`
     ///   (`n`) — blocking's 4·nnz streamed-element toll.
+    /// * SpGEMM (self-multiply shape): both CSR operands streamed once
+    ///   (`2·(n+1) + 4·nnz`). The output `C` traffic depends on
+    ///   `nnz(C)`, which is not a function of shape alone, so this
+    ///   shape-only form is an input-stream *lower bound*;
+    ///   [`Kernel::compulsory_bytes_pair`] adds the exact output term.
     #[must_use]
     pub fn compulsory_bytes(&self, n: u64, nnz: u64) -> u64 {
         match *self {
@@ -99,24 +143,62 @@ impl Kernel {
             Kernel::SpmmCsr { k } => (2 * n * u64::from(k) + (n + 1) + 2 * nnz) * ELEM_BYTES,
             Kernel::SpmvCsrTiled { .. } => (2 * n + self.tiles(n) * (n + 1) + 2 * nnz) * ELEM_BYTES,
             Kernel::SpmvBlocked { .. } => (2 * n + (n + 1) + 2 * nnz + 4 * nnz) * ELEM_BYTES,
+            Kernel::SpGemmGustavson | Kernel::SpGemmClusterWise => {
+                (2 * (n + 1) + 4 * nnz) * ELEM_BYTES
+            }
         }
     }
 
-    /// Compulsory traffic for a concrete matrix.
+    /// Compulsory traffic for a concrete matrix. For the SpGEMM kernels
+    /// this is the exact self-multiply (`B = A`) value including the
+    /// output stream — see [`Kernel::compulsory_bytes_pair`].
     #[must_use]
     pub fn compulsory_bytes_for(&self, a: &CsrMatrix) -> u64 {
+        if self.is_spgemm() {
+            // Self-multiply on a square matrix cannot mismatch shapes.
+            if let Ok(bytes) = self.compulsory_bytes_pair(a, a) {
+                return bytes;
+            }
+        }
         self.compulsory_bytes(u64::from(a.n_rows()), a.nnz() as u64)
     }
 
+    /// Compulsory traffic for a concrete operand pair. For the SpGEMM
+    /// kernels this streams each CSR array exactly once: read `A`
+    /// (`(n_A+1) + 2·nnz_A`), read `B` (`(n_B+1) + 2·nnz_B`), write `C`
+    /// (`(n_A+1) + 2·nnz_C`), with `nnz(C)` from a symbolic Gustavson
+    /// pass ([`crate::kernels::spgemm_profile`]). Other kernels ignore
+    /// `b` and fall back to [`Kernel::compulsory_bytes_for`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when an SpGEMM pair
+    /// has `a.n_cols() != b.n_rows()`.
+    pub fn compulsory_bytes_pair(&self, a: &CsrMatrix, b: &CsrMatrix) -> Result<u64, SparseError> {
+        if !self.is_spgemm() {
+            return Ok(self.compulsory_bytes(u64::from(a.n_rows()), a.nnz() as u64));
+        }
+        let profile = crate::kernels::spgemm_profile(a, b)?;
+        let read_a = u64::from(a.n_rows()) + 1 + 2 * a.nnz() as u64;
+        let read_b = u64::from(b.n_rows()) + 1 + 2 * b.nnz() as u64;
+        let write_c = u64::from(a.n_rows()) + 1 + 2 * profile.result_nnz;
+        Ok((read_a + read_b + write_c) * ELEM_BYTES)
+    }
+
     /// Floating-point operations performed (one multiply + one add per
-    /// stored entry, per dense column).
+    /// stored entry, per dense column). For SpGEMM the true count is
+    /// data-dependent (`2·Σ_r Σ_{k∈A_r} nnz(B_k)`); the shape-only form
+    /// here is the `2·nnz` lower bound reached when every `B` row is a
+    /// singleton.
     #[must_use]
     pub fn flops(&self, nnz: u64) -> u64 {
         match *self {
             Kernel::SpmvCsr
             | Kernel::SpmvCoo
             | Kernel::SpmvCsrTiled { .. }
-            | Kernel::SpmvBlocked { .. } => 2 * nnz,
+            | Kernel::SpmvBlocked { .. }
+            | Kernel::SpGemmGustavson
+            | Kernel::SpGemmClusterWise => 2 * nnz,
             Kernel::SpmmCsr { k } => 2 * nnz * u64::from(k),
         }
     }
@@ -139,6 +221,74 @@ pub fn paper_kernels() -> Vec<Kernel> {
         Kernel::SpmmCsr { k: 4 },
         Kernel::SpmmCsr { k: 256 },
     ]
+}
+
+/// CLI spellings accepted by [`kernel_by_name`] (mirroring
+/// `reorder::TECHNIQUE_NAMES`), for help text and `suite --list`.
+/// `<k>`, `<w>` and `<b>` stand for a positive integer parameter.
+pub const KERNEL_NAMES: &[&str] = &[
+    "spmv-csr",
+    "spmv-coo",
+    "spmm-<k>",
+    "spmv-tiled-<w>",
+    "spmv-blocked-<b>",
+    "spgemm",
+    "spgemm-cluster",
+];
+
+/// Resolves a (case-insensitive) CLI kernel name to a [`Kernel`]. This
+/// registry is the single source of kernel spellings: `cli.rs` parsing,
+/// `suite --list`, and [`Kernel::cli_name`] all go through it. `"spmv"`
+/// is accepted as an alias for `"spmv-csr"` and `"spgemm-cw"` for
+/// `"spgemm-cluster"`. Returns `None` for unknown names and
+/// non-positive parameters.
+#[must_use]
+pub fn kernel_by_name(name: &str) -> Option<Kernel> {
+    let lower = name.to_ascii_lowercase();
+    let positive = |s: &str| s.parse::<u32>().ok().filter(|&v| v > 0);
+    match lower.as_str() {
+        "spmv" | "spmv-csr" => Some(Kernel::SpmvCsr),
+        "spmv-coo" => Some(Kernel::SpmvCoo),
+        "spgemm" => Some(Kernel::SpGemmGustavson),
+        "spgemm-cluster" | "spgemm-cw" => Some(Kernel::SpGemmClusterWise),
+        _ => {
+            if let Some(k) = lower.strip_prefix("spmm-") {
+                positive(k).map(|k| Kernel::SpmmCsr { k })
+            } else if let Some(w) = lower.strip_prefix("spmv-tiled-") {
+                positive(w).map(|tile_cols| Kernel::SpmvCsrTiled { tile_cols })
+            } else if let Some(b) = lower.strip_prefix("spmv-blocked-") {
+                positive(b).map(|bins| Kernel::SpmvBlocked { bins })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Parses a comma-separated kernel list (`spgemm,spmv-csr`) through
+/// [`kernel_by_name`], preserving order.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first unknown kernel, or
+/// rejecting an empty list.
+pub fn parse_kernel_list(list: &str) -> Result<Vec<Kernel>, String> {
+    let mut kernels = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match kernel_by_name(name) {
+            Some(k) => kernels.push(k),
+            None => {
+                return Err(format!(
+                    "unknown kernel {name:?} (expected one of: {})",
+                    KERNEL_NAMES.join(", ")
+                ))
+            }
+        }
+    }
+    if kernels.is_empty() {
+        return Err("kernel list is empty".to_string());
+    }
+    Ok(kernels)
 }
 
 #[cfg(test)]
@@ -213,5 +363,76 @@ mod tests {
             Kernel::SpmvCsr.compulsory_bytes_for(&m),
             Kernel::SpmvCsr.compulsory_bytes(2, 2)
         );
+    }
+
+    #[test]
+    fn every_kernel_variant_round_trips_through_the_registry() {
+        let variants = [
+            Kernel::SpmvCsr,
+            Kernel::SpmvCoo,
+            Kernel::SpmmCsr { k: 4 },
+            Kernel::SpmmCsr { k: 256 },
+            Kernel::SpmvCsrTiled { tile_cols: 4096 },
+            Kernel::SpmvBlocked { bins: 16 },
+            Kernel::SpGemmGustavson,
+            Kernel::SpGemmClusterWise,
+        ];
+        for k in variants {
+            assert_eq!(
+                kernel_by_name(&k.cli_name()),
+                Some(k),
+                "{} must round-trip",
+                k.cli_name()
+            );
+        }
+    }
+
+    #[test]
+    fn registry_accepts_aliases_and_rejects_garbage() {
+        assert_eq!(kernel_by_name("SPMV"), Some(Kernel::SpmvCsr));
+        assert_eq!(kernel_by_name("spgemm-cw"), Some(Kernel::SpGemmClusterWise));
+        assert_eq!(kernel_by_name("spmm-0"), None);
+        assert_eq!(kernel_by_name("spmv-blocked-0"), None);
+        assert_eq!(kernel_by_name("gemm"), None);
+        let parsed = parse_kernel_list("spgemm, spgemm-cluster").unwrap();
+        assert_eq!(
+            parsed,
+            vec![Kernel::SpGemmGustavson, Kernel::SpGemmClusterWise]
+        );
+        assert!(parse_kernel_list("spgemm,frobnicate")
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(parse_kernel_list(" , ").is_err());
+    }
+
+    #[test]
+    fn spgemm_pair_traffic_counts_each_stream_once() {
+        // A = [[1, 1], [0, 1]]; A·A has nnz(C) = 3 (row 0 -> {0, 1},
+        // row 1 -> {1}).
+        let a = CsrMatrix::new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0; 3]).unwrap();
+        let bytes = Kernel::SpGemmGustavson
+            .compulsory_bytes_pair(&a, &a)
+            .unwrap();
+        let read_a = 3 + 2 * 3;
+        let read_b = 3 + 2 * 3;
+        let write_c = 3 + 2 * 3;
+        assert_eq!(bytes, (read_a + read_b + write_c) * ELEM_BYTES);
+        assert_eq!(Kernel::SpGemmGustavson.compulsory_bytes_for(&a), bytes);
+        // The shape-only form stays an input-stream lower bound.
+        assert!(Kernel::SpGemmGustavson.compulsory_bytes(2, 3) < bytes);
+        // Non-SpGEMM kernels ignore the pair operand.
+        assert_eq!(
+            Kernel::SpmvCsr.compulsory_bytes_pair(&a, &a).unwrap(),
+            Kernel::SpmvCsr.compulsory_bytes_for(&a)
+        );
+    }
+
+    #[test]
+    fn spgemm_pair_rejects_shape_mismatch() {
+        let a = CsrMatrix::new(1, 2, vec![0, 1], vec![1], vec![1.0]).unwrap();
+        let b = CsrMatrix::new(1, 2, vec![0, 1], vec![0], vec![1.0]).unwrap();
+        assert!(Kernel::SpGemmGustavson
+            .compulsory_bytes_pair(&a, &b)
+            .is_err());
     }
 }

@@ -564,6 +564,81 @@ fn run_bench_pipeline(quick: bool) -> Result<BenchReport, String> {
          {gen_aps:.0} gen/s, {lru_aps:.0} LRU/s, {plru_aps:.0} PLRU/s, {belady_aps:.0} Belady/s"
     );
 
+    // SpGEMM leg: Gustavson and cluster-wise self-multiply over a
+    // community-structured matrix (cluster-wise is the interesting case
+    // there), streaming straight into the LRU simulator. Throughput is
+    // timed; the counter vectors and accumulator peaks are exact.
+    {
+        use commorder::cachesim::SpGemmTrace;
+        use commorder_reorder::Rabbit;
+
+        let spgemm_name = if quick { "mini-sbm" } else { "opt-block-512" };
+        let spgemm_entry = corpus::mini()
+            .into_iter()
+            .chain(corpus::standard())
+            .find(|e| e.name == spgemm_name)
+            .ok_or_else(|| format!("no corpus entry named {spgemm_name:?}"))?;
+        let spgemm_matrix = spgemm_entry
+            .generate()
+            .map_err(|e| format!("generating {spgemm_name}: {e}"))?;
+        let gustavson = SpGemmTrace::self_multiply(&spgemm_matrix, Kernel::SpGemmGustavson)
+            .map_err(|e| format!("SpGEMM trace over {spgemm_name}: {e}"))?;
+
+        let start = Instant::now();
+        let mut spgemm_accesses: u64 = 0;
+        gustavson.replay(&mut |_| spgemm_accesses += 1);
+        let spgemm_gen_aps = per_second(spgemm_accesses, start.elapsed().as_secs_f64());
+        report.metric(
+            "pipeline.spgemm_trace_gen_accesses_per_second",
+            spgemm_gen_aps,
+            "accesses/s",
+            true,
+        );
+
+        let start = Instant::now();
+        let spgemm_lru = simulate_lru(config, &gustavson);
+        let spgemm_lru_aps = per_second(spgemm_lru.accesses, start.elapsed().as_secs_f64());
+        report.metric(
+            "pipeline.spgemm_lru_accesses_per_second",
+            spgemm_lru_aps,
+            "accesses/s",
+            true,
+        );
+        report.fingerprint("cache.spgemm_lru", stats_fingerprint(&spgemm_lru));
+
+        let assignment = Rabbit::new()
+            .run(&spgemm_matrix)
+            .map_err(|e| format!("rabbit over {spgemm_name}: {e}"))?
+            .assignment;
+        let clustered = SpGemmTrace::new(
+            &spgemm_matrix,
+            &spgemm_matrix,
+            Kernel::SpGemmClusterWise,
+            Some(&assignment),
+        )
+        .map_err(|e| format!("cluster-wise SpGEMM trace over {spgemm_name}: {e}"))?;
+        let cluster_lru = simulate_lru(config, &clustered);
+        report.fingerprint("cache.spgemm_cluster_lru", stats_fingerprint(&cluster_lru));
+        report.metric(
+            "pipeline.spgemm_row_acc_peak_elements",
+            gustavson.accumulator_peak() as f64,
+            "elements",
+            false,
+        );
+        report.metric(
+            "pipeline.spgemm_cluster_acc_peak_elements",
+            clustered.accumulator_peak() as f64,
+            "elements",
+            false,
+        );
+        eprintln!(
+            "xtask bench: pipeline: SpGEMM {spgemm_name} trace = {spgemm_accesses} accesses; \
+             {spgemm_gen_aps:.0} gen/s, {spgemm_lru_aps:.0} LRU/s, acc peak {} row / {} cluster",
+            gustavson.accumulator_peak(),
+            clustered.accumulator_peak()
+        );
+    }
+
     // A small end-to-end suite: mini matrices through the full paper
     // technique set. Its rendered report is deterministic across thread
     // counts and machines, so its hash doubles as a result fingerprint.
