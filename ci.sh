@@ -10,11 +10,13 @@ cargo fmt --all --check
 echo "== xtask lint (token-stream static analysis, zero findings)"
 cargo run -q -p xtask -- lint
 
-echo "== analyzer JSON report validates (CHK1101 + CHK1102)"
+echo "== analyzer JSON report validates (CHK1101 + CHK1102 + CHK1103)"
 # The machine-readable findings report must itself satisfy the schema
 # the validators publish — CHK1101 covers the findings envelope,
 # CHK1102 the embedded call-graph section (stats arithmetic, edge
-# endpoints, acyclic SCC condensation). A drifted or truncated report
+# endpoints, acyclic SCC condensation), CHK1103 the effects section
+# (bit legend, effect-mask monotonicity over call edges, witness-path
+# well-formedness, stats arithmetic). A drifted or truncated report
 # would otherwise gate nothing.
 cargo run -q -p xtask -- lint --json > /tmp/commorder-lint.json
 cargo run -q -p commorder --bin commorder-cli -- check /tmp/commorder-lint.json
@@ -75,6 +77,12 @@ echo "== SpGEMM metrics present in the pipeline bench artifact"
 # would pass the schema validators (they check rows, not coverage).
 grep -q '"pipeline.spgemm_lru_accesses_per_second"' BENCH_pipeline.json
 grep -q '"pipeline.spgemm_cluster_acc_peak_elements"' BENCH_pipeline.json
+
+echo "== effect-pass metric present in the analyze bench artifact"
+# Same coverage guard for the interprocedural effect-inference leg: the
+# schema validators accept any well-formed metric set, so the row's
+# presence is asserted by name.
+grep -q '"analyze.effect_functions_per_second"' BENCH_analyze.json
 
 echo "== regression gate (self-compare passes, injected regression fails)"
 # The gate must accept the run it just produced and reject a doctored

@@ -12,22 +12,25 @@
 //!   `Self::step(…)`) resolve through module and type qualifiers;
 //! * **method calls** (`x.replay(…)`) resolve through a receiver
 //!   type where the tokens pin one: `self.` uses the caller's `impl`
-//!   type, `self.field` goes through the struct field table, and a
-//!   plain variable receiver through the caller's parameter and `let`
-//!   bindings. A typed receiver binds via the per-type method table
-//!   (or, when the type names a trait — `dyn`/`impl`/generic bound —
-//!   via the trait-impl table, class-hierarchy-analysis style: edges
-//!   to *every* implementor, reported as ambiguous). An *untyped*
-//!   receiver (chain tails, expression results) falls back to the
-//!   name-only CHA set, except that ubiquitous `std` method names
-//!   (`len`, `map`, `load`, …) are never guessed — they count as
-//!   external, because a same-named workspace method almost never is
-//!   the callee.
+//!   type, `self.field` goes through the struct field table, a plain
+//!   variable receiver through the caller's parameter and `let`
+//!   bindings, and a call-chain tail (`Rabbit::new().run(…)`,
+//!   `Pipeline::builder(…).kernel(…).build()`) through the declared
+//!   return types of the workspace functions along the chain. A typed
+//!   receiver binds via the per-type method table (or, when the type
+//!   names a trait — `dyn`/`impl`/generic bound — via the trait-impl
+//!   table, class-hierarchy-analysis style: edges to *every*
+//!   implementor, reported as ambiguous).
 //!
-//! Call sites that name no workspace function are counted as external
-//! — recorded, never guessed. The graph carries three declared seed
-//! sets (determinism, hot-path, worker) whose reachability closures
-//! drive the [`crate::hotpath`] and [`crate::concurrency`] passes; the
+//! Method-call edges are keyed by resolved receiver/owner type only —
+//! there is **no bare-name fallback**. A receiver the token stream
+//! cannot type counts as external rather than growing guessed edges
+//! to every same-named method (the `Rabbit::run`/`ExperimentSpec::run`
+//! collision class). Call sites that name no workspace function are
+//! counted as external — recorded, never guessed. The graph carries
+//! three declared seed sets (determinism, hot-path, worker) whose
+//! reachability closures drive the [`crate::hotpath`],
+//! [`crate::concurrency`], and effect-inference passes; the
 //! serializable projection ([`CallGraphReport`]) is emitted in
 //! `analyze --json` and validated by `commorder-check`'s `CHK1102`.
 
@@ -64,6 +67,11 @@ pub struct FnNode {
     pub col: u32,
     /// `true` for `spawn`-closure pseudo-items.
     pub is_closure: bool,
+    /// Head type of the declared return type, with `Self` resolved to
+    /// the impl type — `fn builder() -> PipelineBuilder` stores
+    /// `PipelineBuilder`, `fn new() -> Self` on `Rabbit` stores
+    /// `Rabbit`. Drives call-chain receiver typing.
+    pub ret_type: Option<String>,
 }
 
 /// The assembled graph: nodes, adjacency, seed sets, and site counts.
@@ -88,6 +96,11 @@ pub struct CallGraph {
     pub external: u32,
     /// Subset of `resolved` with more than one candidate.
     pub ambiguous: u32,
+    /// Resolved call-site edges with their source anchors —
+    /// `(caller, callee, byte offset, line, col)` of the site's name
+    /// token, one entry per (site, candidate) pair in extraction
+    /// order. The effect pass anchors its findings here.
+    pub site_edges: Vec<(usize, usize, usize, u32, u32)>,
     /// Node ids per (crate, file), for innermost-owner lookups.
     file_nodes: BTreeMap<(usize, usize), Vec<usize>>,
 }
@@ -251,8 +264,12 @@ enum Recv {
     /// `x.name(…)` on a plain variable; the byte offset disambiguates
     /// shadowed `let` bindings.
     Var(String, usize),
-    /// Chain tails (`….iter().name(…)`), literals, index results —
-    /// nothing the token stream can type.
+    /// `….prev(…).name(…)` — the receiver is a call result; the code
+    /// index of its closing `)` lets the resolver walk the chain
+    /// through declared return types.
+    Chain(usize),
+    /// Literals, index results, deep field chains — nothing the token
+    /// stream can type.
     Unknown,
 }
 
@@ -266,6 +283,18 @@ enum Site {
     Path { segments: Vec<String> },
 }
 
+/// A call site plus the anchor of its name token, for `site_edges`.
+struct SiteAt {
+    /// The site shape.
+    site: Site,
+    /// Byte offset of the name token.
+    pos: usize,
+    /// 1-based line of the name token.
+    line: u32,
+    /// 1-based column of the name token.
+    col: u32,
+}
+
 /// Builds the call graph over every non-test `fn` item of the
 /// workspace (bin targets excluded, mirroring the module graphs).
 #[must_use]
@@ -276,6 +305,9 @@ pub fn build(
 ) -> CallGraph {
     let mut nodes: Vec<FnNode> = Vec::new();
 
+    // Type facts come first: return-type parsing prefers known names.
+    let facts = collect_type_facts(crates);
+
     // Phase 1: function items.
     for (ci, c) in crates.iter().enumerate() {
         for (fi, f) in c.files.iter().enumerate() {
@@ -284,7 +316,7 @@ pub fn build(
             }
             let code = code_indices(&f.tokens);
             let blocks = type_blocks(&f.src, &f.tokens, &code);
-            collect_fns(ci, fi, f, &code, &blocks, &mut nodes);
+            collect_fns(ci, fi, f, &code, &blocks, &facts.known, &mut nodes);
         }
     }
     // Phase 2: worker-closure pseudo-items (need the fns for parents).
@@ -321,10 +353,11 @@ pub fn build(
         resolved: 0,
         external: 0,
         ambiguous: 0,
+        site_edges: Vec::new(),
         file_nodes,
     };
     graph.assign_seeds(hot_seed_fns, worker_seed_fns);
-    graph.resolve_sites(crates);
+    graph.resolve_sites(crates, &facts);
     graph
 }
 
@@ -336,6 +369,7 @@ fn collect_fns(
     f: &crate::model::FileData,
     code: &[usize],
     blocks: &[TypeBlock],
+    known: &BTreeSet<String>,
     nodes: &mut Vec<FnNode>,
 ) {
     let src = &f.src;
@@ -360,6 +394,7 @@ fn collect_fns(
         let mut depth = 0i64;
         let mut j = i + 2;
         let mut open = None;
+        let mut arrow = None;
         while j < code.len() {
             let n = &tokens[code[j]];
             if is_punct(n, src, '(') || is_punct(n, src, '[') {
@@ -373,6 +408,14 @@ fn collect_fns(
                 }
                 if is_punct(n, src, ';') {
                     break;
+                }
+                if arrow.is_none()
+                    && is_punct(n, src, '-')
+                    && code.get(j + 1).is_some_and(|&k| {
+                        is_punct(&tokens[k], src, '>') && n.end == tokens[k].start
+                    })
+                {
+                    arrow = Some(j + 2);
                 }
             }
             j += 1;
@@ -388,6 +431,16 @@ fn collect_fns(
             .min_by_key(|b| b.end - b.start);
         let impl_type = block.map(|b| b.name.clone());
         let impl_trait = block.and_then(|b| b.trait_name.clone());
+        let ret_type = arrow.and_then(|a| {
+            let to = (a..open)
+                .find(|&m| ident_is(&tokens[code[m]], src, "where"))
+                .unwrap_or(open);
+            if (a..to).any(|m| ident_is(&tokens[code[m]], src, "Self")) {
+                impl_type.clone()
+            } else {
+                type_head(src, tokens, code, a, to, known)
+            }
+        });
         let simple = name_tok.text(src).to_string();
         let name = match &impl_type {
             Some(ty) => format!("{ty}::{simple}"),
@@ -405,6 +458,7 @@ fn collect_fns(
             line: name_tok.line,
             col: name_tok.col,
             is_closure: false,
+            ret_type,
         });
         i = open + 1; // nested fns are found by continuing inside
     }
@@ -479,6 +533,7 @@ fn collect_spawn_closures(
             line: bar.line,
             col: bar.col,
             is_closure: true,
+            ret_type: None,
         });
         i = k.max(i + 1);
     }
@@ -589,65 +644,8 @@ impl CallGraph {
 
     /// Extracts and resolves every call site, filling `adj` and the
     /// site counters.
-    fn resolve_sites(&mut self, crates: &[CrateData]) {
-        // Symbol-table indices. Plain calls can only bind free
-        // functions; method calls only `impl`/`trait` methods.
-        let mut free_by_file: BTreeMap<(usize, usize, &str), Vec<usize>> = BTreeMap::new();
-        let mut free_by_crate: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
-        let mut free_global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.is_closure {
-                continue;
-            }
-            match &n.impl_type {
-                Some(ty) => {
-                    methods_by_name.entry(&n.simple).or_default().push(i);
-                    by_type_method
-                        .entry((ty.as_str(), &n.simple))
-                        .or_default()
-                        .push(i);
-                }
-                None => {
-                    free_by_file
-                        .entry((n.crate_idx, n.file_idx, &n.simple))
-                        .or_default()
-                        .push(i);
-                    free_by_crate
-                        .entry((n.crate_idx, &n.simple))
-                        .or_default()
-                        .push(i);
-                    free_global.entry(&n.simple).or_default().push(i);
-                }
-            }
-        }
-        let lib_index: BTreeMap<&str, usize> = crates
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.lib_name.as_str(), i))
-            .collect();
-        let facts = collect_type_facts(crates);
-        // (trait, method) → implementors, plus trait default methods.
-        let mut trait_methods: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.is_closure {
-                continue;
-            }
-            if let Some(tr) = &n.impl_trait {
-                trait_methods
-                    .entry((tr.clone(), n.simple.clone()))
-                    .or_default()
-                    .push(i);
-            } else if let Some(ty) = &n.impl_type {
-                if facts.traits.contains(ty) {
-                    trait_methods
-                        .entry((ty.clone(), n.simple.clone()))
-                        .or_default()
-                        .push(i);
-                }
-            }
-        }
+    fn resolve_sites(&mut self, crates: &[CrateData], facts: &TypeFacts) {
+        let tables = Tables::build(&self.nodes, crates, facts);
 
         let mut new_edges: Vec<(usize, usize)> = Vec::new();
         let mut sites: u32 = 0;
@@ -659,39 +657,17 @@ impl CallGraph {
             let n = &self.nodes[caller];
             let f = &crates[n.crate_idx].files[n.file_idx];
             let code = code_indices(&f.tokens);
-            let env = caller_env(n, f, &code, &facts);
-            for site in extract_sites(f, &code, self, caller) {
+            let env = caller_env(n, f, &code, &tables);
+            for s in extract_sites(f, &code, self, caller) {
                 sites += 1;
-                let candidates = match &site {
-                    Site::Plain { name } => resolve_plain(
-                        name,
-                        n,
-                        f,
-                        &free_by_file,
-                        &free_by_crate,
-                        &free_global,
-                        &lib_index,
-                    ),
-                    Site::Method { name, recv } => resolve_method(
-                        name,
-                        recv,
-                        n,
-                        &env,
-                        &facts,
-                        &methods_by_name,
-                        &by_type_method,
-                        &trait_methods,
-                    ),
-                    Site::Path { segments } => resolve_path(
-                        segments,
-                        n,
-                        &self.nodes,
-                        crates,
-                        &lib_index,
-                        &by_type_method,
-                        &free_by_crate,
-                        &free_global,
-                    ),
+                let candidates = match &s.site {
+                    Site::Plain { name } => tables.resolve_plain(name, n, f),
+                    Site::Method { name, recv } => {
+                        tables.resolve_method(name, recv, n, f, &code, &env)
+                    }
+                    Site::Path { segments } => {
+                        tables.resolve_path(segments, n, &self.nodes, crates)
+                    }
                 };
                 if candidates.is_empty() {
                     external += 1;
@@ -702,6 +678,7 @@ impl CallGraph {
                     }
                     for c in candidates {
                         new_edges.push((caller, c));
+                        self.site_edges.push((caller, c, s.pos, s.line, s.col));
                     }
                 }
             }
@@ -745,7 +722,7 @@ fn extract_sites(
     code: &[usize],
     graph: &CallGraph,
     caller: usize,
-) -> Vec<Site> {
+) -> Vec<SiteAt> {
     let src = &f.src;
     let tokens = &f.tokens;
     let node = &graph.nodes[caller];
@@ -780,10 +757,16 @@ fn extract_sites(
             continue; // macro invocation
         }
         let name = t.text(src).to_string();
+        let anchor = |site: Site| SiteAt {
+            site,
+            pos: t.start,
+            line: t.line,
+            col: t.col,
+        };
         if prev.is_some_and(|p| is_punct(p, src, '.')) {
             if call_paren_after(src, tokens, code, ci + 1) {
                 let recv = receiver_shape(src, tokens, code, ci);
-                out.push(Site::Method { name, recv });
+                out.push(anchor(Site::Method { name, recv }));
             }
             continue;
         }
@@ -803,12 +786,12 @@ fn extract_sites(
             }
             let last_snake = segments.last().is_some_and(|s| is_snake(s));
             if last_snake && segments.len() >= 2 && call_paren_after(src, tokens, code, j + 1) {
-                out.push(Site::Path { segments });
+                out.push(anchor(Site::Path { segments }));
             }
             continue;
         }
         if next_is(1, '(') && is_snake(&name) && !NON_CALL_KEYWORDS.contains(&name.as_str()) {
-            out.push(Site::Plain { name });
+            out.push(anchor(Site::Plain { name }));
         }
     }
     out
@@ -863,6 +846,11 @@ fn receiver_shape(src: &str, tokens: &[Token], code: &[usize], ci: usize) -> Rec
     if ident_is(rt, src, "self") {
         return Recv::SelfDirect;
     }
+    if is_punct(rt, src, ')') {
+        // Call-chain tail: `….prev(…).name(…)` — typed by walking the
+        // chain through declared return types at resolution time.
+        return Recv::Chain(r);
+    }
     if rt.kind != TokenKind::Ident {
         return Recv::Unknown;
     }
@@ -878,144 +866,6 @@ fn receiver_shape(src: &str, tokens: &[Token], code: &[usize], ci: usize) -> Rec
     }
     Recv::Var(rt.text(src).to_string(), rt.start)
 }
-
-/// Ubiquitous `std`/`core`/`alloc` method names. An *untyped* receiver
-/// calling one of these is never bound to a same-named workspace
-/// method — `xs.iter().map(…)` must not grow an edge to `Engine::map`,
-/// nor `counter.load(…)` to `Harness::load`. Typed receivers bypass
-/// this list entirely, so a workspace `len` on a known type still
-/// resolves.
-const STD_METHODS: &[&str] = &[
-    "abs",
-    "all",
-    "and_then",
-    "any",
-    "as_bytes",
-    "as_mut",
-    "as_ref",
-    "as_slice",
-    "as_str",
-    "bytes",
-    "ceil",
-    "chain",
-    "chars",
-    "chunks",
-    "clear",
-    "clone",
-    "cloned",
-    "cmp",
-    "collect",
-    "contains",
-    "contains_key",
-    "copied",
-    "count",
-    "dedup",
-    "drain",
-    "ends_with",
-    "entry",
-    "enumerate",
-    "eq",
-    "expect",
-    "extend",
-    "fetch_add",
-    "fetch_sub",
-    "filter",
-    "filter_map",
-    "find",
-    "first",
-    "flat_map",
-    "flatten",
-    "floor",
-    "flush",
-    "fmt",
-    "fold",
-    "get",
-    "get_mut",
-    "get_or_insert_with",
-    "hash",
-    "insert",
-    "into_iter",
-    "is_empty",
-    "iter",
-    "iter_mut",
-    "join",
-    "keys",
-    "last",
-    "len",
-    "lines",
-    "load",
-    "lock",
-    "map",
-    "map_err",
-    "max",
-    "max_by",
-    "max_by_key",
-    "min",
-    "min_by",
-    "min_by_key",
-    "ne",
-    "next",
-    "or_default",
-    "or_else",
-    "or_insert",
-    "or_insert_with",
-    "parse",
-    "peek",
-    "peekable",
-    "pop",
-    "pop_back",
-    "pop_front",
-    "position",
-    "powf",
-    "powi",
-    "push",
-    "push_back",
-    "push_front",
-    "push_str",
-    "read",
-    "recv",
-    "remove",
-    "replace",
-    "retain",
-    "rev",
-    "round",
-    "send",
-    "skip",
-    "skip_while",
-    "sort",
-    "sort_by",
-    "sort_by_key",
-    "sort_unstable",
-    "sort_unstable_by",
-    "sort_unstable_by_key",
-    "split",
-    "split_whitespace",
-    "splitn",
-    "sqrt",
-    "starts_with",
-    "step_by",
-    "store",
-    "sum",
-    "swap",
-    "take",
-    "take_while",
-    "to_owned",
-    "to_string",
-    "to_vec",
-    "trim",
-    "try_lock",
-    "unwrap",
-    "unwrap_or",
-    "unwrap_or_default",
-    "unwrap_or_else",
-    "values",
-    "values_mut",
-    "windows",
-    "write",
-    "write_fmt",
-    "write_str",
-    "zip",
-];
 
 /// Workspace-wide typing facts for receiver resolution.
 struct TypeFacts {
@@ -1253,14 +1103,15 @@ impl TypeEnv {
 /// Builds the type environment for one caller: generic parameters map
 /// to their first bound (`<T: Reorder>` types `T` as the `Reorder`
 /// trait), signature parameters bind their head type, and `let`
-/// bindings bind either an annotated type or the `Type::` constructor
-/// head on the right-hand side.
+/// bindings bind an annotated type, the chain-walked type of the
+/// right-hand side, or the `Type::` constructor head as a fallback.
 fn caller_env(
     node: &FnNode,
     f: &crate::model::FileData,
     code: &[usize],
-    facts: &TypeFacts,
+    tables: &Tables,
 ) -> TypeEnv {
+    let facts = tables.facts;
     let src = &f.src;
     let tokens = &f.tokens;
     let mut env = TypeEnv {
@@ -1455,9 +1306,37 @@ fn caller_env(
                 }
             }
         } else if is_punct(&tokens[after], src, '=') {
-            // `let x = Type::new(…)` / `let x = Type { … }` — the
-            // uppercase constructor head types the binding.
-            if let Some(&rhs) = code.get(k + 2) {
+            // `let x = …;` — the right-hand side is typed through the
+            // chain walker when possible (`let b = Pipeline::builder()`
+            // types `b` as `PipelineBuilder`), falling back to the
+            // uppercase constructor head for struct literals and
+            // external constructors (`Vec::new()` stays `Vec`).
+            let rhs_from = k + 2;
+            let mut d2 = 0i64;
+            let mut m = rhs_from;
+            let mut last = None;
+            while m < code.len() {
+                let tt = &tokens[code[m]];
+                if is_punct(tt, src, '(') || is_punct(tt, src, '[') || is_punct(tt, src, '{') {
+                    d2 += 1;
+                } else if is_punct(tt, src, ')') || is_punct(tt, src, ']') || is_punct(tt, src, '}')
+                {
+                    d2 -= 1;
+                    if d2 < 0 {
+                        break;
+                    }
+                } else if d2 == 0 && is_punct(tt, src, ';') {
+                    break;
+                }
+                last = Some(m);
+                m += 1;
+            }
+            let chain_ty = last
+                .and_then(|l| value_type(tables, node, f, code, &env, l, 0))
+                .filter(|ty| !generics.contains_key(ty));
+            if let Some(ty) = chain_ty {
+                env.bind(name_tok.text(src), name_tok.start, ty);
+            } else if let Some(&rhs) = code.get(rhs_from) {
                 let rt = &tokens[rhs];
                 if rt.kind == TokenKind::Ident
                     && rt.text(src).chars().next().is_some_and(char::is_uppercase)
@@ -1471,86 +1350,170 @@ fn caller_env(
     env
 }
 
-/// Resolves a plain `name(…)` call to free functions: same file →
-/// unique in crate → through `use` imports → unique in workspace.
-fn resolve_plain(
-    name: &str,
-    caller: &FnNode,
-    f: &crate::model::FileData,
-    free_by_file: &BTreeMap<(usize, usize, &str), Vec<usize>>,
-    free_by_crate: &BTreeMap<(usize, &str), Vec<usize>>,
-    free_global: &BTreeMap<&str, Vec<usize>>,
-    lib_index: &BTreeMap<&str, usize>,
-) -> Vec<usize> {
-    if let Some(c) = free_by_file.get(&(caller.crate_idx, caller.file_idx, name)) {
-        if c.len() == 1 {
-            return c.clone();
-        }
-    }
-    if let Some(c) = free_by_crate.get(&(caller.crate_idx, name)) {
-        if c.len() == 1 {
-            return c.clone();
-        }
-    }
-    // A `use` whose last segment is the name tells us the crate.
-    for u in &f.uses {
-        if u.segments.last().map(String::as_str) != Some(name) {
-            continue;
-        }
-        let target = match u.segments.first().map(String::as_str) {
-            Some("crate") | Some("self") => Some(caller.crate_idx),
-            Some(head) => lib_index.get(head).copied(),
-            None => None,
+/// Symbol-table indices shared by every resolution step. Plain calls
+/// can only bind free functions; method calls only `impl`/`trait`
+/// methods.
+struct Tables<'a> {
+    nodes: &'a [FnNode],
+    /// `(crate, file, name)` → free functions declared there.
+    free_by_file: BTreeMap<(usize, usize, &'a str), Vec<usize>>,
+    /// `(crate, name)` → free functions declared there.
+    free_by_crate: BTreeMap<(usize, &'a str), Vec<usize>>,
+    /// `name` → free functions anywhere in the workspace.
+    free_global: BTreeMap<&'a str, Vec<usize>>,
+    /// `(impl type, method)` → methods — the only way a method call
+    /// binds.
+    by_type_method: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    /// `(trait, method)` → implementors, plus trait default methods.
+    trait_methods: BTreeMap<(String, String), Vec<usize>>,
+    /// Crate lib name → crate index.
+    lib_index: BTreeMap<&'a str, usize>,
+    facts: &'a TypeFacts,
+}
+
+impl<'a> Tables<'a> {
+    fn build(nodes: &'a [FnNode], crates: &'a [CrateData], facts: &'a TypeFacts) -> Self {
+        let mut t = Tables {
+            nodes,
+            free_by_file: BTreeMap::new(),
+            free_by_crate: BTreeMap::new(),
+            free_global: BTreeMap::new(),
+            by_type_method: BTreeMap::new(),
+            trait_methods: BTreeMap::new(),
+            lib_index: crates
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.lib_name.as_str(), i))
+                .collect(),
+            facts,
         };
-        if let Some(k) = target {
-            if let Some(c) = free_by_crate.get(&(k, name)) {
-                if c.len() == 1 {
-                    return c.clone();
+        for (i, n) in nodes.iter().enumerate() {
+            if n.is_closure {
+                continue;
+            }
+            match &n.impl_type {
+                Some(ty) => {
+                    t.by_type_method
+                        .entry((ty.as_str(), &n.simple))
+                        .or_default()
+                        .push(i);
+                }
+                None => {
+                    t.free_by_file
+                        .entry((n.crate_idx, n.file_idx, &n.simple))
+                        .or_default()
+                        .push(i);
+                    t.free_by_crate
+                        .entry((n.crate_idx, &n.simple))
+                        .or_default()
+                        .push(i);
+                    t.free_global.entry(&n.simple).or_default().push(i);
+                }
+            }
+            if let Some(tr) = &n.impl_trait {
+                t.trait_methods
+                    .entry((tr.clone(), n.simple.clone()))
+                    .or_default()
+                    .push(i);
+            } else if let Some(ty) = &n.impl_type {
+                if facts.traits.contains(ty) {
+                    t.trait_methods
+                        .entry((ty.clone(), n.simple.clone()))
+                        .or_default()
+                        .push(i);
                 }
             }
         }
+        t
     }
-    free_global.get(name).cloned().unwrap_or_default()
-}
 
-/// Resolves a `recv.name(…)` method call against workspace methods.
-///
-/// A typed receiver (from `self`, the field table, or the caller's
-/// type environment) binds through the per-type method table; when the
-/// type names a trait (`dyn`/`impl`/generic bound) the trait-impl
-/// table supplies the CHA candidate set instead. A typed receiver that
-/// matches nothing is external — the type is known, so the method must
-/// live outside the workspace. Untyped receivers fall back to the
-/// name-only CHA set unless the name is a ubiquitous `std` method
-/// ([`STD_METHODS`]), which is never guessed.
-#[allow(clippy::too_many_arguments)]
-fn resolve_method(
-    name: &str,
-    recv: &Recv,
-    caller: &FnNode,
-    env: &TypeEnv,
-    facts: &TypeFacts,
-    methods_by_name: &BTreeMap<&str, Vec<usize>>,
-    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
-    trait_methods: &BTreeMap<(String, String), Vec<usize>>,
-) -> Vec<usize> {
-    let ty: Option<String> = match recv {
-        Recv::SelfDirect => caller.impl_type.clone(),
-        Recv::SelfField(field) => caller.impl_type.as_ref().and_then(|t| {
-            facts
-                .fields
-                .get(&(caller.crate_idx, t.clone(), field.clone()))
-                .cloned()
-        }),
-        Recv::Var(v, pos) => env.lookup(v, *pos).map(str::to_string),
-        Recv::Unknown => None,
-    };
-    if let Some(ty) = ty {
-        if let Some(c) = by_type_method.get(&(ty.as_str(), name)) {
+    /// Declared return type of `ty::name` when the workspace has
+    /// exactly one such method and its signature declares one.
+    fn assoc_ret(&self, ty: &str, name: &str) -> Option<&str> {
+        let c = self.by_type_method.get(&(ty, name))?;
+        if c.len() == 1 {
+            self.nodes[c[0]].ret_type.as_deref()
+        } else {
+            None
+        }
+    }
+
+    /// Resolves a plain `name(…)` call to free functions: same file →
+    /// unique in crate → through `use` imports → unique in workspace.
+    fn resolve_plain(&self, name: &str, caller: &FnNode, f: &crate::model::FileData) -> Vec<usize> {
+        if let Some(c) = self
+            .free_by_file
+            .get(&(caller.crate_idx, caller.file_idx, name))
+        {
+            if c.len() == 1 {
+                return c.clone();
+            }
+        }
+        if let Some(c) = self.free_by_crate.get(&(caller.crate_idx, name)) {
+            if c.len() == 1 {
+                return c.clone();
+            }
+        }
+        // A `use` whose last segment is the name tells us the crate.
+        for u in &f.uses {
+            if u.segments.last().map(String::as_str) != Some(name) {
+                continue;
+            }
+            let target = match u.segments.first().map(String::as_str) {
+                Some("crate") | Some("self") => Some(caller.crate_idx),
+                Some(head) => self.lib_index.get(head).copied(),
+                None => None,
+            };
+            if let Some(k) = target {
+                if let Some(c) = self.free_by_crate.get(&(k, name)) {
+                    if c.len() == 1 {
+                        return c.clone();
+                    }
+                }
+            }
+        }
+        self.free_global.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Resolves a `recv.name(…)` method call against workspace methods.
+    ///
+    /// A typed receiver (from `self`, the field table, the caller's
+    /// type environment, or a call chain walked through declared return
+    /// types) binds through the per-type method table; when the type
+    /// names a trait (`dyn`/`impl`/generic bound) the trait-impl table
+    /// supplies the CHA candidate set instead. A receiver the tokens
+    /// cannot type is external — method edges are keyed by resolved
+    /// receiver type only, never guessed from the bare name.
+    fn resolve_method(
+        &self,
+        name: &str,
+        recv: &Recv,
+        caller: &FnNode,
+        f: &crate::model::FileData,
+        code: &[usize],
+        env: &TypeEnv,
+    ) -> Vec<usize> {
+        let ty: Option<String> = match recv {
+            Recv::SelfDirect => caller.impl_type.clone(),
+            Recv::SelfField(field) => caller.impl_type.as_ref().and_then(|t| {
+                self.facts
+                    .fields
+                    .get(&(caller.crate_idx, t.clone(), field.clone()))
+                    .cloned()
+            }),
+            Recv::Var(v, pos) => env.lookup(v, *pos).map(str::to_string),
+            Recv::Chain(end) => value_type(self, caller, f, code, env, *end, 0),
+            Recv::Unknown => None,
+        };
+        let Some(ty) = ty else {
+            return Vec::new();
+        };
+        if let Some(c) = self.by_type_method.get(&(ty.as_str(), name)) {
             return c.clone();
         }
-        if facts.traits.contains(&ty) {
-            return trait_methods
+        if self.facts.traits.contains(&ty) {
+            return self
+                .trait_methods
                 .get(&(ty.clone(), name.to_string()))
                 .cloned()
                 .unwrap_or_default();
@@ -1559,104 +1522,209 @@ fn resolve_method(
             // An inherited trait default method: `self.step()` inside
             // `impl Trait for Type` where `step` has no override.
             if let Some(tr) = &caller.impl_trait {
-                if let Some(c) = trait_methods.get(&(tr.clone(), name.to_string())) {
+                if let Some(c) = self.trait_methods.get(&(tr.clone(), name.to_string())) {
                     return c.clone();
                 }
             }
         }
-        return Vec::new();
+        Vec::new()
     }
-    if STD_METHODS.contains(&name) {
-        return Vec::new();
-    }
-    methods_by_name.get(name).cloned().unwrap_or_default()
-}
 
-/// Resolves an `a::b::name(…)` path call: `Self::`/type qualifiers go
-/// through the per-type method table, module qualifiers through the
-/// free-function tables narrowed by the head crate and the
-/// qualifier's module.
-#[allow(clippy::too_many_arguments)]
-fn resolve_path(
-    segments: &[String],
-    caller: &FnNode,
-    nodes: &[FnNode],
-    crates: &[CrateData],
-    lib_index: &BTreeMap<&str, usize>,
-    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
-    free_by_crate: &BTreeMap<(usize, &str), Vec<usize>>,
-    free_global: &BTreeMap<&str, Vec<usize>>,
-) -> Vec<usize> {
-    let name = segments.last().map(String::as_str).unwrap_or_default();
-    let qual = segments
-        .get(segments.len().wrapping_sub(2))
-        .map(String::as_str)
-        .unwrap_or_default();
-    if qual == "Self" {
-        if let Some(ty) = &caller.impl_type {
-            if let Some(c) = by_type_method.get(&(ty.as_str(), name)) {
+    /// Resolves an `a::b::name(…)` path call: `Self::`/type qualifiers
+    /// go through the per-type method table, module qualifiers through
+    /// the free-function tables narrowed by the head crate and the
+    /// qualifier's module.
+    fn resolve_path(
+        &self,
+        segments: &[String],
+        caller: &FnNode,
+        nodes: &[FnNode],
+        crates: &[CrateData],
+    ) -> Vec<usize> {
+        let name = segments.last().map(String::as_str).unwrap_or_default();
+        let qual = segments
+            .get(segments.len().wrapping_sub(2))
+            .map(String::as_str)
+            .unwrap_or_default();
+        if qual == "Self" {
+            if let Some(ty) = &caller.impl_type {
+                if let Some(c) = self.by_type_method.get(&(ty.as_str(), name)) {
+                    return c.clone();
+                }
+            }
+            return Vec::new();
+        }
+        if qual.chars().next().is_some_and(char::is_uppercase) {
+            // Type-qualified associated call: `Vec::new` and friends
+            // miss the table and come back external.
+            return self
+                .by_type_method
+                .get(&(qual, name))
+                .cloned()
+                .unwrap_or_default();
+        }
+        // Keeps candidates living in the module the qualifier names;
+        // for two-segment paths (`crate::step`) the qualifier is the
+        // head and no module narrowing applies.
+        let in_module = |cands: &[usize]| -> Vec<usize> {
+            if qual == "crate" || qual == "self" {
+                return cands.to_vec();
+            }
+            cands
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let n = &nodes[i];
+                    matches!(
+                        &crates[n.crate_idx].files[n.file_idx].role,
+                        FileRole::Module(m) if m == qual
+                    )
+                })
+                .collect()
+        };
+        let head = segments.first().map(String::as_str).unwrap_or_default();
+        let target_crate = match head {
+            "crate" | "self" => Some(caller.crate_idx),
+            h => self.lib_index.get(h).copied().or_else(|| {
+                // `helper::step()` where `helper` is a module of the
+                // caller's crate.
+                crates[caller.crate_idx]
+                    .modules
+                    .contains(h)
+                    .then_some(caller.crate_idx)
+            }),
+        };
+        if let Some(k) = target_crate {
+            let Some(c) = self.free_by_crate.get(&(k, name)) else {
+                return Vec::new();
+            };
+            let filtered = in_module(c);
+            if !filtered.is_empty() {
+                return filtered;
+            }
+            if c.len() == 1 {
+                // The re-export surface may hide the module; a unique
+                // same-crate free function is still an unambiguous
+                // match.
                 return c.clone();
             }
-        }
-        return Vec::new();
-    }
-    if qual.chars().next().is_some_and(char::is_uppercase) {
-        // Type-qualified associated call: `Vec::new` and friends miss
-        // the table and come back external.
-        return by_type_method
-            .get(&(qual, name))
-            .cloned()
-            .unwrap_or_default();
-    }
-    // Keeps candidates living in the module the qualifier names; for
-    // two-segment paths (`crate::step`) the qualifier is the head and
-    // no module narrowing applies.
-    let in_module = |cands: &[usize]| -> Vec<usize> {
-        if qual == "crate" || qual == "self" {
-            return cands.to_vec();
-        }
-        cands
-            .iter()
-            .copied()
-            .filter(|&i| {
-                let n = &nodes[i];
-                matches!(
-                    &crates[n.crate_idx].files[n.file_idx].role,
-                    FileRole::Module(m) if m == qual
-                )
-            })
-            .collect()
-    };
-    let head = segments.first().map(String::as_str).unwrap_or_default();
-    let target_crate = match head {
-        "crate" | "self" => Some(caller.crate_idx),
-        h => lib_index.get(h).copied().or_else(|| {
-            // `helper::step()` where `helper` is a module of the
-            // caller's crate.
-            crates[caller.crate_idx]
-                .modules
-                .contains(h)
-                .then_some(caller.crate_idx)
-        }),
-    };
-    if let Some(k) = target_crate {
-        let Some(c) = free_by_crate.get(&(k, name)) else {
             return Vec::new();
-        };
-        let filtered = in_module(c);
-        if !filtered.is_empty() {
-            return filtered;
         }
-        if c.len() == 1 {
-            // The re-export surface may hide the module; a unique
-            // same-crate free function is still an unambiguous match.
-            return c.clone();
-        }
-        return Vec::new();
+        // Unknown head (`std::mem::take`): match only when a workspace
+        // module named like the qualifier defines the function;
+        // anything else is external, never guessed.
+        let cands = self.free_global.get(name).cloned().unwrap_or_default();
+        in_module(&cands)
     }
-    // Unknown head (`std::mem::take`): match only when a workspace
-    // module named like the qualifier defines the function; anything
-    // else is external, never guessed.
-    let cands = free_global.get(name).cloned().unwrap_or_default();
-    in_module(&cands)
+}
+
+/// Static type of the value expression ending at code index `end`:
+/// `self`, typed variables, `self.field`, tuple-struct constructors,
+/// and call results typed through declared return types — so
+/// `Pipeline::builder(…).kernel(…)` types as `PipelineBuilder` when
+/// `builder` declares that return type and `kernel` returns `Self`.
+/// Conservative: any step the tokens cannot type makes the whole
+/// expression untyped.
+fn value_type(
+    tables: &Tables,
+    caller: &FnNode,
+    f: &crate::model::FileData,
+    code: &[usize],
+    env: &TypeEnv,
+    end: usize,
+    depth: usize,
+) -> Option<String> {
+    if depth > 8 {
+        return None;
+    }
+    let src = &f.src;
+    let tokens = &f.tokens;
+    let t = &tokens[code[end]];
+    if t.kind == TokenKind::Ident {
+        if ident_is(t, src, "self") {
+            return caller.impl_type.clone();
+        }
+        if end >= 1 && is_punct(&tokens[code[end - 1]], src, '.') {
+            // `self.field` types through the field table; deeper field
+            // chains stay untyped.
+            if end >= 2 && ident_is(&tokens[code[end - 2]], src, "self") {
+                let ty = caller.impl_type.as_ref()?;
+                return tables
+                    .facts
+                    .fields
+                    .get(&(caller.crate_idx, ty.clone(), t.text(src).to_string()))
+                    .cloned();
+            }
+            return None;
+        }
+        if end >= 2 && double_colon_at(src, tokens, code, end - 2) {
+            return None; // path-qualified const / enum variant
+        }
+        return env.lookup(t.text(src), t.start).map(str::to_string);
+    }
+    if !is_punct(t, src, ')') {
+        return None;
+    }
+    // Walk back to the `(` matching the call's closing `)`.
+    let mut d = 0i64;
+    let mut k = end;
+    loop {
+        let tt = &tokens[code[k]];
+        if is_punct(tt, src, ')') || is_punct(tt, src, ']') || is_punct(tt, src, '}') {
+            d += 1;
+        } else if is_punct(tt, src, '(') || is_punct(tt, src, '[') || is_punct(tt, src, '{') {
+            d -= 1;
+            if d == 0 {
+                break;
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    // The callee ident directly before the `(` (turbofish chains are
+    // left untyped).
+    let m_idx = k.checked_sub(1)?;
+    let m_tok = &tokens[code[m_idx]];
+    if m_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let m = m_tok.text(src);
+    if NON_CALL_KEYWORDS.contains(&m) {
+        return None;
+    }
+    if m_idx >= 2 && double_colon_at(src, tokens, code, m_idx - 2) {
+        // `Q::m(…)` — an associated call on a type qualifier.
+        let q_idx = m_idx.checked_sub(3)?;
+        let q_tok = &tokens[code[q_idx]];
+        if q_tok.kind != TokenKind::Ident {
+            return None;
+        }
+        let qual = q_tok.text(src);
+        let ty = if qual == "Self" {
+            caller.impl_type.clone()?
+        } else if qual.chars().next().is_some_and(char::is_uppercase) {
+            qual.to_string()
+        } else {
+            return None; // module-path free call — not chained through
+        };
+        return tables.assoc_ret(&ty, m).map(str::to_string);
+    }
+    if m_idx >= 1 && is_punct(&tokens[code[m_idx - 1]], src, '.') {
+        // `expr.m(…)` — recurse on the receiver expression.
+        let base_end = m_idx.checked_sub(2)?;
+        let base = value_type(tables, caller, f, code, env, base_end, depth + 1)?;
+        return tables.assoc_ret(&base, m).map(str::to_string);
+    }
+    if m.chars().next().is_some_and(char::is_uppercase) {
+        // `Foo(…)` — a tuple-struct constructor of a known type.
+        return tables.facts.known.contains(m).then(|| m.to_string());
+    }
+    // Plain free call `m(…)` — a unique workspace target types it.
+    let cands = tables.resolve_plain(m, caller, f);
+    if cands.len() == 1 {
+        return tables.nodes[cands[0]].ret_type.clone();
+    }
+    None
 }

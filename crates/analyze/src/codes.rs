@@ -17,6 +17,7 @@
 //! | XT07xx | Allowlist hygiene                                 |
 //! | XT08xx | Hot-path allocation lint (call-graph reachable)   |
 //! | XT09xx | Concurrency-safety audit (engine crates)          |
+//! | XT10xx | Interprocedural effect inference                  |
 
 /// One row of the code table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +124,23 @@ pub const WORKER_PANIC_CALL: &str = "XT0904";
 /// Slice/array indexing in a function reachable from a worker closure
 /// (out-of-bounds panics propagate into the engine).
 pub const WORKER_INDEXING: &str = "XT0905";
+
+/// Inferred nondeterministic effect (hash iteration / thread identity)
+/// in a function whose effects reach a report renderer or `Pipeline`
+/// method.
+pub const NONDET_EFFECT: &str = "XT1001";
+/// Call inside a loop of a per-access function whose callee carries an
+/// inferred allocation effect.
+pub const HOT_ALLOC_EFFECT: &str = "XT1002";
+/// Inferred panic effect (explicit panic-family macro) in a function
+/// reachable from a worker closure.
+pub const WORKER_PANIC_EFFECT: &str = "XT1003";
+/// Inferred lock effect outside the engine crates in a function
+/// reachable from a worker closure.
+pub const WORKER_LOCK_EFFECT: &str = "XT1004";
+/// I/O effect entering a declared-pure crate (local I/O source or a
+/// cross-crate call to an I/O-effectful function).
+pub const PURE_CRATE_IO_EFFECT: &str = "XT1005";
 
 /// Every published code with its meaning, in code order.
 pub const CODE_TABLE: &[CodeInfo] = &[
@@ -269,6 +287,26 @@ pub const CODE_TABLE: &[CodeInfo] = &[
     CodeInfo {
         code: WORKER_INDEXING,
         title: "slice indexing reachable from a worker closure",
+    },
+    CodeInfo {
+        code: NONDET_EFFECT,
+        title: "inferred nondeterministic effect on a report path",
+    },
+    CodeInfo {
+        code: HOT_ALLOC_EFFECT,
+        title: "allocating callee inside a per-access loop",
+    },
+    CodeInfo {
+        code: WORKER_PANIC_EFFECT,
+        title: "inferred panic effect reachable from a worker closure",
+    },
+    CodeInfo {
+        code: WORKER_LOCK_EFFECT,
+        title: "inferred lock effect outside the engine reachable from a worker closure",
+    },
+    CodeInfo {
+        code: PURE_CRATE_IO_EFFECT,
+        title: "I/O effect entering a declared-pure crate",
     },
 ];
 

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::model::CallGraphReport;
+use crate::model::{CallGraphReport, EffectsReport};
 
 /// How bad a finding is. Errors fail the lint gate; warnings do not.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -77,6 +77,9 @@ pub struct AnalysisReport {
     /// The call graph and seed/reachability sets; `None` renders as an
     /// empty graph so the JSON schema never changes shape.
     pub callgraph: Option<CallGraphReport>,
+    /// The inferred effect lattice; `None` renders as an empty table
+    /// so the JSON schema never changes shape.
+    pub effects: Option<EffectsReport>,
 }
 
 impl AnalysisReport {
@@ -176,6 +179,8 @@ impl AnalysisReport {
         }
         let empty = CallGraphReport::default();
         render_callgraph(&mut out, self.callgraph.as_ref().unwrap_or(&empty));
+        let no_effects = EffectsReport::default();
+        render_effects(&mut out, self.effects.as_ref().unwrap_or(&no_effects));
         out.push_str("}\n");
         out
     }
@@ -236,6 +241,47 @@ fn render_callgraph(out: &mut String, cg: &CallGraphReport) {
         out,
         "    \"stats\": {{\"call_sites\":{},\"resolved\":{},\"external\":{},\"ambiguous\":{}}}",
         cg.call_sites, cg.resolved, cg.external, cg.ambiguous
+    );
+    out.push_str("  },\n");
+}
+
+/// Renders the `"effects"` section: the bit-name legend, one row per
+/// effectful node, and the stats `CHK1103` re-derives. Byte layout is
+/// frozen by the golden fixtures.
+fn render_effects(out: &mut String, fx: &EffectsReport) {
+    out.push_str("  \"effects\": {\n");
+    // The legend matches the effect pass's BIT_NAMES; spelled out
+    // literally so the rendering layer stays below the passes in the
+    // module graph.
+    out.push_str(
+        "    \"bits\": [\"allocates\",\"locks\",\"panics\",\"does_io\",\
+         \"nondeterministic\",\"unsafe\"],\n",
+    );
+    if fx.rows.is_empty() {
+        out.push_str("    \"rows\": [],\n");
+    } else {
+        out.push_str("    \"rows\": [\n");
+        for (i, r) in fx.rows.iter().enumerate() {
+            let sep = if i + 1 == fx.rows.len() { "" } else { "," };
+            let via: Vec<String> = r.via.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "      {{\"node\":{},\"mask\":{},\"local\":{},\"via\":[{}]}}{sep}",
+                r.node,
+                r.mask,
+                r.local,
+                via.join(",")
+            );
+        }
+        out.push_str("    ],\n");
+    }
+    let _ = writeln!(
+        out,
+        "    \"stats\": {{\"functions\":{},\"effectful\":{},\"local_bits\":{},\"propagated_bits\":{}}}",
+        fx.functions,
+        fx.rows.len(),
+        fx.local_bits,
+        fx.propagated_bits
     );
     out.push_str("  }\n");
 }
@@ -307,6 +353,13 @@ mod tests {
                 "    \"seeds\": {\"determinism\":[],\"hotpath\":[],\"worker\":[]},\n",
                 "    \"sccs\": [],\n",
                 "    \"stats\": {\"call_sites\":0,\"resolved\":0,\"external\":0,\"ambiguous\":0}\n",
+                "  },\n",
+                "  \"effects\": {\n",
+                "    \"bits\": [\"allocates\",\"locks\",\"panics\",\"does_io\",",
+                "\"nondeterministic\",\"unsafe\"],\n",
+                "    \"rows\": [],\n",
+                "    \"stats\": {\"functions\":0,\"effectful\":0,\"local_bits\":0,",
+                "\"propagated_bits\":0}\n",
                 "  }\n}\n"
             )
         );
@@ -344,6 +397,42 @@ mod tests {
         assert!(json.contains(
             "    \"stats\": {\"call_sites\":3,\"resolved\":2,\"external\":1,\"ambiguous\":1}\n"
         ));
+        assert!(json.contains("    \"stats\": {\"call_sites\":3,"));
+        assert!(json.contains("\n  },\n  \"effects\": {\n"));
+    }
+
+    #[test]
+    fn populated_effects_render_one_row_per_line() {
+        let report = AnalysisReport {
+            effects: Some(crate::model::EffectsReport {
+                rows: vec![
+                    crate::model::EffectRow {
+                        node: 0,
+                        mask: 5,
+                        local: 4,
+                        via: [1, -1, 0, -1, -1, -1],
+                    },
+                    crate::model::EffectRow {
+                        node: 1,
+                        mask: 1,
+                        local: 1,
+                        via: [1, -1, -1, -1, -1, -1],
+                    },
+                ],
+                functions: 3,
+                local_bits: 2,
+                propagated_bits: 1,
+            }),
+            ..AnalysisReport::default()
+        };
+        let json = report.render_json();
+        assert!(json.contains(
+            "    \"rows\": [\n      {\"node\":0,\"mask\":5,\"local\":4,\"via\":[1,-1,0,-1,-1,-1]},\n      {\"node\":1,\"mask\":1,\"local\":1,\"via\":[1,-1,-1,-1,-1,-1]}\n    ],\n"
+        ));
+        assert!(json.contains(
+            "    \"stats\": {\"functions\":3,\"effectful\":2,\"local_bits\":2,\"propagated_bits\":1}\n"
+        ));
+        assert!(json.ends_with("  }\n}\n"));
     }
 
     #[test]

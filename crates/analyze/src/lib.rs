@@ -25,7 +25,12 @@
 //!    functions reachable from the simulate/reorder/replay seeds
 //!    (`XT0801`–`XT0804`), and
 //! 7. [`concurrency`] — the concurrency-safety audit of the engine
-//!    crates plus worker-reachability rules (`XT0901`–`XT0905`).
+//!    crates plus worker-reachability rules (`XT0901`–`XT0905`), and
+//! 8. [`effects`] — interprocedural effect inference: a fixed-point
+//!    bottom-up effect lattice (allocates/locks/panics/does_io/
+//!    nondeterministic/unsafe) over the call-graph SCC condensation
+//!    with shortest-witness provenance, driving the inferred-effect
+//!    rules (`XT1001`–`XT1005`).
 //!
 //! Audited exceptions live in an allowlist file (one justified
 //! `(code, file)` pair per line); allowlist hygiene is itself checked
@@ -41,6 +46,7 @@ pub mod callgraph;
 pub mod codes;
 pub mod concurrency;
 pub mod determinism;
+pub mod effects;
 pub mod findings;
 pub mod hotpath;
 pub mod items;

@@ -116,3 +116,34 @@ pub struct CallGraphReport {
     /// all of them (conservative over-approximation).
     pub ambiguous: u32,
 }
+
+/// One row of the effects table: a call-graph node with at least one
+/// inferred effect bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectRow {
+    /// Node index into the call-graph `nodes` array.
+    pub node: u32,
+    /// Fixed-point effect mask, bit order per
+    /// [`crate::effects::BIT_NAMES`].
+    pub mask: u32,
+    /// Lexically-local subset of `mask`.
+    pub local: u32,
+    /// Witness next-hop per bit: the node itself for local bits, the
+    /// first callee of a shortest path to a local source for inherited
+    /// bits, `-1` for unset bits.
+    pub via: [i32; 6],
+}
+
+/// The serializable slice of the effect lattice emitted in
+/// `analyze --json` and validated by `commorder-check`'s `CHK1103`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EffectsReport {
+    /// Rows for every node with a non-zero mask, ascending by node.
+    pub rows: Vec<EffectRow>,
+    /// Total node count of the underlying call graph.
+    pub functions: u32,
+    /// Summed popcount of the rows' `local` masks.
+    pub local_bits: u32,
+    /// Summed popcount of the rows' `mask`s, minus `local_bits`.
+    pub propagated_bits: u32,
+}

@@ -14,6 +14,7 @@ use crate::callgraph;
 use crate::codes;
 use crate::concurrency;
 use crate::determinism;
+use crate::effects;
 use crate::findings::{AnalysisReport, Finding, Severity};
 use crate::hotpath;
 use crate::items;
@@ -22,7 +23,9 @@ use crate::lexer;
 use crate::source_rules::{self, SourceContext};
 use crate::telemetry_names;
 
-pub use crate::model::{CallGraphReport, CrateData, EdgeAnchor, FileData, FileRole, ReachNode};
+pub use crate::model::{
+    CallGraphReport, CrateData, EdgeAnchor, EffectRow, EffectsReport, FileData, FileRole, ReachNode,
+};
 
 /// Analyzer configuration: the declared layer table, quiet-crate set,
 /// and workspace-relative special paths.
@@ -44,6 +47,13 @@ pub struct AnalyzerConfig {
     /// Display names (`Type::fn`) seeding the worker-reachability
     /// rules alongside every `spawn` closure.
     pub worker_seed_fns: BTreeSet<String>,
+    /// Bare function names whose reachability closure is the
+    /// per-access path for the inferred-allocation rule (`XT1002`) —
+    /// the hot seeds minus `reorder`, whose amortized allocation the
+    /// paper justifies.
+    pub peraccess_seed_fns: BTreeSet<String>,
+    /// Crates declared free of I/O effects (`XT1005`).
+    pub pure_crates: BTreeSet<String>,
 }
 
 impl Default for AnalyzerConfig {
@@ -82,6 +92,14 @@ impl Default for AnalyzerConfig {
             engine_crates: ["exec".to_string()].into_iter().collect(),
             hot_seed_fns: hot_seeds.iter().map(|&n| n.to_string()).collect(),
             worker_seed_fns: ["Engine::map".to_string()].into_iter().collect(),
+            peraccess_seed_fns: ["consume", "replay", "simulate", "simulate_belady"]
+                .iter()
+                .map(|&n| n.to_string())
+                .collect(),
+            pure_crates: ["cachesim", "gpumodel", "reorder", "sparse"]
+                .iter()
+                .map(|&n| n.to_string())
+                .collect(),
         }
     }
 }
@@ -171,10 +189,20 @@ pub fn analyze_workspace(root: &Path, config: &AnalyzerConfig) -> Result<Analysi
     findings.extend(determinism::check(&crates, &reach_edges));
     findings.extend(telemetry_names::check(&crates, &config.registry_rel));
 
-    // Semantic layer: call graph, hot-path allocations, concurrency.
+    // Semantic layer: call graph, hot-path allocations, concurrency,
+    // and the interprocedural effect lattice.
     let graph = callgraph::build(&crates, &config.hot_seed_fns, &config.worker_seed_fns);
     findings.extend(hotpath::check(&crates, &graph));
     findings.extend(concurrency::check(&crates, &graph, &config.engine_crates));
+    let fx = effects::compute(&crates, &graph);
+    findings.extend(effects::check(
+        &crates,
+        &graph,
+        &fx,
+        &config.peraccess_seed_fns,
+        &config.engine_crates,
+        &config.pure_crates,
+    ));
 
     // Allowlist: suppress justified findings, then report hygiene.
     findings = apply_allowlist(root, &config.allowlist_rel, findings);
@@ -182,6 +210,7 @@ pub fn analyze_workspace(root: &Path, config: &AnalyzerConfig) -> Result<Analysi
     let mut report = AnalysisReport {
         findings,
         callgraph: Some(graph.to_report(&crates)),
+        effects: Some(fx.to_report()),
     };
     report.finish();
     Ok(report)
@@ -203,6 +232,15 @@ pub fn prune_allowlist(text: &str, stale_lines: &BTreeSet<u32>) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Discovers and lexes the workspace crates without running any pass —
+/// the entry point `xtask bench` uses to time the semantic passes in
+/// isolation. `Err` mirrors [`analyze_workspace`]'s discovery errors.
+pub fn load_crates(root: &Path) -> Result<Vec<CrateData>, String> {
+    let root_manifest = fs::read_to_string(root.join("Cargo.toml"))
+        .map_err(|e| format!("cannot read {}: {e}", root.join("Cargo.toml").display()))?;
+    discover(root, &root_manifest)
 }
 
 /// `true` when a manifest opts into `[lints] workspace = true`.

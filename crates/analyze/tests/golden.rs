@@ -77,6 +77,56 @@ fn callgraph_fixture_matches_golden() {
 }
 
 #[test]
+fn effects_fixture_matches_golden() {
+    assert_golden("effects");
+}
+
+#[test]
+fn collision_fixture_matches_golden() {
+    assert_golden("collision");
+}
+
+/// The collision fixture must resolve the typed receiver to exactly
+/// one `width`: a bare-name binding would add a false `Coo::width`
+/// edge and bump `ambiguous` — the regression the typed resolver
+/// exists to prevent.
+#[test]
+fn collision_fixture_binds_one_method() {
+    let report = analyze_workspace(&fixture_root("collision"), &AnalyzerConfig::default())
+        .expect("collision fixture analyzes");
+    assert!(
+        report.findings.is_empty(),
+        "collision fixture must be clean"
+    );
+    let g = report.callgraph.as_ref().expect("call graph present");
+    assert_eq!(g.ambiguous, 0, "typed receiver left an ambiguous site");
+    let node = |needle: &str| {
+        g.nodes
+            .iter()
+            .position(|n| n.contains(needle))
+            .unwrap_or_else(|| panic!("node {needle} missing")) as u32
+    };
+    let caller = node("::reorder@");
+    let csr = node("Csr::width");
+    let coo = node("Coo::width");
+    let outs: Vec<u32> = g
+        .edges
+        .iter()
+        .filter(|&&(u, _)| u == caller)
+        .map(|&(_, v)| v)
+        .collect();
+    assert_eq!(
+        outs,
+        vec![csr],
+        "caller must bind Csr::width and nothing else"
+    );
+    assert!(
+        !g.edges.contains(&(caller, coo)),
+        "bare-name collision edge resurfaced"
+    );
+}
+
+#[test]
 fn every_code_is_reproduced_by_some_fixture() {
     use std::collections::BTreeSet;
 
@@ -89,6 +139,8 @@ fn every_code_is_reproduced_by_some_fixture() {
         "hotpath",
         "concurrency",
         "callgraph",
+        "effects",
+        "collision",
     ] {
         let report = analyze_workspace(&fixture_root(name), &AnalyzerConfig::default())
             .unwrap_or_else(|e| panic!("fixture {name}: {e}"));

@@ -75,13 +75,19 @@ pub fn check_analyze_report(contents: &str) -> Vec<Diagnostic> {
         ));
         return out;
     }
-    // The callgraph section follows the findings; its violations are
-    // CHK1102, the closing frame stays CHK1101.
-    let after_callgraph =
+    // The callgraph section follows the findings (violations are
+    // CHK1102), the effects section follows the callgraph (CHK1103),
+    // and the closing frame stays CHK1101.
+    let (after_callgraph, node_count, edges) =
         crate::callgraph::check_callgraph_section(&lines, after_findings, &mut out);
-    if after_callgraph < lines.len() && lines.get(after_callgraph).map(|l| l.trim()) != Some("}") {
+    let after_effects = if after_callgraph < lines.len() {
+        crate::effects::check_effects_section(&lines, after_callgraph, node_count, &edges, &mut out)
+    } else {
+        after_callgraph
+    };
+    if after_effects < lines.len() && lines.get(after_effects).map(|l| l.trim()) != Some("}") {
         out.push(frame_error(
-            after_callgraph,
+            after_effects,
             "report must close with '}'".into(),
         ));
     }
@@ -283,7 +289,7 @@ fn check_finding(
 mod tests {
     use super::*;
 
-    /// The empty callgraph section every report now carries.
+    /// The empty callgraph + effects sections every report now carries.
     const SECTION: &str = concat!(
         "  \"callgraph\": {\n",
         "    \"nodes\": [],\n",
@@ -291,6 +297,13 @@ mod tests {
         "    \"seeds\": {\"determinism\":[],\"hotpath\":[],\"worker\":[]},\n",
         "    \"sccs\": [],\n",
         "    \"stats\": {\"call_sites\":0,\"resolved\":0,\"external\":0,\"ambiguous\":0}\n",
+        "  },\n",
+        "  \"effects\": {\n",
+        "    \"bits\": [\"allocates\",\"locks\",\"panics\",\"does_io\",",
+        "\"nondeterministic\",\"unsafe\"],\n",
+        "    \"rows\": [],\n",
+        "    \"stats\": {\"functions\":0,\"effectful\":0,\"local_bits\":0,",
+        "\"propagated_bits\":0}\n",
         "  }\n",
     );
 

@@ -19,10 +19,17 @@ use crate::diag::{Diagnostic, Location};
 
 /// Validates the `"callgraph"` section that starts at `lines[start]`
 /// (the `"callgraph": {` line). Emits `CHK1102` diagnostics into
-/// `out` and returns the index one past the section's closing brace —
-/// or `lines.len()` when the frame is too broken to locate it.
+/// `out` and returns `(next, node_count, edges)`: the index one past
+/// the section's closing brace (or `lines.len()` when the frame is
+/// too broken to locate it) plus the declared node count and parsed
+/// edges, which the effects validator replays its monotonicity and
+/// witness checks against.
 #[must_use]
-pub fn check_callgraph_section(lines: &[&str], start: usize, out: &mut Vec<Diagnostic>) -> usize {
+pub fn check_callgraph_section(
+    lines: &[&str],
+    start: usize,
+    out: &mut Vec<Diagnostic>,
+) -> (usize, usize, Vec<(u32, u32)>) {
     let err = |line: usize, message: String| {
         Diagnostic::error(
             codes::CALLGRAPH_SCHEMA,
@@ -38,7 +45,7 @@ pub fn check_callgraph_section(lines: &[&str], start: usize, out: &mut Vec<Diagn
                 lines.get(start).copied().unwrap_or("").trim()
             ),
         ));
-        return lines.len();
+        return (lines.len(), 0, Vec::new());
     }
 
     let mut i = start + 1;
@@ -52,11 +59,11 @@ pub fn check_callgraph_section(lines: &[&str], start: usize, out: &mut Vec<Diagn
     }
     check_condensation(lines, i, node_count, &edges, &sccs, out);
 
-    if lines.get(i).copied() != Some("  }") {
-        out.push(err(i, "call-graph section must close with '  }'".into()));
-        return lines.len();
+    if lines.get(i).copied() != Some("  },") {
+        out.push(err(i, "call-graph section must close with '  },'".into()));
+        return (lines.len(), node_count, edges);
     }
-    i + 1
+    (i + 1, node_count, edges)
 }
 
 /// Shared `CHK1102` constructor.
@@ -440,7 +447,7 @@ mod tests {
         "    \"seeds\": {\"determinism\":[],\"hotpath\":[],\"worker\":[]},\n",
         "    \"sccs\": [],\n",
         "    \"stats\": {\"call_sites\":0,\"resolved\":0,\"external\":0,\"ambiguous\":0}\n",
-        "  }",
+        "  },",
     );
 
     /// A populated, internally consistent section.
@@ -459,7 +466,7 @@ mod tests {
             "    \"seeds\": {\"determinism\":[0],\"hotpath\":[1],\"worker\":[2]},\n",
             "    \"sccs\": [],\n",
             "    \"stats\": {\"call_sites\":3,\"resolved\":2,\"external\":1,\"ambiguous\":1}\n",
-            "  }",
+            "  },",
         )
         .to_string()
     }
@@ -467,8 +474,8 @@ mod tests {
     fn run(section: &str) -> Vec<Diagnostic> {
         let lines: Vec<&str> = section.lines().collect();
         let mut out = Vec::new();
-        let next = check_callgraph_section(&lines, 0, &mut out);
-        assert!(next == lines.len() || lines[next - 1] == "  }");
+        let (next, _, _) = check_callgraph_section(&lines, 0, &mut out);
+        assert!(next == lines.len() || lines[next - 1] == "  },");
         out
     }
 

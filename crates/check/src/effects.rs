@@ -1,0 +1,530 @@
+//! Validator for the analyzer report's effects section (`CHK1103`).
+//!
+//! `commorder-analyze` emits an `"effects"` object after the call
+//! graph: the six-name bit legend, one row per node with a non-zero
+//! inferred effect mask, and summary stats. The lattice carries three
+//! machine-checkable invariants this validator replays against the
+//! call graph parsed by `CHK1102`:
+//!
+//! 1. **Monotonicity** — effect masks only grow bottom-up: for every
+//!    call edge `(a, b)`, `mask[a] ⊇ mask[b]`.
+//! 2. **Witness well-formedness** — for each set bit, the `via` hop is
+//!    the node itself when the bit is local; otherwise it names a real
+//!    call edge whose target also carries the bit, and following the
+//!    hops terminates at a local source without revisiting a node.
+//! 3. **Stats arithmetic** — `functions` matches the declared node
+//!    count, `effectful` matches the row count, and the local plus
+//!    propagated bit totals match the rows' popcounts.
+//!
+//! Like `CHK1101`/`CHK1102` the parser is line-oriented and lenient:
+//! every violation becomes a [`Diagnostic`] and validation continues
+//! where the frame allows.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::codes;
+use crate::diag::{Diagnostic, Location};
+
+/// The bit legend the analyzer renders, lowest bit first.
+const BIT_NAMES: &str =
+    "\"allocates\",\"locks\",\"panics\",\"does_io\",\"nondeterministic\",\"unsafe\"";
+
+/// One parsed effects row.
+struct Row {
+    /// Report line the row came from (0-based).
+    line: usize,
+    /// Node index.
+    node: u32,
+    /// Fixed-point effect mask.
+    mask: u32,
+    /// Lexically-local subset of `mask`.
+    local: u32,
+    /// Per-bit witness next-hops (`-1` = bit unset).
+    via: [i64; 6],
+}
+
+/// Validates the `"effects"` section that starts at `lines[start]`
+/// (the `"effects": {` line), replaying the lattice invariants against
+/// the `node_count` and `edges` parsed from the call-graph section.
+/// Emits `CHK1103` diagnostics into `out` and returns the index one
+/// past the section's closing brace — or `lines.len()` when the frame
+/// is too broken to locate it.
+#[must_use]
+pub fn check_effects_section(
+    lines: &[&str],
+    start: usize,
+    node_count: usize,
+    edges: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+) -> usize {
+    if lines.get(start).map(|l| l.trim()) != Some("\"effects\": {") {
+        out.push(err(
+            start,
+            format!(
+                "expected an '\"effects\": {{' section, found {:?}",
+                lines.get(start).copied().unwrap_or("").trim()
+            ),
+        ));
+        return lines.len();
+    }
+    let mut i = start + 1;
+    check_bits(lines, &mut i, out);
+    let rows = parse_rows(lines, &mut i, out);
+    check_rows(&rows, node_count, edges, out);
+    check_stats(lines, &mut i, node_count, &rows, out);
+    if lines.get(i).copied() != Some("  }") {
+        out.push(err(i, "effects section must close with '  }'".into()));
+        return lines.len();
+    }
+    i + 1
+}
+
+/// Shared `CHK1103` constructor.
+fn err(line: usize, message: String) -> Diagnostic {
+    Diagnostic::error(
+        codes::EFFECTS_SCHEMA,
+        Location::at("report line", line as u64 + 1),
+        message,
+    )
+}
+
+/// The bit legend is part of the contract: a renamed or reordered bit
+/// silently changes the meaning of every mask.
+fn check_bits(lines: &[&str], i: &mut usize, out: &mut Vec<Diagnostic>) {
+    let line = lines.get(*i).copied().unwrap_or("").trim().to_string();
+    if line != format!("\"bits\": [{BIT_NAMES}],") {
+        out.push(err(
+            *i,
+            format!("bit legend must be exactly [{BIT_NAMES}], found {line:?}"),
+        ));
+    }
+    *i += 1;
+}
+
+/// Parses the `"rows"` array (one object per line). The `via` field is
+/// a nested array, so rows get a hand-rolled parser rather than the
+/// flat-object helper the other validators share.
+fn parse_rows(lines: &[&str], i: &mut usize, out: &mut Vec<Diagnostic>) -> Vec<Row> {
+    let open = lines.get(*i).copied().unwrap_or("").trim().to_string();
+    if open == "\"rows\": []," {
+        *i += 1;
+        return Vec::new();
+    }
+    let mut rows = Vec::new();
+    if open != "\"rows\": [" {
+        out.push(err(*i, format!("expected a rows array, found {open:?}")));
+        return rows;
+    }
+    *i += 1;
+    while *i < lines.len() && lines[*i].trim() != "]," {
+        let row = lines[*i].trim();
+        let entry = row.strip_suffix(',').unwrap_or(row);
+        match parse_row(entry) {
+            Some((node, mask, local, via)) => rows.push(Row {
+                line: *i,
+                node,
+                mask,
+                local,
+                via,
+            }),
+            None => out.push(err(
+                *i,
+                format!(
+                    "row {entry:?} must look like \
+                     {{\"node\":N,\"mask\":N,\"local\":N,\"via\":[v0,…,v5]}}"
+                ),
+            )),
+        }
+        *i += 1;
+    }
+    if lines.get(*i).map(|l| l.trim()) != Some("],") {
+        out.push(err(*i, "rows array is not closed with '],'".into()));
+    } else {
+        *i += 1;
+    }
+    rows
+}
+
+/// Parses one `{"node":N,"mask":N,"local":N,"via":[…]}` object.
+fn parse_row(entry: &str) -> Option<(u32, u32, u32, [i64; 6])> {
+    let rest = entry.strip_prefix("{\"node\":")?;
+    let (node, rest) = split_u32(rest)?;
+    let rest = rest.strip_prefix(",\"mask\":")?;
+    let (mask, rest) = split_u32(rest)?;
+    let rest = rest.strip_prefix(",\"local\":")?;
+    let (local, rest) = split_u32(rest)?;
+    let body = rest.strip_prefix(",\"via\":[")?.strip_suffix("]}")?;
+    let hops: Vec<i64> = body
+        .split(',')
+        .map(|v| v.parse::<i64>().ok())
+        .collect::<Option<Vec<i64>>>()?;
+    let via: [i64; 6] = hops.try_into().ok()?;
+    Some((node, mask, local, via))
+}
+
+/// Splits a leading `u32` off `rest`.
+fn split_u32(rest: &str) -> Option<(u32, &str)> {
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    Some((rest[..end].parse::<u32>().ok()?, &rest[end..]))
+}
+
+/// Replays the lattice invariants over the parsed rows.
+fn check_rows(rows: &[Row], node_count: usize, edges: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    let masks: BTreeMap<u32, u32> = rows.iter().map(|r| (r.node, r.mask)).collect();
+    let edge_set: BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+    let mut prev: Option<u32> = None;
+    for r in rows {
+        if r.node as usize >= node_count {
+            out.push(err(
+                r.line,
+                format!(
+                    "row references node {} but only {node_count} are declared",
+                    r.node
+                ),
+            ));
+        }
+        if prev.is_some_and(|p| p >= r.node) {
+            out.push(err(
+                r.line,
+                "rows must be strictly ascending by node".into(),
+            ));
+        }
+        prev = Some(r.node);
+        if r.mask == 0 || r.mask > 63 {
+            out.push(err(
+                r.line,
+                format!("mask {} is outside the six-bit lattice (1..=63)", r.mask),
+            ));
+        }
+        if r.local & !r.mask != 0 {
+            out.push(err(
+                r.line,
+                format!(
+                    "local bits {} escape the effect mask {} (local must be a subset)",
+                    r.local, r.mask
+                ),
+            ));
+        }
+        for (b, &hop) in r.via.iter().enumerate() {
+            let bit = 1u32 << b;
+            if r.mask & bit == 0 {
+                if hop != -1 {
+                    out.push(err(
+                        r.line,
+                        format!("via[{b}] must be -1 when bit {b} is unset, found {hop}"),
+                    ));
+                }
+                continue;
+            }
+            if hop < 0 {
+                out.push(err(
+                    r.line,
+                    format!("bit {b} is set but via[{b}] is {hop} (no witness)"),
+                ));
+                continue;
+            }
+            let hop = u32::try_from(hop).unwrap_or(u32::MAX);
+            if r.local & bit != 0 {
+                if hop != r.node {
+                    out.push(err(
+                        r.line,
+                        format!(
+                            "bit {b} is local to node {} so via[{b}] must point at \
+                             itself, found {hop}",
+                            r.node
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if !edge_set.contains(&(r.node, hop)) {
+                out.push(err(
+                    r.line,
+                    format!(
+                        "witness hop {} -> {hop} for bit {b} is not a declared call edge",
+                        r.node
+                    ),
+                ));
+            }
+            if masks.get(&hop).copied().unwrap_or(0) & bit == 0 {
+                out.push(err(
+                    r.line,
+                    format!("witness hop target {hop} does not carry bit {b}"),
+                ));
+            }
+        }
+    }
+    // Monotonicity: a caller's mask covers every callee's mask.
+    for &(a, b) in edges {
+        let ma = masks.get(&a).copied().unwrap_or(0);
+        let mb = masks.get(&b).copied().unwrap_or(0);
+        if ma & mb != mb {
+            out.push(err(
+                0,
+                format!(
+                    "effect mask shrinks over call edge {a} -> {b}: caller mask {ma} \
+                     does not cover callee mask {mb}"
+                ),
+            ));
+        }
+    }
+    // Witness chains terminate at a local source without revisiting.
+    let by_node: BTreeMap<u32, &Row> = rows.iter().map(|r| (r.node, r)).collect();
+    for r in rows {
+        for b in 0..6 {
+            let bit = 1u32 << b;
+            if r.mask & bit == 0 || r.local & bit != 0 {
+                continue;
+            }
+            let mut visited = BTreeSet::new();
+            let mut cur = r.node;
+            loop {
+                if !visited.insert(cur) {
+                    out.push(err(
+                        r.line,
+                        format!(
+                            "witness chain for bit {b} from node {} revisits {cur}",
+                            r.node
+                        ),
+                    ));
+                    break;
+                }
+                let Some(row) = by_node.get(&cur) else {
+                    out.push(err(
+                        r.line,
+                        format!(
+                            "witness chain for bit {b} from node {} reaches {cur}, \
+                             which has no row",
+                            r.node
+                        ),
+                    ));
+                    break;
+                };
+                if row.local & bit != 0 {
+                    break; // reached a local source
+                }
+                let hop = row.via[b];
+                if hop < 0 {
+                    break; // already flagged above
+                }
+                cur = u32::try_from(hop).unwrap_or(u32::MAX);
+            }
+        }
+    }
+}
+
+/// Validates the single-line `"stats"` object against the rows.
+fn check_stats(
+    lines: &[&str],
+    i: &mut usize,
+    node_count: usize,
+    rows: &[Row],
+    out: &mut Vec<Diagnostic>,
+) {
+    let line = lines.get(*i).copied().unwrap_or("").trim().to_string();
+    let Some([functions, effectful, local_bits, propagated_bits]) = parse_stats(&line) else {
+        out.push(err(
+            *i,
+            format!("expected a one-line stats object, found {line:?}"),
+        ));
+        return;
+    };
+    if functions != node_count as u64 {
+        out.push(err(
+            *i,
+            format!(
+                "stats declare {functions} functions but the call graph declares \
+                 {node_count} nodes"
+            ),
+        ));
+    }
+    if effectful != rows.len() as u64 {
+        out.push(err(
+            *i,
+            format!(
+                "stats declare {effectful} effectful functions but {} rows are listed",
+                rows.len()
+            ),
+        ));
+    }
+    let local_sum: u64 = rows.iter().map(|r| u64::from(r.local.count_ones())).sum();
+    let total_sum: u64 = rows.iter().map(|r| u64::from(r.mask.count_ones())).sum();
+    if local_bits != local_sum {
+        out.push(err(
+            *i,
+            format!("stats declare {local_bits} local bits but the rows sum to {local_sum}"),
+        ));
+    }
+    if propagated_bits != total_sum - local_sum {
+        out.push(err(
+            *i,
+            format!(
+                "stats declare {propagated_bits} propagated bits but the rows sum to {}",
+                total_sum - local_sum
+            ),
+        ));
+    }
+    *i += 1;
+}
+
+/// Parses `"stats": {"functions":N,"effectful":N,"local_bits":N,"propagated_bits":N}`.
+fn parse_stats(line: &str) -> Option<[u64; 4]> {
+    let mut rest = line.strip_prefix("\"stats\": {")?.strip_suffix('}')?;
+    let mut vals = [0u64; 4];
+    for (slot, key) in
+        vals.iter_mut()
+            .zip(["functions", "effectful", "local_bits", "propagated_bits"])
+    {
+        rest = rest
+            .trim_start_matches(',')
+            .strip_prefix(&format!("\"{key}\":"))?;
+        let end = rest.find(',').unwrap_or(rest.len());
+        *slot = rest[..end].parse::<u64>().ok()?;
+        rest = &rest[end..];
+    }
+    rest.is_empty().then_some(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical empty section, exactly as the analyzer renders it.
+    pub(crate) const EMPTY: &str = concat!(
+        "  \"effects\": {\n",
+        "    \"bits\": [\"allocates\",\"locks\",\"panics\",\"does_io\",",
+        "\"nondeterministic\",\"unsafe\"],\n",
+        "    \"rows\": [],\n",
+        "    \"stats\": {\"functions\":0,\"effectful\":0,\"local_bits\":0,",
+        "\"propagated_bits\":0}\n",
+        "  }",
+    );
+
+    /// A populated, internally consistent section over the edge list
+    /// `[(0,1),(1,2)]`: node 2 allocates locally, 1 and 0 inherit it,
+    /// and node 1 additionally panics locally.
+    fn populated() -> String {
+        concat!(
+            "  \"effects\": {\n",
+            "    \"bits\": [\"allocates\",\"locks\",\"panics\",\"does_io\",",
+            "\"nondeterministic\",\"unsafe\"],\n",
+            "    \"rows\": [\n",
+            "      {\"node\":0,\"mask\":5,\"local\":0,\"via\":[1,-1,1,-1,-1,-1]},\n",
+            "      {\"node\":1,\"mask\":5,\"local\":4,\"via\":[2,-1,1,-1,-1,-1]},\n",
+            "      {\"node\":2,\"mask\":1,\"local\":1,\"via\":[2,-1,-1,-1,-1,-1]}\n",
+            "    ],\n",
+            "    \"stats\": {\"functions\":3,\"effectful\":3,\"local_bits\":2,",
+            "\"propagated_bits\":3}\n",
+            "  }",
+        )
+        .to_string()
+    }
+
+    fn run(section: &str, node_count: usize, edges: &[(u32, u32)]) -> Vec<Diagnostic> {
+        let lines: Vec<&str> = section.lines().collect();
+        let mut out = Vec::new();
+        let next = check_effects_section(&lines, 0, node_count, edges, &mut out);
+        assert!(next == lines.len() || lines[next - 1] == "  }");
+        out
+    }
+
+    const EDGES: &[(u32, u32)] = &[(0, 1), (1, 2)];
+
+    #[test]
+    fn empty_and_populated_sections_pass() {
+        assert!(run(EMPTY, 0, &[]).is_empty());
+        assert!(run(&populated(), 3, EDGES).is_empty());
+    }
+
+    #[test]
+    fn wrong_bit_legend_is_flagged() {
+        let bad = populated().replace("\"locks\"", "\"locking\"");
+        let diags = run(&bad, 3, EDGES);
+        assert!(diags.iter().any(|d| d.message.contains("bit legend")));
+    }
+
+    #[test]
+    fn local_escaping_mask_is_flagged() {
+        let bad = populated().replace("\"mask\":1,\"local\":1", "\"mask\":1,\"local\":3");
+        let diags = run(&bad, 3, EDGES);
+        assert!(diags.iter().any(|d| d.message.contains("escape")));
+    }
+
+    #[test]
+    fn non_edge_witness_hop_is_flagged() {
+        // Node 0's allocates-hop must be its callee 1, not 2.
+        let bad = populated().replace(
+            "{\"node\":0,\"mask\":5,\"local\":0,\"via\":[1,-1,1,-1,-1,-1]}",
+            "{\"node\":0,\"mask\":5,\"local\":0,\"via\":[2,-1,1,-1,-1,-1]}",
+        );
+        let diags = run(&bad, 3, EDGES);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("not a declared call edge")));
+    }
+
+    #[test]
+    fn monotonicity_violation_is_flagged() {
+        // Dropping node 0's row makes its (implicit) mask 0, which no
+        // longer covers callee 1's mask 5 over edge (0,1).
+        let bad = populated()
+            .replace(
+                "      {\"node\":0,\"mask\":5,\"local\":0,\"via\":[1,-1,1,-1,-1,-1]},\n",
+                "",
+            )
+            .replace("\"effectful\":3", "\"effectful\":2")
+            .replace("\"propagated_bits\":3", "\"propagated_bits\":1");
+        let diags = run(&bad, 3, EDGES);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("mask shrinks over call edge")));
+    }
+
+    #[test]
+    fn nonterminating_witness_chain_is_flagged() {
+        // 0 and 1 point at each other for a bit neither holds locally
+        // (node 0's via[0] already names 1 in the populated report).
+        let bad = populated().replace(
+            "{\"node\":1,\"mask\":5,\"local\":4,\"via\":[2,-1,1,-1,-1,-1]}",
+            "{\"node\":1,\"mask\":5,\"local\":4,\"via\":[0,-1,1,-1,-1,-1]}",
+        );
+        let diags = run(&bad, 3, EDGES);
+        assert!(
+            diags.iter().any(|d| d.message.contains("revisits"))
+                || diags
+                    .iter()
+                    .any(|d| d.message.contains("not a declared call edge"))
+        );
+    }
+
+    #[test]
+    fn inconsistent_stats_are_flagged() {
+        let bad = populated().replace("\"local_bits\":2", "\"local_bits\":5");
+        let diags = run(&bad, 3, EDGES);
+        assert!(diags.iter().any(|d| d.message.contains("local bits")));
+        let bad = populated().replace("\"functions\":3", "\"functions\":9");
+        let diags = run(&bad, 3, EDGES);
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("the call graph declares")));
+    }
+
+    #[test]
+    fn unsorted_rows_and_bad_masks_are_flagged() {
+        let swapped = populated()
+            .replace("{\"node\":1,", "{\"node\":9,")
+            .replace("{\"node\":0,", "{\"node\":1,");
+        let diags = run(&swapped, 3, EDGES);
+        assert!(
+            diags.iter().any(|d| d.message.contains("ascending"))
+                || diags
+                    .iter()
+                    .any(|d| d.message.contains("only 3 are declared"))
+        );
+        let bad = populated().replace("\"mask\":1,\"local\":1", "\"mask\":64,\"local\":0");
+        let diags = run(&bad, 3, EDGES);
+        assert!(diags.iter().any(|d| d.message.contains("six-bit lattice")));
+    }
+}

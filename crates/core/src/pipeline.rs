@@ -228,11 +228,10 @@ impl PipelineBuilder {
                 "peak bandwidth must be positive".into(),
             );
         }
-        if let Some(rule) = KERNEL_PARAM_RULES
-            .iter()
-            .find(|rule| (rule.value)(self.kernel) == Some(0))
-        {
-            return invalid(rule.field, format!("{} (got 0)", rule.requirement));
+        for rule in KERNEL_PARAM_RULES {
+            if (rule.value)(self.kernel) == Some(0) {
+                return invalid(rule.field, format!("{} (got 0)", rule.requirement));
+            }
         }
         if let ExecutionModel::Interleaved { streams: 0 } = self.model {
             return invalid(

@@ -308,12 +308,37 @@ fn run_bench_analyze(root: &Path) -> Result<BenchReport, String> {
         0.0
     };
 
+    // Effect-pass throughput in isolation: the crates and the call
+    // graph are prebuilt so the timer covers only the local scan, the
+    // fixed-point propagation, and the witness indexing.
+    let config = AnalyzerConfig::default();
+    let crates = commorder_analyze::workspace::load_crates(root)?;
+    let graph =
+        commorder_analyze::callgraph::build(&crates, &config.hot_seed_fns, &config.worker_seed_fns);
+    let functions = graph.nodes.len() as f64;
+    let effects_start = Instant::now();
+    let fx = commorder_analyze::effects::compute(&crates, &graph);
+    let effects_seconds = effects_start.elapsed().as_secs_f64();
+    let effectful = fx.to_report().rows.len();
+    let effect_functions_per_second = if effects_seconds > 0.0 {
+        functions / effects_seconds
+    } else {
+        0.0
+    };
+
     eprintln!(
         "xtask bench: analyze: {} files ({bytes} bytes), {tokens} tokens, \
-         {tokens_per_second:.0} tokens/s lex, {selfhost_seconds:.3}s self-host",
+         {tokens_per_second:.0} tokens/s lex, {selfhost_seconds:.3}s self-host, \
+         {effect_functions_per_second:.0} fns/s effects ({effectful} effectful)",
         sources.len(),
     );
     let mut report = BenchReport::new("analyze");
+    report.metric(
+        "analyze.effect_functions_per_second",
+        effect_functions_per_second,
+        "functions/s",
+        true,
+    );
     report.metric(
         "analyze.lex_tokens_per_second",
         tokens_per_second,

@@ -1,0 +1,9 @@
+//! Fixture: name-collision regression — two types expose an
+//! identically named method, and a typed receiver must bind to
+//! exactly one of them (one edge, zero ambiguous sites).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod pass;

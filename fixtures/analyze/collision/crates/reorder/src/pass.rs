@@ -1,0 +1,9 @@
+//! A typed receiver picks one `width` despite the name collision.
+
+use crate::graph::Csr;
+
+/// Resolves `m.width()` to `Csr::width` alone: the receiver's type
+/// comes from the parameter annotation, not the bare method name.
+pub fn reorder(m: &Csr) -> usize {
+    m.width()
+}

@@ -1,0 +1,11 @@
+//! Fixture: interprocedural effect inference — every effect source
+//! sits one call away from its seed, so the lexical passes stay
+//! silent and only the propagated `XT10xx` rules fire.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod render;
+pub mod sim;
+pub mod store;

@@ -1,0 +1,17 @@
+//! Per-access loop whose allocation hides one call away: the lexical
+//! hot-path shapes see nothing, the inferred callee mask does.
+
+/// Seed: replays the trace, allocating through `scratch` every access.
+pub fn simulate(trace: &[u32]) -> usize {
+    let mut hits = 0;
+    for &t in trace {
+        hits += scratch(t).len();
+    }
+    hits
+}
+
+/// Allocates on every call; it has no loop of its own, so only the
+/// interprocedural closure attributes the cost to the caller's loop.
+fn scratch(t: u32) -> Vec<u32> {
+    vec![t; 8]
+}
